@@ -1,0 +1,6 @@
+//! The experiment harness: regenerates every table and figure of the
+//! evaluation (run via `cargo bench -p comma-bench --bench experiments`).
+
+fn main() {
+    comma_bench::run_and_print_all();
+}

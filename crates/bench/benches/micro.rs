@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the reproduction's hot paths.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use comma_filters::codec::Method;
+use comma_filters::editmap::EditMap;
+use comma_filters::standard_catalog;
+use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
+use comma_netsim::time::SimTime;
+use comma_netsim::wire;
+use comma_proxy::engine::FilterEngine;
+use comma_proxy::filter::NullMetrics;
+use comma_proxy::WildKey;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn data_packet(len: usize) -> Packet {
+    let mut seg = TcpSegment::new(7, 1169, 1000, 0, TcpFlags::ACK);
+    seg.payload = Bytes::from(vec![0xabu8; len]);
+    Packet::tcp(
+        "11.11.10.99".parse().unwrap(),
+        "11.11.10.10".parse().unwrap(),
+        seg,
+    )
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let pkt = data_packet(1400);
+    let bytes = wire::encode(&pkt);
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_1400B", |b| b.iter(|| wire::encode(&pkt)));
+    g.bench_function("decode_1400B", |b| b.iter(|| wire::decode(&bytes).unwrap()));
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let text: Vec<u8> = (0..16_384)
+        .map(|i| b"the quick brown fox jumps over the lazy dog. "[i % 45])
+        .collect();
+    let packed = Method::Lzss.compress(&text);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("lzss_compress_16k_text", |b| {
+        b.iter(|| Method::Lzss.compress(&text))
+    });
+    g.bench_function("lzss_decompress", |b| {
+        b.iter(|| Method::Lzss.decompress(&packed).unwrap())
+    });
+    g.bench_function("rle_compress_16k", |b| {
+        b.iter(|| Method::Rle.compress(&text))
+    });
+    g.finish();
+}
+
+fn bench_editmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("editmap");
+    g.bench_function("push_map_inverse_100edits", |b| {
+        b.iter_batched(
+            || EditMap::new(0),
+            |mut map| {
+                for _ in 0..100 {
+                    map.push(1460, Bytes::from(vec![0u8; 700]), false);
+                }
+                let mut acc = 0u32;
+                for k in 0..100u32 {
+                    acc = acc.wrapping_add(map.map_seq(k * 1460));
+                    acc = acc.wrapping_add(map.inverse_ack(k * 700));
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter-engine");
+    for depth in [0usize, 1, 4] {
+        g.bench_function(format!("per_packet_depth{depth}"), |b| {
+            let mut engine = FilterEngine::new(standard_catalog(comma_filters::ALL_FILTERS));
+            for _ in 0..depth {
+                engine.register(WildKey::ANY, "tcp", vec![]).unwrap();
+            }
+            let mut rng = SmallRng::seed_from_u64(1);
+            // Prime the queue.
+            engine.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400));
+            b.iter(|| engine.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    use comma::topology::{addrs, CommaBuilder};
+    use comma_tcp::apps::{BulkSender, Sink};
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("bulk_1MB_end_to_end", |b| {
+        b.iter(|| {
+            let mut world = CommaBuilder::new(1).eem(false).build(
+                vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 1_000_000))],
+                vec![Box::new(Sink::new(9000))],
+            );
+            world.run_until(SimTime::from_secs(60));
+            world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_codecs,
+    bench_editmap,
+    bench_engine,
+    bench_simulation
+);
+criterion_main!(benches);

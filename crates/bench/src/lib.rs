@@ -1,0 +1,26 @@
+//! The Comma reproduction's benchmark and experiment harness.
+//!
+//! `cargo bench -p comma-bench` runs two targets:
+//!
+//! - `micro` — Criterion micro-benchmarks of the hot paths (edit map,
+//!   filter engine, wire codec, compressors, simulator event rate);
+//! - `experiments` — the full table/figure regeneration harness: one block
+//!   per experiment in DESIGN.md's index, each annotated with the paper's
+//!   claim and whether the measured shape holds.
+
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod table;
+
+/// Runs every experiment, printing each block as it completes.
+pub fn run_and_print_all() {
+    println!("Comma reproduction — experiment harness");
+    println!("=======================================");
+    println!();
+    for block in exps::run_all() {
+        println!("{block}");
+    }
+    println!("E15 (filter-queue ordering) and E16 (EEM API surface) are covered by");
+    println!("`tests/filter_queue_order.rs` and `crates/eem` unit tests respectively.");
+}

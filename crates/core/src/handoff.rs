@@ -1,0 +1,137 @@
+//! Proxy mobility (§10.2.3, future work implemented): when the mobile
+//! moves to a cell served by a different gateway, the service
+//! configuration follows it — every registration on the old Service Proxy
+//! is re-created on the new one and removed from the old.
+
+use comma_netsim::node::NodeId;
+use comma_netsim::sim::Simulator;
+use comma_proxy::ServiceProxy;
+
+/// Outcome of a proxy-state handoff.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HandoffReport {
+    /// Registrations moved to the new proxy.
+    pub moved: usize,
+    /// Registrations that the new proxy rejected (filter not loaded).
+    pub rejected: usize,
+}
+
+/// Moves every service registration from `from` to `to`.
+///
+/// Live per-stream filter state (e.g. a TTSF edit map) is deliberately not
+/// migrated: mid-stream state transfer is only sound between proxies that
+/// observe the same packets, which is not the case across a cell change.
+/// Streams re-acquire their services at the new proxy from their next
+/// packet, exactly as a freshly added registration would.
+pub fn transfer_services(sim: &mut Simulator, from: NodeId, to: NodeId) -> HandoffReport {
+    let now = sim.now();
+    let regs = sim.with_node::<ServiceProxy, _>(from, |sp| sp.engine.registrations());
+    let mut report = HandoffReport::default();
+    for reg in &regs {
+        let ok = sim.with_node::<ServiceProxy, _>(to, |sp| {
+            sp.engine
+                .register(reg.wild, &reg.filter, reg.args.clone())
+                .is_ok()
+        });
+        if ok {
+            report.moved += 1;
+        } else {
+            report.rejected += 1;
+        }
+    }
+    // Remove from the old proxy (instances torn down with each).
+    for reg in &regs {
+        let line = format!("delete {} {}", reg.filter, reg.wild).replace("->", "");
+        let line = line.split_whitespace().collect::<Vec<_>>().join(" ");
+        sim.with_node::<ServiceProxy, _>(from, |sp| {
+            sp.exec(now, &line);
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comma_filters::standard_catalog;
+    use comma_netsim::routing::RoutingTable;
+    use comma_proxy::engine::FilterEngine;
+
+    fn add_sp(sim: &mut Simulator, name: &str, loaded: bool) -> NodeId {
+        let catalog = if loaded {
+            standard_catalog(comma_filters::ALL_FILTERS)
+        } else {
+            standard_catalog(&[])
+        };
+        sim.add_node(Box::new(ServiceProxy::new(
+            name,
+            vec!["11.11.10.1".parse().unwrap()],
+            RoutingTable::new(),
+            FilterEngine::new(catalog),
+            9,
+        )))
+    }
+
+    #[test]
+    fn registrations_move_between_proxies() {
+        let mut sim = Simulator::new(1);
+        let a = add_sp(&mut sim, "sp-a", true);
+        let b = add_sp(&mut sim, "sp-b", true);
+        sim.with_node::<ServiceProxy, _>(a, |sp| {
+            sp.exec(
+                comma_netsim::time::SimTime::ZERO,
+                "add snoop 0.0.0.0 0 11.11.10.10 0",
+            );
+            sp.exec(
+                comma_netsim::time::SimTime::ZERO,
+                "add rdrop 0.0.0.0 0 11.11.10.10 0 50",
+            );
+        });
+        let report = transfer_services(&mut sim, a, b);
+        assert_eq!(
+            report,
+            HandoffReport {
+                moved: 2,
+                rejected: 0
+            }
+        );
+        let (a_regs, b_regs) = (
+            sim.with_node::<ServiceProxy, _>(a, |sp| sp.engine.registrations().len()),
+            sim.with_node::<ServiceProxy, _>(b, |sp| sp.engine.registrations().len()),
+        );
+        assert_eq!(a_regs, 0);
+        assert_eq!(b_regs, 2);
+        // Arguments survived the move.
+        let args = sim.with_node::<ServiceProxy, _>(b, |sp| {
+            sp.engine
+                .registrations()
+                .iter()
+                .find(|r| r.filter == "rdrop")
+                .unwrap()
+                .args
+                .clone()
+        });
+        assert_eq!(args, vec!["50".to_string()]);
+    }
+
+    #[test]
+    fn unloaded_filters_rejected_at_target() {
+        let mut sim = Simulator::new(2);
+        let a = add_sp(&mut sim, "sp-a", true);
+        let b = add_sp(&mut sim, "sp-b", false);
+        sim.with_node::<ServiceProxy, _>(a, |sp| {
+            sp.exec(
+                comma_netsim::time::SimTime::ZERO,
+                "add snoop 0.0.0.0 0 11.11.10.10 0",
+            );
+        });
+        let report = transfer_services(&mut sim, a, b);
+        assert_eq!(
+            report,
+            HandoffReport {
+                moved: 0,
+                rejected: 1
+            }
+        );
+    }
+}

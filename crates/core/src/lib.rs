@@ -1,0 +1,126 @@
+//! Comma — transparent communication management in wireless networks.
+//!
+//! This is the integration crate of the reproduction: it assembles the
+//! substrate crates into the thesis's architecture (Fig 4.1) and adds the
+//! future-work extensions of §10.2:
+//!
+//! - [`topology`]: the standard deployment — wired host, Service Proxy at
+//!   the wired/wireless boundary, mobile host — with EEM instrumentation
+//!   and an optional mobile-side stub proxy (double-proxy, §10.2.4);
+//! - [`metrics`]: the sampling loop feeding the EEM hub and the adapter
+//!   exposing it to adaptive filters;
+//! - [`services`]: the layered service abstraction (§10.2.1) — named
+//!   services expanding to filter stacks;
+//! - [`handoff`]: proxy-state handoff between gateways (§10.2.3);
+//! - [`media`]: the layered real-time media workload of §8.3.2.
+//!
+//! # Examples
+//!
+//! A bulk transfer through the proxy with the housekeeping filter applied:
+//!
+//! ```
+//! use comma::topology::{addrs, CommaBuilder};
+//! use comma_netsim::time::SimTime;
+//! use comma_tcp::apps::{BulkSender, Sink};
+//!
+//! let mut world = CommaBuilder::new(7).build(
+//!     vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 50_000))],
+//!     vec![Box::new(Sink::new(9000))],
+//! );
+//! world.sp("add tcp 0.0.0.0 0 11.11.10.10 0");
+//! world.run_until(SimTime::from_secs(10));
+//! let sink = world.mobile_app_ids[0];
+//! let got = world.mobile_app::<Sink, _>(sink, |s| s.bytes_received);
+//! assert_eq!(got, 50_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod handoff;
+pub mod media;
+pub mod metrics;
+pub mod services;
+pub mod topology;
+
+pub use handoff::{transfer_services, HandoffReport};
+pub use media::{MediaSink, MediaSource};
+pub use metrics::{install_sampler, HubMetrics, SamplerSpec};
+pub use services::{apply_service, find_service, standard_services, ServiceDef};
+pub use topology::{addrs, CommaBuilder, CommaWorld};
+
+#[cfg(test)]
+mod tests {
+    use super::topology::{addrs, CommaBuilder};
+    use comma_netsim::time::SimTime;
+    use comma_tcp::apps::{BulkSender, Sink};
+
+    #[test]
+    fn plain_transfer_through_idle_proxy() {
+        let mut world = CommaBuilder::new(1).build(
+            vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 300_000))],
+            vec![Box::new(Sink::new(9000))],
+        );
+        world.run_until(SimTime::from_secs(20));
+        let sink = world.mobile_app_ids[0];
+        let got = world.mobile_app::<Sink, _>(sink, |s| s.bytes_received);
+        assert_eq!(got, 300_000);
+    }
+
+    #[test]
+    fn ttsf_identity_preserves_stream_exactly() {
+        let mut world = CommaBuilder::new(2).build(
+            vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 150_000))],
+            vec![Box::new(Sink::new(9000).with_capture(150_000))],
+        );
+        world.sp("add tcp 0.0.0.0 0 11.11.10.10 0");
+        world.sp("add ttsf 0.0.0.0 0 11.11.10.10 9000");
+        world.run_until(SimTime::from_secs(20));
+        let sink = world.mobile_app_ids[0];
+        let capture = world.mobile_app::<Sink, _>(sink, |s| s.capture.clone());
+        assert_eq!(capture.len(), 150_000);
+        // The BulkSender pattern is i % 251.
+        for (i, b) in capture.iter().enumerate() {
+            assert_eq!(*b as usize, i % 251, "byte {i} corrupted");
+        }
+    }
+
+    #[test]
+    fn compress_decompress_double_proxy_exact_delivery() {
+        // Highly compressible payload.
+        let sender =
+            BulkSender::new((addrs::MOBILE, 9000), 200_000).with_pattern(|i| b"abab"[i % 4]);
+        let mut world = CommaBuilder::new(3).double_proxy(true).build(
+            vec![Box::new(sender)],
+            vec![Box::new(Sink::new(9000).with_capture(200_000))],
+        );
+        world.sp("add compress 0.0.0.0 0 11.11.10.10 9000 lzss");
+        world.stub_sp("add decompress 0.0.0.0 0 11.11.10.10 9000");
+        world.run_until(SimTime::from_secs(30));
+
+        let sink = world.mobile_app_ids[0];
+        let capture = world.mobile_app::<Sink, _>(sink, |s| s.capture.clone());
+        assert_eq!(capture.len(), 200_000, "received {} bytes", capture.len());
+        for (i, b) in capture.iter().enumerate() {
+            assert_eq!(*b, b"abab"[i % 4], "byte {i} corrupted");
+        }
+        // The wireless hop carried far fewer bytes than the payload.
+        let wireless = world.wireless_down_bytes();
+        assert!(
+            wireless < 120_000,
+            "wireless carried {wireless} bytes for a 200000-byte transfer"
+        );
+    }
+
+    #[test]
+    fn eem_hub_populated_during_run() {
+        let mut world = CommaBuilder::new(4).build(
+            vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 50_000))],
+            vec![Box::new(Sink::new(9000))],
+        );
+        world.run_until(SimTime::from_secs(5));
+        let hub = world.hub.borrow();
+        assert!(hub.get("sp", "wireless.up").is_some());
+        assert!(hub.get("wired", "tcpOutSegs").is_some());
+        assert!(hub.get("mobile", "tcpInSegs").is_some());
+    }
+}

@@ -1,0 +1,149 @@
+//! Wiring between the EEM metrics hub and the rest of the system: the
+//! proxy-side [`MetricsSource`] adapter and the periodic sampling loop
+//! that plays the role of the thesis's SNMP daemons and kernel counters.
+
+use std::rc::Rc;
+
+use comma_eem::{hub::sample_host, SharedHub, Value};
+use comma_netsim::link::ChannelId;
+use comma_netsim::node::NodeId;
+use comma_netsim::sim::Simulator;
+use comma_netsim::time::{SimDuration, SimTime};
+use comma_proxy::filter::MetricsSource;
+use comma_tcp::host::Host;
+
+/// Adapter exposing one node's hub variables to adaptive proxy filters.
+pub struct HubMetrics {
+    hub: SharedHub,
+    node: String,
+}
+
+impl HubMetrics {
+    /// Creates an adapter reading `node`'s variables.
+    pub fn new(hub: SharedHub, node: impl Into<String>) -> Self {
+        HubMetrics {
+            hub,
+            node: node.into(),
+        }
+    }
+}
+
+impl MetricsSource for HubMetrics {
+    fn get(&self, var: &str) -> Option<f64> {
+        self.hub.borrow().get(&self.node, var)?.as_f64()
+    }
+}
+
+/// What the periodic sampler observes.
+pub struct SamplerSpec {
+    /// Hub written by the sampler.
+    pub hub: SharedHub,
+    /// Hosts whose SNMP counters are published, with their hub node names.
+    pub hosts: Vec<(NodeId, String)>,
+    /// The monitored wireless channels `(down, up)`; drives `wireless.*`
+    /// variables under the given node name.
+    pub wireless: Option<(ChannelId, ChannelId, String)>,
+    /// Sampling period.
+    pub period: SimDuration,
+}
+
+/// Installs a self-rescheduling sampling loop on the simulator.
+pub fn install_sampler(sim: &mut Simulator, spec: SamplerSpec) {
+    let spec = Rc::new(spec);
+    schedule(sim, sim.now() + spec.period, spec.clone());
+    // Also take an immediate first sample so metrics exist at t≈0.
+    sample(sim, &spec);
+}
+
+fn schedule(sim: &mut Simulator, at: SimTime, spec: Rc<SamplerSpec>) {
+    sim.at(at, move |sim| {
+        sample(sim, &spec);
+        let next = sim.now() + spec.period;
+        schedule(sim, next, spec);
+    });
+}
+
+fn sample(sim: &mut Simulator, spec: &SamplerSpec) {
+    let now = sim.now();
+    let uptime = now.as_secs_f64() as i64;
+    for (node, name) in &spec.hosts {
+        // Hosts may be wrapped (MobileHost); sample only direct hosts here,
+        // wrapped ones are sampled by their own integration.
+        let counters = sim.node_mut::<Host>(*node).map(|h| {
+            let mut hub = spec.hub.borrow_mut();
+            sample_host(&mut hub, name, h, uptime);
+        });
+        let _ = counters;
+    }
+    if let Some((down, up, name)) = &spec.wireless {
+        let (up_state, qlen, bw, delivered, loss_drops, down_drops) = {
+            let ch = sim.channel(*down);
+            (
+                ch.params.up,
+                ch.queued_bytes as i64,
+                ch.params.bandwidth_bps as i64,
+                ch.stats.delivered_bytes as i64,
+                ch.stats.loss_drops as i64,
+                ch.stats.down_drops as i64,
+            )
+        };
+        let up_up = sim.channel(*up).params.up;
+        let mut hub = spec.hub.borrow_mut();
+        hub.set(
+            name,
+            "wireless.up",
+            Value::Long(i64::from(up_state && up_up)),
+        );
+        hub.set(name, "wireless.qlen", Value::Long(qlen));
+        hub.set(name, "wireless.bw", Value::Long(bw));
+        hub.set(name, "bytes_tx", Value::Long(delivered));
+        hub.set(name, "wireless.loss_drops", Value::Long(loss_drops));
+        hub.set(name, "wireless.down_drops", Value::Long(down_drops));
+        hub.set(name, "sysUpTime", Value::Long(uptime));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comma_eem::MetricsHub;
+    use comma_netsim::link::LinkParams;
+
+    #[test]
+    fn hub_metrics_adapter() {
+        let hub = MetricsHub::shared();
+        hub.borrow_mut().set("sp", "wireless.up", Value::Long(1));
+        hub.borrow_mut()
+            .set("sp", "note", Value::Str("text".into()));
+        let m = HubMetrics::new(hub, "sp");
+        assert_eq!(m.get("wireless.up"), Some(1.0));
+        assert_eq!(m.get("note"), None, "strings have no numeric view");
+        assert_eq!(m.get("absent"), None);
+    }
+
+    #[test]
+    fn sampler_publishes_wireless_state() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_node(Box::new(Host::new("a", "10.0.0.1".parse().unwrap())));
+        let b = sim.add_node(Box::new(Host::new("b", "10.0.0.2".parse().unwrap())));
+        let (down, up) = sim.connect(a, b, LinkParams::wireless(), LinkParams::wireless());
+        let hub = MetricsHub::shared();
+        install_sampler(
+            &mut sim,
+            SamplerSpec {
+                hub: hub.clone(),
+                hosts: vec![(a, "a".into()), (b, "b".into())],
+                wireless: Some((down, up, "sp".into())),
+                period: SimDuration::from_millis(100),
+            },
+        );
+        sim.run_until(SimTime::from_millis(250));
+        assert_eq!(hub.borrow().get("sp", "wireless.up"), Some(&Value::Long(1)));
+        assert!(hub.borrow().get("a", "tcpOutSegs").is_some());
+
+        // Take the link down; the next sample reflects it.
+        sim.channel_mut(down).params.up = false;
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(hub.borrow().get("sp", "wireless.up"), Some(&Value::Long(0)));
+    }
+}

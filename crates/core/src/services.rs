@@ -1,0 +1,152 @@
+//! The layered service abstraction (§10.2.1, future work implemented):
+//! named, user-meaningful services that expand to one or more filters with
+//! arguments, so a Kati user requests "background transfer" instead of
+//! assembling filter stacks by hand.
+
+use comma_netsim::time::SimTime;
+use comma_proxy::{ServiceProxy, WildKey};
+
+/// A named service: a description plus the filter stack it expands to.
+#[derive(Clone, Debug)]
+pub struct ServiceDef {
+    /// User-facing service name.
+    pub name: &'static str,
+    /// One-line description for the Kati catalog view.
+    pub description: &'static str,
+    /// Filters composing the service: `(filter, args)`.
+    pub filters: Vec<(&'static str, Vec<String>)>,
+}
+
+/// The standard service catalog.
+pub fn standard_services() -> Vec<ServiceDef> {
+    vec![
+        ServiceDef {
+            name: "reliable-wireless",
+            description: "hide wireless losses from the sender (snoop + housekeeping)",
+            filters: vec![("tcp", vec![]), ("snoop", vec![])],
+        },
+        ServiceDef {
+            name: "low-bandwidth-text",
+            description: "block-compress the stream for the wireless hop (needs a stub proxy)",
+            filters: vec![("tcp", vec![]), ("compress", vec!["lzss".into()])],
+        },
+        ServiceDef {
+            name: "background-transfer",
+            description: "deprioritize this stream (advertised window scaled to 25%)",
+            filters: vec![("wsize", vec!["scale".into(), "25".into()])],
+        },
+        ServiceDef {
+            name: "resilient-disconnect",
+            description: "keep the stream alive across disconnections (ZWSM)",
+            filters: vec![("wsize", vec!["zwsm".into(), "wireless.up".into()])],
+        },
+        ServiceDef {
+            name: "media-adaptive",
+            description: "drop enhancement layers when the wireless queue grows",
+            filters: vec![(
+                "hdiscard",
+                vec![
+                    "adaptive".into(),
+                    "wireless.qlen".into(),
+                    "3".into(),
+                    "4000".into(),
+                    "12000".into(),
+                ],
+            )],
+        },
+        ServiceDef {
+            name: "summary-only",
+            description: "strip low-importance records from the stream",
+            filters: vec![("tcp", vec![]), ("removal", vec!["2".into()])],
+        },
+    ]
+}
+
+/// Looks up a service by name.
+pub fn find_service(name: &str) -> Option<ServiceDef> {
+    standard_services().into_iter().find(|s| s.name == name)
+}
+
+/// Applies a service to streams matching `wild` on a proxy; returns the
+/// number of filter registrations created.
+pub fn apply_service(
+    sp: &mut ServiceProxy,
+    now: SimTime,
+    wild: WildKey,
+    service: &ServiceDef,
+) -> usize {
+    let mut applied = 0;
+    for (filter, args) in &service.filters {
+        let arg_str = args.join(" ");
+        let line = format!("add {filter} {wild} {arg_str}");
+        // The SP command syntax uses the space-separated key format.
+        let line = line.replace("->", "");
+        let line = line.split_whitespace().collect::<Vec<_>>().join(" ");
+        sp.exec(now, &line);
+        applied += 1;
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comma_filters::standard_catalog;
+    use comma_netsim::routing::RoutingTable;
+    use comma_proxy::engine::FilterEngine;
+
+    fn sp() -> ServiceProxy {
+        let catalog = standard_catalog(comma_filters::ALL_FILTERS);
+        ServiceProxy::new(
+            "sp",
+            vec!["11.11.10.1".parse().unwrap()],
+            RoutingTable::new(),
+            FilterEngine::new(catalog),
+            1,
+        )
+    }
+
+    #[test]
+    fn catalog_names_unique_and_filters_known() {
+        let services = standard_services();
+        let mut names: Vec<&str> = services.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), services.len());
+        for s in &services {
+            for (filter, _) in &s.filters {
+                assert!(
+                    comma_filters::ALL_FILTERS.contains(filter),
+                    "{} uses unknown filter {filter}",
+                    s.name
+                );
+            }
+        }
+        assert!(find_service("reliable-wireless").is_some());
+        assert!(find_service("nope").is_none());
+    }
+
+    #[test]
+    fn apply_creates_registrations() {
+        let mut proxy = sp();
+        let wild: WildKey = "0.0.0.0 0 11.11.10.10 0".parse().unwrap();
+        let service = find_service("reliable-wireless").unwrap();
+        let n = apply_service(&mut proxy, SimTime::ZERO, wild, &service);
+        assert_eq!(n, 2);
+        assert_eq!(proxy.engine.registrations().len(), 2);
+        let report = proxy.exec(SimTime::ZERO, "report snoop");
+        assert!(report.contains("11.11.10.10"), "{report}");
+    }
+
+    #[test]
+    fn apply_service_with_args() {
+        let mut proxy = sp();
+        let wild: WildKey = "0.0.0.0 0 11.11.10.10 0".parse().unwrap();
+        let service = find_service("background-transfer").unwrap();
+        apply_service(&mut proxy, SimTime::ZERO, wild, &service);
+        let regs = proxy.engine.registrations();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].filter, "wsize");
+        assert_eq!(regs[0].args, vec!["scale".to_string(), "25".to_string()]);
+    }
+}

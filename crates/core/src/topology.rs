@@ -1,0 +1,329 @@
+//! The standard Comma deployment (Fig 4.1): a wired host, the Service
+//! Proxy at the wired/wireless boundary, and a mobile host — with optional
+//! EEM instrumentation and a mobile-side stub proxy for double-proxy
+//! services (§10.2.4).
+
+use comma_eem::{EemServer, MetricsHub, SharedHub};
+use comma_filters::standard_catalog;
+use comma_netsim::addr::{Ipv4Addr, Subnet};
+use comma_netsim::link::{ChannelId, LinkParams};
+use comma_netsim::node::{IfaceId, NodeId};
+use comma_netsim::sim::Simulator;
+use comma_netsim::time::{SimDuration, SimTime};
+use comma_proxy::engine::FilterEngine;
+use comma_proxy::ServiceProxy;
+use comma_tcp::apps::App;
+use comma_tcp::host::Host;
+use comma_tcp::TcpConfig;
+
+use crate::metrics::{install_sampler, HubMetrics, SamplerSpec};
+
+/// Canonical addresses, matching the thesis's examples.
+pub mod addrs {
+    use comma_netsim::addr::Ipv4Addr;
+
+    /// The wired (fixed) host, `11.11.10.99`.
+    pub const WIRED: Ipv4Addr = Ipv4Addr::new(11, 11, 10, 99);
+    /// The Service Proxy (`eramosa`'s stand-in), `11.11.10.1`.
+    pub const PROXY: Ipv4Addr = Ipv4Addr::new(11, 11, 10, 1);
+    /// The mobile-side stub proxy, `11.11.10.2`.
+    pub const STUB: Ipv4Addr = Ipv4Addr::new(11, 11, 10, 2);
+    /// The mobile host, `11.11.10.10`.
+    pub const MOBILE: Ipv4Addr = Ipv4Addr::new(11, 11, 10, 10);
+}
+
+/// Builder for the standard topology.
+pub struct CommaBuilder {
+    seed: u64,
+    wired_params: LinkParams,
+    wireless_down: LinkParams,
+    wireless_up: LinkParams,
+    tcp_cfg: TcpConfig,
+    double_proxy: bool,
+    eem: bool,
+    sampler_period: SimDuration,
+    preload_all: bool,
+}
+
+impl CommaBuilder {
+    /// Creates a builder with default wired/wireless parameters.
+    pub fn new(seed: u64) -> Self {
+        CommaBuilder {
+            seed,
+            wired_params: LinkParams::wired(),
+            wireless_down: LinkParams::wireless(),
+            wireless_up: LinkParams::wireless(),
+            tcp_cfg: TcpConfig::default(),
+            double_proxy: false,
+            eem: true,
+            sampler_period: SimDuration::from_millis(100),
+            preload_all: true,
+        }
+    }
+
+    /// Sets both wireless directions.
+    pub fn wireless(mut self, down: LinkParams, up: LinkParams) -> Self {
+        self.wireless_down = down;
+        self.wireless_up = up;
+        self
+    }
+
+    /// Sets the wired link (both directions).
+    pub fn wired(mut self, params: LinkParams) -> Self {
+        self.wired_params = params;
+        self
+    }
+
+    /// Sets the TCP configuration for both hosts.
+    pub fn tcp(mut self, cfg: TcpConfig) -> Self {
+        self.tcp_cfg = cfg;
+        self
+    }
+
+    /// Adds the mobile-side stub proxy (double-proxy services).
+    pub fn double_proxy(mut self, on: bool) -> Self {
+        self.double_proxy = on;
+        self
+    }
+
+    /// Enables or disables EEM servers and the metrics sampler.
+    pub fn eem(mut self, on: bool) -> Self {
+        self.eem = on;
+        self
+    }
+
+    /// Starts the main proxy with an *empty* loaded-filter pool, so a
+    /// session must `load` filters explicitly (the Fig 5.3 situation).
+    pub fn empty_filter_pool(mut self) -> Self {
+        self.preload_all = false;
+        self
+    }
+
+    /// Builds the world with the given applications installed.
+    pub fn build(
+        self,
+        wired_apps: Vec<Box<dyn App>>,
+        mobile_apps: Vec<Box<dyn App>>,
+    ) -> CommaWorld {
+        let mut sim = Simulator::new(self.seed);
+        let hub = MetricsHub::shared();
+
+        let mut wired_host = Host::new("wired", addrs::WIRED);
+        wired_host.set_default_config(self.tcp_cfg.clone());
+        let mut wired_app_ids = Vec::new();
+        for app in wired_apps {
+            wired_app_ids.push(wired_host.add_app(app));
+        }
+        if self.eem {
+            wired_host.add_app(Box::new(EemServer::new("wired", hub.clone())));
+        }
+        let wired = sim.add_node(Box::new(wired_host));
+
+        // The Service Proxy: iface0 toward the wired side, iface1 wireless.
+        let mut table = comma_netsim::routing::RoutingTable::new();
+        table.add(Subnet::host(addrs::WIRED), IfaceId(0));
+        table.add_default(IfaceId(1));
+        let catalog = if self.preload_all {
+            standard_catalog(comma_filters::ALL_FILTERS)
+        } else {
+            standard_catalog(&[])
+        };
+        let mut sp = ServiceProxy::new(
+            "sp",
+            vec![addrs::PROXY],
+            table,
+            FilterEngine::new(catalog),
+            self.seed,
+        );
+        sp.set_metrics(Box::new(HubMetrics::new(hub.clone(), "sp")));
+        let proxy = sim.add_node(Box::new(sp));
+
+        let mut mobile_host = Host::new("mobile", addrs::MOBILE);
+        mobile_host.set_default_config(self.tcp_cfg.clone());
+        let mut mobile_app_ids = Vec::new();
+        for app in mobile_apps {
+            mobile_app_ids.push(mobile_host.add_app(app));
+        }
+        if self.eem {
+            mobile_host.add_app(Box::new(EemServer::new("mobile", hub.clone())));
+        }
+        let mobile = sim.add_node(Box::new(mobile_host));
+
+        sim.connect(
+            wired,
+            proxy,
+            self.wired_params.clone(),
+            self.wired_params.clone(),
+        );
+
+        let (stub, wireless_ch) = if self.double_proxy {
+            // SP ──wireless── stub ──fast local── mobile.
+            let mut stub_table = comma_netsim::routing::RoutingTable::new();
+            stub_table.add(Subnet::host(addrs::MOBILE), IfaceId(1));
+            stub_table.add_default(IfaceId(0));
+            let stub_catalog = standard_catalog(comma_filters::ALL_FILTERS);
+            let mut stub_sp = ServiceProxy::new(
+                "stub",
+                vec![addrs::STUB],
+                stub_table,
+                FilterEngine::new(stub_catalog),
+                self.seed ^ 0xbeef,
+            );
+            stub_sp.set_metrics(Box::new(HubMetrics::new(hub.clone(), "sp")));
+            let stub = sim.add_node(Box::new(stub_sp));
+            let wireless = sim.connect(
+                proxy,
+                stub,
+                self.wireless_down.clone(),
+                self.wireless_up.clone(),
+            );
+            // The mobile hangs off the stub on a fast local hop.
+            let local = LinkParams::wired().with_latency(SimDuration::from_micros(100));
+            sim.connect(stub, mobile, local.clone(), local);
+            (Some(stub), wireless)
+        } else {
+            let wireless = sim.connect(
+                proxy,
+                mobile,
+                self.wireless_down.clone(),
+                self.wireless_up.clone(),
+            );
+            (None, wireless)
+        };
+
+        if self.eem {
+            install_sampler(
+                &mut sim,
+                SamplerSpec {
+                    hub: hub.clone(),
+                    hosts: vec![(wired, "wired".into()), (mobile, "mobile".into())],
+                    wireless: Some((wireless_ch.0, wireless_ch.1, "sp".into())),
+                    period: self.sampler_period,
+                },
+            );
+        }
+
+        CommaWorld {
+            sim,
+            wired,
+            proxy,
+            stub,
+            mobile,
+            wireless_ch,
+            hub,
+            wired_app_ids,
+            mobile_app_ids,
+        }
+    }
+}
+
+/// A built Comma deployment.
+pub struct CommaWorld {
+    /// The simulator.
+    pub sim: Simulator,
+    /// The wired host node.
+    pub wired: NodeId,
+    /// The Service Proxy node.
+    pub proxy: NodeId,
+    /// The mobile-side stub proxy, when double-proxy is enabled.
+    pub stub: Option<NodeId>,
+    /// The mobile host node.
+    pub mobile: NodeId,
+    /// The wireless channels `(toward mobile, toward wired)`.
+    pub wireless_ch: (ChannelId, ChannelId),
+    /// The shared metrics hub.
+    pub hub: SharedHub,
+    /// Application ids installed on the wired host, in insertion order.
+    pub wired_app_ids: Vec<comma_tcp::host::AppId>,
+    /// Application ids installed on the mobile host, in insertion order.
+    pub mobile_app_ids: Vec<comma_tcp::host::AppId>,
+}
+
+impl CommaWorld {
+    /// Executes an SP console command on the main proxy.
+    pub fn sp(&mut self, line: &str) -> String {
+        let now = self.sim.now();
+        let line = line.to_string();
+        self.sim
+            .with_node::<ServiceProxy, _>(self.proxy, move |sp| sp.exec(now, &line))
+    }
+
+    /// Executes an SP console command on the stub proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was built without [`CommaBuilder::double_proxy`].
+    pub fn stub_sp(&mut self, line: &str) -> String {
+        let stub = self.stub.expect("world has no stub proxy");
+        let now = self.sim.now();
+        let line = line.to_string();
+        self.sim
+            .with_node::<ServiceProxy, _>(stub, move |sp| sp.exec(now, &line))
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Typed access to a wired-host application.
+    pub fn wired_app<T: 'static, R>(
+        &mut self,
+        app: comma_tcp::host::AppId,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        self.sim
+            .with_node::<Host, _>(self.wired, |h| f(h.app_mut::<T>(app)))
+    }
+
+    /// Typed access to a mobile-host application.
+    pub fn mobile_app<T: 'static, R>(
+        &mut self,
+        app: comma_tcp::host::AppId,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        self.sim
+            .with_node::<Host, _>(self.mobile, |h| f(h.app_mut::<T>(app)))
+    }
+
+    /// Bytes delivered across the wireless downlink so far.
+    pub fn wireless_down_bytes(&self) -> u64 {
+        self.sim.channel(self.wireless_ch.0).stats.delivered_bytes
+    }
+
+    /// Takes the wireless link down or up (disconnection scenarios).
+    pub fn set_wireless_up(&mut self, up: bool) {
+        let (d, u) = self.wireless_ch;
+        self.sim.channel_mut(d).params.up = up;
+        self.sim.channel_mut(u).params.up = up;
+    }
+
+    /// Schedules a wireless up/down change at `t`.
+    pub fn set_wireless_up_at(&mut self, t: SimTime, up: bool) {
+        let (d, u) = self.wireless_ch;
+        self.sim.at(t, move |sim| {
+            sim.channel_mut(d).params.up = up;
+            sim.channel_mut(u).params.up = up;
+        });
+    }
+
+    /// The canonical downlink stream key for `(wired:sport → mobile:dport)`.
+    pub fn stream_key(&self, sport: u16, dport: u16) -> comma_proxy::StreamKey {
+        comma_proxy::StreamKey::new(addrs::WIRED, sport, addrs::MOBILE, dport)
+    }
+
+    /// Wild-card key matching every stream toward the mobile.
+    pub fn to_mobile_wild(&self) -> comma_proxy::WildKey {
+        comma_proxy::WildKey {
+            src: None,
+            sport: None,
+            dst: Some(addrs::MOBILE),
+            dport: None,
+        }
+    }
+}
+
+/// Convenience: the canonical mobile address as a parsed value.
+pub fn mobile_addr() -> Ipv4Addr {
+    addrs::MOBILE
+}

@@ -1,0 +1,360 @@
+//! Variable identifiers and notification attributes: the `comma_id_*` and
+//! `comma_attr_*` interface of Tables 6.4 and 6.5.
+
+use comma_netsim::addr::Ipv4Addr;
+
+use crate::value::{Value, VarType};
+use crate::vars;
+
+/// Error from the EEM client interface (the thesis returns status codes;
+/// `COMMA_OK` maps to `Ok(())`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EemError(pub String);
+
+impl std::fmt::Display for EemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "eem: {}", self.0)
+    }
+}
+
+impl std::error::Error for EemError {}
+
+/// A variable id: which variable, on which server (`comma_id_t`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VarId {
+    num: u16,
+    index: Option<u32>,
+    server: Option<Ipv4Addr>,
+}
+
+impl VarId {
+    /// `comma_id_init`: a cleared id.
+    pub fn init() -> Self {
+        VarId::default()
+    }
+
+    /// `comma_id_setnum`: selects a variable by numeric id.
+    pub fn set_num(&mut self, num: u16) -> Result<(), EemError> {
+        vars::by_num(num).ok_or_else(|| EemError(format!("unknown variable {num}")))?;
+        self.num = num;
+        Ok(())
+    }
+
+    /// `comma_id_setbyname`: selects a variable by name.
+    pub fn set_by_name(&mut self, name: &str) -> Result<(), EemError> {
+        let spec =
+            vars::by_name(name).ok_or_else(|| EemError(format!("unknown variable {name}")))?;
+        self.num = spec.num;
+        Ok(())
+    }
+
+    /// `comma_id_setindex`: sets the index for per-interface variables.
+    pub fn set_index(&mut self, index: u32) {
+        self.index = Some(index);
+    }
+
+    /// `comma_id_setall`: variable number and index in one call.
+    pub fn set_all(&mut self, num: u16, index: u32) -> Result<(), EemError> {
+        self.set_num(num)?;
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// `comma_id_setserver`: directs the registration at a remote server.
+    pub fn set_server(&mut self, server: Ipv4Addr) {
+        self.server = Some(server);
+    }
+
+    /// `comma_id_isindexreqd`.
+    pub fn is_index_reqd(&self) -> bool {
+        vars::by_num(self.num).map(|s| s.indexed).unwrap_or(false)
+    }
+
+    /// `comma_id_gettype`.
+    pub fn get_type(&self) -> Option<VarType> {
+        vars::by_num(self.num).map(|s| s.ty)
+    }
+
+    /// `comma_id_getname`.
+    pub fn get_name(&self) -> Option<&'static str> {
+        vars::by_num(self.num).map(|s| s.name)
+    }
+
+    /// The numeric variable id.
+    pub fn num(&self) -> u16 {
+        self.num
+    }
+
+    /// The index, if set.
+    pub fn index(&self) -> Option<u32> {
+        self.index
+    }
+
+    /// The target server, if remote.
+    pub fn server(&self) -> Option<Ipv4Addr> {
+        self.server
+    }
+
+    /// Key identifying this variable in the protected data area.
+    pub fn key(&self) -> (u16, u32) {
+        (self.num, self.index.unwrap_or(0))
+    }
+
+    /// Convenience constructor.
+    pub fn named(name: &str) -> Result<VarId, EemError> {
+        let mut id = VarId::init();
+        id.set_by_name(name)?;
+        Ok(id)
+    }
+}
+
+/// Comparison operator for notification ranges (§6.3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operator {
+    /// Greater than the lower bound.
+    Gt,
+    /// Greater than or equal to the lower bound.
+    Gte,
+    /// Less than the lower bound.
+    Lt,
+    /// Less than or equal to the lower bound.
+    Lte,
+    /// Equal to the lower bound.
+    Eq,
+    /// Not equal to the lower bound.
+    Neq,
+    /// Inside `[lbound, ubound]`.
+    In,
+    /// Outside `[lbound, ubound]`.
+    Out,
+}
+
+impl Operator {
+    /// Wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Operator::Gt => "GT",
+            Operator::Gte => "GTE",
+            Operator::Lt => "LT",
+            Operator::Lte => "LTE",
+            Operator::Eq => "EQ",
+            Operator::Neq => "NEQ",
+            Operator::In => "IN",
+            Operator::Out => "OUT",
+        }
+    }
+
+    /// Inverse of [`Operator::tag`].
+    pub fn from_tag(tag: &str) -> Option<Operator> {
+        Some(match tag {
+            "GT" => Operator::Gt,
+            "GTE" => Operator::Gte,
+            "LT" => Operator::Lt,
+            "LTE" => Operator::Lte,
+            "EQ" => Operator::Eq,
+            "NEQ" => Operator::Neq,
+            "IN" => Operator::In,
+            "OUT" => Operator::Out,
+            _ => return None,
+        })
+    }
+
+    /// Whether this operator needs both bounds.
+    pub fn is_binary(self) -> bool {
+        matches!(self, Operator::In | Operator::Out)
+    }
+}
+
+/// Notification attributes (`comma_attr_t`): bounds plus operator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Attr {
+    lbound: Option<Value>,
+    ubound: Option<Value>,
+    operator: Option<Operator>,
+}
+
+impl Attr {
+    /// `comma_attr_init`.
+    pub fn init() -> Self {
+        Attr {
+            lbound: None,
+            ubound: None,
+            operator: None,
+        }
+    }
+
+    /// `comma_attr_setlbound`.
+    pub fn set_lbound(&mut self, v: Value) {
+        self.lbound = Some(v);
+    }
+
+    /// `comma_attr_setubound`.
+    pub fn set_ubound(&mut self, v: Value) {
+        self.ubound = Some(v);
+    }
+
+    /// `comma_attr_setoperator`. Strings admit only `EQ`/`NEQ` (§6.3.2).
+    pub fn set_operator(&mut self, op: Operator) -> Result<(), EemError> {
+        if let Some(Value::Str(_)) = &self.lbound {
+            if !matches!(op, Operator::Eq | Operator::Neq) {
+                return Err(EemError("string variables admit only EQ/NEQ".into()));
+            }
+        }
+        self.operator = Some(op);
+        Ok(())
+    }
+
+    /// The lower bound.
+    pub fn lbound(&self) -> Option<&Value> {
+        self.lbound.as_ref()
+    }
+
+    /// The upper bound.
+    pub fn ubound(&self) -> Option<&Value> {
+        self.ubound.as_ref()
+    }
+
+    /// The operator.
+    pub fn operator(&self) -> Option<Operator> {
+        self.operator
+    }
+
+    /// Validates completeness: binary operators need both bounds.
+    pub fn validate(&self) -> Result<(), EemError> {
+        let op = self
+            .operator
+            .ok_or_else(|| EemError("operator not set".into()))?;
+        if self.lbound.is_none() {
+            return Err(EemError("lower bound not set".into()));
+        }
+        if op.is_binary() && self.ubound.is_none() {
+            return Err(EemError("binary operator needs an upper bound".into()));
+        }
+        Ok(())
+    }
+
+    /// Evaluates the attribute against a value: is it "in range"?
+    pub fn matches(&self, value: &Value) -> bool {
+        let Some(op) = self.operator else {
+            return false;
+        };
+        let Some(lb) = &self.lbound else { return false };
+        match (value, lb) {
+            (Value::Str(v), Value::Str(l)) => match op {
+                Operator::Eq => v == l,
+                Operator::Neq => v != l,
+                _ => false,
+            },
+            _ => {
+                let (Some(v), Some(l)) = (value.as_f64(), lb.as_f64()) else {
+                    return false;
+                };
+                match op {
+                    Operator::Gt => v > l,
+                    Operator::Gte => v >= l,
+                    Operator::Lt => v < l,
+                    Operator::Lte => v <= l,
+                    Operator::Eq => v == l,
+                    Operator::Neq => v != l,
+                    Operator::In | Operator::Out => {
+                        let Some(u) = self.ubound.as_ref().and_then(|u| u.as_f64()) else {
+                            return false;
+                        };
+                        let inside = v >= l && v <= u;
+                        (op == Operator::In) == inside
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for Attr {
+    fn default() -> Self {
+        Attr::init()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_surface() {
+        let mut id = VarId::init();
+        assert!(id.set_by_name("sysUpTime").is_ok());
+        assert_eq!(id.get_name(), Some("sysUpTime"));
+        assert_eq!(id.get_type(), Some(VarType::Long));
+        assert!(!id.is_index_reqd());
+        assert!(id.set_by_name("noSuch").is_err());
+        assert!(id.set_num(51).is_ok());
+        assert!(id.is_index_reqd());
+        id.set_index(2);
+        assert_eq!(id.key(), (51, 2));
+        id.set_server("11.11.10.1".parse().unwrap());
+        assert_eq!(id.server(), Some("11.11.10.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn attr_range_semantics() {
+        let mut attr = Attr::init();
+        attr.set_lbound(Value::Long(0));
+        attr.set_ubound(Value::Long(20));
+        attr.set_operator(Operator::In).unwrap();
+        assert!(attr.validate().is_ok());
+        assert!(attr.matches(&Value::Long(10)));
+        assert!(attr.matches(&Value::Long(0)));
+        assert!(attr.matches(&Value::Long(20)));
+        assert!(!attr.matches(&Value::Long(21)));
+
+        attr.set_operator(Operator::Out).unwrap();
+        assert!(!attr.matches(&Value::Long(10)));
+        assert!(attr.matches(&Value::Long(25)));
+    }
+
+    #[test]
+    fn unary_operators() {
+        let mut attr = Attr::init();
+        attr.set_lbound(Value::Double(1.5));
+        attr.set_operator(Operator::Gte).unwrap();
+        assert!(attr.matches(&Value::Double(1.5)));
+        assert!(attr.matches(&Value::Long(2)));
+        assert!(!attr.matches(&Value::Double(1.49)));
+        assert!(attr.validate().is_ok());
+
+        // Binary without ubound fails validation.
+        attr.set_operator(Operator::In).unwrap();
+        assert!(attr.validate().is_err());
+    }
+
+    #[test]
+    fn string_type_checking() {
+        let mut attr = Attr::init();
+        attr.set_lbound(Value::Str("eth0".into()));
+        assert!(attr.set_operator(Operator::Gt).is_err());
+        attr.set_operator(Operator::Eq).unwrap();
+        assert!(attr.matches(&Value::Str("eth0".into())));
+        assert!(!attr.matches(&Value::Str("wvlan0".into())));
+        assert!(
+            !attr.matches(&Value::Long(1)),
+            "type mismatch never matches"
+        );
+    }
+
+    #[test]
+    fn operator_tags_roundtrip() {
+        for op in [
+            Operator::Gt,
+            Operator::Gte,
+            Operator::Lt,
+            Operator::Lte,
+            Operator::Eq,
+            Operator::Neq,
+            Operator::In,
+            Operator::Out,
+        ] {
+            assert_eq!(Operator::from_tag(op.tag()), Some(op));
+        }
+        assert_eq!(Operator::from_tag("XX"), None);
+    }
+}

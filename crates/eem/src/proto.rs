@@ -1,0 +1,220 @@
+//! The lean EEM wire protocol (§6.1.2): pipe-delimited text lines carried
+//! in UDP datagrams.
+
+use crate::id::Operator;
+use crate::value::Value;
+
+/// Registration delivery mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Immediate notification when the variable enters its range.
+    Interrupt,
+    /// Batched periodic updates of in-range, changed variables.
+    Periodic,
+    /// One-shot poll: sample, reply, forget.
+    Once,
+}
+
+impl Mode {
+    fn tag(self) -> &'static str {
+        match self {
+            Mode::Interrupt => "I",
+            Mode::Periodic => "P",
+            Mode::Once => "O",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Mode> {
+        Some(match tag {
+            "I" => Mode::Interrupt,
+            "P" => Mode::Periodic,
+            "O" => Mode::Once,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Message {
+    /// Client → server: register interest.
+    Register {
+        /// Client-chosen registration id.
+        reg_id: u32,
+        /// Variable number.
+        var_num: u16,
+        /// Variable index.
+        index: u32,
+        /// Delivery mode.
+        mode: Mode,
+        /// Range operator.
+        op: Operator,
+        /// Lower bound.
+        lbound: Value,
+        /// Upper bound (binary operators).
+        ubound: Option<Value>,
+    },
+    /// Client → server: remove a registration.
+    Deregister {
+        /// Registration id to remove.
+        reg_id: u32,
+    },
+    /// Server → client: a value update.
+    Update {
+        /// Registration the update belongs to.
+        reg_id: u32,
+        /// Whether the value is currently inside the requested range.
+        in_range: bool,
+        /// Current value.
+        value: Value,
+    },
+    /// Server → client: a registration was rejected (unknown variable).
+    Nak {
+        /// Registration id that failed.
+        reg_id: u32,
+    },
+}
+
+impl Message {
+    /// Encodes one message as a line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Message::Register {
+                reg_id,
+                var_num,
+                index,
+                mode,
+                op,
+                lbound,
+                ubound,
+            } => {
+                let ub = ubound
+                    .as_ref()
+                    .map(|u| u.encode())
+                    .unwrap_or_else(|| "-".into());
+                format!(
+                    "REG|{reg_id}|{var_num}|{index}|{}|{}|{}|{ub}",
+                    mode.tag(),
+                    op.tag(),
+                    lbound.encode()
+                )
+            }
+            Message::Deregister { reg_id } => format!("DEREG|{reg_id}"),
+            Message::Update {
+                reg_id,
+                in_range,
+                value,
+            } => {
+                format!("UPD|{reg_id}|{}|{}", u8::from(*in_range), value.encode())
+            }
+            Message::Nak { reg_id } => format!("NAK|{reg_id}"),
+        }
+    }
+
+    /// Decodes one line.
+    pub fn decode(line: &str) -> Option<Message> {
+        let parts: Vec<&str> = line.split('|').collect();
+        match *parts.first()? {
+            "REG" if parts.len() == 8 => Some(Message::Register {
+                reg_id: parts[1].parse().ok()?,
+                var_num: parts[2].parse().ok()?,
+                index: parts[3].parse().ok()?,
+                mode: Mode::from_tag(parts[4])?,
+                op: Operator::from_tag(parts[5])?,
+                lbound: Value::decode(parts[6])?,
+                ubound: if parts[7] == "-" {
+                    None
+                } else {
+                    Some(Value::decode(parts[7])?)
+                },
+            }),
+            "DEREG" if parts.len() == 2 => Some(Message::Deregister {
+                reg_id: parts[1].parse().ok()?,
+            }),
+            "UPD" if parts.len() == 4 => Some(Message::Update {
+                reg_id: parts[1].parse().ok()?,
+                in_range: parts[2] == "1",
+                value: Value::decode(parts[3])?,
+            }),
+            "NAK" if parts.len() == 2 => Some(Message::Nak {
+                reg_id: parts[1].parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Encodes a batch of messages into one datagram payload.
+    pub fn encode_batch(msgs: &[Message]) -> String {
+        msgs.iter()
+            .map(|m| m.encode())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Decodes a datagram payload into messages (bad lines skipped).
+    pub fn decode_batch(payload: &str) -> Vec<Message> {
+        payload.lines().filter_map(Message::decode).collect()
+    }
+}
+
+/// Default UDP port of EEM servers.
+pub const EEM_PORT: u16 = 4888;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_messages() {
+        let msgs = vec![
+            Message::Register {
+                reg_id: 7,
+                var_num: 3,
+                index: 0,
+                mode: Mode::Periodic,
+                op: Operator::In,
+                lbound: Value::Long(0),
+                ubound: Some(Value::Long(20)),
+            },
+            Message::Register {
+                reg_id: 8,
+                var_num: 82,
+                index: 0,
+                mode: Mode::Interrupt,
+                op: Operator::Gte,
+                lbound: Value::Double(0.8),
+                ubound: None,
+            },
+            Message::Deregister { reg_id: 7 },
+            Message::Update {
+                reg_id: 8,
+                in_range: true,
+                value: Value::Double(0.93),
+            },
+            Message::Nak { reg_id: 9 },
+        ];
+        for m in &msgs {
+            assert_eq!(Message::decode(&m.encode()), Some(m.clone()), "{m:?}");
+        }
+        let batch = Message::encode_batch(&msgs);
+        assert_eq!(Message::decode_batch(&batch), msgs);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(Message::decode("REG|1|2"), None);
+        assert_eq!(Message::decode("UPD|x|1|L 5"), None);
+        assert_eq!(Message::decode("???"), None);
+        assert_eq!(Message::decode_batch("NAK|1\ngarbage\nDEREG|2").len(), 2);
+    }
+
+    #[test]
+    fn string_values_survive_batching() {
+        let m = Message::Update {
+            reg_id: 1,
+            in_range: true,
+            value: Value::Str("lo0 eth0 wvlan0".into()),
+        };
+        assert_eq!(Message::decode(&m.encode()), Some(m));
+    }
+}

@@ -1,0 +1,102 @@
+//! EEM variable values and types (§6.3.1): LONG, DOUBLE, STRING.
+
+use std::fmt;
+
+/// The type of an EEM variable (the thesis's `comma_type_t` union tags).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarType {
+    /// Integer values (`LONG`).
+    Long,
+    /// Floating-point values (`DOUBLE`).
+    Double,
+    /// Text values (`STRING`).
+    Str,
+}
+
+/// A variable value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// Integer value.
+    Long(i64),
+    /// Floating-point value.
+    Double(f64),
+    /// Text value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the value's type.
+    pub fn var_type(&self) -> VarType {
+        match self {
+            Value::Long(_) => VarType::Long,
+            Value::Double(_) => VarType::Double,
+            Value::Str(_) => VarType::Str,
+        }
+    }
+
+    /// Numeric view (integers widen; strings have none).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Long(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Encodes for the wire protocol.
+    pub fn encode(&self) -> String {
+        match self {
+            Value::Long(v) => format!("L {v}"),
+            Value::Double(v) => format!("D {v}"),
+            Value::Str(v) => format!("S {v}"),
+        }
+    }
+
+    /// Decodes a wire-encoded value.
+    pub fn decode(s: &str) -> Option<Value> {
+        let (tag, rest) = s.split_once(' ')?;
+        match tag {
+            "L" => rest.parse().ok().map(Value::Long),
+            "D" => rest.parse().ok().map(Value::Double),
+            "S" => Some(Value::Str(rest.to_string())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v:.3}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for v in [
+            Value::Long(-42),
+            Value::Double(3.25),
+            Value::Str("lo0 eth0 wvlan0".to_string()),
+        ] {
+            assert_eq!(Value::decode(&v.encode()), Some(v));
+        }
+        assert_eq!(Value::decode("bogus"), None);
+        assert_eq!(Value::decode("X 1"), None);
+    }
+
+    #[test]
+    fn typing_and_numeric_view() {
+        assert_eq!(Value::Long(5).var_type(), VarType::Long);
+        assert_eq!(Value::Double(1.5).var_type(), VarType::Double);
+        assert_eq!(Value::Str("x".into()).var_type(), VarType::Str);
+        assert_eq!(Value::Long(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! The EEM variable catalog: the SNMP variables of Table 6.1 plus the
+//! additional variables of Table 6.2.
+
+use crate::value::VarType;
+
+/// Static description of one EEM variable.
+#[derive(Clone, Copy, Debug)]
+pub struct VarSpec {
+    /// Stable numeric id (the thesis's `comma_id_setnum` argument).
+    pub num: u16,
+    /// Variable name.
+    pub name: &'static str,
+    /// Value type.
+    pub ty: VarType,
+    /// Whether an index is required (per-interface `if*` variables).
+    pub indexed: bool,
+}
+
+macro_rules! vars {
+    ($($num:expr => $name:ident : $ty:ident $(, indexed=$idx:expr)? ;)*) => {
+        /// The full variable catalog (Tables 6.1 and 6.2).
+        pub const CATALOG: &[VarSpec] = &[
+            $(VarSpec {
+                num: $num,
+                name: stringify!($name),
+                ty: VarType::$ty,
+                indexed: false $(|| $idx)?,
+            },)*
+        ];
+    };
+}
+
+vars! {
+    // Table 6.1: system group.
+    1 => sysDescr: Str;
+    2 => sysObjectID: Str;
+    3 => sysUpTime: Long;
+    4 => sysContact: Str;
+    5 => sysName: Str;
+    6 => sysLocation: Str;
+    7 => sysServices: Long;
+    // IP group.
+    10 => ipInReceives: Long;
+    11 => ipInHdrErrors: Long;
+    12 => ipInAddrErrors: Long;
+    13 => ipForwDatagrams: Long;
+    14 => ipInUnknownProtos: Long;
+    15 => ipInDiscards: Long;
+    16 => ipInDelivers: Long;
+    17 => ipOutRequests: Long;
+    18 => ipOutDiscards: Long;
+    19 => ipOutNoRoutes: Long;
+    20 => ipRoutingDiscard: Long;
+    // UDP group.
+    25 => udpInDatagrams: Long;
+    26 => udpNoPorts: Long;
+    27 => udpInErrors: Long;
+    28 => udpOutDatagrams: Long;
+    // TCP group.
+    30 => tcpRtoAlgorithm: Long;
+    31 => tcpRtoMin: Long;
+    32 => tcpRtoMax: Long;
+    33 => tcpMaxConn: Long;
+    34 => tcpActiveOpens: Long;
+    35 => tcpPassiveOpens: Long;
+    36 => tcpAttemptFails: Long;
+    37 => tcpEstabResets: Long;
+    38 => tcpCurrEstab: Long;
+    39 => tcpInSegs: Long;
+    40 => tcpOutSegs: Long;
+    41 => tcpRetransSegs: Long;
+    // Interface group (indexed by interface).
+    50 => ifNumbers: Long;
+    51 => ifIndex: Long, indexed=true;
+    52 => ifDescr: Str, indexed=true;
+    53 => ifType: Long, indexed=true;
+    54 => ifMtu: Long, indexed=true;
+    55 => ifSpeed: Long, indexed=true;
+    56 => ifInOctets: Long, indexed=true;
+    57 => ifInUcastPkts: Long, indexed=true;
+    58 => ifInNUcastPkts: Long, indexed=true;
+    59 => ifInDiscards: Long, indexed=true;
+    60 => ifInErrors: Long, indexed=true;
+    61 => ifInUnknownProtos: Long, indexed=true;
+    62 => ifOutOctets: Long, indexed=true;
+    63 => ifOutUcastPkts: Long, indexed=true;
+    64 => ifOutNUcastPkts: Long, indexed=true;
+    65 => ifOutDiscards: Long, indexed=true;
+    66 => ifOutErrors: Long, indexed=true;
+    67 => ifOutQLen: Long, indexed=true;
+    // Table 6.2: additional EEM variables.
+    80 => netLatency: Double;
+    81 => avgInIPPkts: Double;
+    82 => cpuLoadAvg: Double;
+    83 => ethErrsAvg: Double;
+    84 => ethInAvg: Double;
+    85 => ethOutAvg: Double;
+    86 => deviceList: Str;
+    87 => bytes_rx: Long;
+    88 => bytes_tx: Long;
+}
+
+/// Looks up a variable by numeric id.
+pub fn by_num(num: u16) -> Option<&'static VarSpec> {
+    CATALOG.iter().find(|v| v.num == num)
+}
+
+/// Looks up a variable by name.
+pub fn by_name(name: &str) -> Option<&'static VarSpec> {
+    CATALOG.iter().find(|v| v.name == name)
+}
+
+/// Well-known numeric id for `sysUpTime` (used by the Fig 6.2 example; the
+/// thesis calls it `COMMA_SYSUPTIME`).
+pub const COMMA_SYSUPTIME: u16 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_tables_6_1_and_6_2() {
+        // Spot-check presence of each group.
+        for name in [
+            "sysDescr",
+            "sysUpTime",
+            "ipInReceives",
+            "ipOutRequests",
+            "udpInDatagrams",
+            "tcpRtoAlgorithm",
+            "tcpCurrEstab",
+            "tcpRetransSegs",
+            "ifNumbers",
+            "ifOutQLen",
+            "netLatency",
+            "cpuLoadAvg",
+            "deviceList",
+            "bytes_rx",
+            "bytes_tx",
+        ] {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+        assert!(CATALOG.len() >= 45, "catalog has {} vars", CATALOG.len());
+    }
+
+    #[test]
+    fn nums_unique() {
+        let mut nums: Vec<u16> = CATALOG.iter().map(|v| v.num).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        assert_eq!(nums.len(), CATALOG.len());
+    }
+
+    #[test]
+    fn lookup_consistency() {
+        for spec in CATALOG {
+            assert_eq!(by_num(spec.num).unwrap().name, spec.name);
+            assert_eq!(by_name(spec.name).unwrap().num, spec.num);
+        }
+        assert!(by_num(9999).is_none());
+        assert!(by_name("noSuchVar").is_none());
+    }
+
+    #[test]
+    fn indexed_flags() {
+        assert!(by_name("ifInOctets").unwrap().indexed);
+        assert!(!by_name("sysUpTime").unwrap().indexed);
+        assert_eq!(by_num(COMMA_SYSUPTIME).unwrap().name, "sysUpTime");
+    }
+}

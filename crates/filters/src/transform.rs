@@ -1,0 +1,519 @@
+//! Stream transformers: the content services that run *under* the TCP-
+//! Transparency-Support Filter (§8.1, §8.3).
+//!
+//! A transformer consumes the in-order downlink byte stream and emits the
+//! bytes that should travel the wireless link instead. The TTSF owns all
+//! sequencing concerns; transformers are pure stream functions with an
+//! end-of-stream flush.
+
+use bytes::Bytes;
+
+use crate::appdata::{Frame, FrameKind, FrameParser};
+use crate::codec::Method;
+
+/// A byte-stream rewriting service.
+pub trait StreamTransformer {
+    /// Service name (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Transforms the next in-order chunk of the stream.
+    fn transform(&mut self, chunk: &[u8]) -> Vec<u8>;
+
+    /// Flushes buffered bytes; called when the stream ends (FIN).
+    fn flush(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// `true` while the transformer has never altered any byte (lets the
+    /// TTSF skip window scaling for pass-through configurations).
+    fn is_identity(&self) -> bool {
+        false
+    }
+}
+
+/// Pass-through transformer (used to exercise the TTSF machinery alone).
+#[derive(Default)]
+pub struct Identity;
+
+impl StreamTransformer for Identity {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+    fn transform(&mut self, chunk: &[u8]) -> Vec<u8> {
+        chunk.to_vec()
+    }
+    fn is_identity(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block compression (§8.1.6, Fig 8.4).
+// ---------------------------------------------------------------------
+
+/// Magic byte opening every compressed block frame.
+pub const BLOCK_MAGIC: u8 = 0x5A;
+/// Block-frame header: magic, method/flags, raw len, stored len.
+pub const BLOCK_HEADER_LEN: usize = 6;
+const FLAG_STORED: u8 = 0x80;
+
+fn encode_block(method: Method, raw: &[u8]) -> Vec<u8> {
+    let compressed = method.compress(raw);
+    let (flags, stored): (u8, &[u8]) = if compressed.len() < raw.len() {
+        (method_tag(method), &compressed)
+    } else {
+        (method_tag(method) | FLAG_STORED, raw)
+    };
+    let mut out = Vec::with_capacity(BLOCK_HEADER_LEN + stored.len());
+    out.push(BLOCK_MAGIC);
+    out.push(flags);
+    out.extend_from_slice(&(raw.len() as u16).to_be_bytes());
+    out.extend_from_slice(&(stored.len() as u16).to_be_bytes());
+    out.extend_from_slice(stored);
+    out
+}
+
+fn method_tag(method: Method) -> u8 {
+    match method {
+        Method::Rle => 1,
+        Method::Lzss => 2,
+    }
+}
+
+fn method_from_tag(tag: u8) -> Option<Method> {
+    match tag & 0x7f {
+        1 => Some(Method::Rle),
+        2 => Some(Method::Lzss),
+        _ => None,
+    }
+}
+
+/// Compresses the stream at packet granularity (the thesis's Fig 8.4
+/// "packet compression"): each in-order chunk is framed immediately — in
+/// blocks of at most `block_size` — so ACK clocking never stalls behind a
+/// partially filled buffer. Each frame is self-contained for the peer
+/// decompressor (double-proxy operation, §10.2.4).
+pub struct Compressor {
+    method: Method,
+    block_size: usize,
+    /// Raw bytes consumed.
+    pub in_bytes: u64,
+    /// Framed bytes emitted.
+    pub out_bytes: u64,
+}
+
+impl Compressor {
+    /// Creates a compressor with the given method and maximum block size.
+    pub fn new(method: Method, block_size: usize) -> Self {
+        Compressor {
+            method,
+            block_size: block_size.clamp(64, 32 * 1024),
+            in_bytes: 0,
+            out_bytes: 0,
+        }
+    }
+}
+
+impl StreamTransformer for Compressor {
+    fn name(&self) -> &'static str {
+        "compress"
+    }
+
+    fn transform(&mut self, chunk: &[u8]) -> Vec<u8> {
+        self.in_bytes += chunk.len() as u64;
+        let mut out = Vec::new();
+        for block in chunk.chunks(self.block_size) {
+            out.extend(encode_block(self.method, block));
+        }
+        self.out_bytes += out.len() as u64;
+        out
+    }
+}
+
+/// Reverses [`Compressor`] framing on the far side of the wireless link.
+pub struct Decompressor {
+    buf: Vec<u8>,
+    /// Framed bytes consumed.
+    pub in_bytes: u64,
+    /// Raw bytes emitted.
+    pub out_bytes: u64,
+    /// Blocks that failed to decode (corruption indicators).
+    pub errors: u64,
+}
+
+impl Decompressor {
+    /// Creates an empty decompressor.
+    pub fn new() -> Self {
+        Decompressor {
+            buf: Vec::new(),
+            in_bytes: 0,
+            out_bytes: 0,
+            errors: 0,
+        }
+    }
+}
+
+impl Default for Decompressor {
+    fn default() -> Self {
+        Decompressor::new()
+    }
+}
+
+impl StreamTransformer for Decompressor {
+    fn name(&self) -> &'static str {
+        "decompress"
+    }
+
+    fn transform(&mut self, chunk: &[u8]) -> Vec<u8> {
+        self.in_bytes += chunk.len() as u64;
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        loop {
+            // Resynchronize on garbage: pass unframed bytes through raw
+            // rather than stalling the stream behind them.
+            if !self.buf.is_empty() && self.buf[0] != BLOCK_MAGIC {
+                let skip = self
+                    .buf
+                    .iter()
+                    .position(|&b| b == BLOCK_MAGIC)
+                    .unwrap_or(self.buf.len());
+                self.errors += 1;
+                out.extend_from_slice(&self.buf[..skip]);
+                self.buf.drain(..skip);
+            }
+            if self.buf.len() < BLOCK_HEADER_LEN {
+                break;
+            }
+            let flags = self.buf[1];
+            let raw_len = u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize;
+            let stored_len = u16::from_be_bytes([self.buf[4], self.buf[5]]) as usize;
+            if self.buf.len() < BLOCK_HEADER_LEN + stored_len {
+                break;
+            }
+            let stored = &self.buf[BLOCK_HEADER_LEN..BLOCK_HEADER_LEN + stored_len];
+            if flags & FLAG_STORED != 0 {
+                out.extend_from_slice(stored);
+            } else {
+                match method_from_tag(flags).map(|m| m.decompress(stored)) {
+                    Some(Ok(raw)) => {
+                        debug_assert_eq!(raw.len(), raw_len);
+                        out.extend(raw)
+                    }
+                    _ => {
+                        self.errors += 1;
+                        let _ = raw_len;
+                    }
+                }
+            }
+            self.buf.drain(..BLOCK_HEADER_LEN + stored_len);
+        }
+        self.out_bytes += out.len() as u64;
+        out
+    }
+
+    fn flush(&mut self) -> Vec<u8> {
+        // A well-formed peer flushes whole blocks; any residue is passed
+        // through raw rather than silently lost.
+        let residue = std::mem::take(&mut self.buf);
+        self.out_bytes += residue.len() as u64;
+        residue
+    }
+}
+
+// ---------------------------------------------------------------------
+// Semantic record services (§8.3, Table 8.1).
+// ---------------------------------------------------------------------
+
+/// Data removal (§8.3.1): drops records whose importance is below a
+/// threshold, forwarding the rest byte-identically.
+pub struct RecordDrop {
+    parser: FrameParser,
+    min_importance: u8,
+    /// Records forwarded.
+    pub kept: u64,
+    /// Records removed.
+    pub dropped: u64,
+}
+
+impl RecordDrop {
+    /// Keeps records with `importance >= min_importance`.
+    pub fn new(min_importance: u8) -> Self {
+        RecordDrop {
+            parser: FrameParser::new(),
+            min_importance,
+            kept: 0,
+            dropped: 0,
+        }
+    }
+}
+
+impl StreamTransformer for RecordDrop {
+    fn name(&self) -> &'static str {
+        "removal"
+    }
+
+    fn transform(&mut self, chunk: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for frame in self.parser.push(chunk) {
+            if frame.importance >= self.min_importance {
+                self.kept += 1;
+                out.extend(frame.encode());
+            } else {
+                self.dropped += 1;
+            }
+        }
+        out
+    }
+
+    fn flush(&mut self) -> Vec<u8> {
+        // Incomplete trailing bytes pass through untouched.
+        self.parser.take_pending()
+    }
+}
+
+/// Data-type translation (§8.3.3): converts record bodies to more compact
+/// representations with preserved semantics.
+pub struct Translator {
+    parser: FrameParser,
+    /// Records translated.
+    pub translated: u64,
+    /// Records passed through unchanged.
+    pub passed: u64,
+}
+
+impl Translator {
+    /// Creates a translator.
+    pub fn new() -> Self {
+        Translator {
+            parser: FrameParser::new(),
+            translated: 0,
+            passed: 0,
+        }
+    }
+
+    /// The per-class translation rules of Table 8.1.
+    pub fn translate_frame(frame: &Frame) -> Option<Frame> {
+        match frame.kind {
+            FrameKind::ImageColor => {
+                // Colour → monochrome: keep the luma-like channel (one byte
+                // of every three).
+                let body: Vec<u8> = frame.body.iter().copied().step_by(3).collect();
+                Some(Frame {
+                    kind: FrameKind::ImageMono,
+                    body: Bytes::from(body),
+                    ..frame.clone()
+                })
+            }
+            FrameKind::FormattedText => {
+                // PostScript → ASCII: strip everything outside the visible
+                // text payload (modeled as dropping the markup half).
+                let body: Vec<u8> = frame
+                    .body
+                    .iter()
+                    .copied()
+                    .filter(|b| b.is_ascii_graphic() || *b == b' ')
+                    .collect();
+                let keep = body.len() / 2;
+                Some(Frame {
+                    kind: FrameKind::Text,
+                    body: Bytes::from(body[..keep].to_vec()),
+                    ..frame.clone()
+                })
+            }
+            FrameKind::Audio => {
+                // 2:1 downsample.
+                let body: Vec<u8> = frame.body.iter().copied().step_by(2).collect();
+                Some(Frame {
+                    body: Bytes::from(body),
+                    ..frame.clone()
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Default for Translator {
+    fn default() -> Self {
+        Translator::new()
+    }
+}
+
+impl StreamTransformer for Translator {
+    fn name(&self) -> &'static str {
+        "translate"
+    }
+
+    fn transform(&mut self, chunk: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for frame in self.parser.push(chunk) {
+            match Self::translate_frame(&frame) {
+                Some(t) => {
+                    self.translated += 1;
+                    out.extend(t.encode());
+                }
+                None => {
+                    self.passed += 1;
+                    out.extend(frame.encode());
+                }
+            }
+        }
+        out
+    }
+
+    fn flush(&mut self) -> Vec<u8> {
+        self.parser.take_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appdata::synth_body;
+
+    fn text_stream(n: usize) -> Vec<u8> {
+        let mut s = Vec::new();
+        for i in 0..n {
+            let f = Frame {
+                kind: FrameKind::Text,
+                importance: (i % 4) as u8,
+                layer: 0,
+                seq: i as u32,
+                timestamp_us: i as u64 * 1000,
+                body: synth_body(FrameKind::Text, i as u32, 200),
+            };
+            s.extend(f.encode());
+        }
+        s
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let mut t = Identity;
+        assert!(t.is_identity());
+        assert_eq!(t.transform(b"abc"), b"abc");
+        assert!(t.flush().is_empty());
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip_any_chunking() {
+        let data = text_stream(20);
+        let mut comp = Compressor::new(Method::Lzss, 1024);
+        let mut deco = Decompressor::new();
+        let mut wire = Vec::new();
+        for chunk in data.chunks(333) {
+            wire.extend(comp.transform(chunk));
+        }
+        wire.extend(comp.flush());
+        assert!(
+            wire.len() < data.len(),
+            "compressed {} < {}",
+            wire.len(),
+            data.len()
+        );
+        let mut out = Vec::new();
+        for chunk in wire.chunks(91) {
+            out.extend(deco.transform(chunk));
+        }
+        out.extend(deco.flush());
+        assert_eq!(out, data);
+        assert_eq!(deco.errors, 0);
+    }
+
+    #[test]
+    fn compressor_never_expands_much() {
+        // Random-ish bytes: stored-block escape bounds expansion to the
+        // 6-byte header per block.
+        let mut x = 1u32;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let mut comp = Compressor::new(Method::Lzss, 2048);
+        let mut wire = comp.transform(&data);
+        wire.extend(comp.flush());
+        assert!(wire.len() <= data.len() + 4 * BLOCK_HEADER_LEN);
+    }
+
+    #[test]
+    fn record_drop_by_importance() {
+        let data = text_stream(20); // Importance cycles 0..3.
+        let mut rd = RecordDrop::new(2);
+        let mut out = Vec::new();
+        for chunk in data.chunks(77) {
+            out.extend(rd.transform(chunk));
+        }
+        out.extend(rd.flush());
+        assert_eq!(rd.kept, 10);
+        assert_eq!(rd.dropped, 10);
+        // Surviving records parse and all have importance >= 2.
+        let mut parser = FrameParser::new();
+        let frames = parser.push(&out);
+        assert_eq!(frames.len(), 10);
+        assert!(frames.iter().all(|f| f.importance >= 2));
+    }
+
+    #[test]
+    fn translator_shrinks_color_images() {
+        let f = Frame {
+            kind: FrameKind::ImageColor,
+            importance: 5,
+            layer: 0,
+            seq: 1,
+            timestamp_us: 0,
+            body: synth_body(FrameKind::ImageColor, 1, 900),
+        };
+        let mut t = Translator::new();
+        let out = t.transform(&f.encode());
+        let (translated, _) = Frame::decode(&out).unwrap();
+        assert_eq!(translated.kind, FrameKind::ImageMono);
+        assert_eq!(translated.body.len(), 300);
+        assert_eq!(t.translated, 1);
+    }
+
+    #[test]
+    fn translator_passes_unknown_kinds() {
+        let f = Frame {
+            kind: FrameKind::Telemetry,
+            importance: 9,
+            layer: 0,
+            seq: 0,
+            timestamp_us: 0,
+            body: Bytes::from_static(b"critical"),
+        };
+        let mut t = Translator::new();
+        let out = t.transform(&f.encode());
+        assert_eq!(out, f.encode());
+        assert_eq!(t.passed, 1);
+    }
+}
+
+#[cfg(test)]
+mod resync_tests {
+    use super::*;
+
+    #[test]
+    fn decompressor_resyncs_after_garbage() {
+        let mut comp = Compressor::new(Method::Lzss, 512);
+        let block = comp.transform(b"hello hello hello hello hello hello hello hello");
+        let mut deco = Decompressor::new();
+        // Garbage prefix, then a valid block.
+        let mut wire = b"??garbage??".to_vec();
+        wire.extend_from_slice(&block);
+        let out = deco.transform(&wire);
+        assert!(deco.errors >= 1);
+        // The garbage passes through raw; the block decodes after it.
+        assert!(out.ends_with(b"hello hello hello hello hello hello hello hello"));
+        assert!(out.starts_with(b"??garbage??"));
+    }
+
+    #[test]
+    fn decompressor_flush_returns_residue() {
+        let mut deco = Decompressor::new();
+        // An incomplete header stays buffered until flush.
+        assert!(deco.transform(&[BLOCK_MAGIC, 2]).is_empty());
+        assert_eq!(deco.flush(), vec![BLOCK_MAGIC, 2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! ASCII rendering of link load over time — the reproduction of the
+//! `xnetload` window (Fig 7.2).
+
+use comma_netsim::stats::TimeSeries;
+
+/// Renders the last `width` buckets of a series as a bar chart of
+/// `height` rows, plus an axis line with the peak rate label.
+pub fn render(series: &TimeSeries, width: usize, height: usize) -> String {
+    let samples = series.samples();
+    let take = width.min(samples.len());
+    let window = &samples[samples.len() - take..];
+    let peak = window.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    let height = height.max(1);
+    for row in (1..=height).rev() {
+        let threshold = peak * row as f64 / height as f64;
+        for (_, v) in window {
+            out.push(if peak > 0.0 && *v >= threshold && *v > 0.0 {
+                '#'
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(take.max(1)));
+    out.push('\n');
+    let per_sec = peak / series.bucket().as_secs_f64();
+    out.push_str(&format!(
+        "peak {:.1} KB/s over last {} x {} buckets\n",
+        per_sec / 1024.0,
+        take,
+        series.bucket()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comma_netsim::time::{SimDuration, SimTime};
+
+    fn series_with(values: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
+        for (i, v) in values.iter().enumerate() {
+            ts.record(SimTime::from_millis(i as u64 * 100 + 1), *v);
+        }
+        ts.roll_to(SimTime::from_millis(values.len() as u64 * 100));
+        ts
+    }
+
+    #[test]
+    fn renders_bars_proportional_to_load() {
+        let ts = series_with(&[100.0, 200.0, 400.0, 400.0, 100.0]);
+        let chart = render(&ts, 10, 4);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 6, "4 rows + axis + label");
+        // Top row: only the peak buckets reach it.
+        assert_eq!(lines[0].trim_end(), "  ##");
+        // Bottom row: every nonzero bucket.
+        assert_eq!(lines[3].trim_end(), "#####");
+        assert!(lines[5].contains("peak"));
+    }
+
+    #[test]
+    fn empty_series_renders() {
+        let ts = TimeSeries::new(SimDuration::from_millis(100));
+        let chart = render(&ts, 10, 3);
+        assert!(chart.contains("peak 0.0 KB/s"));
+    }
+
+    #[test]
+    fn width_clamps_to_available() {
+        let ts = series_with(&[50.0, 60.0]);
+        let chart = render(&ts, 80, 2);
+        let first = chart.lines().next().unwrap();
+        assert!(first.len() <= 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Kati shell (Chapter 7): a third-party window onto the Service
+//! Proxy's streams and filters and the EEM's metrics.
+//!
+//! The thesis's Kati is a Tcl/Tk GUI; every one of its views and actions
+//! maps onto a shell command here:
+//!
+//! | GUI element (Figs 7.1–7.4)        | Shell command            |
+//! |-----------------------------------|--------------------------|
+//! | main window stream list           | `streams`                |
+//! | per-stream filter list            | `filters`                |
+//! | "Add service" dialog              | `add <filter> <key> ...` |
+//! | "Remove service"                  | `delete <filter> <key>`  |
+//! | xnetload window                   | `netload <channel>`      |
+//! | (wall-clock passing)              | `run <seconds>`          |
+//! | execution-time statistics         | `eem <node> <var>`       |
+//! | SP console                        | `sp <raw command>`       |
+
+use comma_eem::SharedHub;
+use comma_netsim::link::ChannelId;
+use comma_netsim::node::NodeId;
+use comma_netsim::sim::Simulator;
+use comma_proxy::ServiceProxy;
+
+use crate::netload;
+
+/// The Kati shell, bound to one Service Proxy in a simulation.
+pub struct Kati {
+    sp: NodeId,
+    hub: Option<SharedHub>,
+    /// Transcript of every command and its output.
+    pub transcript: Vec<(String, String)>,
+}
+
+impl Kati {
+    /// Creates a shell controlling the proxy at `sp`.
+    pub fn new(sp: NodeId) -> Self {
+        Kati {
+            sp,
+            hub: None,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Attaches a metrics hub for the `eem` command.
+    pub fn with_hub(mut self, hub: SharedHub) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
+    /// Executes one command, recording it in the transcript.
+    pub fn exec(&mut self, sim: &mut Simulator, line: &str) -> String {
+        let out = self.dispatch(sim, line);
+        self.transcript.push((line.to_string(), out.clone()));
+        out
+    }
+
+    fn dispatch(&mut self, sim: &mut Simulator, line: &str) -> String {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return String::new();
+        };
+        let rest: Vec<&str> = parts.collect();
+        match cmd {
+            // SP console passthrough, both spelled out and bare.
+            "sp" => self.sp_exec(sim, &rest.join(" ")),
+            "load" | "remove" | "add" | "delete" | "report" => self.sp_exec(sim, line),
+            "run" => {
+                let Some(secs) = rest.first().and_then(|x| x.parse::<f64>().ok()) else {
+                    return "usage: run <seconds>\n".into();
+                };
+                let target = sim.now() + comma_netsim::time::SimDuration::from_secs_f64(secs);
+                sim.run_until(target);
+                format!("advanced to {}\n", sim.now())
+            }
+            "streams" => self.streams(sim),
+            "filters" => self.filters(sim),
+            "stats" => self.stats(sim),
+            "log" => self.log(sim, rest.first().and_then(|n| n.parse().ok()).unwrap_or(10)),
+            "netload" => {
+                let Some(ch) = rest.first().and_then(|c| c.parse::<usize>().ok()) else {
+                    return "usage: netload <channel> [width]\n".into();
+                };
+                let width = rest.get(1).and_then(|w| w.parse().ok()).unwrap_or(60);
+                self.netload(sim, ChannelId(ch), width)
+            }
+            "eem" => {
+                let (Some(node), Some(var)) = (rest.first(), rest.get(1)) else {
+                    return "usage: eem <node> <variable>\n".into();
+                };
+                self.eem(node, var)
+            }
+            "help" => HELP.to_string(),
+            _ => format!("kati: unknown command '{cmd}' (try 'help')\n"),
+        }
+    }
+
+    fn sp_exec(&mut self, sim: &mut Simulator, line: &str) -> String {
+        let now = sim.now();
+        let line = line.to_string();
+        sim.with_node::<ServiceProxy, _>(self.sp, move |sp| sp.exec(now, &line))
+    }
+
+    fn streams(&mut self, sim: &mut Simulator) -> String {
+        sim.with_node::<ServiceProxy, _>(self.sp, |sp| {
+            let streams = sp.engine.streams();
+            if streams.is_empty() {
+                return "no active streams\n".to_string();
+            }
+            let mut out = String::new();
+            for (key, filters) in streams {
+                out.push_str(&format!("{key}  [{}]\n", filters.join(", ")));
+            }
+            out
+        })
+    }
+
+    fn filters(&mut self, sim: &mut Simulator) -> String {
+        sim.with_node::<ServiceProxy, _>(self.sp, |sp| {
+            let infos = sp.engine.instance_infos();
+            if infos.is_empty() {
+                return "no live filter instances\n".to_string();
+            }
+            let mut out = String::new();
+            for info in infos {
+                out.push_str(&format!(
+                    "#{} {} prio={} keys={} seen={} modified={} dropped={} injected={} saved={}B\n",
+                    info.id,
+                    info.kind,
+                    info.priority,
+                    info.keys.len(),
+                    info.stats.pkts_seen,
+                    info.stats.pkts_modified,
+                    info.stats.pkts_dropped,
+                    info.stats.pkts_injected,
+                    info.stats.bytes_removed as i64 - info.stats.bytes_added as i64,
+                ));
+            }
+            out
+        })
+    }
+
+    fn stats(&mut self, sim: &mut Simulator) -> String {
+        sim.with_node::<ServiceProxy, _>(self.sp, |sp| {
+            let t = sp.engine.totals;
+            format!(
+                "packets={} modified={} dropped={} injected={} forwarded={} live-filters={}\n",
+                t.pkts,
+                t.modified,
+                t.drops,
+                t.injected,
+                sp.forwarded,
+                sp.engine.live_instances()
+            )
+        })
+    }
+
+    fn log(&mut self, sim: &mut Simulator, n: usize) -> String {
+        sim.with_node::<ServiceProxy, _>(self.sp, |sp| {
+            let log = &sp.engine.log;
+            let start = log.len().saturating_sub(n);
+            let mut out = String::new();
+            for line in &log[start..] {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out
+        })
+    }
+
+    fn netload(&mut self, sim: &mut Simulator, ch: ChannelId, width: usize) -> String {
+        if ch.0 >= sim.channel_count() {
+            return format!("no such channel {}\n", ch.0);
+        }
+        let now = sim.now();
+        let channel = sim.channel_mut(ch);
+        channel.series.roll_to(now);
+        netload::render(&channel.series, width, 8)
+    }
+
+    fn eem(&mut self, node: &str, var: &str) -> String {
+        let Some(hub) = &self.hub else {
+            return "kati: no EEM hub attached\n".to_string();
+        };
+        match hub.borrow().get(node, var) {
+            Some(v) => format!("{node}.{var} = {v}\n"),
+            None => format!("{node}.{var} = <no value>\n"),
+        }
+    }
+
+    /// Renders the recorded session as a console transcript.
+    pub fn render_transcript(&self) -> String {
+        let mut out = String::new();
+        for (cmd, reply) in &self.transcript {
+            out.push_str(&format!("kati> {cmd}\n"));
+            out.push_str(reply);
+        }
+        out
+    }
+}
+
+const HELP: &str = "\
+Kati commands:
+  report [filter]            SP report (filters and their keys)
+  load/remove <file>         manage the SP filter pool
+  add <filter> <key> [args]  attach a service to streams matching key
+  delete <filter> <key>      remove a service
+  streams                    active streams and their filter queues
+  filters                    live filter instances with accounting
+  stats                      proxy totals
+  log [n]                    last n proxy log lines
+  netload <channel> [w]      link load chart (xnetload)
+  run <seconds>              advance simulated time
+  eem <node> <var>           read an execution-environment metric
+  help                       this text
+";

@@ -1,0 +1,140 @@
+//! Mobile IP registration messages (RFC 2002 §3), carried over UDP port
+//! 434 as pipe-delimited text.
+
+use comma_netsim::addr::Ipv4Addr;
+
+/// UDP port for Mobile IP registration.
+pub const MIP_PORT: u16 = 434;
+/// UDP port for binding-update messages (route optimization).
+pub const BINDING_PORT: u16 = 435;
+
+/// A registration protocol message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MipMessage {
+    /// Mobile → FA → HA: registration request.
+    RegistrationRequest {
+        /// The mobile's permanent home address.
+        home_addr: Ipv4Addr,
+        /// The mobile's home agent.
+        home_agent: Ipv4Addr,
+        /// Care-of address being registered.
+        care_of: Ipv4Addr,
+        /// Requested lifetime in seconds.
+        lifetime: u16,
+        /// Match identifier.
+        id: u32,
+    },
+    /// HA → FA → Mobile: registration reply.
+    RegistrationReply {
+        /// The mobile's home address.
+        home_addr: Ipv4Addr,
+        /// 0 = accepted.
+        code: u8,
+        /// Matching identifier.
+        id: u32,
+        /// Granted lifetime in seconds.
+        lifetime: u16,
+    },
+    /// HA → correspondent / old FA: binding update (route optimization and
+    /// handoff forwarding).
+    BindingUpdate {
+        /// The mobile's home address.
+        home_addr: Ipv4Addr,
+        /// Its current care-of address.
+        care_of: Ipv4Addr,
+        /// Lifetime of the binding in seconds.
+        lifetime: u16,
+    },
+}
+
+impl MipMessage {
+    /// Encodes for the wire.
+    pub fn encode(&self) -> String {
+        match self {
+            MipMessage::RegistrationRequest {
+                home_addr,
+                home_agent,
+                care_of,
+                lifetime,
+                id,
+            } => {
+                format!("RREQ|{home_addr}|{home_agent}|{care_of}|{lifetime}|{id}")
+            }
+            MipMessage::RegistrationReply {
+                home_addr,
+                code,
+                id,
+                lifetime,
+            } => {
+                format!("RREP|{home_addr}|{code}|{id}|{lifetime}")
+            }
+            MipMessage::BindingUpdate {
+                home_addr,
+                care_of,
+                lifetime,
+            } => {
+                format!("BIND|{home_addr}|{care_of}|{lifetime}")
+            }
+        }
+    }
+
+    /// Decodes from the wire.
+    pub fn decode(s: &str) -> Option<MipMessage> {
+        let parts: Vec<&str> = s.split('|').collect();
+        match *parts.first()? {
+            "RREQ" if parts.len() == 6 => Some(MipMessage::RegistrationRequest {
+                home_addr: parts[1].parse().ok()?,
+                home_agent: parts[2].parse().ok()?,
+                care_of: parts[3].parse().ok()?,
+                lifetime: parts[4].parse().ok()?,
+                id: parts[5].parse().ok()?,
+            }),
+            "RREP" if parts.len() == 5 => Some(MipMessage::RegistrationReply {
+                home_addr: parts[1].parse().ok()?,
+                code: parts[2].parse().ok()?,
+                id: parts[3].parse().ok()?,
+                lifetime: parts[4].parse().ok()?,
+            }),
+            "BIND" if parts.len() == 4 => Some(MipMessage::BindingUpdate {
+                home_addr: parts[1].parse().ok()?,
+                care_of: parts[2].parse().ok()?,
+                lifetime: parts[3].parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let msgs = [
+            MipMessage::RegistrationRequest {
+                home_addr: "11.11.10.10".parse().unwrap(),
+                home_agent: "11.11.1.1".parse().unwrap(),
+                care_of: "11.11.20.1".parse().unwrap(),
+                lifetime: 300,
+                id: 42,
+            },
+            MipMessage::RegistrationReply {
+                home_addr: "11.11.10.10".parse().unwrap(),
+                code: 0,
+                id: 42,
+                lifetime: 300,
+            },
+            MipMessage::BindingUpdate {
+                home_addr: "11.11.10.10".parse().unwrap(),
+                care_of: "11.11.20.1".parse().unwrap(),
+                lifetime: 300,
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(MipMessage::decode(&m.encode()), Some(m.clone()));
+        }
+        assert_eq!(MipMessage::decode("RREQ|1.2.3.4"), None);
+        assert_eq!(MipMessage::decode("nonsense"), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! IPv4-style addressing: host addresses and prefix subnets.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit IPv4 address.
+///
+/// The simulator uses real dotted-quad formatting so transcripts match the
+/// thesis examples (e.g. `11.11.10.99`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// The unspecified address `0.0.0.0`, used in wild-card stream keys.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr(0);
+    /// The limited-broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr(u32::MAX);
+
+    /// Builds an address from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns `true` for the unspecified address `0.0.0.0`.
+    pub const fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` for the limited-broadcast address.
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error returned when parsing an [`Ipv4Addr`] or [`Subnet`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError(pub String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address: {}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for Ipv4Addr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| AddrParseError(s.to_string()))?;
+            *slot = part.parse().map_err(|_| AddrParseError(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError(s.to_string()));
+        }
+        Ok(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// An address prefix, e.g. `11.11.10.0/24`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Subnet {
+    /// Network address (host bits are ignored when matching).
+    pub addr: Ipv4Addr,
+    /// Prefix length in bits, `0..=32`.
+    pub prefix_len: u8,
+}
+
+impl Subnet {
+    /// The default route `0.0.0.0/0`, matching every address.
+    pub const DEFAULT: Subnet = Subnet {
+        addr: Ipv4Addr(0),
+        prefix_len: 0,
+    };
+
+    /// Creates a subnet, clamping the prefix length to 32.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Self {
+        Subnet {
+            addr,
+            prefix_len: prefix_len.min(32),
+        }
+    }
+
+    /// Creates the /32 subnet containing exactly `addr`.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Subnet {
+            addr,
+            prefix_len: 32,
+        }
+    }
+
+    /// Returns the bit mask corresponding to the prefix length.
+    pub fn mask(self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len as u32)
+        }
+    }
+
+    /// Returns `true` if `addr` falls inside this subnet.
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        (addr.0 & self.mask()) == (self.addr.0 & self.mask())
+    }
+}
+
+impl fmt::Display for Subnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix_len)
+    }
+}
+
+impl fmt::Debug for Subnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Subnet {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((addr, len)) => {
+                let addr = addr.parse()?;
+                let len: u8 = len.parse().map_err(|_| AddrParseError(s.to_string()))?;
+                if len > 32 {
+                    return Err(AddrParseError(s.to_string()));
+                }
+                Ok(Subnet::new(addr, len))
+            }
+            None => Ok(Subnet::host(s.parse()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = Ipv4Addr::new(11, 11, 10, 99);
+        assert_eq!(a.to_string(), "11.11.10.99");
+        assert_eq!("11.11.10.99".parse::<Ipv4Addr>().unwrap(), a);
+        assert!("11.11.10".parse::<Ipv4Addr>().is_err());
+        assert!("1.2.3.4.5".parse::<Ipv4Addr>().is_err());
+        assert!("300.1.1.1".parse::<Ipv4Addr>().is_err());
+    }
+
+    #[test]
+    fn subnet_matching() {
+        let net: Subnet = "11.11.10.0/24".parse().unwrap();
+        assert!(net.contains("11.11.10.99".parse().unwrap()));
+        assert!(!net.contains("11.11.11.1".parse().unwrap()));
+        assert!(Subnet::DEFAULT.contains(Ipv4Addr::new(200, 1, 2, 3)));
+        let host = Subnet::host(Ipv4Addr::new(1, 2, 3, 4));
+        assert!(host.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!host.contains(Ipv4Addr::new(1, 2, 3, 5)));
+    }
+
+    #[test]
+    fn subnet_parse_errors() {
+        assert!("1.2.3.0/33".parse::<Subnet>().is_err());
+        assert!("1.2.3.0/x".parse::<Subnet>().is_err());
+        let host: Subnet = "9.8.7.6".parse().unwrap();
+        assert_eq!(host.prefix_len, 32);
+    }
+
+    #[test]
+    fn special_addresses() {
+        assert!(Ipv4Addr::UNSPECIFIED.is_unspecified());
+        assert!(Ipv4Addr::BROADCAST.is_broadcast());
+        assert_eq!(Subnet::new(Ipv4Addr::new(1, 2, 3, 4), 60).prefix_len, 32);
+    }
+}

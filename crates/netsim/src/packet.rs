@@ -1,0 +1,566 @@
+//! In-simulator packet representation: IPv4 datagrams carrying TCP, UDP,
+//! ICMP, or encapsulated (IP-in-IP) payloads.
+//!
+//! Packets are kept in typed form inside the simulator so that filters can
+//! inspect and rewrite fields directly, exactly as the thesis's Service
+//! Proxy does; the [`crate::wire`] module provides byte-exact encoding with
+//! real Internet checksums for length accounting and verification.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::addr::Ipv4Addr;
+
+/// IP protocol numbers used by the simulator (matching IANA assignments).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IpProto {
+    /// ICMP (1).
+    Icmp,
+    /// IP-in-IP encapsulation (4), used by Mobile IP tunneling.
+    IpInIp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+}
+
+impl IpProto {
+    /// Returns the IANA protocol number.
+    pub const fn number(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::IpInIp => 4,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+        }
+    }
+
+    /// Looks up a protocol by IANA number.
+    pub const fn from_number(n: u8) -> Option<IpProto> {
+        match n {
+            1 => Some(IpProto::Icmp),
+            4 => Some(IpProto::IpInIp),
+            6 => Some(IpProto::Tcp),
+            17 => Some(IpProto::Udp),
+            _ => None,
+        }
+    }
+}
+
+/// An IPv4 header (the fields the simulator models).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Time to live; routers decrement this and drop at zero.
+    pub ttl: u8,
+    /// Carried protocol; kept consistent with the body by constructors.
+    pub protocol: IpProto,
+    /// Identification field (used only for tracing/debugging).
+    pub id: u16,
+    /// Type-of-service byte; filters may use it for prioritization.
+    pub tos: u8,
+}
+
+impl Ipv4Header {
+    /// Default TTL for newly created packets.
+    pub const DEFAULT_TTL: u8 = 64;
+
+    /// Creates a header with default TTL, id 0 and TOS 0.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProto) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            ttl: Self::DEFAULT_TTL,
+            protocol,
+            id: 0,
+            tos: 0,
+        }
+    }
+}
+
+/// TCP header flags, stored as the low six bits of the flags byte.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN: sender has finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: the acknowledgement field is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG: the urgent pointer is significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Returns `true` if every flag in `other` is set in `self`.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns the union of two flag sets.
+    pub const fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// Convenience accessors for individual flags.
+    pub const fn syn(self) -> bool {
+        self.contains(TcpFlags::SYN)
+    }
+    /// Returns `true` if the ACK flag is set.
+    pub const fn ack(self) -> bool {
+        self.contains(TcpFlags::ACK)
+    }
+    /// Returns `true` if the FIN flag is set.
+    pub const fn fin(self) -> bool {
+        self.contains(TcpFlags::FIN)
+    }
+    /// Returns `true` if the RST flag is set.
+    pub const fn rst(self) -> bool {
+        self.contains(TcpFlags::RST)
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::URG, "URG"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// TCP header options modeled by the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpOption {
+    /// Maximum segment size, sent on SYN segments.
+    Mss(u16),
+}
+
+impl TcpOption {
+    /// Encoded length of the option in bytes.
+    pub const fn wire_len(self) -> usize {
+        match self {
+            TcpOption::Mss(_) => 4,
+        }
+    }
+}
+
+/// A TCP segment: header fields plus payload bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of SYN/FIN).
+    pub seq: u32,
+    /// Acknowledgement number (valid when the ACK flag is set).
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub window: u16,
+    /// Header options (MSS on SYNs).
+    pub options: Vec<TcpOption>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Creates a bare segment with no payload or options.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 0,
+            options: Vec::new(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Length of the encoded TCP header including options, padded to a
+    /// multiple of four bytes.
+    pub fn header_len(&self) -> usize {
+        let opts: usize = self.options.iter().map(|o| o.wire_len()).sum();
+        20 + opts.div_ceil(4) * 4
+    }
+
+    /// Returns the amount of sequence space this segment occupies: payload
+    /// length plus one for SYN and one for FIN.
+    pub fn seq_len(&self) -> u32 {
+        let mut len = self.payload.len() as u32;
+        if self.flags.syn() {
+            len += 1;
+        }
+        if self.flags.fin() {
+            len += 1;
+        }
+        len
+    }
+
+    /// Returns the negotiated MSS option if present.
+    pub fn mss_option(&self) -> Option<u16> {
+        self.options
+            .iter()
+            .map(|o| match o {
+                TcpOption::Mss(v) => *v,
+            })
+            .next()
+    }
+}
+
+/// A UDP datagram.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// A Mobile IP agent advertisement extension carried on ICMP router
+/// advertisements (RFC 2002 §2.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AgentAdvertisement {
+    /// Sequence number of the advertisement.
+    pub sequence: u16,
+    /// Registration lifetime offered, in seconds.
+    pub registration_lifetime: u16,
+    /// Care-of address offered by the agent.
+    pub care_of: Ipv4Addr,
+    /// Agent is willing to serve as a home agent.
+    pub home_agent: bool,
+    /// Agent is willing to serve as a foreign agent.
+    pub foreign_agent: bool,
+}
+
+/// The ICMP messages the simulator models.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IcmpMessage {
+    /// Echo request (ping), carrying an identifier/sequence pair and payload.
+    EchoRequest {
+        /// Identifier chosen by the sender.
+        id: u16,
+        /// Sequence number of this probe.
+        seq: u16,
+        /// Probe payload.
+        payload: Bytes,
+    },
+    /// Echo reply mirroring a request.
+    EchoReply {
+        /// Identifier copied from the request.
+        id: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+        /// Payload copied from the request.
+        payload: Bytes,
+    },
+    /// Router advertisement (RFC 1256), optionally with a Mobile IP agent
+    /// advertisement extension.
+    RouterAdvertisement {
+        /// Advertised router addresses.
+        addrs: Vec<Ipv4Addr>,
+        /// Advertisement lifetime in seconds.
+        lifetime: u16,
+        /// Optional Mobile IP extension.
+        agent: Option<AgentAdvertisement>,
+    },
+    /// Router solicitation (RFC 1256).
+    RouterSolicitation,
+    /// Destination unreachable, carrying a short description.
+    Unreachable {
+        /// ICMP code (e.g. 1 = host unreachable).
+        code: u8,
+    },
+}
+
+/// The transport payload of an IPv4 packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IpPayload {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// A UDP datagram.
+    Udp(UdpDatagram),
+    /// An ICMP message.
+    Icmp(IcmpMessage),
+    /// An encapsulated IP packet (IP-in-IP, Mobile IP tunnels).
+    Encap(Box<Packet>),
+}
+
+impl IpPayload {
+    /// Returns the protocol number matching this payload variant.
+    pub fn protocol(&self) -> IpProto {
+        match self {
+            IpPayload::Tcp(_) => IpProto::Tcp,
+            IpPayload::Udp(_) => IpProto::Udp,
+            IpPayload::Icmp(_) => IpProto::Icmp,
+            IpPayload::Encap(_) => IpProto::IpInIp,
+        }
+    }
+}
+
+/// A complete IPv4 packet as carried through the simulator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// IP header.
+    pub ip: Ipv4Header,
+    /// Transport payload.
+    pub body: IpPayload,
+}
+
+impl Packet {
+    /// Creates a packet, deriving the IP protocol field from the body.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, body: IpPayload) -> Self {
+        let ip = Ipv4Header::new(src, dst, body.protocol());
+        Packet { ip, body }
+    }
+
+    /// Creates a TCP packet.
+    pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, seg: TcpSegment) -> Self {
+        Packet::new(src, dst, IpPayload::Tcp(seg))
+    }
+
+    /// Creates a UDP packet.
+    pub fn udp(src: Ipv4Addr, dst: Ipv4Addr, dgram: UdpDatagram) -> Self {
+        Packet::new(src, dst, IpPayload::Udp(dgram))
+    }
+
+    /// Creates an ICMP packet.
+    pub fn icmp(src: Ipv4Addr, dst: Ipv4Addr, msg: IcmpMessage) -> Self {
+        Packet::new(src, dst, IpPayload::Icmp(msg))
+    }
+
+    /// Encapsulates `inner` in an IP-in-IP tunnel from `src` to `dst`.
+    pub fn encap(src: Ipv4Addr, dst: Ipv4Addr, inner: Packet) -> Self {
+        Packet::new(src, dst, IpPayload::Encap(Box::new(inner)))
+    }
+
+    /// Returns the TCP segment if this packet carries one.
+    pub fn as_tcp(&self) -> Option<&TcpSegment> {
+        match &self.body {
+            IpPayload::Tcp(seg) => Some(seg),
+            _ => None,
+        }
+    }
+
+    /// Returns the TCP segment mutably if this packet carries one.
+    pub fn as_tcp_mut(&mut self) -> Option<&mut TcpSegment> {
+        match &mut self.body {
+            IpPayload::Tcp(seg) => Some(seg),
+            _ => None,
+        }
+    }
+
+    /// Returns the UDP datagram if this packet carries one.
+    pub fn as_udp(&self) -> Option<&UdpDatagram> {
+        match &self.body {
+            IpPayload::Udp(dgram) => Some(dgram),
+            _ => None,
+        }
+    }
+
+    /// Total on-the-wire length in bytes (IP header + transport header +
+    /// payload), consistent with [`crate::wire::encode`].
+    pub fn wire_len(&self) -> usize {
+        20 + match &self.body {
+            IpPayload::Tcp(seg) => seg.header_len() + seg.payload.len(),
+            IpPayload::Udp(dgram) => 8 + dgram.payload.len(),
+            IpPayload::Icmp(msg) => icmp_wire_len(msg),
+            IpPayload::Encap(inner) => inner.wire_len(),
+        }
+    }
+
+    /// Short human-readable summary for traces, e.g.
+    /// `11.11.10.99:7 > 11.11.10.10:1169 TCP SYN seq=0 len=0`.
+    pub fn summary(&self) -> String {
+        match &self.body {
+            IpPayload::Tcp(seg) => format!(
+                "{}:{} > {}:{} TCP {} seq={} ack={} win={} len={}",
+                self.ip.src,
+                seg.src_port,
+                self.ip.dst,
+                seg.dst_port,
+                seg.flags,
+                seg.seq,
+                seg.ack,
+                seg.window,
+                seg.payload.len()
+            ),
+            IpPayload::Udp(dgram) => format!(
+                "{}:{} > {}:{} UDP len={}",
+                self.ip.src,
+                dgram.src_port,
+                self.ip.dst,
+                dgram.dst_port,
+                dgram.payload.len()
+            ),
+            IpPayload::Icmp(msg) => {
+                format!(
+                    "{} > {} ICMP {:?}",
+                    self.ip.src,
+                    self.ip.dst,
+                    icmp_kind(msg)
+                )
+            }
+            IpPayload::Encap(inner) => {
+                format!(
+                    "{} > {} IPIP [{}]",
+                    self.ip.src,
+                    self.ip.dst,
+                    inner.summary()
+                )
+            }
+        }
+    }
+}
+
+/// Encoded length of an ICMP message, consistent with [`crate::wire`].
+pub(crate) fn icmp_wire_len(msg: &IcmpMessage) -> usize {
+    match msg {
+        IcmpMessage::EchoRequest { payload, .. } | IcmpMessage::EchoReply { payload, .. } => {
+            8 + payload.len()
+        }
+        IcmpMessage::RouterAdvertisement { addrs, agent, .. } => {
+            // 8-byte base + 8 bytes per (addr, preference) pair + optional
+            // 12-byte mobility extension.
+            8 + addrs.len() * 8 + if agent.is_some() { 12 } else { 0 }
+        }
+        IcmpMessage::RouterSolicitation => 8,
+        IcmpMessage::Unreachable { .. } => 8,
+    }
+}
+
+fn icmp_kind(msg: &IcmpMessage) -> &'static str {
+    match msg {
+        IcmpMessage::EchoRequest { .. } => "echo-request",
+        IcmpMessage::EchoReply { .. } => "echo-reply",
+        IcmpMessage::RouterAdvertisement { .. } => "router-advertisement",
+        IcmpMessage::RouterSolicitation => "router-solicitation",
+        IcmpMessage::Unreachable { .. } => "unreachable",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn flags_display_and_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.syn() && f.ack() && !f.fin());
+        assert_eq!(f.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "-");
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let mut seg = TcpSegment::new(1, 2, 100, 0, TcpFlags::SYN);
+        assert_eq!(seg.seq_len(), 1);
+        seg.flags = TcpFlags::FIN | TcpFlags::ACK;
+        seg.payload = Bytes::from_static(b"abc");
+        assert_eq!(seg.seq_len(), 4);
+    }
+
+    #[test]
+    fn header_len_pads_options() {
+        let mut seg = TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN);
+        assert_eq!(seg.header_len(), 20);
+        seg.options.push(TcpOption::Mss(1460));
+        assert_eq!(seg.header_len(), 24);
+        assert_eq!(seg.mss_option(), Some(1460));
+    }
+
+    #[test]
+    fn wire_len_matches_structure() {
+        let seg = TcpSegment::new(1, 2, 0, 0, TcpFlags::EMPTY);
+        let pkt = Packet::tcp(addr(1), addr(2), seg);
+        assert_eq!(pkt.wire_len(), 40);
+
+        let udp = Packet::udp(
+            addr(1),
+            addr(2),
+            UdpDatagram {
+                src_port: 5,
+                dst_port: 6,
+                payload: Bytes::from_static(b"hello"),
+            },
+        );
+        assert_eq!(udp.wire_len(), 20 + 8 + 5);
+
+        let tunneled = Packet::encap(addr(3), addr(4), udp.clone());
+        assert_eq!(tunneled.wire_len(), 20 + udp.wire_len());
+    }
+
+    #[test]
+    fn protocol_derived_from_body() {
+        let pkt = Packet::icmp(addr(1), addr(2), IcmpMessage::RouterSolicitation);
+        assert_eq!(pkt.ip.protocol, IpProto::Icmp);
+        assert_eq!(IpProto::from_number(6), Some(IpProto::Tcp));
+        assert_eq!(IpProto::from_number(99), None);
+    }
+
+    #[test]
+    fn summary_is_stable() {
+        let mut seg = TcpSegment::new(7, 1169, 0, 0, TcpFlags::SYN);
+        seg.window = 8760;
+        let pkt = Packet::tcp(
+            Ipv4Addr::new(11, 11, 10, 99),
+            Ipv4Addr::new(11, 11, 10, 10),
+            seg,
+        );
+        assert_eq!(
+            pkt.summary(),
+            "11.11.10.99:7 > 11.11.10.10:1169 TCP SYN seq=0 ack=0 win=8760 len=0"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Lightweight measurement helpers: bucketed time series and summary
+//! statistics, used by the EEM samplers, Kati's netload view, and the
+//! experiment harness.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A bucketed accumulator: values recorded within the same fixed-width time
+/// bucket are summed, producing a rate series (e.g. bytes per 100 ms).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    current_start: SimTime,
+    current_sum: f64,
+    samples: Vec<(SimTime, f64)>,
+    max_samples: usize,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        TimeSeries {
+            bucket,
+            current_start: SimTime::ZERO,
+            current_sum: 0.0,
+            samples: Vec::new(),
+            max_samples: 100_000,
+        }
+    }
+
+    /// Returns the bucket width.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Adds `value` at time `now`, rolling buckets forward as needed.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        self.roll_to(now);
+        self.current_sum += value;
+    }
+
+    /// Flushes any buckets that ended before `now` (with zero-fill).
+    pub fn roll_to(&mut self, now: SimTime) {
+        while now >= self.current_start + self.bucket {
+            self.push_sample(self.current_start, self.current_sum);
+            self.current_start += self.bucket;
+            self.current_sum = 0.0;
+        }
+    }
+
+    fn push_sample(&mut self, start: SimTime, sum: f64) {
+        if self.samples.len() >= self.max_samples {
+            self.samples.remove(0);
+        }
+        self.samples.push((start, sum));
+    }
+
+    /// Returns the completed samples as `(bucket_start, sum)` pairs.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Returns the sum over the most recent `n` completed buckets.
+    pub fn recent_sum(&self, n: usize) -> f64 {
+        self.samples.iter().rev().take(n).map(|(_, v)| v).sum()
+    }
+
+    /// Returns the per-second rate averaged over the most recent `n`
+    /// completed buckets.
+    pub fn recent_rate(&self, n: usize) -> f64 {
+        let n = n.min(self.samples.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let window = self.bucket.as_secs_f64() * n as f64;
+        self.recent_sum(n) / window
+    }
+}
+
+/// Online summary statistics (count/mean/min/max and population variance via
+/// Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 if fewer than two observations.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_roll_and_zero_fill() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
+        ts.record(SimTime::from_millis(50), 10.0);
+        ts.record(SimTime::from_millis(60), 5.0);
+        // Jump three buckets ahead: bucket 0 flushed with 15, buckets 1-2
+        // flushed with 0.
+        ts.record(SimTime::from_millis(350), 7.0);
+        let s = ts.samples();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], (SimTime::ZERO, 15.0));
+        assert_eq!(s[1].1, 0.0);
+        assert_eq!(s[2].1, 0.0);
+        ts.roll_to(SimTime::from_millis(400));
+        assert_eq!(ts.samples().last().unwrap().1, 7.0);
+    }
+
+    #[test]
+    fn recent_rate_per_second() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
+        for i in 0..10 {
+            ts.record(SimTime::from_millis(i * 100 + 1), 100.0);
+        }
+        ts.roll_to(SimTime::from_secs(1));
+        // 100 units per 100 ms bucket = 1000 units/s.
+        assert!((ts.recent_rate(10) - 1000.0).abs() < 1e-9);
+        assert_eq!(ts.recent_rate(0), 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        let empty = Summary::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), 0.0);
+    }
+}

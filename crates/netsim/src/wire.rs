@@ -1,0 +1,510 @@
+//! Byte-exact wire encoding of simulator packets.
+//!
+//! The simulator carries packets in typed form, but every length used for
+//! bandwidth accounting comes from this codec, and the `tcp` checksum filter
+//! and the test suite verify real RFC 791/793 checksums through it.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::addr::Ipv4Addr;
+use crate::checksum::{internet_checksum, Checksum};
+use crate::packet::{
+    AgentAdvertisement, IcmpMessage, IpPayload, IpProto, Ipv4Header, Packet, TcpFlags, TcpOption,
+    TcpSegment, UdpDatagram,
+};
+
+/// Error produced when decoding malformed wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before a complete header/payload.
+    Truncated(&'static str),
+    /// A header field held an unsupported value.
+    Unsupported(&'static str),
+    /// A checksum did not verify.
+    BadChecksum(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "truncated {what}"),
+            WireError::Unsupported(what) => write!(f, "unsupported {what}"),
+            WireError::BadChecksum(what) => write!(f, "bad checksum in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a packet to wire bytes with valid checksums.
+pub fn encode(pkt: &Packet) -> Vec<u8> {
+    let body = encode_body(&pkt.ip, &pkt.body);
+    let total_len = 20 + body.len();
+    let mut out = Vec::with_capacity(total_len);
+    out.push(0x45); // Version 4, IHL 5.
+    out.push(pkt.ip.tos);
+    out.extend_from_slice(&(total_len as u16).to_be_bytes());
+    out.extend_from_slice(&pkt.ip.id.to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // Flags/fragment offset: never fragmented.
+    out.push(pkt.ip.ttl);
+    out.push(pkt.ip.protocol.number());
+    out.extend_from_slice(&[0, 0]); // Header checksum placeholder.
+    out.extend_from_slice(&pkt.ip.src.octets());
+    out.extend_from_slice(&pkt.ip.dst.octets());
+    let ck = internet_checksum(&out[..20]);
+    out[10..12].copy_from_slice(&ck.to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn encode_body(ip: &Ipv4Header, body: &IpPayload) -> Vec<u8> {
+    match body {
+        IpPayload::Tcp(seg) => encode_tcp(ip, seg),
+        IpPayload::Udp(dgram) => encode_udp(ip, dgram),
+        IpPayload::Icmp(msg) => encode_icmp(msg),
+        IpPayload::Encap(inner) => encode(inner),
+    }
+}
+
+fn encode_tcp(ip: &Ipv4Header, seg: &TcpSegment) -> Vec<u8> {
+    let header_len = seg.header_len();
+    let mut out = Vec::with_capacity(header_len + seg.payload.len());
+    out.extend_from_slice(&seg.src_port.to_be_bytes());
+    out.extend_from_slice(&seg.dst_port.to_be_bytes());
+    out.extend_from_slice(&seg.seq.to_be_bytes());
+    out.extend_from_slice(&seg.ack.to_be_bytes());
+    out.push(((header_len / 4) as u8) << 4);
+    out.push(seg.flags.0);
+    out.extend_from_slice(&seg.window.to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // Checksum placeholder.
+    out.extend_from_slice(&[0, 0]); // Urgent pointer (unused).
+    for opt in &seg.options {
+        match opt {
+            TcpOption::Mss(mss) => {
+                out.push(2);
+                out.push(4);
+                out.extend_from_slice(&mss.to_be_bytes());
+            }
+        }
+    }
+    while out.len() < header_len {
+        out.push(0); // End-of-options padding.
+    }
+    out.extend_from_slice(&seg.payload);
+
+    let mut ck = Checksum::new();
+    ck.add_addr(ip.src);
+    ck.add_addr(ip.dst);
+    ck.add_u16(IpProto::Tcp.number() as u16);
+    ck.add_u16(out.len() as u16);
+    ck.add_bytes(&out);
+    let sum = ck.finish();
+    out[16..18].copy_from_slice(&sum.to_be_bytes());
+    out
+}
+
+fn encode_udp(ip: &Ipv4Header, dgram: &UdpDatagram) -> Vec<u8> {
+    let len = 8 + dgram.payload.len();
+    let mut out = Vec::with_capacity(len);
+    out.extend_from_slice(&dgram.src_port.to_be_bytes());
+    out.extend_from_slice(&dgram.dst_port.to_be_bytes());
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&dgram.payload);
+    let mut ck = Checksum::new();
+    ck.add_addr(ip.src);
+    ck.add_addr(ip.dst);
+    ck.add_u16(IpProto::Udp.number() as u16);
+    ck.add_u16(len as u16);
+    ck.add_bytes(&out);
+    let mut sum = ck.finish();
+    if sum == 0 {
+        sum = 0xffff; // RFC 768: transmitted as all-ones when computed zero.
+    }
+    out[6..8].copy_from_slice(&sum.to_be_bytes());
+    out
+}
+
+fn encode_icmp(msg: &IcmpMessage) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        IcmpMessage::EchoRequest { id, seq, payload }
+        | IcmpMessage::EchoReply { id, seq, payload } => {
+            let ty = if matches!(msg, IcmpMessage::EchoRequest { .. }) {
+                8
+            } else {
+                0
+            };
+            out.push(ty);
+            out.push(0);
+            out.extend_from_slice(&[0, 0]);
+            out.extend_from_slice(&id.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(payload);
+        }
+        IcmpMessage::RouterAdvertisement {
+            addrs,
+            lifetime,
+            agent,
+        } => {
+            out.push(9);
+            out.push(0);
+            out.extend_from_slice(&[0, 0]);
+            out.push(addrs.len() as u8);
+            out.push(2); // Address entry size in 32-bit words.
+            out.extend_from_slice(&lifetime.to_be_bytes());
+            for addr in addrs {
+                out.extend_from_slice(&addr.octets());
+                out.extend_from_slice(&0u32.to_be_bytes()); // Preference.
+            }
+            if let Some(agent) = agent {
+                out.push(16); // Mobility agent advertisement extension type.
+                out.push(10); // Length of the remaining extension bytes.
+                out.extend_from_slice(&agent.sequence.to_be_bytes());
+                out.extend_from_slice(&agent.registration_lifetime.to_be_bytes());
+                let mut flags = 0u8;
+                if agent.home_agent {
+                    flags |= 0x20;
+                }
+                if agent.foreign_agent {
+                    flags |= 0x10;
+                }
+                out.push(flags);
+                out.push(0);
+                out.extend_from_slice(&agent.care_of.octets());
+            }
+        }
+        IcmpMessage::RouterSolicitation => {
+            out.push(10);
+            out.push(0);
+            out.extend_from_slice(&[0, 0]);
+            out.extend_from_slice(&0u32.to_be_bytes());
+        }
+        IcmpMessage::Unreachable { code } => {
+            out.push(3);
+            out.push(*code);
+            out.extend_from_slice(&[0, 0]);
+            out.extend_from_slice(&0u32.to_be_bytes());
+        }
+    }
+    let ck = internet_checksum(&out);
+    out[2..4].copy_from_slice(&ck.to_be_bytes());
+    out
+}
+
+/// Decodes wire bytes into a packet, verifying all checksums.
+pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+    if bytes.len() < 20 {
+        return Err(WireError::Truncated("ipv4 header"));
+    }
+    if bytes[0] != 0x45 {
+        return Err(WireError::Unsupported("ip version/ihl"));
+    }
+    if internet_checksum(&bytes[..20]) != 0 {
+        return Err(WireError::BadChecksum("ipv4 header"));
+    }
+    let total_len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+    if total_len < 20 || total_len > bytes.len() {
+        return Err(WireError::Truncated("ipv4 total length"));
+    }
+    let tos = bytes[1];
+    let id = u16::from_be_bytes([bytes[4], bytes[5]]);
+    let ttl = bytes[8];
+    let protocol = IpProto::from_number(bytes[9]).ok_or(WireError::Unsupported("ip protocol"))?;
+    let src = Ipv4Addr(u32::from_be_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15],
+    ]));
+    let dst = Ipv4Addr(u32::from_be_bytes([
+        bytes[16], bytes[17], bytes[18], bytes[19],
+    ]));
+    let ip = Ipv4Header {
+        src,
+        dst,
+        ttl,
+        protocol,
+        id,
+        tos,
+    };
+    let body_bytes = &bytes[20..total_len];
+    let body = match protocol {
+        IpProto::Tcp => IpPayload::Tcp(decode_tcp(&ip, body_bytes)?),
+        IpProto::Udp => IpPayload::Udp(decode_udp(&ip, body_bytes)?),
+        IpProto::Icmp => IpPayload::Icmp(decode_icmp(body_bytes)?),
+        IpProto::IpInIp => IpPayload::Encap(Box::new(decode(body_bytes)?)),
+    };
+    Ok(Packet { ip, body })
+}
+
+fn decode_tcp(ip: &Ipv4Header, bytes: &[u8]) -> Result<TcpSegment, WireError> {
+    if bytes.len() < 20 {
+        return Err(WireError::Truncated("tcp header"));
+    }
+    let mut ck = Checksum::new();
+    ck.add_addr(ip.src);
+    ck.add_addr(ip.dst);
+    ck.add_u16(IpProto::Tcp.number() as u16);
+    ck.add_u16(bytes.len() as u16);
+    ck.add_bytes(bytes);
+    if ck.finish() != 0 {
+        return Err(WireError::BadChecksum("tcp segment"));
+    }
+    let data_off = ((bytes[12] >> 4) as usize) * 4;
+    if data_off < 20 || data_off > bytes.len() {
+        return Err(WireError::Truncated("tcp options"));
+    }
+    let mut options = Vec::new();
+    let mut i = 20;
+    while i < data_off {
+        match bytes[i] {
+            0 => break,
+            1 => i += 1,
+            2 => {
+                if i + 4 > data_off {
+                    return Err(WireError::Truncated("tcp mss option"));
+                }
+                options.push(TcpOption::Mss(u16::from_be_bytes([
+                    bytes[i + 2],
+                    bytes[i + 3],
+                ])));
+                i += 4;
+            }
+            _ => {
+                // Skip unknown options by their length byte.
+                if i + 1 >= data_off {
+                    return Err(WireError::Truncated("tcp option"));
+                }
+                let len = bytes[i + 1] as usize;
+                if len < 2 || i + len > data_off {
+                    return Err(WireError::Truncated("tcp option length"));
+                }
+                i += len;
+            }
+        }
+    }
+    Ok(TcpSegment {
+        src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+        dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+        seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+        ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+        flags: TcpFlags(bytes[13] & 0x3f),
+        window: u16::from_be_bytes([bytes[14], bytes[15]]),
+        options,
+        payload: Bytes::copy_from_slice(&bytes[data_off..]),
+    })
+}
+
+fn decode_udp(ip: &Ipv4Header, bytes: &[u8]) -> Result<UdpDatagram, WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated("udp header"));
+    }
+    let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+    if len < 8 || len > bytes.len() {
+        return Err(WireError::Truncated("udp length"));
+    }
+    let mut ck = Checksum::new();
+    ck.add_addr(ip.src);
+    ck.add_addr(ip.dst);
+    ck.add_u16(IpProto::Udp.number() as u16);
+    ck.add_u16(len as u16);
+    ck.add_bytes(&bytes[..len]);
+    if ck.finish() != 0 {
+        return Err(WireError::BadChecksum("udp datagram"));
+    }
+    Ok(UdpDatagram {
+        src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+        dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+        payload: Bytes::copy_from_slice(&bytes[8..len]),
+    })
+}
+
+fn decode_icmp(bytes: &[u8]) -> Result<IcmpMessage, WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated("icmp header"));
+    }
+    if internet_checksum(bytes) != 0 {
+        return Err(WireError::BadChecksum("icmp message"));
+    }
+    let ty = bytes[0];
+    let code = bytes[1];
+    match ty {
+        0 | 8 => {
+            let id = u16::from_be_bytes([bytes[4], bytes[5]]);
+            let seq = u16::from_be_bytes([bytes[6], bytes[7]]);
+            let payload = Bytes::copy_from_slice(&bytes[8..]);
+            Ok(if ty == 8 {
+                IcmpMessage::EchoRequest { id, seq, payload }
+            } else {
+                IcmpMessage::EchoReply { id, seq, payload }
+            })
+        }
+        9 => {
+            let count = bytes[4] as usize;
+            let lifetime = u16::from_be_bytes([bytes[6], bytes[7]]);
+            let mut addrs = Vec::with_capacity(count);
+            let mut i = 8;
+            for _ in 0..count {
+                if i + 8 > bytes.len() {
+                    return Err(WireError::Truncated("router advertisement entries"));
+                }
+                addrs.push(Ipv4Addr(u32::from_be_bytes([
+                    bytes[i],
+                    bytes[i + 1],
+                    bytes[i + 2],
+                    bytes[i + 3],
+                ])));
+                i += 8;
+            }
+            let agent = if i + 12 <= bytes.len() && bytes[i] == 16 {
+                let sequence = u16::from_be_bytes([bytes[i + 2], bytes[i + 3]]);
+                let registration_lifetime = u16::from_be_bytes([bytes[i + 4], bytes[i + 5]]);
+                let flags = bytes[i + 6];
+                let care_of = Ipv4Addr(u32::from_be_bytes([
+                    bytes[i + 8],
+                    bytes[i + 9],
+                    bytes[i + 10],
+                    bytes[i + 11],
+                ]));
+                Some(AgentAdvertisement {
+                    sequence,
+                    registration_lifetime,
+                    care_of,
+                    home_agent: flags & 0x20 != 0,
+                    foreign_agent: flags & 0x10 != 0,
+                })
+            } else {
+                None
+            };
+            Ok(IcmpMessage::RouterAdvertisement {
+                addrs,
+                lifetime,
+                agent,
+            })
+        }
+        10 => Ok(IcmpMessage::RouterSolicitation),
+        3 => Ok(IcmpMessage::Unreachable { code }),
+        _ => Err(WireError::Unsupported("icmp type")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpFlags;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(11, 11, 10, last)
+    }
+
+    fn roundtrip(pkt: &Packet) {
+        let bytes = encode(pkt);
+        assert_eq!(
+            bytes.len(),
+            pkt.wire_len(),
+            "wire_len mismatch for {}",
+            pkt.summary()
+        );
+        let decoded = decode(&bytes).expect("decode");
+        assert_eq!(&decoded, pkt);
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_options_and_payload() {
+        let mut seg = TcpSegment::new(7, 1169, 0x01020304, 0x0a0b0c0d, TcpFlags::SYN);
+        seg.window = 8760;
+        seg.options.push(TcpOption::Mss(536));
+        roundtrip(&Packet::tcp(addr(99), addr(10), seg.clone()));
+        seg.flags = TcpFlags::ACK | TcpFlags::PSH;
+        seg.options.clear();
+        seg.payload = Bytes::from(vec![0xaa; 1000]);
+        roundtrip(&Packet::tcp(addr(99), addr(10), seg));
+    }
+
+    #[test]
+    fn udp_and_icmp_roundtrip() {
+        roundtrip(&Packet::udp(
+            addr(1),
+            addr(2),
+            UdpDatagram {
+                src_port: 9000,
+                dst_port: 9001,
+                payload: Bytes::from_static(b"eem"),
+            },
+        ));
+        roundtrip(&Packet::icmp(
+            addr(1),
+            addr(2),
+            IcmpMessage::EchoRequest {
+                id: 3,
+                seq: 4,
+                payload: Bytes::from_static(b"ping"),
+            },
+        ));
+        roundtrip(&Packet::icmp(
+            addr(1),
+            addr(2),
+            IcmpMessage::RouterSolicitation,
+        ));
+        roundtrip(&Packet::icmp(
+            addr(1),
+            addr(2),
+            IcmpMessage::Unreachable { code: 1 },
+        ));
+    }
+
+    #[test]
+    fn agent_advertisement_roundtrip() {
+        roundtrip(&Packet::icmp(
+            addr(1),
+            Ipv4Addr::BROADCAST,
+            IcmpMessage::RouterAdvertisement {
+                addrs: vec![addr(1)],
+                lifetime: 1800,
+                agent: Some(AgentAdvertisement {
+                    sequence: 42,
+                    registration_lifetime: 300,
+                    care_of: addr(1),
+                    home_agent: false,
+                    foreign_agent: true,
+                }),
+            },
+        ));
+    }
+
+    #[test]
+    fn encap_roundtrip() {
+        let inner = Packet::udp(
+            addr(5),
+            addr(6),
+            UdpDatagram {
+                src_port: 1,
+                dst_port: 2,
+                payload: Bytes::from_static(b"x"),
+            },
+        );
+        roundtrip(&Packet::encap(addr(3), addr(4), inner));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let seg = TcpSegment::new(1, 2, 3, 4, TcpFlags::ACK);
+        let mut bytes = encode(&Packet::tcp(addr(1), addr(2), seg));
+        // Corrupt a payload-side byte: TCP checksum must fail.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(decode(&bytes), Err(WireError::BadChecksum(_))));
+        // Corrupt the IP header: IP checksum must fail.
+        let seg = TcpSegment::new(1, 2, 3, 4, TcpFlags::ACK);
+        let mut bytes = encode(&Packet::tcp(addr(1), addr(2), seg));
+        bytes[8] ^= 0x01;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let seg = TcpSegment::new(1, 2, 3, 4, TcpFlags::ACK);
+        let bytes = encode(&Packet::tcp(addr(1), addr(2), seg));
+        assert!(decode(&bytes[..10]).is_err());
+    }
+}

@@ -1,0 +1,750 @@
+//! The filtering mechanism (Fig 5.1/5.2): stream registry, filter pool,
+//! per-key in/out filter queues, and filter accounting.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use comma_netsim::packet::{IpPayload, Packet};
+use comma_netsim::time::SimTime;
+use rand::rngs::SmallRng;
+
+use crate::filter::{Capabilities, Filter, FilterCtx, MetricsSource, Priority, Verdict};
+use crate::key::{StreamKey, WildKey};
+
+/// Factory producing filter instances from `add`-command arguments.
+pub type FilterFactory = Box<dyn Fn(&[String]) -> Result<Box<dyn Filter>, String>>;
+
+/// The filter pool: factories known to the proxy ("compiled in" or loadable
+/// from the repository), and the set currently loaded.
+#[derive(Default)]
+pub struct FilterCatalog {
+    factories: BTreeMap<String, FilterFactory>,
+    loaded: BTreeSet<String>,
+}
+
+impl FilterCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        FilterCatalog::default()
+    }
+
+    /// Registers a factory under `name` (the filter repository).
+    pub fn register(&mut self, name: impl Into<String>, factory: FilterFactory) {
+        self.factories.insert(name.into(), factory);
+    }
+
+    /// Registers a factory and immediately loads it (a "standard set"
+    /// filter compiled into the SP, §5.2).
+    pub fn register_loaded(&mut self, name: impl Into<String>, factory: FilterFactory) {
+        let name = name.into();
+        self.loaded.insert(name.clone());
+        self.factories.insert(name, factory);
+    }
+
+    /// Loads a filter library file; returns the registered filter name.
+    /// The file stem (e.g. `rdrop` from `/lib/rdrop.so`) selects the
+    /// factory.
+    pub fn load(&mut self, library_file: &str) -> Option<String> {
+        let stem = library_file
+            .rsplit('/')
+            .next()
+            .unwrap_or(library_file)
+            .split('.')
+            .next()
+            .unwrap_or(library_file)
+            .to_string();
+        if self.factories.contains_key(&stem) {
+            self.loaded.insert(stem.clone());
+            Some(stem)
+        } else {
+            None
+        }
+    }
+
+    /// Unloads a filter library file; returns whether it was loaded.
+    pub fn unload(&mut self, library_file: &str) -> bool {
+        let stem = library_file
+            .rsplit('/')
+            .next()
+            .unwrap_or(library_file)
+            .split('.')
+            .next()
+            .unwrap_or(library_file);
+        self.loaded.remove(stem)
+    }
+
+    /// Returns `true` if `name` is loaded and instantiable.
+    pub fn is_loaded(&self, name: &str) -> bool {
+        self.loaded.contains(name)
+    }
+
+    /// Names of loaded filters, sorted.
+    pub fn loaded_names(&self) -> Vec<String> {
+        self.loaded.iter().cloned().collect()
+    }
+
+    fn instantiate(&self, name: &str, args: &[String]) -> Result<Box<dyn Filter>, String> {
+        if !self.loaded.contains(name) {
+            return Err(format!("filter {name} not loaded"));
+        }
+        let factory = self
+            .factories
+            .get(name)
+            .ok_or_else(|| format!("no factory {name}"))?;
+        factory(args)
+    }
+}
+
+/// A service request in the stream registry: apply `filter` to streams
+/// matching `wild`.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// Registry slot.
+    pub id: usize,
+    /// Key pattern.
+    pub wild: WildKey,
+    /// Filter name.
+    pub filter: String,
+    /// Instantiation arguments.
+    pub args: Vec<String>,
+}
+
+/// Per-instance accounting (§5.2 "filter accounting").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InstanceStats {
+    /// Packets inspected by the in method.
+    pub pkts_seen: u64,
+    /// Packets modified by the out method.
+    pub pkts_modified: u64,
+    /// Packets dropped by the out method.
+    pub pkts_dropped: u64,
+    /// Packets injected.
+    pub pkts_injected: u64,
+    /// Payload bytes removed (positive) or added (negative net effect is
+    /// folded into `bytes_added`).
+    pub bytes_removed: u64,
+    /// Payload bytes added.
+    pub bytes_added: u64,
+    /// Capability violations blocked by the engine.
+    pub violations: u64,
+}
+
+struct Instance {
+    filter: Box<dyn Filter>,
+    kind: String,
+    registration: usize,
+    keys: BTreeSet<StreamKey>,
+    priority: Priority,
+    caps: Capabilities,
+    stats: InstanceStats,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Instance ids, sorted by descending priority (in-method order).
+    members: Vec<usize>,
+    /// Registrations already expanded for this key.
+    applied: BTreeSet<usize>,
+}
+
+/// Engine-level totals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Packets offered to the engine.
+    pub pkts: u64,
+    /// Packets dropped by filters.
+    pub drops: u64,
+    /// Packets modified by filters.
+    pub modified: u64,
+    /// Packets injected by filters.
+    pub injected: u64,
+}
+
+/// Snapshot of one filter instance for monitoring tools.
+#[derive(Clone, Debug)]
+pub struct InstanceInfo {
+    /// Instance slot.
+    pub id: usize,
+    /// Filter name.
+    pub kind: String,
+    /// Keys currently serviced.
+    pub keys: Vec<StreamKey>,
+    /// Priority.
+    pub priority: Priority,
+    /// Accounting counters.
+    pub stats: InstanceStats,
+}
+
+/// The Service Proxy filtering engine.
+pub struct FilterEngine {
+    /// The filter pool.
+    pub catalog: FilterCatalog,
+    registrations: Vec<Option<Registration>>,
+    instances: Vec<Option<Instance>>,
+    queues: BTreeMap<StreamKey, QueueState>,
+    /// Diagnostic log lines emitted by filters and the engine.
+    pub log: Vec<String>,
+    /// Engine totals.
+    pub totals: EngineStats,
+    pending_timers: Vec<(comma_netsim::time::SimDuration, u64)>,
+}
+
+impl FilterEngine {
+    /// Creates an engine over a catalog.
+    pub fn new(catalog: FilterCatalog) -> Self {
+        FilterEngine {
+            catalog,
+            registrations: Vec::new(),
+            instances: Vec::new(),
+            queues: BTreeMap::new(),
+            log: Vec::new(),
+            totals: EngineStats::default(),
+            pending_timers: Vec::new(),
+        }
+    }
+
+    /// Adds a service registration: apply `filter` (with `args`) to streams
+    /// matching `wild`. Fails if the filter is not loaded.
+    pub fn register(
+        &mut self,
+        wild: WildKey,
+        filter: &str,
+        args: Vec<String>,
+    ) -> Result<usize, String> {
+        if !self.catalog.is_loaded(filter) {
+            return Err(format!("filter {filter} not loaded"));
+        }
+        let id = self.registrations.len();
+        self.registrations.push(Some(Registration {
+            id,
+            wild,
+            filter: filter.to_string(),
+            args,
+        }));
+        // Existing queues matching the new registration pick it up on their
+        // next packet (applied-set check); nothing to do eagerly.
+        Ok(id)
+    }
+
+    /// Removes registrations of `filter` whose pattern equals `wild`, and
+    /// tears down the instances they created. Returns how many
+    /// registrations were removed.
+    pub fn deregister(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        filter: &str,
+        wild: WildKey,
+    ) -> usize {
+        let mut removed_regs = Vec::new();
+        for slot in &mut self.registrations {
+            if let Some(reg) = slot {
+                if reg.filter == filter && reg.wild == wild {
+                    removed_regs.push(reg.id);
+                    *slot = None;
+                }
+            }
+        }
+        for &reg_id in &removed_regs {
+            let victims: Vec<usize> = self
+                .instances
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    slot.as_ref()
+                        .filter(|inst| inst.registration == reg_id)
+                        .map(|_| i)
+                })
+                .collect();
+            for inst_id in victims {
+                self.remove_instance(now, rng, metrics, inst_id);
+            }
+            for q in self.queues.values_mut() {
+                q.applied.remove(&reg_id);
+            }
+        }
+        removed_regs.len()
+    }
+
+    fn remove_instance(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        inst_id: usize,
+    ) {
+        let Some(mut inst) = self.instances[inst_id].take() else {
+            return;
+        };
+        for q in self.queues.values_mut() {
+            q.members.retain(|&m| m != inst_id);
+        }
+        let mut ctx = FilterCtx::new(now, rng, metrics);
+        inst.filter.on_removed(&mut ctx);
+        self.log
+            .extend(ctx.logs.drain(..).map(|l| format!("{}: {l}", inst.kind)));
+    }
+
+    /// Current registrations.
+    pub fn registrations(&self) -> Vec<Registration> {
+        self.registrations.iter().flatten().cloned().collect()
+    }
+
+    /// Monitoring snapshot of live filter instances.
+    pub fn instance_infos(&self) -> Vec<InstanceInfo> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| {
+                slot.as_ref().map(|inst| InstanceInfo {
+                    id,
+                    kind: inst.kind.clone(),
+                    keys: inst.keys.iter().copied().collect(),
+                    priority: inst.priority,
+                    stats: inst.stats,
+                })
+            })
+            .collect()
+    }
+
+    /// Active stream keys with the filters applied to each, in queue order.
+    pub fn streams(&self) -> Vec<(StreamKey, Vec<String>)> {
+        self.queues
+            .iter()
+            .map(|(key, q)| {
+                let names = q
+                    .members
+                    .iter()
+                    .filter_map(|&m| self.instances[m].as_ref().map(|i| i.kind.clone()))
+                    .collect();
+                (*key, names)
+            })
+            .collect()
+    }
+
+    /// Typed access to the first live instance of a filter kind (tools).
+    pub fn instance_as<T: 'static>(&mut self, kind: &str) -> Option<&mut T> {
+        self.instances
+            .iter_mut()
+            .flatten()
+            .find(|i| i.kind == kind)
+            .and_then(|i| i.filter.as_any().downcast_mut::<T>())
+    }
+
+    /// Accounting for one instance.
+    pub fn instance_stats(&self, id: usize) -> Option<InstanceStats> {
+        self.instances.get(id)?.as_ref().map(|i| i.stats)
+    }
+
+    // ------------------------------------------------------------------
+    // The packet path.
+    // ------------------------------------------------------------------
+
+    /// Runs a packet through the filter queues. Returns the packets to
+    /// forward: empty if dropped, the (possibly modified) packet plus any
+    /// injected packets otherwise.
+    ///
+    /// Tunneled traffic is intercepted *inside* its encapsulation: a proxy
+    /// co-located with a Mobile IP agent path (§5.1.1's "merge the
+    /// interception point with the FA") services the inner stream and
+    /// re-wraps the results in the original tunnel header.
+    pub fn process(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        mut pkt: Packet,
+    ) -> Vec<Packet> {
+        if let IpPayload::Encap(inner) = pkt.body {
+            let outer = pkt.ip;
+            let outs = self.process(now, rng, metrics, *inner);
+            return outs
+                .into_iter()
+                .map(|p| Packet {
+                    ip: outer.clone(),
+                    body: IpPayload::Encap(Box::new(p)),
+                })
+                .collect();
+        }
+        self.totals.pkts += 1;
+        let Some(key) = StreamKey::of_packet(&pkt) else {
+            return vec![pkt]; // Non-keyed traffic passes through.
+        };
+        self.ensure_queue(now, rng, metrics, key);
+        let members: Vec<usize> = self
+            .queues
+            .get(&key)
+            .map(|q| q.members.clone())
+            .unwrap_or_default();
+        if members.is_empty() {
+            return vec![pkt];
+        }
+
+        let mut out: Vec<Packet> = Vec::new();
+        let mut dropped = false;
+        let mut any_modified = false;
+        let closed_keys: Vec<StreamKey>;
+        {
+            let mut ctx = FilterCtx::new(now, rng, metrics);
+            // In pass: highest priority first, read-only.
+            for &m in &members {
+                let Some(inst) = self.instances[m].as_mut() else {
+                    continue;
+                };
+                inst.stats.pkts_seen += 1;
+                inst.filter.on_in(&mut ctx, key, &pkt);
+                let kind = self.instances[m].as_ref().expect("inst").kind.clone();
+                Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
+                Self::drain_ctx_common(&mut self.log, &kind, &mut ctx);
+                self.drain_service_requests(&mut ctx);
+            }
+            // Out pass: lowest priority first; higher priorities override.
+            for &m in members.iter().rev() {
+                if dropped {
+                    break;
+                }
+                let Some(inst) = self.instances[m].as_mut() else {
+                    continue;
+                };
+                let before = pkt.clone();
+                let verdict = inst.filter.on_out(&mut ctx, key, &mut pkt);
+                let caps = inst.caps;
+                let (hdr_changed, payload_changed) = diff_kind(&before, &pkt);
+                let mut violated = false;
+                if hdr_changed && !caps.allows(Capabilities::MODIFY_HEADERS) {
+                    violated = true;
+                }
+                if payload_changed && !caps.allows(Capabilities::MODIFY_PAYLOAD) {
+                    violated = true;
+                }
+                if violated {
+                    inst.stats.violations += 1;
+                    let kind = inst.kind.clone();
+                    pkt = before;
+                    self.log.push(format!(
+                        "engine: blocked unauthorized modification by {kind} on {key}"
+                    ));
+                } else if hdr_changed || payload_changed {
+                    inst.stats.pkts_modified += 1;
+                    any_modified = true;
+                    let before_len = payload_len(&before);
+                    let after_len = payload_len(&pkt);
+                    if after_len < before_len {
+                        inst.stats.bytes_removed += (before_len - after_len) as u64;
+                    } else {
+                        inst.stats.bytes_added += (after_len - before_len) as u64;
+                    }
+                }
+                if verdict == Verdict::Drop {
+                    if caps.allows(Capabilities::DROP) {
+                        inst.stats.pkts_dropped += 1;
+                        dropped = true;
+                    } else {
+                        inst.stats.violations += 1;
+                        let kind = inst.kind.clone();
+                        self.log.push(format!(
+                            "engine: blocked unauthorized drop by {kind} on {key}"
+                        ));
+                    }
+                }
+                // Attribute injections to this filter for the cap check.
+                let inj: Vec<Packet> = ctx.injections.drain(..).collect();
+                if !inj.is_empty() {
+                    let inst = self.instances[m].as_mut().expect("inst");
+                    if inst.caps.allows(Capabilities::INJECT) {
+                        inst.stats.pkts_injected += inj.len() as u64;
+                        self.totals.injected += inj.len() as u64;
+                        out.extend(inj);
+                    } else {
+                        inst.stats.violations += inj.len() as u64;
+                        self.log.push(format!(
+                            "engine: blocked unauthorized injection by {} on {key}",
+                            self.instances[m].as_ref().expect("inst").kind
+                        ));
+                    }
+                }
+                let kind = self.instances[m].as_ref().expect("inst").kind.clone();
+                Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
+                Self::drain_ctx_common(&mut self.log, &kind, &mut ctx);
+                self.drain_service_requests(&mut ctx);
+            }
+            // Stream-closed requests are handled after the ctx borrow ends.
+            closed_keys = ctx.closed_streams.drain(..).collect();
+        }
+        for k in closed_keys {
+            self.teardown_stream(now, rng, metrics, k);
+        }
+        if dropped {
+            self.totals.drops += 1;
+        } else {
+            if any_modified {
+                self.totals.modified += 1;
+            }
+            out.insert(0, pkt);
+        }
+        out
+    }
+
+    fn drain_ctx_timers(
+        pending: &mut Vec<(comma_netsim::time::SimDuration, u64)>,
+        inst_id: usize,
+        ctx: &mut FilterCtx<'_>,
+    ) {
+        for (delay, token) in ctx.timers.drain(..) {
+            let enc = ((inst_id as u64) << 32) | (token & 0xffff_ffff);
+            pending.push((delay, enc));
+        }
+    }
+
+    fn drain_ctx_common(log: &mut Vec<String>, kind: &str, ctx: &mut FilterCtx<'_>) {
+        for line in ctx.logs.drain(..) {
+            log.push(format!("{kind}: {line}"));
+        }
+    }
+
+    fn drain_service_requests(&mut self, ctx: &mut FilterCtx<'_>) {
+        let requests: Vec<_> = ctx.service_requests.drain(..).collect();
+        for (wild, filter, args) in requests {
+            if let Err(e) = self.register(wild, &filter, args) {
+                self.log
+                    .push(format!("engine: service request rejected: {e}"));
+            }
+        }
+    }
+
+    /// Timer requests produced by the last `process`/`on_timer` call; the
+    /// owning node must arm these on its own timer facility.
+    pub fn take_pending_timers(&mut self) -> Vec<(comma_netsim::time::SimDuration, u64)> {
+        std::mem::take(&mut self.pending_timers)
+    }
+
+    /// Dispatches a filter timer (token as produced by
+    /// [`FilterEngine::take_pending_timers`]). Returns packets to inject.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        token: u64,
+    ) -> Vec<Packet> {
+        let inst_id = (token >> 32) as usize;
+        let user = token & 0xffff_ffff;
+        let Some(slot) = self.instances.get_mut(inst_id) else {
+            return Vec::new();
+        };
+        let Some(inst) = slot.as_mut() else {
+            return Vec::new();
+        };
+        let mut ctx = FilterCtx::new(now, rng, metrics);
+        inst.filter.on_timer(&mut ctx, user);
+        let mut out = Vec::new();
+        let inj: Vec<Packet> = ctx.injections.drain(..).collect();
+        if !inj.is_empty() {
+            if inst.caps.allows(Capabilities::INJECT) {
+                inst.stats.pkts_injected += inj.len() as u64;
+                self.totals.injected += inj.len() as u64;
+                out.extend(inj);
+            } else {
+                inst.stats.violations += inj.len() as u64;
+            }
+        }
+        let kind = inst.kind.clone();
+        Self::drain_ctx_timers(&mut self.pending_timers, inst_id, &mut ctx);
+        Self::drain_ctx_common(&mut self.log, &kind, &mut ctx);
+        self.drain_service_requests(&mut ctx);
+        let closed: Vec<StreamKey> = ctx.closed_streams.drain(..).collect();
+        drop(ctx);
+        for k in closed {
+            self.teardown_stream(now, rng, metrics, k);
+        }
+        out
+    }
+
+    fn ensure_queue(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        key: StreamKey,
+    ) {
+        // A launcher-style filter may register further services during its
+        // insertion method; loop until the registration set is stable (the
+        // applied-set check guarantees progress).
+        for _round in 0..10 {
+            let pending: Vec<Registration> = self
+                .registrations
+                .iter()
+                .flatten()
+                .filter(|reg| {
+                    reg.wild.matches(key)
+                        && !self
+                            .queues
+                            .get(&key)
+                            .map(|q| q.applied.contains(&reg.id))
+                            .unwrap_or(false)
+                })
+                .cloned()
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            for reg in pending {
+                match self.catalog.instantiate(&reg.filter, &reg.args) {
+                    Ok(mut filter) => {
+                        let mut ctx = FilterCtx::new(now, rng, metrics);
+                        let keys = filter.insert(&mut ctx, key);
+                        let inst_id = self.instances.len();
+                        Self::drain_ctx_timers(&mut self.pending_timers, inst_id, &mut ctx);
+                        Self::drain_ctx_common(&mut self.log, &reg.filter, &mut ctx);
+                        self.drain_service_requests(&mut ctx);
+                        let priority = filter.priority();
+                        let caps = filter.capabilities();
+                        let kind = reg.filter.clone(); // Catalog name (services may share a Filter type).
+                        self.instances.push(Some(Instance {
+                            filter,
+                            kind,
+                            registration: reg.id,
+                            keys: keys.iter().copied().collect(),
+                            priority,
+                            caps,
+                            stats: InstanceStats::default(),
+                        }));
+                        for k in keys {
+                            let q = self.queues.entry(k).or_default();
+                            q.members.push(inst_id);
+                            q.applied.insert(reg.id);
+                            // In-method order: descending priority, then
+                            // insertion order.
+                            let instances = &self.instances;
+                            q.members.sort_by(|&a, &b| {
+                                let pa = instances[a].as_ref().map(|i| i.priority);
+                                let pb = instances[b].as_ref().map(|i| i.priority);
+                                pb.cmp(&pa).then(a.cmp(&b))
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        self.log
+                            .push(format!("engine: cannot instantiate {}: {e}", reg.filter));
+                        // Mark applied so we do not retry per packet.
+                        self.queues.entry(key).or_default().applied.insert(reg.id);
+                    }
+                }
+            }
+        }
+        // Ensure the key has a queue entry even if instantiation failed.
+        self.queues.entry(key).or_default();
+    }
+
+    /// Tears down the filter queues for `key` and its reverse; instances
+    /// left with no keys are removed.
+    pub fn teardown_stream(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        key: StreamKey,
+    ) {
+        for k in [key, key.reverse()] {
+            let Some(q) = self.queues.remove(&k) else {
+                continue;
+            };
+            for m in q.members {
+                if let Some(inst) = self.instances[m].as_mut() {
+                    inst.keys.remove(&k);
+                    if inst.keys.is_empty() {
+                        self.remove_instance(now, rng, metrics, m);
+                    }
+                }
+            }
+        }
+        self.log
+            .push(format!("engine: stream {key} closed; filters removed"));
+    }
+
+    /// Report body (§5.3): each loaded filter followed by the keys it
+    /// services (wild-card registrations and live stream bindings).
+    pub fn report_lines(&self, filter: Option<&str>) -> Vec<String> {
+        let mut lines = Vec::new();
+        let names: Vec<String> = match filter {
+            Some(f) => {
+                if self.catalog.is_loaded(f) {
+                    vec![f.to_string()]
+                } else {
+                    return lines;
+                }
+            }
+            None => self.catalog.loaded_names(),
+        };
+        for name in names {
+            lines.push(name.clone());
+            let mut keys: Vec<String> = Vec::new();
+            for reg in self.registrations.iter().flatten() {
+                if reg.filter == name && !reg.wild.is_exact() {
+                    keys.push(reg.wild.to_string());
+                }
+            }
+            for inst in self.instances.iter().flatten() {
+                if inst.kind == name {
+                    for k in &inst.keys {
+                        keys.push(k.to_string());
+                    }
+                }
+            }
+            keys.dedup();
+            for k in keys {
+                lines.push(format!("\t{k}"));
+            }
+        }
+        lines
+    }
+}
+
+// Field added after the struct for readability of the main methods.
+impl FilterEngine {
+    /// Number of live filter instances.
+    pub fn live_instances(&self) -> usize {
+        self.instances.iter().flatten().count()
+    }
+}
+
+fn payload_len(pkt: &Packet) -> usize {
+    match &pkt.body {
+        IpPayload::Tcp(seg) => seg.payload.len(),
+        IpPayload::Udp(d) => d.payload.len(),
+        _ => 0,
+    }
+}
+
+/// Classifies the difference between two packets as header and/or payload
+/// changes (capability enforcement).
+fn diff_kind(before: &Packet, after: &Packet) -> (bool, bool) {
+    if before == after {
+        return (false, false);
+    }
+    let payload_changed = match (&before.body, &after.body) {
+        (IpPayload::Tcp(a), IpPayload::Tcp(b)) => a.payload != b.payload,
+        (IpPayload::Udp(a), IpPayload::Udp(b)) => a.payload != b.payload,
+        _ => true,
+    };
+    let header_changed = if payload_changed {
+        // Compare everything except the payload.
+        let mut b2 = before.clone();
+        let mut a2 = after.clone();
+        match (&mut b2.body, &mut a2.body) {
+            (IpPayload::Tcp(x), IpPayload::Tcp(y)) => {
+                x.payload = bytes::Bytes::new();
+                y.payload = bytes::Bytes::new();
+            }
+            (IpPayload::Udp(x), IpPayload::Udp(y)) => {
+                x.payload = bytes::Bytes::new();
+                y.payload = bytes::Bytes::new();
+            }
+            _ => {}
+        }
+        b2 != a2
+    } else {
+        true
+    };
+    (header_changed, payload_changed)
+}

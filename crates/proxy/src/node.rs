@@ -1,0 +1,132 @@
+//! The Service Proxy node: a router with the filtering engine spliced into
+//! its forwarding path (Fig 5.1), placed at the wired/wireless bottleneck.
+
+use std::any::Any;
+
+use comma_netsim::addr::Ipv4Addr;
+use comma_netsim::node::{IfaceId, Node, NodeCtx};
+use comma_netsim::packet::Packet;
+use comma_netsim::routing::{forward_step, RoutingTable};
+use comma_netsim::time::SimTime;
+use comma_netsim::trace::DropReason;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::command;
+use crate::engine::FilterEngine;
+use crate::filter::{MetricsSource, NullMetrics};
+
+/// The Comma Service Proxy (SP).
+///
+/// Every packet routed through the node passes the packet-interception
+/// module and the filter queues before re-injection onto the network. The
+/// SP command interface (§5.3) is exposed via [`ServiceProxy::exec`].
+pub struct ServiceProxy {
+    name: String,
+    addrs: Vec<Ipv4Addr>,
+    /// Forwarding table.
+    pub table: RoutingTable,
+    /// The filtering engine.
+    pub engine: FilterEngine,
+    metrics: Box<dyn MetricsSource>,
+    rng: SmallRng,
+    /// Packets forwarded (post-filtering).
+    pub forwarded: u64,
+    /// Packets dropped by filters.
+    pub filtered_out: u64,
+}
+
+impl ServiceProxy {
+    /// Creates a proxy with the given routing table and engine; `seed`
+    /// drives the deterministic randomness stream used by filters.
+    pub fn new(
+        name: impl Into<String>,
+        addrs: Vec<Ipv4Addr>,
+        table: RoutingTable,
+        engine: FilterEngine,
+        seed: u64,
+    ) -> Self {
+        ServiceProxy {
+            name: name.into(),
+            addrs,
+            table,
+            engine,
+            metrics: Box::new(NullMetrics),
+            rng: SmallRng::seed_from_u64(seed ^ 0x5350_5350),
+            forwarded: 0,
+            filtered_out: 0,
+        }
+    }
+
+    /// Installs an EEM-backed metrics source for adaptive filters.
+    pub fn set_metrics(&mut self, metrics: Box<dyn MetricsSource>) {
+        self.metrics = metrics;
+    }
+
+    /// Executes one SP console command (§5.3.1) and returns its output.
+    pub fn exec(&mut self, now: SimTime, line: &str) -> String {
+        command::execute(
+            &mut self.engine,
+            now,
+            &mut self.rng,
+            self.metrics.as_ref(),
+            line,
+        )
+    }
+
+    fn forward(&mut self, ctx: &mut NodeCtx<'_>, mut pkt: Packet) {
+        if let Some(iface) = forward_step(ctx, &self.table, &mut pkt) {
+            self.forwarded += 1;
+            ctx.send(iface, pkt);
+        }
+    }
+
+    fn arm_pending_timers(&mut self, ctx: &mut NodeCtx<'_>) {
+        for (delay, token) in self.engine.take_pending_timers() {
+            ctx.set_timer_after(delay, token);
+        }
+    }
+}
+
+impl Node for ServiceProxy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn addresses(&self) -> Vec<Ipv4Addr> {
+        self.addrs.clone()
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+        if self.addrs.contains(&pkt.ip.dst) {
+            return; // Console traffic terminates here.
+        }
+        let summary = pkt.summary();
+        let outs = self
+            .engine
+            .process(ctx.now, &mut self.rng, self.metrics.as_ref(), pkt);
+        if outs.is_empty() {
+            self.filtered_out += 1;
+            ctx.trace
+                .drop_pkt(ctx.now, ctx.node, DropReason::Filter, || summary);
+        }
+        for out in outs {
+            self.forward(ctx, out);
+        }
+        self.arm_pending_timers(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let outs = self
+            .engine
+            .on_timer(ctx.now, &mut self.rng, self.metrics.as_ref(), token);
+        for out in outs {
+            self.forward(ctx, out);
+        }
+        self.arm_pending_timers(ctx);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,576 @@
+//! The application layer: a callback-driven [`App`] trait plus the standard
+//! workloads used throughout the evaluation (bulk transfer, sink, echo,
+//! request/response).
+
+use std::any::Any;
+
+use bytes::Bytes;
+use comma_netsim::addr::Ipv4Addr;
+use comma_netsim::stats::Summary;
+use comma_netsim::time::{SimDuration, SimTime};
+
+use crate::config::TcpConfig;
+
+/// Handle to a TCP socket on a host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SocketId(pub usize);
+
+/// Operations an application may request from its host.
+#[derive(Debug)]
+pub enum AppOp {
+    /// Open a connection to `remote`; `on_connected` fires when established.
+    Connect {
+        /// Destination address and port.
+        remote: (Ipv4Addr, u16),
+        /// Optional per-connection TCP configuration.
+        cfg: Option<TcpConfig>,
+    },
+    /// Listen for connections on a port.
+    Listen {
+        /// Local port.
+        port: u16,
+        /// Optional configuration applied to accepted connections.
+        cfg: Option<TcpConfig>,
+    },
+    /// Send bytes on an open socket.
+    Send {
+        /// Socket to write to.
+        sock: SocketId,
+        /// Bytes to queue.
+        data: Bytes,
+    },
+    /// Close the sending side of a socket.
+    Close {
+        /// Socket to close.
+        sock: SocketId,
+    },
+    /// Bind a UDP port to this application.
+    BindUdp {
+        /// Local UDP port.
+        port: u16,
+    },
+    /// Send a UDP datagram.
+    SendUdp {
+        /// Source port (should be bound by this app).
+        src_port: u16,
+        /// Destination address and port.
+        dst: (Ipv4Addr, u16),
+        /// Payload.
+        payload: Bytes,
+    },
+    /// Request an application timer callback.
+    Timer {
+        /// Delay before `on_timer` fires.
+        delay: SimDuration,
+        /// Token passed back to `on_timer`.
+        token: u64,
+    },
+}
+
+/// Context handed to application callbacks.
+pub struct AppCtx {
+    /// Current simulated time.
+    pub now: SimTime,
+    ops: Vec<AppOp>,
+}
+
+impl AppCtx {
+    /// Creates a context at `now`.
+    pub fn new(now: SimTime) -> Self {
+        AppCtx {
+            now,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Requests an operation.
+    pub fn op(&mut self, op: AppOp) {
+        self.ops.push(op);
+    }
+
+    /// Convenience: connect to `remote`.
+    pub fn connect(&mut self, remote: (Ipv4Addr, u16)) {
+        self.ops.push(AppOp::Connect { remote, cfg: None });
+    }
+
+    /// Convenience: listen on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.ops.push(AppOp::Listen { port, cfg: None });
+    }
+
+    /// Convenience: send `data` on `sock`.
+    pub fn send(&mut self, sock: SocketId, data: impl Into<Bytes>) {
+        self.ops.push(AppOp::Send {
+            sock,
+            data: data.into(),
+        });
+    }
+
+    /// Convenience: close `sock`.
+    pub fn close(&mut self, sock: SocketId) {
+        self.ops.push(AppOp::Close { sock });
+    }
+
+    /// Convenience: arm an app timer.
+    pub fn timer(&mut self, delay: SimDuration, token: u64) {
+        self.ops.push(AppOp::Timer { delay, token });
+    }
+
+    /// Drains the requested operations (host use).
+    pub fn take_ops(&mut self) -> Vec<AppOp> {
+        std::mem::take(&mut self.ops)
+    }
+}
+
+/// A host-resident application.
+///
+/// All callbacks receive an [`AppCtx`] through which the application issues
+/// socket operations; they must not block.
+pub trait App {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Called once at simulation start.
+    fn on_start(&mut self, _ctx: &mut AppCtx) {}
+
+    /// An active open completed.
+    fn on_connected(&mut self, _ctx: &mut AppCtx, _sock: SocketId) {}
+
+    /// A passive open completed (a peer connected to our listener).
+    fn on_accepted(&mut self, _ctx: &mut AppCtx, _sock: SocketId, _peer: (Ipv4Addr, u16)) {}
+
+    /// In-order data arrived.
+    fn on_data(&mut self, _ctx: &mut AppCtx, _sock: SocketId, _data: Bytes) {}
+
+    /// The peer closed its sending side.
+    fn on_peer_closed(&mut self, _ctx: &mut AppCtx, _sock: SocketId) {}
+
+    /// The connection fully closed (or was reset).
+    fn on_closed(&mut self, _ctx: &mut AppCtx, _sock: SocketId) {}
+
+    /// An application timer fired.
+    fn on_timer(&mut self, _ctx: &mut AppCtx, _token: u64) {}
+
+    /// A UDP datagram arrived on a bound port.
+    fn on_udp(
+        &mut self,
+        _ctx: &mut AppCtx,
+        _from: (Ipv4Addr, u16),
+        _dst_port: u16,
+        _payload: Bytes,
+    ) {
+    }
+
+    /// Typed access for tools and tests.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+// ---------------------------------------------------------------------
+// Standard workloads.
+// ---------------------------------------------------------------------
+
+/// Sends `total_bytes` to a remote sink as fast as TCP allows, then closes.
+pub struct BulkSender {
+    remote: (Ipv4Addr, u16),
+    total_bytes: usize,
+    chunk: usize,
+    sent: usize,
+    sock: Option<SocketId>,
+    /// Time the connection was established.
+    pub started_at: Option<SimTime>,
+    /// Time the connection fully closed.
+    pub finished_at: Option<SimTime>,
+    /// Byte value pattern generator (deterministic, compressible or not).
+    pattern: fn(usize) -> u8,
+    start_after: SimDuration,
+    cfg: Option<TcpConfig>,
+}
+
+impl BulkSender {
+    /// Creates a sender that transfers `total_bytes` of a mildly
+    /// compressible pattern.
+    pub fn new(remote: (Ipv4Addr, u16), total_bytes: usize) -> Self {
+        BulkSender {
+            remote,
+            total_bytes,
+            chunk: 16 * 1024,
+            sent: 0,
+            sock: None,
+            started_at: None,
+            finished_at: None,
+            pattern: |i| (i % 251) as u8,
+            start_after: SimDuration::ZERO,
+            cfg: None,
+        }
+    }
+
+    /// Delays the connection attempt.
+    pub fn with_start_after(mut self, delay: SimDuration) -> Self {
+        self.start_after = delay;
+        self
+    }
+
+    /// Uses a custom byte pattern (e.g. highly compressible text).
+    pub fn with_pattern(mut self, pattern: fn(usize) -> u8) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Uses a custom TCP configuration for the connection.
+    pub fn with_config(mut self, cfg: TcpConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Returns the socket handle once connected.
+    pub fn socket(&self) -> Option<SocketId> {
+        self.sock
+    }
+
+    fn push_chunks(&mut self, ctx: &mut AppCtx) {
+        let Some(sock) = self.sock else { return };
+        while self.sent < self.total_bytes {
+            let n = self.chunk.min(self.total_bytes - self.sent);
+            let data: Vec<u8> = (self.sent..self.sent + n).map(self.pattern).collect();
+            ctx.send(sock, data);
+            self.sent += n;
+        }
+        ctx.close(sock);
+    }
+}
+
+impl App for BulkSender {
+    fn name(&self) -> &str {
+        "bulk-sender"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx) {
+        if self.start_after == SimDuration::ZERO {
+            ctx.op(AppOp::Connect {
+                remote: self.remote,
+                cfg: self.cfg.clone(),
+            });
+        } else {
+            ctx.timer(self.start_after, 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx, _token: u64) {
+        if self.sock.is_none() {
+            ctx.op(AppOp::Connect {
+                remote: self.remote,
+                cfg: self.cfg.clone(),
+            });
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut AppCtx, sock: SocketId) {
+        self.sock = Some(sock);
+        self.started_at = Some(ctx.now);
+        self.push_chunks(ctx);
+    }
+
+    fn on_closed(&mut self, ctx: &mut AppCtx, _sock: SocketId) {
+        self.finished_at = Some(ctx.now);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Accepts connections on a port and discards (but accounts) everything
+/// received, closing when the peer closes.
+pub struct Sink {
+    port: u16,
+    /// Total payload bytes received, per completed plus live connections.
+    pub bytes_received: usize,
+    /// Time of the first payload byte.
+    pub first_data_at: Option<SimTime>,
+    /// Time of the most recent payload byte.
+    pub last_data_at: Option<SimTime>,
+    /// Number of connections accepted.
+    pub accepted: usize,
+    /// Number of connections fully closed.
+    pub closed: usize,
+    /// Received bytes kept for content verification (bounded).
+    pub capture: Vec<u8>,
+    /// Maximum bytes retained in `capture`.
+    pub capture_limit: usize,
+}
+
+impl Sink {
+    /// Creates a sink listening on `port`.
+    pub fn new(port: u16) -> Self {
+        Sink {
+            port,
+            bytes_received: 0,
+            first_data_at: None,
+            last_data_at: None,
+            accepted: 0,
+            closed: 0,
+            capture: Vec::new(),
+            capture_limit: 0,
+        }
+    }
+
+    /// Retains up to `limit` received bytes for verification.
+    pub fn with_capture(mut self, limit: usize) -> Self {
+        self.capture_limit = limit;
+        self
+    }
+
+    /// Elapsed time between the first and last payload byte.
+    pub fn transfer_time(&self) -> Option<SimDuration> {
+        Some(self.last_data_at?.saturating_since(self.first_data_at?))
+    }
+}
+
+impl App for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx) {
+        ctx.listen(self.port);
+    }
+
+    fn on_accepted(&mut self, _ctx: &mut AppCtx, _sock: SocketId, _peer: (Ipv4Addr, u16)) {
+        self.accepted += 1;
+    }
+
+    fn on_data(&mut self, ctx: &mut AppCtx, _sock: SocketId, data: Bytes) {
+        if self.first_data_at.is_none() {
+            self.first_data_at = Some(ctx.now);
+        }
+        self.last_data_at = Some(ctx.now);
+        self.bytes_received += data.len();
+        if self.capture.len() < self.capture_limit {
+            let room = self.capture_limit - self.capture.len();
+            self.capture
+                .extend_from_slice(&data[..data.len().min(room)]);
+        }
+    }
+
+    fn on_peer_closed(&mut self, ctx: &mut AppCtx, sock: SocketId) {
+        ctx.close(sock);
+    }
+
+    fn on_closed(&mut self, _ctx: &mut AppCtx, _sock: SocketId) {
+        self.closed += 1;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Echoes every received byte back to the sender.
+pub struct EchoServer {
+    port: u16,
+    /// Bytes echoed.
+    pub bytes_echoed: usize,
+}
+
+impl EchoServer {
+    /// Creates an echo server on `port`.
+    pub fn new(port: u16) -> Self {
+        EchoServer {
+            port,
+            bytes_echoed: 0,
+        }
+    }
+}
+
+impl App for EchoServer {
+    fn name(&self) -> &str {
+        "echo"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx) {
+        ctx.listen(self.port);
+    }
+
+    fn on_data(&mut self, ctx: &mut AppCtx, sock: SocketId, data: Bytes) {
+        self.bytes_echoed += data.len();
+        ctx.send(sock, data);
+    }
+
+    fn on_peer_closed(&mut self, ctx: &mut AppCtx, sock: SocketId) {
+        ctx.close(sock);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Issues fixed-size requests to an [`EchoServer`]-style responder and
+/// records per-transaction latency; models interactive traffic.
+pub struct RequestResponse {
+    remote: (Ipv4Addr, u16),
+    request_size: usize,
+    transactions: usize,
+    completed: usize,
+    pending_bytes: usize,
+    sock: Option<SocketId>,
+    sent_at: Option<SimTime>,
+    think_time: SimDuration,
+    /// Per-transaction latencies in milliseconds.
+    pub latencies_ms: Summary,
+    /// Set once all transactions completed and the connection closed.
+    pub done: bool,
+}
+
+impl RequestResponse {
+    /// Creates a client that runs `transactions` request/response rounds of
+    /// `request_size` bytes each against `remote`.
+    pub fn new(remote: (Ipv4Addr, u16), request_size: usize, transactions: usize) -> Self {
+        RequestResponse {
+            remote,
+            request_size,
+            transactions,
+            completed: 0,
+            pending_bytes: 0,
+            sock: None,
+            sent_at: None,
+            think_time: SimDuration::ZERO,
+            latencies_ms: Summary::new(),
+            done: false,
+        }
+    }
+
+    /// Adds a pause between transactions.
+    pub fn with_think_time(mut self, think: SimDuration) -> Self {
+        self.think_time = think;
+        self
+    }
+
+    /// Transactions completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    fn fire(&mut self, ctx: &mut AppCtx) {
+        let Some(sock) = self.sock else { return };
+        self.pending_bytes = self.request_size;
+        self.sent_at = Some(ctx.now);
+        ctx.send(sock, vec![0x55u8; self.request_size]);
+    }
+}
+
+impl App for RequestResponse {
+    fn name(&self) -> &str {
+        "request-response"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx) {
+        ctx.connect(self.remote);
+    }
+
+    fn on_connected(&mut self, ctx: &mut AppCtx, sock: SocketId) {
+        self.sock = Some(sock);
+        self.fire(ctx);
+    }
+
+    fn on_data(&mut self, ctx: &mut AppCtx, sock: SocketId, data: Bytes) {
+        self.pending_bytes = self.pending_bytes.saturating_sub(data.len());
+        if self.pending_bytes == 0 && self.sent_at.is_some() {
+            let rtt = ctx
+                .now
+                .saturating_since(self.sent_at.take().expect("sent_at"));
+            self.latencies_ms.add(rtt.as_secs_f64() * 1e3);
+            self.completed += 1;
+            if self.completed >= self.transactions {
+                ctx.close(sock);
+            } else if self.think_time == SimDuration::ZERO {
+                self.fire(ctx);
+            } else {
+                ctx.timer(self.think_time, 1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx, _token: u64) {
+        self.fire(ctx);
+    }
+
+    fn on_closed(&mut self, _ctx: &mut AppCtx, _sock: SocketId) {
+        self.done = true;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_ctx_collects_ops() {
+        let mut ctx = AppCtx::new(SimTime::from_secs(1));
+        ctx.connect((Ipv4Addr::new(1, 2, 3, 4), 80));
+        ctx.listen(80);
+        ctx.timer(SimDuration::from_millis(5), 7);
+        let ops = ctx.take_ops();
+        assert_eq!(ops.len(), 3);
+        assert!(matches!(ops[0], AppOp::Connect { .. }));
+        assert!(matches!(ops[2], AppOp::Timer { token: 7, .. }));
+        assert!(ctx.take_ops().is_empty());
+    }
+
+    #[test]
+    fn bulk_sender_pushes_and_closes() {
+        let mut app = BulkSender::new((Ipv4Addr::new(1, 2, 3, 4), 9000), 40_000);
+        let mut ctx = AppCtx::new(SimTime::ZERO);
+        app.on_start(&mut ctx);
+        assert!(matches!(ctx.take_ops()[0], AppOp::Connect { .. }));
+        app.on_connected(&mut ctx, SocketId(0));
+        let ops = ctx.take_ops();
+        // 40 KB in 16 KB chunks = 3 sends + 1 close.
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(ops[3], AppOp::Close { .. }));
+        let total: usize = ops
+            .iter()
+            .filter_map(|op| match op {
+                AppOp::Send { data, .. } => Some(data.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn sink_accounts_bytes_and_closes_back() {
+        let mut sink = Sink::new(9000).with_capture(8);
+        let mut ctx = AppCtx::new(SimTime::from_millis(3));
+        sink.on_accepted(&mut ctx, SocketId(1), (Ipv4Addr::new(9, 9, 9, 9), 1234));
+        sink.on_data(&mut ctx, SocketId(1), Bytes::from_static(b"hello world"));
+        assert_eq!(sink.bytes_received, 11);
+        assert_eq!(&sink.capture[..], b"hello wo");
+        sink.on_peer_closed(&mut ctx, SocketId(1));
+        assert!(matches!(ctx.take_ops()[0], AppOp::Close { .. }));
+        assert_eq!(sink.transfer_time(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn request_response_measures_latency() {
+        let mut rr = RequestResponse::new((Ipv4Addr::new(1, 1, 1, 1), 7), 100, 2);
+        let mut ctx = AppCtx::new(SimTime::ZERO);
+        rr.on_connected(&mut ctx, SocketId(0));
+        assert!(matches!(ctx.take_ops()[0], AppOp::Send { .. }));
+        let mut ctx = AppCtx::new(SimTime::from_millis(40));
+        rr.on_data(&mut ctx, SocketId(0), Bytes::from(vec![0u8; 100]));
+        assert_eq!(rr.completed(), 1);
+        assert!((rr.latencies_ms.mean() - 40.0).abs() < 1e-9);
+        // Second transaction fires immediately.
+        assert!(matches!(ctx.take_ops()[0], AppOp::Send { .. }));
+        let mut ctx = AppCtx::new(SimTime::from_millis(90));
+        rr.on_data(&mut ctx, SocketId(0), Bytes::from(vec![0u8; 100]));
+        assert!(matches!(ctx.take_ops()[0], AppOp::Close { .. }));
+        rr.on_closed(&mut ctx, SocketId(0));
+        assert!(rr.done);
+    }
+}

@@ -1,0 +1,276 @@
+//! Send and receive buffers.
+//!
+//! The send buffer holds the bytes from `SND.UNA` forward (both in-flight
+//! and unsent) so that any range can be retransmitted; the receive buffer
+//! reassembles out-of-order segments and meters the advertised window.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::seq::{seq_diff, seq_ge, seq_le, seq_lt};
+
+/// Sender-side byte store, addressed by absolute sequence number.
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    base_seq: u32,
+    data: Vec<u8>,
+}
+
+impl SendBuffer {
+    /// Creates a buffer whose first byte will carry sequence `base_seq`.
+    pub fn new(base_seq: u32) -> Self {
+        SendBuffer {
+            base_seq,
+            data: Vec::new(),
+        }
+    }
+
+    /// Sequence number of the first retained byte (= `SND.UNA`).
+    pub fn base_seq(&self) -> u32 {
+        self.base_seq
+    }
+
+    /// Sequence number one past the last buffered byte.
+    pub fn end_seq(&self) -> u32 {
+        self.base_seq.wrapping_add(self.data.len() as u32)
+    }
+
+    /// Number of buffered bytes (acked bytes are discarded).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends application bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Copies out up to `max` bytes starting at sequence `seq`; returns an
+    /// empty buffer if `seq` is outside the retained range.
+    pub fn slice(&self, seq: u32, max: usize) -> Bytes {
+        if seq_lt(seq, self.base_seq) || seq_ge(seq, self.end_seq()) {
+            return Bytes::new();
+        }
+        let off = seq_diff(seq, self.base_seq) as usize;
+        let end = (off + max).min(self.data.len());
+        Bytes::copy_from_slice(&self.data[off..end])
+    }
+
+    /// Discards bytes below `ack` (they were cumulatively acknowledged).
+    pub fn ack_to(&mut self, ack: u32) {
+        if seq_le(ack, self.base_seq) {
+            return;
+        }
+        let n = seq_diff(ack, self.base_seq) as usize;
+        let n = n.min(self.data.len());
+        self.data.drain(..n);
+        self.base_seq = self.base_seq.wrapping_add(n as u32);
+    }
+}
+
+/// Receiver-side reassembly buffer.
+#[derive(Debug)]
+pub struct RecvBuffer {
+    rcv_nxt: u32,
+    capacity: u32,
+    /// Contiguous in-order bytes not yet taken by the application.
+    ready: Vec<u8>,
+    /// Out-of-order segments keyed by their starting sequence number.
+    ooo: BTreeMap<u32, Bytes>,
+}
+
+impl RecvBuffer {
+    /// Creates a buffer expecting `rcv_nxt` as its first byte.
+    pub fn new(rcv_nxt: u32, capacity: u32) -> Self {
+        RecvBuffer {
+            rcv_nxt,
+            capacity,
+            ready: Vec::new(),
+            ooo: BTreeMap::new(),
+        }
+    }
+
+    /// Next expected sequence number.
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+
+    /// Bytes available to the application.
+    pub fn readable(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Current advertised window: capacity minus bytes the application has
+    /// not consumed yet.
+    pub fn window(&self) -> u32 {
+        self.capacity
+            .saturating_sub(self.ready.len() as u32)
+            .min(65_535)
+    }
+
+    /// Accepts segment bytes starting at `seq`. Returns `true` if the
+    /// segment advanced `RCV.NXT` (an in-order delivery), `false` if it was
+    /// out of order, a duplicate, or empty.
+    pub fn receive(&mut self, seq: u32, data: &[u8]) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let end = seq.wrapping_add(data.len() as u32);
+        if seq_le(end, self.rcv_nxt) {
+            return false; // Entirely old.
+        }
+        if seq_lt(self.rcv_nxt, seq) {
+            // A gap: stash out of order (trim nothing; overlaps resolved on
+            // drain by preferring already-delivered bytes).
+            self.ooo
+                .entry(seq)
+                .or_insert_with(|| Bytes::copy_from_slice(data));
+            return false;
+        }
+        // Overlaps rcv_nxt: trim the stale prefix and deliver.
+        let skip = seq_diff(self.rcv_nxt, seq) as usize;
+        self.ready.extend_from_slice(&data[skip..]);
+        self.rcv_nxt = end;
+        self.drain_ooo();
+        true
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some((&seq, _)) = self.ooo.iter().next() {
+            if !seq_le(seq, self.rcv_nxt) {
+                break;
+            }
+            let data = self.ooo.remove(&seq).expect("present");
+            let end = seq.wrapping_add(data.len() as u32);
+            if seq_lt(self.rcv_nxt, end) {
+                let skip = seq_diff(self.rcv_nxt, seq) as usize;
+                self.ready.extend_from_slice(&data[skip..]);
+                self.rcv_nxt = end;
+            }
+        }
+    }
+
+    /// Returns `true` if any out-of-order data is buffered (a hole exists).
+    pub fn has_holes(&self) -> bool {
+        !self.ooo.is_empty()
+    }
+
+    /// Advances `RCV.NXT` past a peer FIN's sequence slot. Readable bytes
+    /// are preserved; any stale out-of-order fragments are discarded (no
+    /// data can follow a FIN).
+    pub fn consume_fin(&mut self) {
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+        self.ooo.clear();
+    }
+
+    /// Takes all readable bytes (application consumption).
+    pub fn take(&mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.ready))
+    }
+
+    /// Takes up to `max` readable bytes.
+    pub fn take_up_to(&mut self, max: usize) -> Bytes {
+        if max >= self.ready.len() {
+            return self.take();
+        }
+        let rest = self.ready.split_off(max);
+        let head = std::mem::replace(&mut self.ready, rest);
+        Bytes::from(head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_buffer_slicing_and_acks() {
+        let mut sb = SendBuffer::new(1000);
+        sb.push(b"hello world");
+        assert_eq!(sb.end_seq(), 1011);
+        assert_eq!(&sb.slice(1000, 5)[..], b"hello");
+        assert_eq!(&sb.slice(1006, 100)[..], b"world");
+        assert!(sb.slice(999, 5).is_empty());
+        assert!(sb.slice(1011, 5).is_empty());
+        sb.ack_to(1006);
+        assert_eq!(sb.base_seq(), 1006);
+        assert_eq!(&sb.slice(1006, 5)[..], b"world");
+        // Stale ACK ignored.
+        sb.ack_to(1000);
+        assert_eq!(sb.base_seq(), 1006);
+    }
+
+    #[test]
+    fn send_buffer_wraparound() {
+        let base = u32::MAX - 4;
+        let mut sb = SendBuffer::new(base);
+        sb.push(b"0123456789");
+        assert_eq!(sb.end_seq(), 5);
+        assert_eq!(&sb.slice(u32::MAX, 3)[..], b"456");
+        sb.ack_to(2);
+        assert_eq!(sb.base_seq(), 2);
+        assert_eq!(&sb.slice(2, 10)[..], b"789");
+    }
+
+    #[test]
+    fn recv_in_order() {
+        let mut rb = RecvBuffer::new(0, 1000);
+        assert!(rb.receive(0, b"abc"));
+        assert!(rb.receive(3, b"def"));
+        assert_eq!(rb.rcv_nxt(), 6);
+        assert_eq!(&rb.take()[..], b"abcdef");
+        assert_eq!(rb.readable(), 0);
+    }
+
+    #[test]
+    fn recv_out_of_order_reassembly() {
+        let mut rb = RecvBuffer::new(0, 1000);
+        assert!(!rb.receive(3, b"def"));
+        assert!(rb.has_holes());
+        assert!(rb.receive(0, b"abc"));
+        assert!(!rb.has_holes());
+        assert_eq!(rb.rcv_nxt(), 6);
+        assert_eq!(&rb.take()[..], b"abcdef");
+    }
+
+    #[test]
+    fn recv_duplicate_and_overlap() {
+        let mut rb = RecvBuffer::new(0, 1000);
+        assert!(rb.receive(0, b"abcd"));
+        assert!(!rb.receive(0, b"abcd"), "exact duplicate");
+        assert!(rb.receive(2, b"cdef"), "overlapping retransmission");
+        assert_eq!(rb.rcv_nxt(), 6);
+        assert_eq!(&rb.take()[..], b"abcdef");
+    }
+
+    #[test]
+    fn window_shrinks_until_app_reads() {
+        let mut rb = RecvBuffer::new(0, 100);
+        assert_eq!(rb.window(), 100);
+        rb.receive(0, &[0u8; 60]);
+        assert_eq!(rb.window(), 40);
+        rb.receive(60, &[0u8; 40]);
+        assert_eq!(rb.window(), 0);
+        let taken = rb.take_up_to(30);
+        assert_eq!(taken.len(), 30);
+        assert_eq!(rb.window(), 30);
+        rb.take();
+        assert_eq!(rb.window(), 100);
+    }
+
+    #[test]
+    fn ooo_chain_drains() {
+        let mut rb = RecvBuffer::new(0, 1000);
+        rb.receive(6, b"gh");
+        rb.receive(3, b"def");
+        assert_eq!(rb.readable(), 0);
+        rb.receive(0, b"abc");
+        assert_eq!(&rb.take()[..], b"abcdefgh");
+    }
+}

@@ -1,0 +1,136 @@
+//! TCP tunables.
+
+use comma_netsim::time::SimDuration;
+
+/// Loss-recovery style.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Recovery {
+    /// 4.3BSD Tahoe: fast retransmit, then slow start from one segment.
+    Tahoe,
+    /// 4.3BSD Reno: fast retransmit plus fast recovery (window halving).
+    Reno,
+}
+
+/// Configuration of a TCP connection.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes (advertised in the SYN).
+    pub mss: u16,
+    /// Receive-buffer capacity; bounds the advertised window (≤ 65535).
+    pub recv_buffer: u32,
+    /// Initial congestion window in segments.
+    pub initial_cwnd_segments: u32,
+    /// Initial RTO before any RTT sample.
+    pub initial_rto: SimDuration,
+    /// Lower clamp for the RTO.
+    pub min_rto: SimDuration,
+    /// Upper clamp for the RTO (the thesis-era 64 s ceiling).
+    pub max_rto: SimDuration,
+    /// Loss-recovery algorithm.
+    pub recovery: Recovery,
+    /// Enable delayed ACKs (ack every second segment or after the timer).
+    pub delayed_ack: bool,
+    /// Delayed-ACK timer.
+    pub delack_timeout: SimDuration,
+    /// TIME-WAIT hold time (2·MSL; shortened by default so experiments
+    /// drain quickly).
+    pub time_wait: SimDuration,
+    /// Initial persist (zero-window probe) interval.
+    pub persist_initial: SimDuration,
+    /// Maximum persist interval after backoff.
+    pub persist_max: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            recv_buffer: 32 * 1024,
+            initial_cwnd_segments: 1,
+            initial_rto: SimDuration::from_secs(3),
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(64),
+            recovery: Recovery::Reno,
+            delayed_ack: true,
+            delack_timeout: SimDuration::from_millis(200),
+            time_wait: SimDuration::from_secs(5),
+            persist_initial: SimDuration::from_millis(500),
+            persist_max: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A late-1990s profile: 536-byte MSS, 16 KiB window, 1 s minimum RTO
+    /// with 500 ms clock granularity behaviour approximated by the clamp.
+    pub fn era_1998() -> Self {
+        TcpConfig {
+            mss: 536,
+            recv_buffer: 16 * 1024,
+            min_rto: SimDuration::from_secs(1),
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Returns `self` with the given MSS.
+    pub fn with_mss(mut self, mss: u16) -> Self {
+        self.mss = mss;
+        self
+    }
+
+    /// Returns `self` with the given receive-buffer capacity.
+    pub fn with_recv_buffer(mut self, bytes: u32) -> Self {
+        self.recv_buffer = bytes.min(65_535);
+        self
+    }
+
+    /// Returns `self` with the given recovery algorithm.
+    pub fn with_recovery(mut self, recovery: Recovery) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Returns `self` with delayed ACKs enabled or disabled.
+    pub fn with_delayed_ack(mut self, on: bool) -> Self {
+        self.delayed_ack = on;
+        self
+    }
+
+    /// Initial congestion window in bytes.
+    pub fn initial_cwnd(&self) -> u32 {
+        self.initial_cwnd_segments * self.mss as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1460);
+        assert!(c.recv_buffer <= 65_535 || c.recv_buffer == 32 * 1024);
+        assert_eq!(c.initial_cwnd(), 1460);
+    }
+
+    #[test]
+    fn builders() {
+        let c = TcpConfig::default()
+            .with_mss(536)
+            .with_recv_buffer(200_000)
+            .with_recovery(Recovery::Tahoe)
+            .with_delayed_ack(false);
+        assert_eq!(c.mss, 536);
+        assert_eq!(c.recv_buffer, 65_535, "clamped to the 16-bit window field");
+        assert_eq!(c.recovery, Recovery::Tahoe);
+        assert!(!c.delayed_ack);
+    }
+
+    #[test]
+    fn era_profile() {
+        let c = TcpConfig::era_1998();
+        assert_eq!(c.mss, 536);
+        assert_eq!(c.min_rto, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,1268 @@
+//! The TCP connection state machine.
+//!
+//! The connection is written sans-I/O: every entry point returns the
+//! segments to transmit and the events to raise, and the caller (the host
+//! node) owns packetization and timers. This makes the full RFC 793 state
+//! machine — with Jacobson congestion control, fast retransmit/recovery,
+//! persist probes and delayed ACKs — testable without a network.
+
+use bytes::Bytes;
+use comma_netsim::packet::{TcpFlags, TcpOption, TcpSegment};
+use comma_netsim::stats::Summary;
+use comma_netsim::time::{SimDuration, SimTime};
+
+use crate::buffer::{RecvBuffer, SendBuffer};
+use crate::config::{Recovery, TcpConfig};
+use crate::rto::RtoEstimator;
+use crate::seq::{seq_diff, seq_ge, seq_gt, seq_le, seq_lt};
+
+/// RFC 793 connection states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Waiting for a SYN.
+    Listen,
+    /// Active open sent, awaiting SYN|ACK.
+    SynSent,
+    /// SYN received, SYN|ACK sent, awaiting ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Our FIN sent, awaiting its ACK (or peer FIN).
+    FinWait1,
+    /// Our FIN acked, awaiting peer FIN.
+    FinWait2,
+    /// Both FINs crossed; awaiting ACK of ours.
+    Closing,
+    /// Final 2·MSL hold.
+    TimeWait,
+    /// Peer FIN received; we may still send.
+    CloseWait,
+    /// Our FIN sent after peer's; awaiting its ACK.
+    LastAck,
+}
+
+/// Events surfaced to the owning application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConnEvent {
+    /// The three-way handshake completed.
+    Connected,
+    /// In-order data is available to read.
+    DataReadable,
+    /// The peer closed its sending side (FIN received).
+    PeerClosed,
+    /// The connection fully closed.
+    Closed,
+    /// The connection was reset or the handshake failed.
+    Reset,
+}
+
+/// Output of a connection entry point.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Segments to transmit, in order.
+    pub segments: Vec<TcpSegment>,
+    /// Events to raise to the application.
+    pub events: Vec<ConnEvent>,
+}
+
+impl Effects {
+    /// Appends another effect set (segments and events preserve order).
+    pub fn merge(&mut self, other: Effects) {
+        self.segments.extend(other.segments);
+        self.events.extend(other.events);
+    }
+}
+
+/// Counters kept per connection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    /// Segments emitted (including retransmissions and pure ACKs).
+    pub segs_out: u64,
+    /// Segments processed.
+    pub segs_in: u64,
+    /// Unique payload bytes sent (first transmission only).
+    pub bytes_sent: u64,
+    /// Payload bytes delivered to the application.
+    pub bytes_delivered: u64,
+    /// Retransmitted segments (timeout + fast retransmit).
+    pub retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Fast retransmits triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks: u64,
+    /// Zero-window persist probes sent.
+    pub persist_probes: u64,
+    /// RTO expiries converted to persist-mode freezes by a zero window.
+    pub zero_window_freezes: u64,
+    /// Round-trip-time samples.
+    pub rtt: Summary,
+}
+
+/// A TCP connection endpoint.
+pub struct TcpConnection {
+    cfg: TcpConfig,
+    state: TcpState,
+    // Send state.
+    iss: u32,
+    snd_una: u32,
+    snd_nxt: u32,
+    snd_wnd: u32,
+    snd_wl1: u32,
+    snd_wl2: u32,
+    send_buf: SendBuffer,
+    fin_pending: bool,
+    fin_seq: Option<u32>,
+    // Congestion control.
+    cwnd: u32,
+    ssthresh: u32,
+    dup_acks: u32,
+    in_fast_recovery: bool,
+    recover: u32,
+    // Timers and estimation.
+    rto: RtoEstimator,
+    rto_deadline: Option<SimTime>,
+    rtt_probe: Option<(u32, SimTime)>,
+    persist_deadline: Option<SimTime>,
+    persist_shift: u32,
+    delack_deadline: Option<SimTime>,
+    unacked_segs: u32,
+    time_wait_deadline: Option<SimTime>,
+    syn_retries: u32,
+    // Receive state.
+    recv: Option<RecvBuffer>,
+    peer_fin_seq: Option<u32>,
+    peer_mss: u32,
+    /// Counters.
+    pub stats: ConnStats,
+}
+
+const MAX_SYN_RETRIES: u32 = 6;
+
+impl TcpConnection {
+    /// Creates a closed connection with the given configuration and initial
+    /// send sequence number.
+    pub fn new(cfg: TcpConfig, iss: u32) -> Self {
+        let cwnd = cfg.initial_cwnd();
+        let rto = RtoEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto);
+        TcpConnection {
+            peer_mss: cfg.mss as u32,
+            cfg,
+            state: TcpState::Closed,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: 0,
+            snd_wl1: 0,
+            snd_wl2: 0,
+            send_buf: SendBuffer::new(iss.wrapping_add(1)),
+            fin_pending: false,
+            fin_seq: None,
+            cwnd,
+            ssthresh: 64 * 1024,
+            dup_acks: 0,
+            in_fast_recovery: false,
+            recover: iss,
+            rto,
+            rto_deadline: None,
+            rtt_probe: None,
+            persist_deadline: None,
+            persist_shift: 0,
+            delack_deadline: None,
+            unacked_segs: 0,
+            time_wait_deadline: None,
+            syn_retries: 0,
+            recv: None,
+            peer_fin_seq: None,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Returns `true` once the connection has fully terminated.
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    /// Peer-advertised send window in bytes.
+    pub fn snd_wnd(&self) -> u32 {
+        self.snd_wnd
+    }
+
+    /// Bytes in flight (sent but unacknowledged).
+    pub fn flight_size(&self) -> u32 {
+        seq_diff(self.snd_nxt, self.snd_una)
+    }
+
+    /// Bytes buffered for sending but not yet transmitted.
+    pub fn unsent_bytes(&self) -> u32 {
+        seq_diff(self.send_buf.end_seq(), self.data_nxt())
+    }
+
+    /// Smoothed RTT estimate, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rto.srtt()
+    }
+
+    /// `snd_nxt` restricted to payload space (excludes a sent FIN).
+    fn data_nxt(&self) -> u32 {
+        match self.fin_seq {
+            Some(fin) if seq_gt(self.snd_nxt, fin) => fin,
+            _ => self.snd_nxt,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Opening.
+    // ------------------------------------------------------------------
+
+    /// Performs an active open: sends a SYN.
+    pub fn connect(&mut self, now: SimTime) -> Effects {
+        debug_assert_eq!(self.state, TcpState::Closed);
+        self.state = TcpState::SynSent;
+        let mut eff = Effects::default();
+        let mut syn = self.make_seg(self.iss, TcpFlags::SYN, Bytes::new());
+        syn.options.push(TcpOption::Mss(self.cfg.mss));
+        syn.window = self.cfg.recv_buffer.min(65_535) as u16;
+        self.snd_nxt = self.iss.wrapping_add(1);
+        self.push_seg(&mut eff, syn);
+        self.arm_rto(now);
+        eff
+    }
+
+    /// Performs a passive open: waits for a SYN.
+    pub fn listen(&mut self) {
+        debug_assert_eq!(self.state, TcpState::Closed);
+        self.state = TcpState::Listen;
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface.
+    // ------------------------------------------------------------------
+
+    /// Queues application data and transmits whatever the windows allow.
+    pub fn write(&mut self, now: SimTime, data: &[u8]) -> Effects {
+        let mut eff = Effects::default();
+        if self.fin_pending || self.fin_seq.is_some() {
+            return eff; // Write after close is discarded.
+        }
+        self.send_buf.push(data);
+        self.try_send(now, &mut eff);
+        eff
+    }
+
+    /// Closes the sending side: a FIN is queued after any buffered data.
+    pub fn close(&mut self, now: SimTime) -> Effects {
+        let mut eff = Effects::default();
+        match self.state {
+            TcpState::Closed | TcpState::Listen => {
+                self.state = TcpState::Closed;
+                eff.events.push(ConnEvent::Closed);
+            }
+            TcpState::SynSent => {
+                self.state = TcpState::Closed;
+                eff.events.push(ConnEvent::Closed);
+            }
+            _ => {
+                self.fin_pending = true;
+                self.try_send(now, &mut eff);
+            }
+        }
+        eff
+    }
+
+    /// Aborts the connection with a RST.
+    pub fn abort(&mut self) -> Effects {
+        let mut eff = Effects::default();
+        if !matches!(self.state, TcpState::Closed | TcpState::Listen) {
+            let rst = self.make_seg(self.snd_nxt, TcpFlags::RST | TcpFlags::ACK, Bytes::new());
+            self.push_seg(&mut eff, rst);
+        }
+        self.state = TcpState::Closed;
+        eff.events.push(ConnEvent::Closed);
+        eff
+    }
+
+    /// Takes readable bytes for the application. Reading may reopen the
+    /// advertised window, in which case a window-update ACK is emitted.
+    pub fn take_data(&mut self, _now: SimTime) -> (Bytes, Effects) {
+        let mut eff = Effects::default();
+        let Some(recv) = &mut self.recv else {
+            return (Bytes::new(), eff);
+        };
+        let before = recv.window();
+        let data = recv.take();
+        self.stats.bytes_delivered += data.len() as u64;
+        let after = self.recv.as_ref().expect("recv").window();
+        // Send a window update when the window grows from below one MSS to
+        // at least one MSS (silly-window avoidance on the receive side).
+        if before < self.peer_mss.min(self.cfg.mss as u32) && after >= self.cfg.mss as u32 {
+            let ack = self.make_ack();
+            self.push_seg(&mut eff, ack);
+        }
+        (data, eff)
+    }
+
+    // ------------------------------------------------------------------
+    // Segment processing.
+    // ------------------------------------------------------------------
+
+    /// Processes an incoming segment.
+    pub fn on_segment(&mut self, now: SimTime, seg: &TcpSegment) -> Effects {
+        self.stats.segs_in += 1;
+        let mut eff = Effects::default();
+        match self.state {
+            TcpState::Closed => {}
+            TcpState::Listen => self.segment_in_listen(seg, &mut eff),
+            TcpState::SynSent => self.segment_in_syn_sent(now, seg, &mut eff),
+            _ => self.segment_in_synchronized(now, seg, &mut eff),
+        }
+        eff
+    }
+
+    fn segment_in_listen(&mut self, seg: &TcpSegment, eff: &mut Effects) {
+        if !seg.flags.syn() || seg.flags.rst() {
+            return;
+        }
+        if let Some(mss) = seg.mss_option() {
+            self.peer_mss = mss as u32;
+        }
+        let irs = seg.seq;
+        self.recv = Some(RecvBuffer::new(irs.wrapping_add(1), self.cfg.recv_buffer));
+        self.update_snd_wnd_unchecked(seg);
+        self.state = TcpState::SynRcvd;
+        let mut synack = self.make_seg(self.iss, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
+        synack.options.push(TcpOption::Mss(self.cfg.mss));
+        self.snd_nxt = self.iss.wrapping_add(1);
+        self.push_seg(eff, synack);
+    }
+
+    fn segment_in_syn_sent(&mut self, now: SimTime, seg: &TcpSegment, eff: &mut Effects) {
+        if seg.flags.rst() {
+            self.enter_closed(eff, ConnEvent::Reset);
+            return;
+        }
+        if !seg.flags.syn() {
+            return;
+        }
+        if seg.flags.ack() && seg.ack != self.iss.wrapping_add(1) {
+            // Half-open remnant: reset it.
+            let rst = TcpSegment::new(0, 0, seg.ack, 0, TcpFlags::RST);
+            self.push_seg(eff, rst);
+            return;
+        }
+        if let Some(mss) = seg.mss_option() {
+            self.peer_mss = mss as u32;
+        }
+        let irs = seg.seq;
+        self.recv = Some(RecvBuffer::new(irs.wrapping_add(1), self.cfg.recv_buffer));
+        if seg.flags.ack() {
+            self.snd_una = seg.ack;
+            self.send_buf.ack_to(seg.ack);
+            self.update_snd_wnd_unchecked(seg);
+            self.state = TcpState::Established;
+            self.rto_deadline = None;
+            self.rto.clear_backoff();
+            eff.events.push(ConnEvent::Connected);
+            let ack = self.make_ack();
+            self.push_seg(eff, ack);
+            self.try_send(now, eff);
+        } else {
+            // Simultaneous open.
+            self.state = TcpState::SynRcvd;
+            let mut synack = self.make_seg(self.iss, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
+            synack.options.push(TcpOption::Mss(self.cfg.mss));
+            self.push_seg(eff, synack);
+        }
+    }
+
+    fn segment_in_synchronized(&mut self, now: SimTime, seg: &TcpSegment, eff: &mut Effects) {
+        if seg.flags.rst() {
+            self.enter_closed(eff, ConnEvent::Reset);
+            return;
+        }
+        if seg.flags.syn() {
+            // Retransmitted SYN while in SynRcvd: resend the SYN|ACK.
+            if self.state == TcpState::SynRcvd {
+                let mut synack =
+                    self.make_seg(self.iss, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
+                synack.options.push(TcpOption::Mss(self.cfg.mss));
+                self.push_seg(eff, synack);
+            }
+            return;
+        }
+        if seg.flags.ack() {
+            self.process_ack(now, seg, eff);
+            if self.state == TcpState::Closed {
+                return;
+            }
+        }
+        if !seg.payload.is_empty() {
+            self.process_data(now, seg, eff);
+        }
+        if seg.flags.fin() {
+            self.process_fin(now, seg, eff);
+        }
+        self.try_send(now, eff);
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &TcpSegment, eff: &mut Effects) {
+        let ack = seg.ack;
+        if self.state == TcpState::SynRcvd && ack == self.iss.wrapping_add(1) {
+            self.snd_una = ack;
+            self.update_snd_wnd_unchecked(seg);
+            self.state = TcpState::Established;
+            self.rto_deadline = None;
+            self.rto.clear_backoff();
+            eff.events.push(ConnEvent::Connected);
+        }
+        // Continue: the same segment may carry data.
+        if seq_gt(ack, self.snd_nxt) {
+            // Acking data we never sent: tell the peer where we are.
+            let a = self.make_ack();
+            self.push_seg(eff, a);
+            return;
+        }
+        if seq_le(ack, self.snd_una) {
+            // Possible duplicate ACK (RFC 5681 heuristics).
+            let is_dup = ack == self.snd_una
+                && seg.payload.is_empty()
+                && !seg.flags.syn()
+                && !seg.flags.fin()
+                && self.flight_size() > 0
+                && seg.window as u32 == self.snd_wnd;
+            if is_dup {
+                self.stats.dup_acks += 1;
+                self.dup_acks += 1;
+                if self.dup_acks == 3 {
+                    self.fast_retransmit(now, eff);
+                } else if self.dup_acks > 3 && self.in_fast_recovery {
+                    // Window inflation per extra duplicate ACK.
+                    self.cwnd = self.cwnd.saturating_add(self.cfg.mss as u32);
+                }
+            }
+            self.update_snd_wnd(seg, now);
+            return;
+        }
+
+        // New data acknowledged.
+        let acked = seq_diff(ack, self.snd_una);
+        self.snd_una = ack;
+        self.send_buf.ack_to(ack);
+        self.dup_acks = 0;
+        self.rto.clear_backoff();
+        self.persist_shift = 0;
+
+        if let Some((probe_seq, sent_at)) = self.rtt_probe {
+            if seq_ge(ack, probe_seq) {
+                let rtt = now.saturating_since(sent_at);
+                self.rto.sample(rtt);
+                self.stats.rtt.add(rtt.as_secs_f64() * 1e3);
+                self.rtt_probe = None;
+            }
+        }
+
+        if self.in_fast_recovery {
+            if seq_ge(ack, self.recover) {
+                self.in_fast_recovery = false;
+                self.cwnd = self.ssthresh;
+            } else {
+                // Partial ACK (NewReno-style): retransmit the next hole and
+                // deflate the window by the amount acked.
+                self.retransmit_head(now, eff);
+                self.cwnd = self
+                    .cwnd
+                    .saturating_sub(acked)
+                    .saturating_add(self.cfg.mss as u32);
+            }
+        } else {
+            // Normal congestion-window growth.
+            if self.cwnd < self.ssthresh {
+                self.cwnd = self.cwnd.saturating_add(acked.min(self.cfg.mss as u32));
+            } else {
+                let inc = ((self.cfg.mss as u64 * self.cfg.mss as u64) / self.cwnd.max(1) as u64)
+                    .max(1) as u32;
+                self.cwnd = self.cwnd.saturating_add(inc);
+            }
+        }
+
+        self.update_snd_wnd(seg, now);
+
+        // FIN acknowledgement transitions.
+        if let Some(fin) = self.fin_seq {
+            if seq_gt(ack, fin) {
+                match self.state {
+                    TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                    TcpState::Closing => self.enter_time_wait(now),
+                    TcpState::LastAck => {
+                        self.enter_closed(eff, ConnEvent::Closed);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        if self.flight_size() == 0 {
+            self.rto_deadline = None;
+        } else {
+            self.arm_rto(now);
+        }
+    }
+
+    fn update_snd_wnd_unchecked(&mut self, seg: &TcpSegment) {
+        self.snd_wnd = seg.window as u32;
+        self.snd_wl1 = seg.seq;
+        self.snd_wl2 = seg.ack;
+    }
+
+    fn update_snd_wnd(&mut self, seg: &TcpSegment, now: SimTime) {
+        // RFC 793 window-update check prevents stale segments from
+        // shrinking the window.
+        if seq_lt(self.snd_wl1, seg.seq)
+            || (self.snd_wl1 == seg.seq && seq_le(self.snd_wl2, seg.ack))
+        {
+            let was_zero = self.snd_wnd == 0;
+            self.update_snd_wnd_unchecked(seg);
+            if self.snd_wnd == 0 {
+                if self.pending_send_bytes() > 0 && self.persist_deadline.is_none() {
+                    self.arm_persist(now);
+                }
+            } else {
+                self.persist_deadline = None;
+                self.persist_shift = 0;
+                if was_zero && self.flight_size() > 0 {
+                    // Window reopened while data was in flight (it may have
+                    // been lost during a zero-window freeze): make sure the
+                    // retransmission timer is running again.
+                    self.arm_rto(now);
+                }
+            }
+        }
+    }
+
+    fn pending_send_bytes(&self) -> u32 {
+        seq_diff(self.send_buf.end_seq(), self.data_nxt())
+    }
+
+    fn process_data(&mut self, now: SimTime, seg: &TcpSegment, eff: &mut Effects) {
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+        ) {
+            return;
+        }
+        let Some(recv) = &mut self.recv else { return };
+        let advanced = recv.receive(seg.seq, &seg.payload);
+        let out_of_order = !advanced || recv.has_holes();
+        if advanced && recv.readable() > 0 {
+            eff.events.push(ConnEvent::DataReadable);
+        }
+        // A FIN that once arrived beyond a hole becomes acceptable when the
+        // hole fills.
+        if let Some(fin) = self.peer_fin_seq {
+            let rcv_nxt = self.recv.as_ref().expect("recv").rcv_nxt();
+            if seq_le(fin, rcv_nxt) {
+                self.accept_fin(now, eff);
+            }
+        }
+        if out_of_order || !self.cfg.delayed_ack {
+            // Immediate ACK: duplicate/straddling segments must generate
+            // the duplicate ACKs fast retransmit depends on.
+            let ack = self.make_ack();
+            self.push_seg(eff, ack);
+            self.unacked_segs = 0;
+            self.delack_deadline = None;
+        } else {
+            self.unacked_segs += 1;
+            if self.unacked_segs >= 2 {
+                let ack = self.make_ack();
+                self.push_seg(eff, ack);
+                self.unacked_segs = 0;
+                self.delack_deadline = None;
+            } else if self.delack_deadline.is_none() {
+                self.delack_deadline = Some(now + self.cfg.delack_timeout);
+            }
+        }
+    }
+
+    fn process_fin(&mut self, now: SimTime, seg: &TcpSegment, eff: &mut Effects) {
+        let Some(recv) = &self.recv else { return };
+        let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+        if seq_gt(fin_seq, recv.rcv_nxt()) {
+            // FIN beyond a hole: remember it; it will be processed when the
+            // hole fills (the peer will retransmit).
+            self.peer_fin_seq = Some(fin_seq);
+            return;
+        }
+        if seq_lt(fin_seq, recv.rcv_nxt()) {
+            // Old duplicate FIN: re-ACK.
+            let ack = self.make_ack();
+            self.push_seg(eff, ack);
+            return;
+        }
+        self.accept_fin(now, eff);
+    }
+
+    fn accept_fin(&mut self, now: SimTime, eff: &mut Effects) {
+        // Consume the FIN's sequence slot, keeping unread bytes intact.
+        self.recv.as_mut().expect("recv").consume_fin();
+        self.peer_fin_seq = None;
+        let ack = self.make_ack();
+        self.push_seg(eff, ack);
+        match self.state {
+            TcpState::Established => {
+                self.state = TcpState::CloseWait;
+                eff.events.push(ConnEvent::PeerClosed);
+            }
+            TcpState::FinWait1 => {
+                // Our FIN not yet acked.
+                self.state = TcpState::Closing;
+                eff.events.push(ConnEvent::PeerClosed);
+            }
+            TcpState::FinWait2 => {
+                eff.events.push(ConnEvent::PeerClosed);
+                self.enter_time_wait(now);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission.
+    // ------------------------------------------------------------------
+
+    fn try_send(&mut self, now: SimTime, eff: &mut Effects) {
+        if !matches!(
+            self.state,
+            TcpState::Established
+                | TcpState::CloseWait
+                | TcpState::FinWait1
+                | TcpState::Closing
+                | TcpState::LastAck
+        ) {
+            return;
+        }
+        let mss = self.cfg.mss as u32;
+        let wnd = self.snd_wnd.min(self.cwnd);
+        loop {
+            if self.fin_seq.is_some() {
+                break; // Everything (incl. FIN) already transmitted once.
+            }
+            let flight = self.flight_size();
+            let unsent = self.pending_send_bytes();
+            if unsent > 0 && flight < wnd {
+                let room = wnd - flight;
+                let take = unsent.min(mss).min(room) as usize;
+                if take == 0 {
+                    break;
+                }
+                let payload = self.send_buf.slice(self.snd_nxt, take);
+                debug_assert_eq!(payload.len(), take);
+                let mut flags = TcpFlags::ACK;
+                if unsent as usize == take {
+                    flags = flags | TcpFlags::PSH;
+                }
+                let seg = self.make_seg(self.snd_nxt, flags, payload);
+                self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
+                self.stats.bytes_sent += take as u64;
+                if self.rtt_probe.is_none() {
+                    self.rtt_probe = Some((self.snd_nxt, now));
+                }
+                self.push_seg(eff, seg);
+                self.arm_rto_if_unarmed(now);
+                continue;
+            }
+            // Queue a FIN once all data has been transmitted.
+            if self.fin_pending && unsent == 0 {
+                let seg = self.make_seg(self.snd_nxt, TcpFlags::FIN | TcpFlags::ACK, Bytes::new());
+                self.fin_seq = Some(self.snd_nxt);
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.fin_pending = false;
+                match self.state {
+                    TcpState::Established => self.state = TcpState::FinWait1,
+                    TcpState::CloseWait => self.state = TcpState::LastAck,
+                    _ => {}
+                }
+                self.push_seg(eff, seg);
+                self.arm_rto_if_unarmed(now);
+            }
+            break;
+        }
+        // Zero window with pending data: ensure the persist timer runs.
+        if self.snd_wnd == 0
+            && self.pending_send_bytes() > 0
+            && self.persist_deadline.is_none()
+            && self.flight_size() == 0
+        {
+            self.arm_persist(now);
+        }
+    }
+
+    fn fast_retransmit(&mut self, now: SimTime, eff: &mut Effects) {
+        self.stats.fast_retransmits += 1;
+        let flight = self.flight_size();
+        self.ssthresh = (flight / 2).max(2 * self.cfg.mss as u32);
+        self.recover = self.snd_nxt;
+        match self.cfg.recovery {
+            Recovery::Reno => {
+                self.in_fast_recovery = true;
+                self.cwnd = self.ssthresh + 3 * self.cfg.mss as u32;
+            }
+            Recovery::Tahoe => {
+                self.cwnd = self.cfg.mss as u32;
+                self.in_fast_recovery = false;
+            }
+        }
+        self.retransmit_head(now, eff);
+    }
+
+    fn retransmit_head(&mut self, now: SimTime, eff: &mut Effects) {
+        self.stats.retransmits += 1;
+        self.rtt_probe = None; // Karn's rule.
+        let mss = self.cfg.mss as usize;
+        let payload = self.send_buf.slice(self.snd_una, mss);
+        let seg = if payload.is_empty() {
+            match self.fin_seq {
+                Some(fin) if fin == self.snd_una => {
+                    self.make_seg(fin, TcpFlags::FIN | TcpFlags::ACK, Bytes::new())
+                }
+                _ => {
+                    if self.state == TcpState::SynSent {
+                        let mut syn = self.make_seg(self.iss, TcpFlags::SYN, Bytes::new());
+                        syn.options.push(TcpOption::Mss(self.cfg.mss));
+                        syn
+                    } else if self.state == TcpState::SynRcvd {
+                        let mut synack =
+                            self.make_seg(self.iss, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
+                        synack.options.push(TcpOption::Mss(self.cfg.mss));
+                        synack
+                    } else {
+                        return;
+                    }
+                }
+            }
+        } else {
+            self.make_seg(self.snd_una, TcpFlags::ACK, payload)
+        };
+        self.push_seg(eff, seg);
+        self.arm_rto(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Timers.
+    // ------------------------------------------------------------------
+
+    /// Returns the earliest pending timer deadline, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        [
+            self.rto_deadline,
+            self.persist_deadline,
+            self.delack_deadline,
+            self.time_wait_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Services expired timers; safe to call spuriously.
+    pub fn on_timer(&mut self, now: SimTime) -> Effects {
+        let mut eff = Effects::default();
+        if let Some(d) = self.time_wait_deadline {
+            if now >= d {
+                self.time_wait_deadline = None;
+                self.enter_closed(&mut eff, ConnEvent::Closed);
+                return eff;
+            }
+        }
+        if let Some(d) = self.delack_deadline {
+            if now >= d {
+                self.delack_deadline = None;
+                self.unacked_segs = 0;
+                if self.recv.is_some() {
+                    let ack = self.make_ack();
+                    self.push_seg(&mut eff, ack);
+                }
+            }
+        }
+        if let Some(d) = self.rto_deadline {
+            if now >= d {
+                self.rto_timeout(now, &mut eff);
+            }
+        }
+        if let Some(d) = self.persist_deadline {
+            if now >= d {
+                self.persist_fire(now, &mut eff);
+            }
+        }
+        eff
+    }
+
+    fn rto_timeout(&mut self, now: SimTime, eff: &mut Effects) {
+        self.rto_deadline = None;
+        if self.flight_size() == 0 && !matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
+            return;
+        }
+        if matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
+            self.syn_retries += 1;
+            if self.syn_retries > MAX_SYN_RETRIES {
+                self.enter_closed(eff, ConnEvent::Reset);
+                return;
+            }
+        } else if self.snd_wnd == 0 {
+            // Zero-window freeze: a closed window is receiver flow control,
+            // not congestion (the behaviour BSSP's ZWSM exploits, §8.2.2).
+            // Recovery is handed to the persist timer; cwnd and the RTO
+            // estimate stay intact, so transmission restarts at full speed
+            // when the window reopens.
+            self.stats.zero_window_freezes += 1;
+            if self.persist_deadline.is_none() {
+                self.arm_persist(now);
+            }
+            return;
+        }
+        self.stats.timeouts += 1;
+        let flight = self.flight_size().max(self.cfg.mss as u32);
+        self.ssthresh = (flight / 2).max(2 * self.cfg.mss as u32);
+        self.cwnd = self.cfg.mss as u32;
+        self.in_fast_recovery = false;
+        self.dup_acks = 0;
+        self.rto.backoff();
+        self.retransmit_head(now, eff);
+    }
+
+    fn persist_fire(&mut self, now: SimTime, eff: &mut Effects) {
+        self.persist_deadline = None;
+        if self.snd_wnd > 0 || self.pending_send_bytes() == 0 {
+            return;
+        }
+        // Send a one-byte window probe without advancing snd_nxt: the byte
+        // is the next unsent byte; if accepted it will be acked and the
+        // window update resumes normal transmission.
+        self.stats.persist_probes += 1;
+        let probe_seq = self.data_nxt();
+        let payload = self.send_buf.slice(probe_seq, 1);
+        if payload.is_empty() {
+            return;
+        }
+        let seg = self.make_seg(probe_seq, TcpFlags::ACK, payload);
+        // The probe byte enters the stream: account for it so its ACK is
+        // accepted (BSD keeps snd_nxt >= snd_una the same way).
+        if probe_seq == self.snd_nxt {
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        }
+        self.push_seg(eff, seg);
+        self.persist_shift = (self.persist_shift + 1).min(10);
+        self.arm_persist(now);
+    }
+
+    fn arm_persist(&mut self, now: SimTime) {
+        let interval = self
+            .cfg
+            .persist_initial
+            .saturating_mul(1 << self.persist_shift)
+            .min(self.cfg.persist_max);
+        self.persist_deadline = Some(now + interval);
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rto.rto());
+    }
+
+    fn arm_rto_if_unarmed(&mut self, now: SimTime) {
+        if self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers.
+    // ------------------------------------------------------------------
+
+    fn enter_time_wait(&mut self, now: SimTime) {
+        self.state = TcpState::TimeWait;
+        self.time_wait_deadline = Some(now + self.cfg.time_wait);
+        self.rto_deadline = None;
+        self.persist_deadline = None;
+        self.delack_deadline = None;
+    }
+
+    fn enter_closed(&mut self, eff: &mut Effects, event: ConnEvent) {
+        self.state = TcpState::Closed;
+        self.rto_deadline = None;
+        self.persist_deadline = None;
+        self.delack_deadline = None;
+        self.time_wait_deadline = None;
+        eff.events.push(event);
+    }
+
+    fn make_ack(&self) -> TcpSegment {
+        self.make_seg(self.snd_nxt, TcpFlags::ACK, Bytes::new())
+    }
+
+    fn make_seg(&self, seq: u32, flags: TcpFlags, payload: Bytes) -> TcpSegment {
+        let (ack, window) = match &self.recv {
+            Some(recv) => (recv.rcv_nxt(), recv.window() as u16),
+            None => (0, self.cfg.recv_buffer.min(65_535) as u16),
+        };
+        let flags = if self.recv.is_some() && !flags.contains(TcpFlags::SYN) {
+            flags | TcpFlags::ACK
+        } else {
+            flags
+        };
+        // Ports are filled in by the host layer.
+        let mut seg = TcpSegment::new(0, 0, seq, if flags.ack() { ack } else { 0 }, flags);
+        seg.window = window;
+        seg.payload = payload;
+        seg
+    }
+
+    fn push_seg(&mut self, eff: &mut Effects, seg: TcpSegment) {
+        self.stats.segs_out += 1;
+        eff.segments.push(seg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpConnection, TcpConnection) {
+        let cfg = TcpConfig::default().with_delayed_ack(false);
+        let mut a = TcpConnection::new(cfg.clone(), 1000);
+        let mut b = TcpConnection::new(cfg, 5000);
+        b.listen();
+        let _ = &mut a;
+        (a, b)
+    }
+
+    /// Runs segments between two connections until quiescent; returns all
+    /// events observed as (endpoint, event).
+    fn pump(
+        a: &mut TcpConnection,
+        b: &mut TcpConnection,
+        now: SimTime,
+        initial: Effects,
+        from_a: bool,
+    ) -> Vec<(char, ConnEvent)> {
+        let mut events = Vec::new();
+        let mut queue: std::collections::VecDeque<(bool, TcpSegment)> =
+            initial.segments.into_iter().map(|s| (from_a, s)).collect();
+        for e in initial.events {
+            events.push((if from_a { 'a' } else { 'b' }, e));
+        }
+        let mut guard = 0;
+        while let Some((is_from_a, seg)) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 10_000, "segment storm");
+            let (target, tag) = if is_from_a {
+                (&mut *b, 'b')
+            } else {
+                (&mut *a, 'a')
+            };
+            let eff = target.on_segment(now, &seg);
+            for e in eff.events {
+                events.push((tag, e));
+            }
+            for s in eff.segments {
+                queue.push_back((!is_from_a, s));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        assert_eq!(eff.segments.len(), 1);
+        assert!(eff.segments[0].flags.syn());
+        let events = pump(&mut a, &mut b, now, eff, true);
+        assert!(events.contains(&('a', ConnEvent::Connected)));
+        assert!(events.contains(&('b', ConnEvent::Connected)));
+        assert_eq!(a.state(), TcpState::Established);
+        assert_eq!(b.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn data_transfer_and_read() {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let eff = a.write(now, b"hello wireless world");
+        let events = pump(&mut a, &mut b, now, eff, true);
+        assert!(events.contains(&('b', ConnEvent::DataReadable)));
+        let (data, _) = b.take_data(now);
+        assert_eq!(&data[..], b"hello wireless world");
+        assert_eq!(b.stats.bytes_delivered, 20);
+        assert_eq!(a.stats.bytes_sent, 20);
+    }
+
+    #[test]
+    fn large_transfer_respects_mss() {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let payload = vec![7u8; 40_000];
+        let mut eff = a.write(now, &payload);
+        // cwnd starts at 1 MSS: only one segment goes out initially.
+        assert_eq!(eff.segments.len(), 1);
+        assert_eq!(eff.segments[0].payload.len(), 1460);
+        // Pump to completion; ACKs grow cwnd and release more data.
+        let mut received = Vec::new();
+        for _round in 0..400 {
+            let events = pump(&mut a, &mut b, now, std::mem::take(&mut eff), true);
+            if events
+                .iter()
+                .any(|(t, e)| *t == 'b' && *e == ConnEvent::DataReadable)
+            {
+                let (data, weff) = b.take_data(now);
+                received.extend_from_slice(&data);
+                // Window updates (if any) come from b; feeding them to a may
+                // release more segments, all of which originate at a.
+                for seg in weff.segments {
+                    let more = a.on_segment(now, &seg);
+                    eff.merge(more);
+                }
+            }
+            if received.len() == payload.len() {
+                break;
+            }
+            let mut e2 = Effects::default();
+            a.try_send(now, &mut e2);
+            eff.merge(e2);
+        }
+        assert_eq!(received.len(), payload.len());
+        assert!(a.cwnd() > a.cfg.initial_cwnd());
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let eff = a.close(now);
+        let events = pump(&mut a, &mut b, now, eff, true);
+        assert!(events.contains(&('b', ConnEvent::PeerClosed)));
+        assert_eq!(a.state(), TcpState::FinWait2);
+        assert_eq!(b.state(), TcpState::CloseWait);
+        let eff = b.close(now);
+        let events = pump(&mut a, &mut b, now, eff, false);
+        assert!(events.contains(&('b', ConnEvent::Closed)));
+        assert_eq!(a.state(), TcpState::TimeWait);
+        assert_eq!(b.state(), TcpState::Closed);
+        // TIME-WAIT expires.
+        let eff = a.on_timer(now + SimDuration::from_secs(10));
+        assert!(eff.events.contains(&ConnEvent::Closed));
+        assert!(a.is_closed());
+    }
+
+    #[test]
+    fn retransmission_timeout_and_backoff() {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let eff = a.write(now, &[1u8; 1460]);
+        assert_eq!(eff.segments.len(), 1);
+        // Drop the segment; fire the RTO.
+        let deadline = a.next_deadline().expect("rto armed");
+        let eff = a.on_timer(deadline);
+        assert_eq!(a.stats.timeouts, 1);
+        assert_eq!(eff.segments.len(), 1, "retransmission");
+        assert_eq!(eff.segments[0].payload.len(), 1460);
+        assert_eq!(a.cwnd(), 1460, "cwnd collapsed");
+        // Second timeout doubles the RTO.
+        let d2 = a.next_deadline().expect("rearmed");
+        let eff2 = a.on_timer(d2);
+        assert_eq!(a.stats.timeouts, 2);
+        assert!(!eff2.segments.is_empty());
+        let d3 = a.next_deadline().unwrap();
+        assert!(d3 - d2 > d2 - deadline, "exponential backoff");
+        let _ = b;
+    }
+
+    #[test]
+    fn fast_retransmit_on_triple_dupack() {
+        let cfg = TcpConfig::default().with_delayed_ack(false);
+        let mut a = TcpConnection::new(cfg.clone(), 0);
+        let mut b = TcpConnection::new(cfg, 0);
+        b.listen();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        // Open the cwnd artificially by acking a warmup transfer.
+        let warm = a.write(now, &vec![0u8; 1460 * 4]);
+        pump(&mut a, &mut b, now, warm, true);
+        b.take_data(now);
+        assert!(a.cwnd() >= 4 * 1460, "cwnd={}", a.cwnd());
+
+        // Send 5 segments; drop the first, deliver the rest.
+        let eff = a.write(now, &vec![1u8; 1460 * 5]);
+        let segs = eff.segments;
+        assert!(
+            segs.len() >= 4,
+            "need at least 4 segments, got {}",
+            segs.len()
+        );
+        let mut dup_acks = Vec::new();
+        for seg in &segs[1..] {
+            let eff = b.on_segment(now, seg);
+            dup_acks.extend(eff.segments);
+        }
+        assert!(
+            dup_acks.len() >= 3,
+            "out-of-order segments produce immediate ACKs"
+        );
+        let mut retx = Vec::new();
+        for ack in &dup_acks {
+            let eff = a.on_segment(now, ack);
+            retx.extend(eff.segments);
+        }
+        assert_eq!(a.stats.fast_retransmits, 1);
+        assert!(
+            retx.iter().any(|s| s.seq == segs[0].seq),
+            "head retransmitted"
+        );
+        // Deliver the retransmission: receiver's ACK jumps past the hole.
+        let eff = b.on_segment(now, retx.iter().find(|s| s.seq == segs[0].seq).unwrap());
+        let cumulative = eff.segments.last().expect("ack");
+        assert!(seq_ge(cumulative.ack, segs.last().unwrap().seq));
+    }
+
+    #[test]
+    fn zero_window_triggers_persist_probes() {
+        let cfg = TcpConfig::default()
+            .with_delayed_ack(false)
+            .with_recv_buffer(2920);
+        let mut a = TcpConnection::new(cfg.clone(), 0);
+        let mut b = TcpConnection::new(cfg, 0);
+        b.listen();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        // Fill the receiver's 2920-byte buffer; the app never reads.
+        let eff = a.write(now, &vec![3u8; 10_000]);
+        pump(&mut a, &mut b, now, eff, true);
+        let mut eff = Effects::default();
+        a.try_send(now, &mut eff);
+        pump(&mut a, &mut b, now, eff, true);
+        assert_eq!(a.snd_wnd(), 0, "receiver advertised zero window");
+        assert!(a.pending_send_bytes() > 0);
+        // Persist timer must be armed; firing it sends a 1-byte probe.
+        let d = a.next_deadline().expect("persist armed");
+        let eff = a.on_timer(d);
+        assert_eq!(a.stats.persist_probes, 1);
+        assert_eq!(eff.segments.len(), 1);
+        assert_eq!(eff.segments[0].payload.len(), 1);
+        // Receiver still full: probe elicits a zero-window ACK.
+        let reply = b.on_segment(d, &eff.segments[0]);
+        assert!(!reply.segments.is_empty());
+        assert_eq!(reply.segments[0].window, 0);
+        // App reads; window-update ACK reopens the stream.
+        let (_data, weff) = b.take_data(d);
+        assert!(!weff.segments.is_empty(), "window update sent");
+        let eff = a.on_segment(d, &weff.segments[0]);
+        assert!(a.snd_wnd() > 0);
+        assert!(!eff.segments.is_empty(), "transmission resumed");
+    }
+
+    #[test]
+    fn reset_tears_down() {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let eff = a.abort();
+        let events = pump(&mut a, &mut b, now, eff, true);
+        assert!(events.contains(&('b', ConnEvent::Reset)));
+        assert!(a.is_closed() && b.is_closed());
+    }
+
+    #[test]
+    fn syn_gives_up_after_retries() {
+        let cfg = TcpConfig::default();
+        let mut a = TcpConnection::new(cfg, 0);
+        let mut now = SimTime::ZERO;
+        let _ = a.connect(now);
+        let mut gave_up = false;
+        for _ in 0..=MAX_SYN_RETRIES + 1 {
+            let Some(d) = a.next_deadline() else { break };
+            now = d;
+            let eff = a.on_timer(now);
+            if eff.events.contains(&ConnEvent::Reset) {
+                gave_up = true;
+                break;
+            }
+        }
+        assert!(gave_up);
+        assert!(a.is_closed());
+    }
+
+    #[test]
+    fn tahoe_collapses_cwnd_on_dupacks() {
+        let cfg = TcpConfig::default()
+            .with_delayed_ack(false)
+            .with_recovery(Recovery::Tahoe);
+        let mut a = TcpConnection::new(cfg.clone(), 0);
+        let mut b = TcpConnection::new(cfg, 0);
+        b.listen();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let warm = a.write(now, &vec![0u8; 1460 * 4]);
+        pump(&mut a, &mut b, now, warm, true);
+        b.take_data(now);
+        let eff = a.write(now, &vec![1u8; 1460 * 5]);
+        let segs = eff.segments;
+        let mut dup_acks = Vec::new();
+        for seg in &segs[1..] {
+            dup_acks.extend(b.on_segment(now, seg).segments);
+        }
+        for ack in &dup_acks {
+            a.on_segment(now, ack);
+        }
+        assert_eq!(a.cwnd(), 1460, "Tahoe slow-starts after fast retransmit");
+    }
+
+    #[test]
+    fn delayed_ack_batches() {
+        let cfg = TcpConfig::default(); // Delayed ACK on.
+        let mut a = TcpConnection::new(cfg.clone(), 0);
+        let mut b = TcpConnection::new(cfg, 0);
+        b.listen();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        // One in-order segment: no immediate ACK, delack timer armed.
+        let seg1 = a.write(now, &[1u8; 100]).segments.remove(0);
+        let eff = b.on_segment(now, &seg1);
+        assert!(eff.segments.is_empty(), "first segment's ACK delayed");
+        let d = b.next_deadline().expect("delack armed");
+        let eff = b.on_timer(d);
+        assert_eq!(eff.segments.len(), 1, "delayed ACK fires");
+        assert!(eff.segments[0].flags.ack());
+    }
+}

@@ -1,0 +1,596 @@
+//! The host node: socket table, TCP/UDP/ICMP demultiplexing, and the
+//! application runtime.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use comma_netsim::addr::Ipv4Addr;
+use comma_netsim::node::{IfaceId, Node, NodeCtx};
+use comma_netsim::packet::{IcmpMessage, IpPayload, Packet, TcpFlags, TcpSegment, UdpDatagram};
+use comma_netsim::routing::RoutingTable;
+use rand::Rng;
+
+use crate::apps::{App, AppCtx, AppOp, SocketId};
+use crate::config::TcpConfig;
+use crate::conn::{ConnEvent, ConnStats, Effects, TcpConnection, TcpState};
+
+/// Timer-token bit marking application timers (vs. socket timers).
+pub const APP_TIMER_BIT: u64 = 1 << 63;
+/// Timer-token bit reserved for node wrappers (e.g. Mobile IP hosts); the
+/// host ignores such tokens so wrappers can own them.
+pub const WRAPPER_TIMER_BIT: u64 = 1 << 62;
+
+/// Identifier of an application installed on a host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AppId(pub usize);
+
+/// SNMP-style host counters sampled by the EEM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostCounters {
+    /// IP datagrams received (including misaddressed ones).
+    pub ip_in_receives: u64,
+    /// IP datagrams delivered to local protocols.
+    pub ip_in_delivers: u64,
+    /// IP datagrams this host originated.
+    pub ip_out_requests: u64,
+    /// IP datagrams discarded for lack of a local consumer.
+    pub ip_in_discards: u64,
+    /// TCP segments received.
+    pub tcp_in_segs: u64,
+    /// TCP segments sent.
+    pub tcp_out_segs: u64,
+    /// Active opens initiated.
+    pub tcp_active_opens: u64,
+    /// Passive opens completed.
+    pub tcp_passive_opens: u64,
+    /// RSTs sent for unmatched segments.
+    pub tcp_estab_resets: u64,
+    /// UDP datagrams received for a bound port.
+    pub udp_in_datagrams: u64,
+    /// UDP datagrams received for an unbound port.
+    pub udp_no_ports: u64,
+    /// UDP datagrams sent.
+    pub udp_out_datagrams: u64,
+    /// ICMP messages received.
+    pub icmp_in_msgs: u64,
+    /// ICMP messages sent.
+    pub icmp_out_msgs: u64,
+}
+
+/// Snapshot of one socket for monitoring tools (Kati, the EEM).
+#[derive(Clone, Debug)]
+pub struct SocketInfo {
+    /// Socket handle.
+    pub sock: SocketId,
+    /// Local address/port.
+    pub local: (Ipv4Addr, u16),
+    /// Remote address/port.
+    pub remote: (Ipv4Addr, u16),
+    /// Connection state.
+    pub state: TcpState,
+    /// Per-connection counters.
+    pub stats: ConnStats,
+    /// Owning application.
+    pub app: AppId,
+}
+
+struct SocketEntry {
+    conn: TcpConnection,
+    local: (Ipv4Addr, u16),
+    remote: (Ipv4Addr, u16),
+    app: usize,
+    passive: bool,
+}
+
+struct Listener {
+    port: u16,
+    app: usize,
+    cfg: Option<TcpConfig>,
+}
+
+enum AppEventKind {
+    Started,
+    Connected(SocketId),
+    Accepted(SocketId, (Ipv4Addr, u16)),
+    Data(SocketId, Bytes),
+    PeerClosed(SocketId),
+    Closed(SocketId),
+    Timer(u64),
+    Udp {
+        from: (Ipv4Addr, u16),
+        dst_port: u16,
+        payload: Bytes,
+    },
+}
+
+enum Work {
+    Effects(usize, Effects),
+    AppEvent(usize, AppEventKind),
+}
+
+/// An end host: runs applications over the TCP/UDP/ICMP stack.
+pub struct Host {
+    name: String,
+    addrs: Vec<Ipv4Addr>,
+    /// Routing table (hosts usually hold a single default route).
+    pub table: RoutingTable,
+    default_cfg: TcpConfig,
+    apps: Vec<Option<Box<dyn App>>>,
+    sockets: Vec<SocketEntry>,
+    listeners: Vec<Listener>,
+    udp_binds: HashMap<u16, usize>,
+    next_port: u16,
+    /// SNMP-style counters.
+    pub counters: HostCounters,
+}
+
+impl Host {
+    /// Creates a host with one address and a default route on interface 0.
+    pub fn new(name: impl Into<String>, addr: Ipv4Addr) -> Self {
+        let mut table = RoutingTable::new();
+        table.add_default(IfaceId(0));
+        Host {
+            name: name.into(),
+            addrs: vec![addr],
+            table,
+            default_cfg: TcpConfig::default(),
+            apps: Vec::new(),
+            sockets: Vec::new(),
+            listeners: Vec::new(),
+            udp_binds: HashMap::new(),
+            next_port: 1024,
+            counters: HostCounters::default(),
+        }
+    }
+
+    /// Sets the default TCP configuration for new connections.
+    pub fn set_default_config(&mut self, cfg: TcpConfig) {
+        self.default_cfg = cfg;
+    }
+
+    /// Returns the host's primary address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addrs[0]
+    }
+
+    /// Adds an additional local address (e.g. a Mobile IP home address).
+    pub fn add_addr(&mut self, addr: Ipv4Addr) {
+        if !self.addrs.contains(&addr) {
+            self.addrs.push(addr);
+        }
+    }
+
+    /// Installs an application.
+    pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
+        self.apps.push(Some(app));
+        AppId(self.apps.len() - 1)
+    }
+
+    /// Typed access to an installed application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application is not of type `T`.
+    pub fn app_mut<T: 'static>(&mut self, id: AppId) -> &mut T {
+        self.apps[id.0]
+            .as_mut()
+            .expect("app currently dispatched")
+            .as_any()
+            .downcast_mut::<T>()
+            .expect("app type mismatch")
+    }
+
+    /// Returns monitoring snapshots of every socket.
+    pub fn socket_infos(&self) -> Vec<SocketInfo> {
+        self.sockets
+            .iter()
+            .enumerate()
+            .map(|(i, e)| SocketInfo {
+                sock: SocketId(i),
+                local: e.local,
+                remote: e.remote,
+                state: e.conn.state(),
+                stats: e.conn.stats,
+                app: AppId(e.app),
+            })
+            .collect()
+    }
+
+    /// Number of connections currently in the ESTABLISHED or CLOSE-WAIT
+    /// states (the SNMP `tcpCurrEstab` definition).
+    pub fn curr_estab(&self) -> u64 {
+        self.sockets
+            .iter()
+            .filter(|e| matches!(e.conn.state(), TcpState::Established | TcpState::CloseWait))
+            .count() as u64
+    }
+
+    /// Sum of retransmitted segments over all sockets (`tcpRetransSegs`).
+    pub fn retrans_segs(&self) -> u64 {
+        self.sockets.iter().map(|e| e.conn.stats.retransmits).sum()
+    }
+
+    /// Direct access to a connection (used by tests and by the proxy's
+    /// stream tools).
+    pub fn connection(&self, sock: SocketId) -> Option<&TcpConnection> {
+        self.sockets.get(sock.0).map(|e| &e.conn)
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        loop {
+            let port = self.next_port;
+            self.next_port = self.next_port.checked_add(1).unwrap_or(1024);
+            let in_use = self.sockets.iter().any(|e| e.local.1 == port)
+                || self.listeners.iter().any(|l| l.port == port)
+                || self.udp_binds.contains_key(&port);
+            if !in_use {
+                return port;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Work-queue machinery.
+    // ------------------------------------------------------------------
+
+    fn drain(&mut self, ctx: &mut NodeCtx<'_>, mut work: VecDeque<Work>) {
+        let mut guard = 0usize;
+        while let Some(item) = work.pop_front() {
+            guard += 1;
+            if guard > 100_000 {
+                ctx.log("host work queue runaway; aborting drain");
+                return;
+            }
+            match item {
+                Work::Effects(sock, eff) => self.apply_effects(ctx, sock, eff, &mut work),
+                Work::AppEvent(app, kind) => self.fire_app(ctx, app, kind, &mut work),
+            }
+        }
+    }
+
+    fn apply_effects(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        sock: usize,
+        eff: Effects,
+        work: &mut VecDeque<Work>,
+    ) {
+        for seg in eff.segments {
+            self.emit_segment(ctx, sock, seg);
+        }
+        for event in eff.events {
+            let (app, passive, remote) = {
+                let e = &self.sockets[sock];
+                (e.app, e.passive, e.remote)
+            };
+            let kind = match event {
+                ConnEvent::Connected => {
+                    if passive {
+                        self.counters.tcp_passive_opens += 1;
+                        AppEventKind::Accepted(SocketId(sock), remote)
+                    } else {
+                        AppEventKind::Connected(SocketId(sock))
+                    }
+                }
+                ConnEvent::DataReadable => {
+                    let now = ctx.now;
+                    let entry = &mut self.sockets[sock];
+                    let (data, eff2) = entry.conn.take_data(now);
+                    if !(eff2.segments.is_empty() && eff2.events.is_empty()) {
+                        work.push_back(Work::Effects(sock, eff2));
+                    }
+                    if data.is_empty() {
+                        continue;
+                    }
+                    AppEventKind::Data(SocketId(sock), data)
+                }
+                ConnEvent::PeerClosed => AppEventKind::PeerClosed(SocketId(sock)),
+                ConnEvent::Closed | ConnEvent::Reset => AppEventKind::Closed(SocketId(sock)),
+            };
+            work.push_back(Work::AppEvent(app, kind));
+        }
+        self.arm_socket_timer(ctx, sock);
+    }
+
+    fn arm_socket_timer(&mut self, ctx: &mut NodeCtx<'_>, sock: usize) {
+        if let Some(deadline) = self.sockets[sock].conn.next_deadline() {
+            ctx.set_timer_at(deadline, sock as u64);
+        }
+    }
+
+    fn emit_segment(&mut self, ctx: &mut NodeCtx<'_>, sock: usize, mut seg: TcpSegment) {
+        let entry = &self.sockets[sock];
+        seg.src_port = entry.local.1;
+        seg.dst_port = entry.remote.1;
+        let pkt = Packet::tcp(entry.local.0, entry.remote.0, seg);
+        self.counters.tcp_out_segs += 1;
+        self.send_ip(ctx, pkt);
+    }
+
+    fn send_ip(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        self.counters.ip_out_requests += 1;
+        match self.table.lookup(pkt.ip.dst) {
+            Some(iface) => ctx.send(iface, pkt),
+            None => {
+                self.counters.ip_in_discards += 1;
+            }
+        }
+    }
+
+    fn fire_app(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        app_idx: usize,
+        kind: AppEventKind,
+        work: &mut VecDeque<Work>,
+    ) {
+        let Some(mut app) = self.apps[app_idx].take() else {
+            return;
+        };
+        let mut actx = AppCtx::new(ctx.now);
+        match kind {
+            AppEventKind::Started => app.on_start(&mut actx),
+            AppEventKind::Connected(s) => app.on_connected(&mut actx, s),
+            AppEventKind::Accepted(s, peer) => app.on_accepted(&mut actx, s, peer),
+            AppEventKind::Data(s, data) => app.on_data(&mut actx, s, data),
+            AppEventKind::PeerClosed(s) => app.on_peer_closed(&mut actx, s),
+            AppEventKind::Closed(s) => app.on_closed(&mut actx, s),
+            AppEventKind::Timer(t) => app.on_timer(&mut actx, t),
+            AppEventKind::Udp {
+                from,
+                dst_port,
+                payload,
+            } => app.on_udp(&mut actx, from, dst_port, payload),
+        }
+        self.apps[app_idx] = Some(app);
+        let ops = actx.take_ops();
+        self.run_ops(ctx, app_idx, ops, work);
+    }
+
+    fn run_ops(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        app_idx: usize,
+        ops: Vec<AppOp>,
+        work: &mut VecDeque<Work>,
+    ) {
+        for op in ops {
+            match op {
+                AppOp::Connect { remote, cfg } => {
+                    let local_port = self.alloc_port();
+                    let cfg = cfg.unwrap_or_else(|| self.default_cfg.clone());
+                    let iss: u32 = ctx.rng.gen();
+                    let mut conn = TcpConnection::new(cfg, iss);
+                    let eff = conn.connect(ctx.now);
+                    self.counters.tcp_active_opens += 1;
+                    self.sockets.push(SocketEntry {
+                        conn,
+                        local: (self.addrs[0], local_port),
+                        remote,
+                        app: app_idx,
+                        passive: false,
+                    });
+                    work.push_back(Work::Effects(self.sockets.len() - 1, eff));
+                }
+                AppOp::Listen { port, cfg } => {
+                    self.listeners.push(Listener {
+                        port,
+                        app: app_idx,
+                        cfg,
+                    });
+                }
+                AppOp::Send { sock, data } => {
+                    if let Some(entry) = self.sockets.get_mut(sock.0) {
+                        let eff = entry.conn.write(ctx.now, &data);
+                        work.push_back(Work::Effects(sock.0, eff));
+                    }
+                }
+                AppOp::Close { sock } => {
+                    if let Some(entry) = self.sockets.get_mut(sock.0) {
+                        let eff = entry.conn.close(ctx.now);
+                        work.push_back(Work::Effects(sock.0, eff));
+                    }
+                }
+                AppOp::BindUdp { port } => {
+                    self.udp_binds.insert(port, app_idx);
+                }
+                AppOp::SendUdp {
+                    src_port,
+                    dst,
+                    payload,
+                } => {
+                    self.counters.udp_out_datagrams += 1;
+                    let dgram = UdpDatagram {
+                        src_port,
+                        dst_port: dst.1,
+                        payload,
+                    };
+                    let pkt = Packet::udp(self.addrs[0], dst.0, dgram);
+                    self.send_ip(ctx, pkt);
+                }
+                AppOp::Timer { delay, token } => {
+                    let enc = APP_TIMER_BIT | ((app_idx as u64) << 32) | (token & 0xffff_ffff);
+                    ctx.set_timer_after(delay, enc);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet input.
+    // ------------------------------------------------------------------
+
+    /// Handles a packet addressed to this host; exposed so wrappers (Mobile
+    /// IP hosts) can feed decapsulated traffic through the same path.
+    pub fn handle_local(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        self.counters.ip_in_delivers += 1;
+        match pkt.body {
+            IpPayload::Tcp(seg) => self.handle_tcp(ctx, pkt.ip.src, pkt.ip.dst, seg),
+            IpPayload::Udp(dgram) => self.handle_udp(ctx, pkt.ip.src, dgram),
+            IpPayload::Icmp(msg) => self.handle_icmp(ctx, pkt.ip.src, pkt.ip.dst, msg),
+            IpPayload::Encap(inner) => {
+                // A bare host receiving a tunnel unwraps it only if the
+                // inner packet is also addressed to it.
+                if self.addrs.contains(&inner.ip.dst) {
+                    self.handle_local(ctx, *inner);
+                } else {
+                    self.counters.ip_in_discards += 1;
+                }
+            }
+        }
+    }
+
+    fn handle_tcp(&mut self, ctx: &mut NodeCtx<'_>, src: Ipv4Addr, dst: Ipv4Addr, seg: TcpSegment) {
+        self.counters.tcp_in_segs += 1;
+        let key = (dst, seg.dst_port, src, seg.src_port);
+        let found = self.sockets.iter().position(|e| {
+            (e.local.0, e.local.1, e.remote.0, e.remote.1) == key && !e.conn.is_closed()
+        });
+        if let Some(sock) = found {
+            let now = ctx.now;
+            let eff = self.sockets[sock].conn.on_segment(now, &seg);
+            let mut work = VecDeque::new();
+            work.push_back(Work::Effects(sock, eff));
+            self.drain(ctx, work);
+            return;
+        }
+        // No established socket: try a listener.
+        if seg.flags.syn() && !seg.flags.ack() {
+            if let Some(listener) = self.listeners.iter().find(|l| l.port == seg.dst_port) {
+                let app = listener.app;
+                let cfg = listener
+                    .cfg
+                    .clone()
+                    .unwrap_or_else(|| self.default_cfg.clone());
+                let iss: u32 = ctx.rng.gen();
+                let mut conn = TcpConnection::new(cfg, iss);
+                conn.listen();
+                let now = ctx.now;
+                let eff = conn.on_segment(now, &seg);
+                self.sockets.push(SocketEntry {
+                    conn,
+                    local: (dst, seg.dst_port),
+                    remote: (src, seg.src_port),
+                    app,
+                    passive: true,
+                });
+                let mut work = VecDeque::new();
+                work.push_back(Work::Effects(self.sockets.len() - 1, eff));
+                self.drain(ctx, work);
+                return;
+            }
+        }
+        // Unmatched: reset (RFC 793) unless the segment itself is a RST.
+        if !seg.flags.rst() {
+            self.counters.tcp_estab_resets += 1;
+            let mut rst = if seg.flags.ack() {
+                TcpSegment::new(seg.dst_port, seg.src_port, seg.ack, 0, TcpFlags::RST)
+            } else {
+                let ack = seg.seq.wrapping_add(seg.seq_len());
+                TcpSegment::new(
+                    seg.dst_port,
+                    seg.src_port,
+                    0,
+                    ack,
+                    TcpFlags::RST | TcpFlags::ACK,
+                )
+            };
+            rst.window = 0;
+            let pkt = Packet::tcp(dst, src, rst);
+            self.counters.tcp_out_segs += 1;
+            self.send_ip(ctx, pkt);
+        }
+    }
+
+    fn handle_udp(&mut self, ctx: &mut NodeCtx<'_>, src: Ipv4Addr, dgram: UdpDatagram) {
+        match self.udp_binds.get(&dgram.dst_port).copied() {
+            Some(app) => {
+                self.counters.udp_in_datagrams += 1;
+                let mut work = VecDeque::new();
+                work.push_back(Work::AppEvent(
+                    app,
+                    AppEventKind::Udp {
+                        from: (src, dgram.src_port),
+                        dst_port: dgram.dst_port,
+                        payload: dgram.payload,
+                    },
+                ));
+                self.drain(ctx, work);
+            }
+            None => {
+                self.counters.udp_no_ports += 1;
+            }
+        }
+    }
+
+    fn handle_icmp(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        msg: IcmpMessage,
+    ) {
+        self.counters.icmp_in_msgs += 1;
+        if let IcmpMessage::EchoRequest { id, seq, payload } = msg {
+            let reply = Packet::icmp(dst, src, IcmpMessage::EchoReply { id, seq, payload });
+            self.counters.icmp_out_msgs += 1;
+            self.send_ip(ctx, reply);
+        }
+    }
+}
+
+impl Node for Host {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn addresses(&self) -> Vec<Ipv4Addr> {
+        self.addrs.clone()
+    }
+
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let mut work = VecDeque::new();
+        for i in 0..self.apps.len() {
+            work.push_back(Work::AppEvent(i, AppEventKind::Started));
+        }
+        self.drain(ctx, work);
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+        self.counters.ip_in_receives += 1;
+        if self.addrs.contains(&pkt.ip.dst) || pkt.ip.dst.is_broadcast() {
+            self.handle_local(ctx, pkt);
+        } else {
+            // Plain hosts do not forward.
+            self.counters.ip_in_discards += 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token & WRAPPER_TIMER_BIT != 0 {
+            return; // Owned by a wrapping node.
+        }
+        if token & APP_TIMER_BIT != 0 {
+            let app = ((token >> 32) & 0x3fff_ffff) as usize;
+            let user = token & 0xffff_ffff;
+            let mut work = VecDeque::new();
+            work.push_back(Work::AppEvent(app, AppEventKind::Timer(user)));
+            self.drain(ctx, work);
+            return;
+        }
+        let sock = token as usize;
+        if sock >= self.sockets.len() {
+            return;
+        }
+        let now = ctx.now;
+        let eff = self.sockets[sock].conn.on_timer(now);
+        let mut work = VecDeque::new();
+        work.push_back(Work::Effects(sock, eff));
+        self.drain(ctx, work);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,57 @@
+//! A from-scratch TCP implementation over the `comma-netsim` simulator.
+//!
+//! This crate supplies the transport substrate the thesis's proxy operates
+//! on: the full RFC 793 state machine with Jacobson/Karels RTO estimation,
+//! Karn's rule, slow start, congestion avoidance, exponential backoff and
+//! fast retransmit/fast recovery (Reno, with Tahoe switchable) — exactly
+//! the mechanisms whose misbehaviour over wireless links (§2.2, §2.3)
+//! motivates the Comma architecture.
+//!
+//! The crate is layered:
+//!
+//! - [`seq`], [`rto`], [`buffer`]: mechanism building blocks;
+//! - [`conn`]: the sans-I/O connection state machine;
+//! - [`host`]: a simulator node running a socket table;
+//! - [`apps`]: the callback-driven application layer plus the standard
+//!   workloads (bulk transfer, sink, echo, request/response) used by the
+//!   reproduction's experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use comma_netsim::prelude::*;
+//! use comma_tcp::apps::{BulkSender, Sink};
+//! use comma_tcp::host::Host;
+//!
+//! let mut sim = Simulator::new(1);
+//! let a_addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+//! let b_addr: Ipv4Addr = "10.0.0.2".parse().unwrap();
+//! let mut a = Host::new("a", a_addr);
+//! let sender = a.add_app(Box::new(BulkSender::new((b_addr, 9000), 100_000)));
+//! let mut b = Host::new("b", b_addr);
+//! let sink = b.add_app(Box::new(Sink::new(9000)));
+//! let a_id = sim.add_node(Box::new(a));
+//! let b_id = sim.add_node(Box::new(b));
+//! sim.connect(a_id, b_id, LinkParams::wired(), LinkParams::wired());
+//! sim.run_until(SimTime::from_secs(30));
+//! let received = sim.with_node::<Host, _>(b_id, |h| {
+//!     h.app_mut::<Sink>(sink).bytes_received
+//! });
+//! assert_eq!(received, 100_000);
+//! let _ = sender;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod buffer;
+pub mod config;
+pub mod conn;
+pub mod host;
+pub mod rto;
+pub mod seq;
+
+pub use apps::{App, AppCtx, AppOp, SocketId};
+pub use config::{Recovery, TcpConfig};
+pub use conn::{ConnEvent, ConnStats, Effects, TcpConnection, TcpState};
+pub use host::{AppId, Host, HostCounters, SocketInfo};

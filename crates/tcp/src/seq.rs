@@ -1,0 +1,103 @@
+//! Modulo-2³² TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Sequence numbers wrap, so ordinary integer comparison is wrong once a
+//! connection crosses the 4 GiB boundary. These helpers implement the
+//! standard "signed difference" comparisons used throughout the stack and
+//! by the TTSF's edit map.
+
+/// Returns `a < b` in sequence space.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// Returns `a <= b` in sequence space.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// Returns `a > b` in sequence space.
+#[inline]
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    seq_lt(b, a)
+}
+
+/// Returns `a >= b` in sequence space.
+#[inline]
+pub fn seq_ge(a: u32, b: u32) -> bool {
+    seq_le(b, a)
+}
+
+/// Returns `true` if `x` lies in the half-open interval `[lo, hi)` in
+/// sequence space.
+#[inline]
+pub fn seq_in(x: u32, lo: u32, hi: u32) -> bool {
+    seq_le(lo, x) && seq_lt(x, hi)
+}
+
+/// Returns the distance from `from` to `to`, assuming `to >= from`.
+#[inline]
+pub fn seq_diff(to: u32, from: u32) -> u32 {
+    to.wrapping_sub(from)
+}
+
+/// Returns the larger of two sequence numbers.
+#[inline]
+pub fn seq_max(a: u32, b: u32) -> u32 {
+    if seq_ge(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Returns the smaller of two sequence numbers.
+#[inline]
+pub fn seq_min(a: u32, b: u32) -> u32 {
+    if seq_le(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 2));
+        assert!(seq_le(2, 2));
+        assert!(seq_gt(3, 2));
+        assert!(seq_ge(3, 3));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let just_before = u32::MAX - 10;
+        let just_after = 5u32;
+        assert!(seq_lt(just_before, just_after));
+        assert!(seq_gt(just_after, just_before));
+        assert_eq!(seq_diff(just_after, just_before), 16);
+    }
+
+    #[test]
+    fn interval_membership() {
+        assert!(seq_in(5, 5, 10));
+        assert!(!seq_in(10, 5, 10));
+        // Interval spanning the wrap point.
+        assert!(seq_in(2, u32::MAX - 2, 8));
+        assert!(!seq_in(100, u32::MAX - 2, 8));
+    }
+
+    #[test]
+    fn min_max_wrap() {
+        let a = u32::MAX - 1;
+        let b = 3;
+        assert_eq!(seq_max(a, b), b);
+        assert_eq!(seq_min(a, b), a);
+    }
+}

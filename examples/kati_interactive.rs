@@ -1,0 +1,41 @@
+//! An interactive Kati shell over a live simulated deployment.
+//!
+//! Run with: `cargo run --example kati_interactive`
+//! Then try: `streams`, `run 2`, `add snoop 0.0.0.0 0 11.11.10.10 9000`,
+//! `filters`, `netload 2`, `help`, `quit`.
+
+use std::io::{BufRead, Write};
+
+use comma::topology::{addrs, CommaBuilder};
+use comma_kati::Kati;
+use comma_tcp::apps::{BulkSender, Sink};
+
+fn main() {
+    // A long-running transfer gives the shell something to watch.
+    let sender = BulkSender::new((addrs::MOBILE, 9000), 50_000_000);
+    let mut world =
+        CommaBuilder::new(1).build(vec![Box::new(sender)], vec![Box::new(Sink::new(9000))]);
+    let mut kati = Kati::new(world.proxy).with_hub(world.hub.clone());
+
+    println!("Kati — third-party service control for the Comma proxy");
+    println!("A 50 MB transfer to mobile 11.11.10.10 is in progress.");
+    println!("Type 'help' for commands, 'run <s>' to advance time, 'quit' to exit.");
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("kati> ");
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        let out = kati.exec(&mut world.sim, line);
+        print!("{out}");
+    }
+    println!("bye");
+}

@@ -1,0 +1,60 @@
+//! The Kati session of Figs 7.1–7.4: monitor streams, watch the network,
+//! and add a transparent service to a live stream from the shell.
+//!
+//! Run with: `cargo run --example kati_session`
+
+use comma::topology::CommaBuilder;
+use comma::{apply_service, find_service};
+use comma_kati::Kati;
+use comma_netsim::time::SimTime;
+use comma_proxy::ServiceProxy;
+use comma_tcp::apps::{BulkSender, Sink};
+
+fn main() {
+    let sender = BulkSender::new((comma::addrs::MOBILE, 9000), 3_000_000);
+    let mut world =
+        CommaBuilder::new(7).build(vec![Box::new(sender)], vec![Box::new(Sink::new(9000))]);
+    let proxy = world.proxy;
+    let hub = world.hub.clone();
+    let mut kati = Kati::new(proxy).with_hub(hub);
+
+    // Fig 7.1 — the main window: streams currently passing the proxy.
+    world.run_until(SimTime::from_secs(1));
+    for cmd in ["streams", "stats"] {
+        let out = kati.exec(&mut world.sim, cmd);
+        println!("kati> {cmd}\n{out}");
+    }
+
+    // Fig 7.2 — the xnetload window: wireless link load.
+    let out = kati.exec(&mut world.sim, "netload 2 60");
+    println!("kati> netload 2 60\n{out}");
+
+    // Fig 7.3 — adding a service: here through the layered service
+    // abstraction (§10.2.1) rather than a raw filter stack.
+    let service = find_service("summary-only").expect("catalog service");
+    println!(
+        "kati> (apply service '{}' — {})",
+        service.name, service.description
+    );
+    let wild = world.to_mobile_wild();
+    let now = world.sim.now();
+    world.sim.with_node::<ServiceProxy, _>(proxy, |sp| {
+        apply_service(sp, now, wild, &service);
+    });
+
+    // Fig 7.4 — the new service appears on the stream list.
+    world.run_until(SimTime::from_secs(2));
+    for cmd in [
+        "report removal",
+        "filters",
+        "eem sp wireless.bw",
+        "eem sp wireless.qlen",
+    ] {
+        let out = kati.exec(&mut world.sim, cmd);
+        println!("kati> {cmd}\n{out}");
+    }
+
+    world.run_until(SimTime::from_secs(40));
+    let out = kati.exec(&mut world.sim, "filters");
+    println!("kati> filters   (after the transfer)\n{out}");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Comma reproduction workspace.
+//!
+//! Re-exports every member crate so integration tests and examples can use a
+//! single dependency root. See `DESIGN.md` for the system inventory.
+
+pub use comma as core;
+pub use comma_eem as eem;
+pub use comma_filters as filters;
+pub use comma_kati as kati;
+pub use comma_mobileip as mobileip;
+pub use comma_netsim as netsim;
+pub use comma_proxy as proxy;
+pub use comma_tcp as tcp;

@@ -1,0 +1,85 @@
+//! E14 (behavioural core) — the end-to-end-semantics property of §5.1.2.
+//!
+//! Split-connection proxies (I-TCP, MOWGLI) acknowledge data at the proxy
+//! before it reaches the mobile; if the mobile is never reachable again,
+//! the sender believes delivered data that was lost. The TTSF approach
+//! never fabricates acknowledgements, so the sender's view of
+//! acknowledged data can never exceed what the receiver effectively
+//! covered. These tests check that property under the harshest condition:
+//! a permanent disconnection mid-transfer.
+
+use comma::topology::{addrs, CommaBuilder};
+use comma_netsim::time::SimTime;
+use comma_tcp::apps::{BulkSender, Sink};
+use comma_tcp::host::Host;
+use comma_tcp::TcpState;
+
+/// With the full TTSF compression service active, a permanent wireless
+/// outage must leave the sender with unacknowledged data — the proxy never
+/// acked anything on the mobile's behalf.
+#[test]
+fn proxy_never_acknowledges_for_the_mobile() {
+    let sender = BulkSender::new((addrs::MOBILE, 9000), 5_000_000);
+    let mut world = CommaBuilder::new(71)
+        .double_proxy(true)
+        .build(vec![Box::new(sender)], vec![Box::new(Sink::new(9000))]);
+    world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
+    world.sp("add compress 0.0.0.0 0 11.11.10.10 9000 lzss");
+    world.stub_sp("add decompress 0.0.0.0 0 11.11.10.10 9000");
+    // The mobile vanishes early and never returns.
+    world.set_wireless_up_at(SimTime::from_millis(800), false);
+    world.run_until(SimTime::from_secs(120));
+
+    let sink = world.mobile_app_ids[0];
+    let received = world.mobile_app::<Sink, _>(sink, |s| s.bytes_received);
+    assert!(
+        received < 5_000_000,
+        "the outage truncated delivery at {received}"
+    );
+
+    let (state, flight, unsent) = world.sim.with_node::<Host, _>(world.wired, |h| {
+        let conn = h.connection(comma_tcp::SocketId(0)).expect("socket");
+        (conn.state(), conn.flight_size(), conn.unsent_bytes())
+    });
+    // The sender still holds undelivered bytes as its responsibility: it
+    // has NOT been told they arrived.
+    assert!(
+        flight > 0 || unsent > 0,
+        "sender must still own undelivered data (state {state:?})"
+    );
+    assert_ne!(state, TcpState::Closed, "no phantom successful close");
+    let finished = world.wired_app::<BulkSender, _>(world.wired_app_ids[0], |s| s.finished_at);
+    assert_eq!(finished, None, "the transfer must not report success");
+}
+
+/// Conservation check under a lossy run: everything the receiving
+/// application consumed was really transmitted end to end — the sink's
+/// byte count never exceeds the sender's unique payload bytes (no proxy
+/// ever invented stream content), and with an identity service the counts
+/// match exactly on completion.
+#[test]
+fn delivered_bytes_conserve() {
+    let sender = BulkSender::new((addrs::MOBILE, 9000), 250_000);
+    let mut world = CommaBuilder::new(72)
+        .wireless(
+            comma_netsim::link::LinkParams::wireless()
+                .with_loss(comma_netsim::link::LossModel::Uniform { p: 0.05 }),
+            comma_netsim::link::LinkParams::wireless(),
+        )
+        .build(vec![Box::new(sender)], vec![Box::new(Sink::new(9000))]);
+    world.sp("add ttsf 0.0.0.0 0 11.11.10.10 9000");
+    world.run_until(SimTime::from_secs(120));
+    let sink = world.mobile_app_ids[0];
+    let received = world.mobile_app::<Sink, _>(sink, |s| s.bytes_received);
+    let sent_unique = world.sim.with_node::<Host, _>(world.wired, |h| {
+        h.socket_infos()
+            .iter()
+            .map(|s| s.stats.bytes_sent)
+            .sum::<u64>()
+    });
+    assert!(received as u64 <= sent_unique);
+    assert_eq!(
+        received, 250_000,
+        "identity service: exact delivery despite loss"
+    );
+}
