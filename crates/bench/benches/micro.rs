@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks of the reproduction's hot paths.
+//! Micro-benchmarks of the reproduction's hot paths, on the `comma_rt`
+//! bench harness (`cargo bench -p comma-bench --bench micro`; set
+//! `COMMA_BENCH_FAST=1` for a quick smoke run).
 
-use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use comma_rt::bench::Bench;
+use comma_rt::Bytes;
 
 use comma_filters::codec::Method;
 use comma_filters::editmap::EditMap;
@@ -12,8 +14,8 @@ use comma_netsim::wire;
 use comma_proxy::engine::FilterEngine;
 use comma_proxy::filter::NullMetrics;
 use comma_proxy::WildKey;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use comma_rt::SeedableRng;
+use comma_rt::SmallRng;
 
 fn data_packet(len: usize) -> Packet {
     let mut seg = TcpSegment::new(7, 1169, 1000, 0, TcpFlags::ACK);
@@ -25,98 +27,88 @@ fn data_packet(len: usize) -> Packet {
     )
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire(bench: &mut Bench) {
     let pkt = data_packet(1400);
     let bytes = wire::encode(&pkt);
-    let mut g = c.benchmark_group("wire");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode_1400B", |b| b.iter(|| wire::encode(&pkt)));
-    g.bench_function("decode_1400B", |b| b.iter(|| wire::decode(&bytes).unwrap()));
+    let mut g = bench.group("wire");
+    g.throughput_bytes(bytes.len() as u64);
+    g.bench("encode_1400B", || wire::encode(&pkt));
+    g.bench("decode_1400B", || wire::decode(&bytes).unwrap());
     g.finish();
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn bench_codecs(bench: &mut Bench) {
     let text: Vec<u8> = (0..16_384)
         .map(|i| b"the quick brown fox jumps over the lazy dog. "[i % 45])
         .collect();
     let packed = Method::Lzss.compress(&text);
-    let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_function("lzss_compress_16k_text", |b| {
-        b.iter(|| Method::Lzss.compress(&text))
-    });
-    g.bench_function("lzss_decompress", |b| {
-        b.iter(|| Method::Lzss.decompress(&packed).unwrap())
-    });
-    g.bench_function("rle_compress_16k", |b| {
-        b.iter(|| Method::Rle.compress(&text))
-    });
+    let mut g = bench.group("codec");
+    g.throughput_bytes(text.len() as u64);
+    g.bench("lzss_compress_16k_text", || Method::Lzss.compress(&text));
+    g.bench("lzss_decompress", || Method::Lzss.decompress(&packed).unwrap());
+    g.bench("rle_compress_16k", || Method::Rle.compress(&text));
     g.finish();
 }
 
-fn bench_editmap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("editmap");
-    g.bench_function("push_map_inverse_100edits", |b| {
-        b.iter_batched(
-            || EditMap::new(0),
-            |mut map| {
-                for _ in 0..100 {
-                    map.push(1460, Bytes::from(vec![0u8; 700]), false);
-                }
-                let mut acc = 0u32;
-                for k in 0..100u32 {
-                    acc = acc.wrapping_add(map.map_seq(k * 1460));
-                    acc = acc.wrapping_add(map.inverse_ack(k * 700));
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("filter-engine");
-    for depth in [0usize, 1, 4] {
-        g.bench_function(format!("per_packet_depth{depth}"), |b| {
-            let mut engine = FilterEngine::new(standard_catalog(comma_filters::ALL_FILTERS));
-            for _ in 0..depth {
-                engine.register(WildKey::ANY, "tcp", vec![]).unwrap();
+fn bench_editmap(bench: &mut Bench) {
+    let mut g = bench.group("editmap");
+    g.bench_batched(
+        "push_map_inverse_100edits",
+        || EditMap::new(0),
+        |mut map| {
+            for _ in 0..100 {
+                map.push(1460, Bytes::from(vec![0u8; 700]), false);
             }
-            let mut rng = SmallRng::seed_from_u64(1);
-            // Prime the queue.
-            engine.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400));
-            b.iter(|| engine.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400)))
+            let mut acc = 0u32;
+            for k in 0..100u32 {
+                acc = acc.wrapping_add(map.map_seq(k * 1460));
+                acc = acc.wrapping_add(map.inverse_ack(k * 700));
+            }
+            acc
+        },
+    );
+    g.finish();
+}
+
+fn bench_engine(bench: &mut Bench) {
+    let mut g = bench.group("filter-engine");
+    for depth in [0usize, 1, 4] {
+        let mut engine = FilterEngine::new(standard_catalog(comma_filters::ALL_FILTERS));
+        for _ in 0..depth {
+            engine.register(WildKey::ANY, "tcp", vec![]).unwrap();
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Prime the queue.
+        engine.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400));
+        g.bench(format!("per_packet_depth{depth}"), || {
+            engine.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400))
         });
     }
     g.finish();
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation(bench: &mut Bench) {
     use comma::topology::{addrs, CommaBuilder};
     use comma_tcp::apps::{BulkSender, Sink};
-    let mut g = c.benchmark_group("simulation");
+    let mut g = bench.group("simulation");
     g.sample_size(10);
-    g.bench_function("bulk_1MB_end_to_end", |b| {
-        b.iter(|| {
-            let mut world = CommaBuilder::new(1).eem(false).build(
-                vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 1_000_000))],
-                vec![Box::new(Sink::new(9000))],
-            );
-            world.run_until(SimTime::from_secs(60));
-            world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received)
-        })
+    g.bench("bulk_1MB_end_to_end", || {
+        let mut world = CommaBuilder::new(1).eem(false).build(
+            vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 1_000_000))],
+            vec![Box::new(Sink::new(9000))],
+        );
+        world.run_until(SimTime::from_secs(60));
+        world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received)
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_wire,
-    bench_codecs,
-    bench_editmap,
-    bench_engine,
-    bench_simulation
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::new();
+    bench_wire(&mut bench);
+    bench_codecs(&mut bench);
+    bench_editmap(&mut bench);
+    bench_engine(&mut bench);
+    bench_simulation(&mut bench);
+    bench.finish();
+}

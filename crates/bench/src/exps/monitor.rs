@@ -3,7 +3,7 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_eem::{Attr, EemClient, EemServer, MetricsHub, Mode, Operator, Value, VarId};
 use comma_netsim::link::LinkParams;
 use comma_netsim::prelude::*;

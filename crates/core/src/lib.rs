@@ -42,6 +42,57 @@ pub mod metrics;
 pub mod services;
 pub mod topology;
 
+/// One-import surface for driving the standard Comma deployment.
+///
+/// Pulls in the topology builder, the simulated clock, the bundled TCP
+/// applications, the filter/proxy control types, the EEM monitoring types,
+/// Mobile-IP agents, and the `comma_rt` runtime essentials — everything the
+/// examples and integration tests need:
+///
+/// ```
+/// use comma::prelude::*;
+///
+/// let mut world = CommaBuilder::new(7).build(
+///     vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 10_000))],
+///     vec![Box::new(Sink::new(9000))],
+/// );
+/// world.run_until(SimTime::from_secs(5));
+/// ```
+pub mod prelude {
+    pub use crate::handoff::{transfer_services, HandoffReport};
+    pub use crate::media::{MediaSink, MediaSource, RecordSender};
+    pub use crate::metrics::{install_sampler, HubMetrics, SamplerSpec};
+    pub use crate::services::{apply_service, find_service, standard_services, ServiceDef};
+    pub use crate::topology::{addrs, CommaBuilder, CommaWorld};
+
+    pub use comma_rt::{ensure, ensure_eq, ensure_ne, Bytes, BytesMut, Rng, SeedableRng, SmallRng};
+
+    pub use comma_netsim::link::{LinkParams, LossModel};
+    pub use comma_netsim::node::NodeId;
+    pub use comma_netsim::packet::{Packet, TcpFlags, TcpOption, TcpSegment, UdpDatagram};
+    pub use comma_netsim::sim::Simulator;
+    pub use comma_netsim::time::{SimDuration, SimTime};
+
+    pub use comma_tcp::apps::{App, AppCtx, BulkSender, Sink};
+    pub use comma_tcp::host::{AppId, Host};
+    pub use comma_tcp::{TcpConfig, TcpState};
+
+    pub use comma_proxy::engine::{FilterCatalog, FilterEngine};
+    pub use comma_proxy::filter::{
+        Capabilities, Filter, FilterCtx, NullMetrics, Priority, Verdict,
+    };
+    pub use comma_proxy::key::{StreamKey, WildKey};
+    pub use comma_proxy::ServiceProxy;
+
+    pub use comma_filters::{standard_catalog, EditMap, Ttsf, ALL_FILTERS};
+
+    pub use comma_eem::{
+        Attr, EemServer, MetricsHub, Mode, MonitorApp, Operator, Value, VarId,
+    };
+
+    pub use comma_mobileip::{ForeignAgent, HomeAgent, MobileHost};
+}
+
 pub use handoff::{transfer_services, HandoffReport};
 pub use media::{MediaSink, MediaSource};
 pub use metrics::{install_sampler, HubMetrics, SamplerSpec};

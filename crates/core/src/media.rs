@@ -4,7 +4,7 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_netsim::addr::Ipv4Addr;
 use comma_netsim::stats::Summary;
 use comma_netsim::time::SimDuration;

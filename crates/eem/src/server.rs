@@ -5,7 +5,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_netsim::addr::Ipv4Addr;
 use comma_netsim::time::SimDuration;
 use comma_tcp::apps::{App, AppCtx, AppOp};

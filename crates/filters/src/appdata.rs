@@ -9,7 +9,7 @@
 //! an importance level, a layer index (for hierarchically encoded media),
 //! a sequence number, a timestamp, and a length-prefixed body.
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 
 /// Record kinds, mirroring the data classes of Table 8.1.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

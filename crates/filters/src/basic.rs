@@ -7,7 +7,7 @@ use comma_netsim::packet::Packet;
 use comma_netsim::wire;
 use comma_proxy::filter::{Capabilities, Filter, FilterCtx, Priority, Verdict};
 use comma_proxy::key::{StreamKey, WildKey};
-use rand::Rng;
+use comma_rt::Rng;
 
 /// The `tcp` housekeeping filter (HIGH priority in the thesis session): it
 /// watches TCP streams, re-validates checksums after all other filters have
@@ -218,8 +218,8 @@ mod tests {
     use comma_netsim::packet::{TcpFlags, TcpSegment};
     use comma_netsim::time::SimTime;
     use comma_proxy::filter::NullMetrics;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use comma_rt::SmallRng;
+    use comma_rt::SeedableRng;
 
     fn pkt(flags: TcpFlags) -> Packet {
         Packet::tcp(

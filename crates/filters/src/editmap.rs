@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_tcp::seq::{seq_diff, seq_le, seq_lt};
 
 /// One edit record: `orig_len` original bytes starting at `orig_start` were
@@ -53,7 +53,7 @@ impl Edit {
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use comma_rt::Bytes;
 /// use comma_filters::editmap::EditMap;
 ///
 /// let mut map = EditMap::new(1000);
@@ -118,6 +118,11 @@ impl EditMap {
     /// Returns `true` if no edits are retained.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Iterates over the retained edit records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &Edit> {
+        self.records.iter()
     }
 
     /// Total retained output bytes (memory accounting).

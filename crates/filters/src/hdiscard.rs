@@ -154,12 +154,12 @@ impl Filter for HierarchicalDiscard {
 mod tests {
     use super::*;
     use crate::appdata::{synth_body, FrameKind};
-    use bytes::Bytes;
+    use comma_rt::Bytes;
     use comma_netsim::packet::UdpDatagram;
     use comma_netsim::time::SimTime;
     use comma_proxy::filter::{MetricsSource, NullMetrics};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use comma_rt::SmallRng;
+    use comma_rt::SeedableRng;
 
     fn media_pkt(layer: u8) -> Packet {
         let frame = Frame {

@@ -258,11 +258,11 @@ impl Filter for Snoop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use comma_rt::Bytes;
     use comma_netsim::packet::{TcpFlags, TcpSegment};
     use comma_proxy::filter::NullMetrics;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use comma_rt::SmallRng;
+    use comma_rt::SeedableRng;
 
     fn data_pkt(seq: u32, len: usize) -> Packet {
         let mut seg = TcpSegment::new(7, 1169, seq, 0, TcpFlags::ACK);

@@ -6,7 +6,7 @@
 //! sequencing concerns; transformers are pure stream functions with an
 //! end-of-stream flush.
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 
 use crate::appdata::{Frame, FrameKind, FrameParser};
 use crate::codec::Method;

@@ -20,7 +20,7 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_netsim::packet::{Packet, TcpFlags};
 use comma_proxy::filter::{Capabilities, Filter, FilterCtx, Priority, Verdict};
 use comma_proxy::key::StreamKey;
@@ -81,6 +81,12 @@ impl Ttsf {
     /// Net wireless bytes saved so far.
     pub fn bytes_saved(&self) -> i64 {
         self.stats.in_bytes as i64 - self.stats.out_bytes as i64
+    }
+
+    /// Read-only view of the edit map (None before the first downlink
+    /// segment), for monitoring and diagnostics.
+    pub fn map(&self) -> Option<&EditMap> {
+        self.map.as_ref()
     }
 
     fn handle_downlink(&mut self, ctx: &mut FilterCtx<'_>, pkt: &mut Packet) -> Verdict {
@@ -303,8 +309,8 @@ mod tests {
     use crate::transform::{Compressor, Identity, StreamTransformer};
     use comma_netsim::time::SimTime;
     use comma_proxy::filter::NullMetrics;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use comma_rt::SmallRng;
+    use comma_rt::SeedableRng;
 
     /// A toy service: halves the stream by keeping every second byte.
     struct Halver;

@@ -107,7 +107,7 @@ impl Wsize {
         *seg = seg_template.clone();
         seg.window = window;
         seg.flags = TcpFlags::ACK;
-        seg.payload = bytes::Bytes::new();
+        seg.payload = comma_rt::Bytes::new();
         Some(pkt)
     }
 }
@@ -213,8 +213,8 @@ mod tests {
     use super::*;
     use comma_netsim::time::SimTime;
     use comma_proxy::filter::{MetricsSource, NullMetrics};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use comma_rt::SmallRng;
+    use comma_rt::SeedableRng;
 
     fn ack(window: u16) -> Packet {
         let mut seg = TcpSegment::new(1169, 7, 500, 900, TcpFlags::ACK);

@@ -3,7 +3,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_netsim::addr::Ipv4Addr;
 use comma_netsim::node::{IfaceId, Node, NodeCtx};
 use comma_netsim::packet::{AgentAdvertisement, IcmpMessage, IpPayload, Packet, UdpDatagram};

@@ -8,7 +8,7 @@
 //!
 //! Everything is deterministic: simulated time is integer microseconds and
 //! all randomness flows from a single run seed through per-node
-//! [`rand::rngs::SmallRng`] streams.
+//! [`comma_rt::SmallRng`] streams.
 //!
 //! # Examples
 //!

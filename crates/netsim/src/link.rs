@@ -7,8 +7,8 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use comma_rt::SmallRng;
+use comma_rt::Rng;
 
 use crate::node::{IfaceId, NodeId};
 use crate::packet::Packet;
@@ -252,7 +252,7 @@ impl Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use comma_rt::SeedableRng;
 
     #[test]
     fn tx_time_rounds_up() {

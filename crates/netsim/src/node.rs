@@ -3,7 +3,7 @@
 
 use std::any::Any;
 
-use rand::rngs::SmallRng;
+use comma_rt::SmallRng;
 
 use crate::addr::Ipv4Addr;
 use crate::packet::Packet;
@@ -121,7 +121,7 @@ impl<'a> NodeCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use comma_rt::SeedableRng;
 
     struct Echoer;
 

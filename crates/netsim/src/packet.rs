@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 
 use crate::addr::Ipv4Addr;
 

@@ -156,8 +156,8 @@ mod tests {
     use crate::packet::{TcpFlags, TcpSegment};
     use crate::time::SimTime;
     use crate::trace::Trace;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use comma_rt::SmallRng;
+    use comma_rt::SeedableRng;
 
     fn ctx_parts() -> (SmallRng, Trace) {
         (SmallRng::seed_from_u64(0), Trace::new())

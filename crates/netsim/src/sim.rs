@@ -4,8 +4,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use comma_rt::SmallRng;
+use comma_rt::SeedableRng;
 
 use crate::addr::Ipv4Addr;
 use crate::link::{Channel, ChannelId, LinkParams};
@@ -425,7 +425,7 @@ mod tests {
     use crate::link::LossModel;
     use crate::packet::{IcmpMessage, TcpFlags, TcpSegment};
     use crate::time::SimDuration;
-    use bytes::Bytes;
+    use comma_rt::Bytes;
     use std::any::Any;
 
     /// Test node: replies to echo requests, counts deliveries.
@@ -637,7 +637,7 @@ mod control_tests {
     use crate::link::LinkParams;
     use crate::node::{IfaceId, Node, NodeCtx};
     use crate::packet::{IcmpMessage, Packet};
-    use bytes::Bytes;
+    use comma_rt::Bytes;
     use std::any::Any;
 
     struct Counter {

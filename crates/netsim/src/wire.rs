@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 
 use crate::addr::Ipv4Addr;
 use crate::checksum::{internet_checksum, Checksum};

@@ -6,7 +6,7 @@
 //! `delete <filter> <key>`, `report [<filter>]`.
 
 use comma_netsim::time::SimTime;
-use rand::rngs::SmallRng;
+use comma_rt::SmallRng;
 
 use crate::engine::FilterEngine;
 use crate::filter::MetricsSource;
@@ -85,7 +85,7 @@ mod tests {
     use super::*;
     use crate::engine::FilterCatalog;
     use crate::filter::{Capabilities, Filter, NullMetrics, Priority};
-    use rand::SeedableRng;
+    use comma_rt::SeedableRng;
     use std::any::Any;
 
     struct Noop;

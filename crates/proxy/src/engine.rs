@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use comma_netsim::packet::{IpPayload, Packet};
 use comma_netsim::time::SimTime;
-use rand::rngs::SmallRng;
+use comma_rt::SmallRng;
 
 use crate::filter::{Capabilities, Filter, FilterCtx, MetricsSource, Priority, Verdict};
 use crate::key::{StreamKey, WildKey};
@@ -733,12 +733,12 @@ fn diff_kind(before: &Packet, after: &Packet) -> (bool, bool) {
         let mut a2 = after.clone();
         match (&mut b2.body, &mut a2.body) {
             (IpPayload::Tcp(x), IpPayload::Tcp(y)) => {
-                x.payload = bytes::Bytes::new();
-                y.payload = bytes::Bytes::new();
+                x.payload = comma_rt::Bytes::new();
+                y.payload = comma_rt::Bytes::new();
             }
             (IpPayload::Udp(x), IpPayload::Udp(y)) => {
-                x.payload = bytes::Bytes::new();
-                y.payload = bytes::Bytes::new();
+                x.payload = comma_rt::Bytes::new();
+                y.payload = comma_rt::Bytes::new();
             }
             _ => {}
         }

@@ -11,7 +11,7 @@ use std::fmt;
 
 use comma_netsim::packet::Packet;
 use comma_netsim::time::{SimDuration, SimTime};
-use rand::rngs::SmallRng;
+use comma_rt::SmallRng;
 
 use crate::key::StreamKey;
 
@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn ctx_accumulates_requests() {
         use comma_netsim::packet::{IcmpMessage, Packet};
-        use rand::SeedableRng;
+        use comma_rt::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(0);
         let metrics = NullMetrics;
         let mut ctx = FilterCtx::new(SimTime::ZERO, &mut rng, &metrics);

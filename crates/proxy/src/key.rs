@@ -270,7 +270,7 @@ mod tests {
 
     #[test]
     fn key_of_packet() {
-        use bytes::Bytes;
+        use comma_rt::Bytes;
         use comma_netsim::packet::{IcmpMessage, TcpFlags, TcpSegment, UdpDatagram};
         let src: Ipv4Addr = "1.1.1.1".parse().unwrap();
         let dst: Ipv4Addr = "2.2.2.2".parse().unwrap();

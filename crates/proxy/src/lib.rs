@@ -17,7 +17,7 @@
 //! use comma_proxy::engine::{FilterCatalog, FilterEngine};
 //! use comma_proxy::filter::{Capabilities, Filter, FilterCtx, NullMetrics, Priority};
 //! use comma_proxy::key::StreamKey;
-//! use rand::SeedableRng;
+//! use comma_rt::SeedableRng;
 //!
 //! struct Counter(u64);
 //! impl Filter for Counter {
@@ -38,7 +38,7 @@
 //!     "11.11.10.10".parse().unwrap(),
 //!     TcpSegment::new(7, 1169, 0, 0, TcpFlags::SYN),
 //! );
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut rng = comma_rt::SmallRng::seed_from_u64(0);
 //! let out = engine.process(SimTime::ZERO, &mut rng, &NullMetrics, pkt);
 //! assert_eq!(out.len(), 1);
 //! ```

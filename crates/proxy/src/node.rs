@@ -9,8 +9,8 @@ use comma_netsim::packet::Packet;
 use comma_netsim::routing::{forward_step, RoutingTable};
 use comma_netsim::time::SimTime;
 use comma_netsim::trace::DropReason;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use comma_rt::SmallRng;
+use comma_rt::SeedableRng;
 
 use crate::command;
 use crate::engine::FilterEngine;

@@ -1,0 +1,403 @@
+//! Cheaply cloneable, zero-copy byte buffers.
+//!
+//! [`Bytes`] is an immutable view into reference-counted storage: cloning
+//! and slicing bump a refcount and adjust offsets, never copying payload.
+//! This is what keeps per-packet cost flat through the proxy data plane —
+//! a segment's payload can be sliced into the edit map, re-framed by a
+//! filter, and queued for retransmission while all views share one
+//! allocation. [`BytesMut`] is the build-side companion: an owned,
+//! growable buffer that [`BytesMut::freeze`]s into a `Bytes` for free.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::{Arc, OnceLock};
+
+/// Shared storage for the empty buffer so `Bytes::new()` never allocates.
+fn empty_storage() -> &'static Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
+
+/// An immutable, reference-counted slice of bytes.
+///
+/// `Clone` and [`Bytes::slice`] are O(1) and allocation-free; the payload
+/// is copied only by explicit constructors ([`Bytes::copy_from_slice`]).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer without allocating.
+    pub fn new() -> Self {
+        Bytes {
+            data: empty_storage().clone(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Copies `src` into a fresh buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Creates a buffer from a static slice (copied once; the storage is
+    /// refcounted like any other `Bytes`).
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a zero-copy sub-view; `range` is relative to this view.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for Bytes of len {}",
+            self.len
+        );
+        Bytes {
+            data: self.data.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits the view at `at`: `self` keeps `[0, at)`, the returned view
+    /// holds `[at, len)`. Zero-copy.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(at <= self.len, "split_off at {at} beyond len {}", self.len);
+        let tail = Bytes {
+            data: self.data.clone(),
+            off: self.off + at,
+            len: self.len - at,
+        };
+        self.len = at;
+        tail
+    }
+
+    /// Splits the view at `at`: the returned view holds `[0, at)`, `self`
+    /// keeps `[at, len)`. Zero-copy.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len, "split_to at {at} beyond len {}", self.len);
+        let head = Bytes {
+            data: self.data.clone(),
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// The view as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Copies the view into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.to_vec()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Packet payloads are routinely kilobytes; clamp the dump.
+        const MAX: usize = 32;
+        write!(f, "Bytes[{}; ", self.len)?;
+        for b in self.as_slice().iter().take(MAX) {
+            write!(f, "{b:02x}")?;
+        }
+        if self.len > MAX {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`] without copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends `src`.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Appends `n` in network (big-endian) byte order.
+    pub fn put_u16(&mut self, n: u16) {
+        self.buf.extend_from_slice(&n.to_be_bytes());
+    }
+
+    /// Appends `n` in network (big-endian) byte order.
+    pub fn put_u32(&mut self, n: u32) {
+        self.buf.extend_from_slice(&n.to_be_bytes());
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`] without
+    /// copying the payload.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut[{}]", self.buf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty_and_shares_storage() {
+        let a = Bytes::new();
+        let b = Bytes::new();
+        assert!(a.is_empty());
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let b = Bytes::from((0u8..100).collect::<Vec<_>>());
+        let mid = b.slice(10..20);
+        assert_eq!(&mid[..], &(10u8..20).collect::<Vec<_>>()[..]);
+        assert!(Arc::ptr_eq(&b.data, &mid.data));
+        let nested = mid.slice(5..);
+        assert_eq!(&nested[..], &[15, 16, 17, 18, 19]);
+        assert_eq!(b.slice(..).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn split_off_and_to() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let tail = b.split_off(3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(&tail[..], &[4, 5]);
+        let mut c = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&c[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![9, 9, 7]);
+        let b = Bytes::from(vec![0, 9, 9, 7]).slice(1..);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![9, 9, 7]);
+        assert_eq!(a, &[9u8, 9, 7][..]);
+    }
+
+    #[test]
+    fn bytes_mut_freeze_roundtrip() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u8(1);
+        m.put_u16(0x0203);
+        m.put_u32(0x04050607);
+        m.put_slice(&[8, 9]);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn debug_clamps_output() {
+        let b = Bytes::from(vec![0xaa; 1000]);
+        let s = format!("{b:?}");
+        assert!(s.len() < 120, "debug output too long: {s}");
+    }
+}

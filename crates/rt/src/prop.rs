@@ -1,0 +1,330 @@
+//! A minimal seeded property-test runner.
+//!
+//! Each test names itself, picks a case count, and supplies a generator
+//! (`&mut SmallRng -> Input`) plus a checker (`&Input -> Result<(), String>`).
+//! Every case runs from its own derived seed; a failing case reports that
+//! seed so the exact input reproduces with
+//! `COMMA_PROP_REPLAY=<seed> cargo test <name>`.
+//!
+//! Environment knobs:
+//! - `COMMA_PROP_CASES`: overrides every runner's case count;
+//! - `COMMA_PROP_SEED`: overrides the base seed (default derived from the
+//!   test name, so suites are stable run-to-run);
+//! - `COMMA_PROP_REPLAY`: runs exactly one case from the given case seed.
+//!
+//! ```
+//! use comma_rt::prop::Runner;
+//! use comma_rt::{ensure, Rng};
+//!
+//! Runner::new("addition_commutes").cases(64).run(
+//!     |rng| (rng.gen::<u32>() >> 1, rng.gen::<u32>() >> 1),
+//!     |&(a, b)| {
+//!         ensure!(a + b == b + a, "a={a} b={b}");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, SeedableRng, SmallRng};
+
+/// Fails the current property case with a formatted message.
+///
+/// Expands to an early `return Err(String)`; use inside the checker closure
+/// passed to [`Runner::run`] (or any `-> Result<(), String>` context).
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        $crate::ensure!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case unless the two sides are equal.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            let ctx: String = $crate::__ensure_ctx!($($($fmt)+)?);
+            return Err(format!("expected equal{ctx}\n  left: {l:?}\n right: {r:?}"));
+        }
+    }};
+}
+
+/// Fails the current property case if the two sides are equal.
+#[macro_export]
+macro_rules! ensure_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            let ctx: String = $crate::__ensure_ctx!($($($fmt)+)?);
+            return Err(format!("expected different{ctx}\n  both: {l:?}"));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __ensure_ctx {
+    () => {
+        String::new()
+    };
+    ($($fmt:tt)+) => {
+        format!(" ({})", format!($($fmt)+))
+    };
+}
+
+/// A named, seeded property-test run.
+pub struct Runner {
+    name: &'static str,
+    cases: u64,
+    base_seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner; the base seed derives from `name` so each suite
+    /// explores a distinct but stable input stream.
+    pub fn new(name: &'static str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Runner {
+            name,
+            cases: 100,
+            base_seed: h,
+        }
+    }
+
+    /// Sets the number of generated cases (default 100).
+    pub fn cases(mut self, n: u64) -> Self {
+        self.cases = n;
+        self
+    }
+
+    /// Sets the base seed explicitly (normally left to the name hash).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Generates and checks every case, panicking on the first failure
+    /// with the case's replay seed and the generated input.
+    pub fn run<T, G, C>(&self, mut generate: G, mut check: C)
+    where
+        T: Debug,
+        G: FnMut(&mut SmallRng) -> T,
+        C: FnMut(&T) -> Result<(), String>,
+    {
+        if let Some(replay) = env_u64("COMMA_PROP_REPLAY") {
+            self.run_case(replay, u64::MAX, &mut generate, &mut check);
+            return;
+        }
+        let base = env_u64("COMMA_PROP_SEED").unwrap_or(self.base_seed);
+        let cases = env_u64("COMMA_PROP_CASES").unwrap_or(self.cases);
+        for i in 0..cases {
+            let mut mix = base;
+            let _ = splitmix64(&mut mix);
+            mix ^= i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let case_seed = splitmix64(&mut mix);
+            self.run_case(case_seed, i, &mut generate, &mut check);
+        }
+    }
+
+    fn run_case<T, G, C>(&self, case_seed: u64, index: u64, generate: &mut G, check: &mut C)
+    where
+        T: Debug,
+        G: FnMut(&mut SmallRng) -> T,
+        C: FnMut(&T) -> Result<(), String>,
+    {
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let input = generate(&mut rng);
+        let verdict = catch_unwind(AssertUnwindSafe(|| check(&input)));
+        let failure = match verdict {
+            Ok(Ok(())) => return,
+            Ok(Err(msg)) => msg,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("checker panicked");
+                format!("panic: {msg}")
+            }
+        };
+        let which = if index == u64::MAX {
+            "replay".to_string()
+        } else {
+            format!("case {index}")
+        };
+        panic!(
+            "property '{}' failed at {which}\n  {}\n  input: {:?}\n  replay: COMMA_PROP_REPLAY={} cargo test {}",
+            self.name,
+            failure.replace('\n', "\n  "),
+            input,
+            case_seed,
+            self.name,
+        );
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{key}={raw} is not a u64"),
+    }
+}
+
+/// Common generators for property inputs.
+pub mod gen {
+    use crate::rng::{Rng, SmallRng};
+    use std::ops::Range;
+
+    /// A byte vector with length drawn from `len`.
+    pub fn bytes(rng: &mut SmallRng, len: Range<usize>) -> Vec<u8> {
+        let n = if len.start == len.end {
+            len.start
+        } else {
+            rng.gen_range(len)
+        };
+        let mut v = vec![0u8; n];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    /// A vector of `len`-many items produced by `item`.
+    pub fn vec_of<T>(
+        rng: &mut SmallRng,
+        len: Range<usize>,
+        mut item: impl FnMut(&mut SmallRng) -> T,
+    ) -> Vec<T> {
+        let n = rng.gen_range(len);
+        (0..n).map(|_| item(rng)).collect()
+    }
+
+    /// `Some(item(rng))` with probability `p_some`.
+    pub fn option<T>(
+        rng: &mut SmallRng,
+        p_some: f64,
+        mut item: impl FnMut(&mut SmallRng) -> T,
+    ) -> Option<T> {
+        if rng.gen_bool(p_some) {
+            Some(item(rng))
+        } else {
+            None
+        }
+    }
+
+    /// A uniform index into a collection of length `len` (`len = 0` maps
+    /// to 0, matching "index into possibly-empty slice" generators).
+    pub fn index(rng: &mut SmallRng, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            rng.gen_range(0..len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn passes_quietly() {
+        Runner::new("trivial").cases(50).run(
+            |rng| rng.gen::<u64>(),
+            |&v| {
+                ensure!(v == v, "reflexivity");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failure_reports_replay_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("always_fails").cases(10).run(
+                |rng| rng.gen::<u32>(),
+                |_| Err("nope".to_string()),
+            );
+        }));
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("panic payload is String");
+        assert!(msg.contains("COMMA_PROP_REPLAY="), "no replay seed: {msg}");
+        assert!(msg.contains("case 0"), "first case should fail: {msg}");
+    }
+
+    #[test]
+    fn checker_panics_are_reported_with_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("panicky").cases(3).run(
+                |_| 1u8,
+                |_| -> Result<(), String> { panic!("inner boom") },
+            );
+        }));
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("panic payload is String");
+        assert!(msg.contains("inner boom"), "payload lost: {msg}");
+        assert!(msg.contains("COMMA_PROP_REPLAY="), "no replay seed: {msg}");
+    }
+
+    #[test]
+    fn cases_are_distinct_and_stable() {
+        let mut seen = Vec::new();
+        Runner::new("distinct").cases(32).run(
+            |rng| rng.gen::<u64>(),
+            |&v| {
+                seen.push(v);
+                Ok(())
+            },
+        );
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "case inputs should differ");
+        // Same name → same stream.
+        let mut second = Vec::new();
+        Runner::new("distinct").cases(32).run(
+            |rng| rng.gen::<u64>(),
+            |&v| {
+                second.push(v);
+                Ok(())
+            },
+        );
+        assert_eq!(seen, second);
+    }
+
+    #[test]
+    fn gen_helpers_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let v = gen::bytes(&mut rng, 3..9);
+            assert!((3..9).contains(&v.len()));
+            let o = gen::option(&mut rng, 0.5, |r| gen::index(r, 10));
+            if let Some(i) = o {
+                assert!(i < 10);
+            }
+            assert_eq!(gen::index(&mut rng, 0), 0);
+        }
+    }
+}

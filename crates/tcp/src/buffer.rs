@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 
 use crate::seq::{seq_diff, seq_ge, seq_le, seq_lt};
 

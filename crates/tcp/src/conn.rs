@@ -6,7 +6,7 @@
 //! machine — with Jacobson congestion control, fast retransmit/recovery,
 //! persist probes and delayed ACKs — testable without a network.
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_netsim::packet::{TcpFlags, TcpOption, TcpSegment};
 use comma_netsim::stats::Summary;
 use comma_netsim::time::{SimDuration, SimTime};
@@ -416,6 +416,19 @@ impl TcpConnection {
         }
         if !seg.payload.is_empty() {
             self.process_data(now, seg, eff);
+        } else if !seg.flags.fin() {
+            // RFC 9293 §3.10.7.4: an empty segment entirely before RCV.NXT
+            // is unacceptable and must be answered with a current ACK. This
+            // regenerates a cumulative ACK lost in transit — without it a
+            // retransmission whose transformed replay arrives empty (e.g. a
+            // TTSF range already acked and trimmed) elicits nothing and the
+            // connection deadlocks.
+            if let Some(recv) = &self.recv {
+                if seq_lt(seg.seq, recv.rcv_nxt()) {
+                    let ack = self.make_ack();
+                    self.push_seg(eff, ack);
+                }
+            }
         }
         if seg.flags.fin() {
             self.process_fin(now, seg, eff);

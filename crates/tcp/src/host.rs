@@ -4,12 +4,12 @@
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_netsim::addr::Ipv4Addr;
 use comma_netsim::node::{IfaceId, Node, NodeCtx};
 use comma_netsim::packet::{IcmpMessage, IpPayload, Packet, TcpFlags, TcpSegment, UdpDatagram};
 use comma_netsim::routing::RoutingTable;
-use rand::Rng;
+use comma_rt::Rng;
 
 use crate::apps::{App, AppCtx, AppOp, SocketId};
 use crate::config::TcpConfig;

@@ -4,7 +4,7 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
+use comma_rt::Bytes;
 use comma_netsim::link::LinkParams;
 use comma_netsim::prelude::*;
 use comma_tcp::apps::{

@@ -3,11 +3,7 @@
 //!
 //! Run with: `cargo run --example eem_monitor`
 
-use comma_eem::{Attr, EemServer, MetricsHub, Mode, MonitorApp, Operator, Value, VarId};
-use comma_netsim::link::LinkParams;
-use comma_netsim::sim::Simulator;
-use comma_netsim::time::SimTime;
-use comma_tcp::host::Host;
+use comma_repro::prelude::*;
 
 fn main() {
     let mut sim = Simulator::new(62);

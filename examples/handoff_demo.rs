@@ -5,10 +5,7 @@
 //! Run with: `cargo run --example handoff_demo`
 
 use comma_bench::exps::mip::build;
-use comma_mobileip::{ForeignAgent, HomeAgent, MobileHost};
-use comma_netsim::time::{SimDuration, SimTime};
-use comma_tcp::apps::{BulkSender, Sink};
-use comma_tcp::host::AppId;
+use comma_repro::prelude::*;
 
 fn main() {
     let sender = BulkSender::new(("11.11.1.10".parse().unwrap(), 9000), 1_000_000);

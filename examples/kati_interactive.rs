@@ -6,9 +6,7 @@
 
 use std::io::{BufRead, Write};
 
-use comma::topology::{addrs, CommaBuilder};
-use comma_kati::Kati;
-use comma_tcp::apps::{BulkSender, Sink};
+use comma_repro::prelude::*;
 
 fn main() {
     // A long-running transfer gives the shell something to watch.

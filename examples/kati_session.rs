@@ -3,12 +3,7 @@
 //!
 //! Run with: `cargo run --example kati_session`
 
-use comma::topology::CommaBuilder;
-use comma::{apply_service, find_service};
-use comma_kati::Kati;
-use comma_netsim::time::SimTime;
-use comma_proxy::ServiceProxy;
-use comma_tcp::apps::{BulkSender, Sink};
+use comma_repro::prelude::*;
 
 fn main() {
     let sender = BulkSender::new((comma::addrs::MOBILE, 9000), 3_000_000);

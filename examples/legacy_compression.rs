@@ -7,10 +7,7 @@
 //!
 //! Run with: `cargo run --example legacy_compression`
 
-use comma::topology::{addrs, CommaBuilder};
-use comma_netsim::link::LinkParams;
-use comma_netsim::time::SimTime;
-use comma_tcp::apps::{BulkSender, Sink};
+use comma_repro::prelude::*;
 
 fn run(compressed: bool) -> (f64, u64) {
     // A 500 KB text-like document over a 128 kbit/s wireless link.

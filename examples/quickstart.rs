@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use comma::topology::{addrs, CommaBuilder};
-use comma_netsim::time::SimTime;
-use comma_tcp::apps::{BulkSender, Sink};
+use comma_repro::prelude::*;
 
 fn main() {
     // A legacy bulk-transfer application: a wired server pushing 500 KB to

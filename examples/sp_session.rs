@@ -2,9 +2,7 @@
 //!
 //! Run with: `cargo run --example sp_session`
 
-use comma::topology::{addrs, CommaBuilder};
-use comma_netsim::time::SimTime;
-use comma_tcp::apps::{BulkSender, Sink};
+use comma_repro::prelude::*;
 
 fn main() {
     let sender = BulkSender::new((addrs::MOBILE, 1169), 400_000);

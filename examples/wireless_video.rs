@@ -4,10 +4,7 @@
 //!
 //! Run with: `cargo run --example wireless_video`
 
-use comma::media::{MediaSink, MediaSource};
-use comma::topology::{addrs, CommaBuilder};
-use comma_netsim::link::LinkParams;
-use comma_netsim::time::{SimDuration, SimTime};
+use comma_repro::prelude::*;
 
 fn run(with_service: bool) {
     let source = MediaSource::new((addrs::MOBILE, 5004), 3, 900, SimDuration::from_millis(40));

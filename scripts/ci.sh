@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Hermetic CI for the Comma reproduction.
+#
+# The workspace has zero external dependencies (everything lives in
+# crates/rt), so the whole pipeline runs with an empty cargo registry:
+# `--offline` is not an optimization here, it is the guarantee the build
+# stays hermetic. Run from the repository root:
+#
+#   ./scripts/ci.sh          # build + tests (+ clippy when installed)
+#   COMMA_BENCH_FAST=1 ./scripts/ci.sh bench   # also smoke the benches
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== clippy =="
+    # type-complexity is advisory on the simulator's effect tuples.
+    cargo clippy --offline --workspace --all-targets -- \
+        -D warnings -A clippy::type_complexity
+else
+    echo "== clippy not installed; skipping =="
+fi
+
+if [ "${1:-}" = "bench" ]; then
+    echo "== bench smoke (COMMA_BENCH_FAST=${COMMA_BENCH_FAST:-0}) =="
+    cargo bench -q --offline -p comma-bench --bench micro
+    cargo bench -q --offline -p comma-bench --bench experiments
+fi
+
+echo "ci: all green"

@@ -10,4 +10,22 @@ pub use comma_kati as kati;
 pub use comma_mobileip as mobileip;
 pub use comma_netsim as netsim;
 pub use comma_proxy as proxy;
+pub use comma_rt as rt;
 pub use comma_tcp as tcp;
+
+/// The workspace-wide prelude: everything in [`comma::prelude`] plus the
+/// Kati control shell. Examples and integration tests import this alone:
+///
+/// ```
+/// use comma_repro::prelude::*;
+///
+/// let mut world = CommaBuilder::new(1).build(
+///     vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 10_000))],
+///     vec![Box::new(Sink::new(9000))],
+/// );
+/// world.run_until(SimTime::from_secs(5));
+/// ```
+pub mod prelude {
+    pub use comma::prelude::*;
+    pub use comma_kati::Kati;
+}

@@ -8,11 +8,7 @@
 //! covered. These tests check that property under the harshest condition:
 //! a permanent disconnection mid-transfer.
 
-use comma::topology::{addrs, CommaBuilder};
-use comma_netsim::time::SimTime;
-use comma_tcp::apps::{BulkSender, Sink};
-use comma_tcp::host::Host;
-use comma_tcp::TcpState;
+use comma_repro::prelude::*;
 
 /// With the full TTSF compression service active, a permanent wireless
 /// outage must leave the sender with unacknowledged data — the proxy never

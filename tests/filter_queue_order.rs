@@ -10,14 +10,7 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bytes::Bytes;
-use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
-use comma_netsim::time::SimTime;
-use comma_proxy::engine::{FilterCatalog, FilterEngine};
-use comma_proxy::filter::{Capabilities, Filter, FilterCtx, NullMetrics, Priority, Verdict};
-use comma_proxy::key::{StreamKey, WildKey};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use comma_repro::prelude::*;
 
 type Log = Rc<RefCell<Vec<String>>>;
 

@@ -10,18 +10,8 @@
 //!              └── SP2 ── FA2 ──(cell 2)────┘
 //! ```
 
-use comma::transfer_services;
-use comma_filters::standard_catalog;
-use comma_mobileip::{ForeignAgent, HomeAgent, MobileHost};
-use comma_netsim::link::LinkParams;
-use comma_netsim::node::{IfaceId, NodeId};
 use comma_netsim::prelude::*;
-use comma_netsim::routing::RoutingTable;
-use comma_netsim::time::SimDuration;
-use comma_proxy::engine::FilterEngine;
-use comma_proxy::ServiceProxy;
-use comma_tcp::apps::{BulkSender, Sink};
-use comma_tcp::host::{AppId, Host};
+use comma_repro::prelude::*;
 
 struct World {
     sim: Simulator,

@@ -1,267 +1,300 @@
-//! Property-based tests over the core data structures and codecs.
+//! Property-based tests over the core data structures and codecs, running
+//! on the seeded `comma_rt::prop` runner (≥ 100 generated cases each; a
+//! failing case prints its `COMMA_PROP_REPLAY` seed).
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use comma_repro::prelude::*;
+use comma_repro::rt::prop::{gen, Runner};
 
-use comma_filters::codec::{lzss_compress, lzss_decompress, rle_compress, rle_decompress};
-use comma_filters::editmap::EditMap;
-use comma_netsim::packet::{Packet, TcpFlags, TcpOption, TcpSegment, UdpDatagram};
-use comma_netsim::wire;
-use comma_tcp::buffer::RecvBuffer;
-use comma_tcp::seq::{seq_diff, seq_le};
+use comma_repro::filters::codec::{lzss_compress, lzss_decompress, rle_compress, rle_decompress};
+use comma_repro::netsim::wire;
+use comma_repro::tcp::buffer::RecvBuffer;
+use comma_repro::tcp::seq::{seq_diff, seq_le};
 
 // ---------------------------------------------------------------------
 // Edit map (the TTSF's core invariants).
 // ---------------------------------------------------------------------
 
-/// An edit script: (orig_len, out_len_or_identity).
-fn edit_script() -> impl Strategy<Value = (u32, Vec<(u16, Option<u16>)>)> {
-    (
-        any::<u32>(),
-        prop::collection::vec((1u16..3000, prop::option::of(0u16..3000)), 1..20),
-    )
+/// An edit script: (start_seq, edits of (orig_len, out_len_or_identity)).
+type EditScript = (u32, Vec<(u16, Option<u16>)>);
+
+fn edit_script(rng: &mut SmallRng) -> EditScript {
+    let start = rng.gen::<u32>();
+    let script = gen::vec_of(rng, 1..20, |rng| {
+        let orig_len = rng.gen_range(1u16..3000);
+        let out_len = gen::option(rng, 0.5, |rng| rng.gen_range(0u16..3000));
+        (orig_len, out_len)
+    });
+    (start, script)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+fn build_map(start: u32, script: &[(u16, Option<u16>)]) -> EditMap {
+    let mut map = EditMap::new(start);
+    for (orig_len, out_len) in script {
+        let ol = *orig_len as u32;
+        match out_len {
+            // Identity edit.
+            None => map.push(ol, Bytes::from(vec![1u8; ol as usize]), true),
+            Some(n) => map.push(ol, Bytes::from(vec![2u8; *n as usize]), false),
+        };
+    }
+    map
+}
 
-    /// Forward mapping is monotone (never decreasing) along the original
-    /// stream, and the inverse of a fully covered frontier is the frontier.
-    #[test]
-    fn editmap_monotone_and_frontier_roundtrip((start, script) in edit_script()) {
-        let mut map = EditMap::new(start);
-        for (orig_len, out_len) in &script {
-            let orig_len = *orig_len as u32;
-            match out_len {
-                None => {
-                    // Identity edit.
-                    map.push(orig_len, Bytes::from(vec![1u8; orig_len as usize]), true);
-                }
-                Some(n) => {
-                    map.push(orig_len, Bytes::from(vec![2u8; *n as usize]), false);
-                }
+/// Forward mapping is monotone (never decreasing) along the original
+/// stream, and the inverse of a fully covered frontier is the frontier.
+#[test]
+fn editmap_monotone_and_frontier_roundtrip() {
+    Runner::new("editmap_monotone_and_frontier_roundtrip")
+        .cases(200)
+        .run(edit_script, |(start, script)| {
+            let map = build_map(*start, script);
+            let total: u32 = script.iter().map(|(l, _)| *l as u32).sum();
+            let mut prev = map.map_seq(*start);
+            let mut pos = *start;
+            for (orig_len, _) in script {
+                pos = pos.wrapping_add(*orig_len as u32);
+                let mapped = map.map_seq(pos);
+                ensure!(seq_le(prev, mapped), "mapping went backwards at {pos}");
+                prev = mapped;
             }
-        }
-        // Monotonicity over sampled original positions.
-        let total: u32 = script.iter().map(|(l, _)| *l as u32).sum();
-        let mut prev = map.map_seq(start);
-        let mut pos = start;
-        for (orig_len, _) in &script {
-            pos = pos.wrapping_add(*orig_len as u32);
-            let mapped = map.map_seq(pos);
-            prop_assert!(seq_le(prev, mapped), "mapping must not go backwards");
-            prev = mapped;
-        }
-        // Frontier roundtrip.
-        prop_assert_eq!(map.frontier_orig(), start.wrapping_add(total));
-        prop_assert_eq!(map.inverse_ack(map.frontier_new()), map.frontier_orig());
-    }
+            ensure_eq!(map.frontier_orig(), start.wrapping_add(total));
+            ensure_eq!(map.inverse_ack(map.frontier_new()), map.frontier_orig());
+            Ok(())
+        });
+}
 
-    /// The inverse ACK translation is conservative: it never claims more
-    /// original bytes than the frontier, and translating any mapped
-    /// position yields an original position at or before the source.
-    #[test]
-    fn editmap_inverse_conservative((start, script) in edit_script()) {
-        let mut map = EditMap::new(start);
-        for (orig_len, out_len) in &script {
-            let ol = *orig_len as u32;
-            match out_len {
-                None => map.push(ol, Bytes::from(vec![1u8; ol as usize]), true),
-                Some(n) => map.push(ol, Bytes::from(vec![2u8; *n as usize]), false),
-            };
-        }
-        let frontier = map.frontier_orig();
-        let new_span = seq_diff(map.frontier_new(), map.base_new());
-        // Sample ACK positions across the output space.
-        for k in 0..=10u32 {
-            let ack = map.base_new().wrapping_add(new_span / 10 * k);
-            let orig = map.inverse_ack(ack);
-            prop_assert!(seq_le(orig, frontier), "inverse beyond frontier");
-            // Mapping the result back never overshoots the ack.
-            let remapped = map.map_seq(orig);
-            prop_assert!(seq_le(remapped, ack), "round trip must stay conservative");
-        }
-    }
+/// The inverse ACK translation is conservative: it never claims more
+/// original bytes than the frontier, and translating any mapped position
+/// yields an original position at or before the source.
+#[test]
+fn editmap_inverse_conservative() {
+    Runner::new("editmap_inverse_conservative")
+        .cases(200)
+        .run(edit_script, |(start, script)| {
+            let map = build_map(*start, script);
+            let frontier = map.frontier_orig();
+            let new_span = seq_diff(map.frontier_new(), map.base_new());
+            // Sample ACK positions across the output space.
+            for k in 0..=10u32 {
+                let ack = map.base_new().wrapping_add(new_span / 10 * k);
+                let orig = map.inverse_ack(ack);
+                ensure!(seq_le(orig, frontier), "inverse beyond frontier");
+                // Mapping the result back never overshoots the ack.
+                let remapped = map.map_seq(orig);
+                ensure!(seq_le(remapped, ack), "round trip must stay conservative");
+            }
+            Ok(())
+        });
+}
 
-    /// Trimming never changes the mapping of retained positions.
-    #[test]
-    fn editmap_trim_preserves_mapping((start, script) in edit_script()) {
-        let mut map = EditMap::new(start);
-        for (orig_len, out_len) in &script {
-            let ol = *orig_len as u32;
-            match out_len {
-                None => map.push(ol, Bytes::from(vec![1u8; ol as usize]), true),
-                Some(n) => map.push(ol, Bytes::from(vec![2u8; *n as usize]), false),
-            };
-        }
-        let probe_orig = map.frontier_orig();
-        let before = map.map_seq(probe_orig);
-        // Trim halfway through the output space.
-        let half = map.base_new().wrapping_add(seq_diff(map.frontier_new(), map.base_new()) / 2);
-        map.trim(half);
-        prop_assert_eq!(map.map_seq(probe_orig), before);
-    }
+/// Trimming never changes the mapping of retained positions.
+#[test]
+fn editmap_trim_preserves_mapping() {
+    Runner::new("editmap_trim_preserves_mapping")
+        .cases(200)
+        .run(edit_script, |(start, script)| {
+            let mut map = build_map(*start, script);
+            let probe_orig = map.frontier_orig();
+            let before = map.map_seq(probe_orig);
+            // Trim halfway through the output space.
+            let half = map
+                .base_new()
+                .wrapping_add(seq_diff(map.frontier_new(), map.base_new()) / 2);
+            map.trim(half);
+            ensure_eq!(map.map_seq(probe_orig), before);
+            Ok(())
+        });
 }
 
 // ---------------------------------------------------------------------
 // Codecs.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
+#[test]
+fn lzss_roundtrips() {
+    Runner::new("lzss_roundtrips").cases(100).run(
+        |rng| gen::bytes(rng, 0..8192),
+        |data| {
+            let packed = lzss_compress(data);
+            ensure_eq!(&lzss_decompress(&packed).unwrap(), data);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lzss_roundtrips(data in prop::collection::vec(any::<u8>(), 0..8192)) {
-        let packed = lzss_compress(&data);
-        prop_assert_eq!(lzss_decompress(&packed).unwrap(), data);
-    }
+#[test]
+fn rle_roundtrips() {
+    Runner::new("rle_roundtrips").cases(100).run(
+        |rng| gen::bytes(rng, 0..8192),
+        |data| {
+            let packed = rle_compress(data);
+            ensure_eq!(&rle_decompress(&packed).unwrap(), data);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn rle_roundtrips(data in prop::collection::vec(any::<u8>(), 0..8192)) {
-        let packed = rle_compress(&data);
-        prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
-    }
-
-    /// Compressible inputs (few distinct symbols, runs) really compress.
-    #[test]
-    fn lzss_compresses_redundancy(seedling in prop::collection::vec(0u8..4, 64..256)) {
-        let mut data = Vec::new();
-        for _ in 0..8 {
-            data.extend_from_slice(&seedling);
-        }
-        let packed = lzss_compress(&data);
-        prop_assert!(packed.len() < data.len());
-    }
+/// Compressible inputs (few distinct symbols, repeated blocks) really
+/// compress.
+#[test]
+fn lzss_compresses_redundancy() {
+    Runner::new("lzss_compresses_redundancy").cases(100).run(
+        |rng| gen::vec_of(rng, 64..256, |rng| rng.gen_range(0u8..4)),
+        |seedling| {
+            let mut data = Vec::new();
+            for _ in 0..8 {
+                data.extend_from_slice(seedling);
+            }
+            let packed = lzss_compress(&data);
+            ensure!(packed.len() < data.len(), "{} !< {}", packed.len(), data.len());
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Wire format.
 // ---------------------------------------------------------------------
 
-fn arb_tcp_packet() -> impl Strategy<Value = Packet> {
-    (
-        any::<u32>(),
-        any::<u32>(),
-        any::<u16>(),
-        any::<u16>(),
-        any::<u16>(),
-        0u8..0x40,
-        prop::option::of(1u16..9000),
-        prop::collection::vec(any::<u8>(), 0..1500),
-        any::<u32>(),
-        any::<u32>(),
+fn arb_tcp_packet(rng: &mut SmallRng) -> Packet {
+    let mut seg = TcpSegment::new(
+        rng.gen(),
+        rng.gen(),
+        rng.gen(),
+        rng.gen(),
+        TcpFlags(rng.gen_range(0u8..0x40)),
+    );
+    seg.window = rng.gen();
+    if let Some(m) = gen::option(rng, 0.5, |rng| rng.gen_range(1u16..9000)) {
+        seg.options.push(TcpOption::Mss(m));
+    }
+    seg.payload = Bytes::from(gen::bytes(rng, 0..1500));
+    Packet::tcp(
+        comma_netsim::addr::Ipv4Addr(rng.gen()),
+        comma_netsim::addr::Ipv4Addr(rng.gen()),
+        seg,
     )
-        .prop_map(
-            |(seq, ack, sport, dport, window, flags, mss, payload, srcn, dstn)| {
-                let mut seg = TcpSegment::new(sport, dport, seq, ack, TcpFlags(flags));
-                seg.window = window;
-                if let Some(m) = mss {
-                    seg.options.push(TcpOption::Mss(m));
+}
+
+#[test]
+fn wire_roundtrip_tcp() {
+    Runner::new("wire_roundtrip_tcp")
+        .cases(200)
+        .run(arb_tcp_packet, |pkt| {
+            let bytes = wire::encode(pkt);
+            ensure_eq!(bytes.len(), pkt.wire_len());
+            let decoded = wire::decode(&bytes).unwrap();
+            ensure_eq!(&decoded, pkt);
+            Ok(())
+        });
+}
+
+#[test]
+fn wire_roundtrip_udp() {
+    Runner::new("wire_roundtrip_udp").cases(200).run(
+        |rng| {
+            (
+                rng.gen::<u16>(),
+                rng.gen::<u16>(),
+                gen::bytes(rng, 0..1500),
+            )
+        },
+        |(sport, dport, payload)| {
+            let pkt = Packet::udp(
+                comma_netsim::addr::Ipv4Addr(7),
+                comma_netsim::addr::Ipv4Addr(9),
+                UdpDatagram {
+                    src_port: *sport,
+                    dst_port: *dport,
+                    payload: Bytes::from(payload.clone()),
+                },
+            );
+            let decoded = wire::decode(&wire::encode(&pkt)).unwrap();
+            ensure_eq!(decoded, pkt);
+            Ok(())
+        },
+    );
+}
+
+/// Single-bit corruption anywhere in a TCP packet is detected by the IP
+/// or TCP checksum.
+#[test]
+fn wire_detects_bit_flips() {
+    Runner::new("wire_detects_bit_flips").cases(200).run(
+        |rng| {
+            let pkt = arb_tcp_packet(rng);
+            let wire_len = pkt.wire_len();
+            let idx = gen::index(rng, wire_len);
+            let bit = rng.gen_range(0u8..8);
+            (pkt, idx, bit)
+        },
+        |(pkt, idx, bit)| {
+            let mut bytes = wire::encode(pkt);
+            bytes[*idx] ^= 1 << bit;
+            match wire::decode(&bytes) {
+                Err(_) => {} // Detected.
+                Ok(decoded) => {
+                    // The TCP header has no unchecked bytes, so any decode
+                    // that still succeeds must differ from the original.
+                    ensure_ne!(&decoded, pkt, "corruption silently accepted");
                 }
-                seg.payload = Bytes::from(payload);
-                Packet::tcp(
-                    comma_netsim::addr::Ipv4Addr(srcn),
-                    comma_netsim::addr::Ipv4Addr(dstn),
-                    seg,
-                )
-            },
-        )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn wire_roundtrip_tcp(pkt in arb_tcp_packet()) {
-        let bytes = wire::encode(&pkt);
-        prop_assert_eq!(bytes.len(), pkt.wire_len());
-        let decoded = wire::decode(&bytes).unwrap();
-        prop_assert_eq!(decoded, pkt);
-    }
-
-    #[test]
-    fn wire_roundtrip_udp(
-        sport in any::<u16>(),
-        dport in any::<u16>(),
-        payload in prop::collection::vec(any::<u8>(), 0..1500),
-    ) {
-        let pkt = Packet::udp(
-            comma_netsim::addr::Ipv4Addr(7),
-            comma_netsim::addr::Ipv4Addr(9),
-            UdpDatagram { src_port: sport, dst_port: dport, payload: Bytes::from(payload) },
-        );
-        let decoded = wire::decode(&wire::encode(&pkt)).unwrap();
-        prop_assert_eq!(decoded, pkt);
-    }
-
-    /// Single-bit corruption anywhere in a TCP packet is detected by the
-    /// IP or TCP checksum.
-    #[test]
-    fn wire_detects_bit_flips(pkt in arb_tcp_packet(), byte_sel in any::<prop::sample::Index>(), bit in 0u8..8) {
-        let mut bytes = wire::encode(&pkt);
-        let idx = byte_sel.index(bytes.len());
-        bytes[idx] ^= 1 << bit;
-        match wire::decode(&bytes) {
-            Err(_) => {} // Detected.
-            Ok(decoded) => {
-                // Flips in the checksum-compensating positions of the
-                // fragment/ttl fields cannot be constructed here, so any
-                // successful decode must reproduce the original packet
-                // only if the flip was masked by header padding. The TCP
-                // header has no unchecked bytes, so equality must fail.
-                prop_assert_ne!(decoded, pkt, "corruption silently accepted");
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
-// Receive-buffer reassembly.
+// Receive-buffer reassembly (retransmit idempotence).
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
-
-    /// Arbitrary segmentation, duplication, and reordering of a stream
-    /// reassembles to exactly the original bytes.
-    #[test]
-    fn recv_buffer_reassembles(
-        len in 1usize..2000,
-        cuts in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
-        order in any::<u64>(),
-        dup_first in any::<bool>(),
-    ) {
-        let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
-        // Build segments from cut points.
-        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(len)).collect();
-        points.push(0);
-        points.push(len);
-        points.sort_unstable();
-        points.dedup();
-        let mut segs: Vec<(u32, Vec<u8>)> = points
-            .windows(2)
-            .map(|w| (w[0] as u32, data[w[0]..w[1]].to_vec()))
-            .collect();
-        if dup_first && !segs.is_empty() {
-            segs.push(segs[0].clone());
-        }
-        // Deterministic shuffle from `order`.
-        let mut state = order | 1;
-        for i in (1..segs.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            segs.swap(i, j);
-        }
-        let mut rb = RecvBuffer::new(0, 65_535);
-        let mut out = Vec::new();
-        // Feed twice so late-arriving heads fill holes.
-        for _ in 0..2 {
-            for (seq, bytes) in &segs {
-                rb.receive(*seq, bytes);
-                out.extend_from_slice(&rb.take());
+/// Arbitrary segmentation, duplication, and reordering of a stream
+/// reassembles to exactly the original bytes; duplicate (retransmitted)
+/// segments never change the reassembled output.
+#[test]
+fn recv_buffer_reassembles() {
+    Runner::new("recv_buffer_reassembles").cases(100).run(
+        |rng| {
+            let len = rng.gen_range(1usize..2000);
+            let cuts = gen::vec_of(rng, 1..20, |rng| gen::index(rng, len));
+            (len, cuts, rng.gen::<u64>(), rng.gen::<bool>())
+        },
+        |(len, cuts, order, dup_first)| {
+            let len = *len;
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            // Build segments from cut points.
+            let mut points: Vec<usize> = cuts.clone();
+            points.push(0);
+            points.push(len);
+            points.sort_unstable();
+            points.dedup();
+            let mut segs: Vec<(u32, Vec<u8>)> = points
+                .windows(2)
+                .map(|w| (w[0] as u32, data[w[0]..w[1]].to_vec()))
+                .collect();
+            if *dup_first && !segs.is_empty() {
+                segs.push(segs[0].clone());
             }
-        }
-        prop_assert_eq!(out, data);
-        prop_assert!(!rb.has_holes());
-    }
+            // Deterministic shuffle from `order`.
+            let mut state = order | 1;
+            for i in (1..segs.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                segs.swap(i, j);
+            }
+            let mut rb = RecvBuffer::new(0, 65_535);
+            let mut out = Vec::new();
+            // Feed twice so late-arriving heads fill holes and every
+            // segment is effectively retransmitted once.
+            for _ in 0..2 {
+                for (seq, bytes) in &segs {
+                    rb.receive(*seq, bytes);
+                    out.extend_from_slice(&rb.take());
+                }
+            }
+            ensure_eq!(&out, &data);
+            ensure!(!rb.has_holes(), "holes after full reassembly");
+            Ok(())
+        },
+    );
 }

@@ -2,12 +2,7 @@
 //! quantitatively: snoop on a lossy link, BSSP window prioritization, and
 //! ZWSM disconnection management.
 
-use comma::topology::{addrs, CommaBuilder};
-use comma_netsim::link::{LinkParams, LossModel};
-use comma_netsim::time::{SimDuration, SimTime};
-use comma_tcp::apps::{BulkSender, Sink};
-use comma_tcp::host::Host;
-use comma_tcp::TcpConfig;
+use comma_repro::prelude::*;
 
 fn lossy(p: f64) -> LinkParams {
     LinkParams::wireless().with_loss(LossModel::Uniform { p })

@@ -6,13 +6,7 @@
 //! `rdrop` at 50%, and deletes the `wsize` service. This test drives the
 //! same command sequence and checks the same observable state transitions.
 
-use comma_filters::standard_catalog;
-use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
-use comma_netsim::time::SimTime;
-use comma_proxy::engine::FilterEngine;
-use comma_proxy::filter::NullMetrics;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use comma_repro::prelude::*;
 
 fn engine() -> FilterEngine {
     // Nothing preloaded: the session must `load` its filters, as the user
@@ -37,7 +31,7 @@ fn section(report: &str, filter: &str) -> Vec<String> {
 
 fn stream_packet(sport: u16, dport: u16, seq: u32) -> Packet {
     let mut seg = TcpSegment::new(sport, dport, seq, 0, TcpFlags::ACK);
-    seg.payload = bytes::Bytes::from(vec![0u8; 100]);
+    seg.payload = comma_rt::Bytes::from(vec![0u8; 100]);
     Packet::tcp(
         "11.11.10.99".parse().unwrap(),
         "11.11.10.10".parse().unwrap(),

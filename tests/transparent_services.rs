@@ -2,14 +2,8 @@
 //! end over live TCP connections, including under wireless loss (which
 //! forces the TTSF retransmission-replay machinery to work).
 
-use comma::media::RecordSender;
-use comma::topology::{addrs, CommaBuilder};
-use comma_filters::appdata::FrameParser;
-use comma_filters::ttsf::Ttsf;
-use comma_netsim::link::{LinkParams, LossModel};
-use comma_netsim::time::SimTime;
-use comma_proxy::ServiceProxy;
-use comma_tcp::apps::{BulkSender, Sink};
+use comma_repro::prelude::*;
+use comma_repro::filters::appdata::FrameParser;
 
 /// E04 (Fig 8.3 as a service): the `removal` service drops low-importance
 /// records in flight; the receiver sees a valid, reduced record stream and
