@@ -103,6 +103,42 @@ fn bench_simulation(bench: &mut Bench) {
     g.finish();
 }
 
+fn bench_obs(bench: &mut Bench) {
+    use comma::topology::{addrs, CommaBuilder};
+    use comma_tcp::apps::{BulkSender, Sink};
+    let mut g = bench.group("obs");
+    // The raw handle: the disabled path must cost one boolean load.
+    let disabled = comma_obs::Obs::new();
+    g.bench("counter_inc_disabled", || {
+        disabled.inc("ch0", "link.enqueued");
+        disabled.is_enabled()
+    });
+    let enabled = comma_obs::Obs::enabled();
+    g.bench("counter_inc_enabled", || {
+        enabled.inc("ch0", "link.enqueued");
+        enabled.is_enabled()
+    });
+    // The instrumented stack end to end (netsim enqueue/dequeue, TCP state
+    // publication, engine dispatch), observability off vs on. The "off"
+    // number is the regression guard: it should be statistically
+    // indistinguishable from the pre-instrumentation cost.
+    g.sample_size(10);
+    for on in [false, true] {
+        g.bench(
+            format!("bulk_256k_obs_{}", if on { "on" } else { "off" }),
+            || {
+                let mut world = CommaBuilder::new(1).eem(false).observability(on).build(
+                    vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 256_000))],
+                    vec![Box::new(Sink::new(9000))],
+                );
+                world.run_until(SimTime::from_secs(30));
+                world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received)
+            },
+        );
+    }
+    g.finish();
+}
+
 fn main() {
     let mut bench = Bench::new();
     bench_wire(&mut bench);
@@ -110,5 +146,6 @@ fn main() {
     bench_editmap(&mut bench);
     bench_engine(&mut bench);
     bench_simulation(&mut bench);
+    bench_obs(&mut bench);
     bench.finish();
 }

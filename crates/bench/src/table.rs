@@ -1,109 +1,7 @@
 //! Plain-text table rendering for the experiment harness.
+//!
+//! The implementation moved to `comma_obs::table` so the observability
+//! summary renderer and the harness share one formatter; this module keeps
+//! the historical `bench::table` path as a re-export.
 
-/// A simple left-aligned text table.
-pub struct Table {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-    notes: Vec<String>,
-}
-
-impl Table {
-    /// Creates a table with a title and column headers.
-    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
-        Table {
-            title: title.into(),
-            headers: headers.iter().map(|h| h.to_string()).collect(),
-            rows: Vec::new(),
-            notes: Vec::new(),
-        }
-    }
-
-    /// Appends a row (stringified cells).
-    pub fn row(&mut self, cells: &[String]) {
-        self.rows.push(cells.to_vec());
-    }
-
-    /// Appends a row of string slices.
-    pub fn row_str(&mut self, cells: &[&str]) {
-        self.rows
-            .push(cells.iter().map(|c| c.to_string()).collect());
-    }
-
-    /// Appends a footnote line.
-    pub fn note(&mut self, note: impl Into<String>) {
-        self.notes.push(note.into());
-    }
-
-    /// Renders the table.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                if i >= widths.len() {
-                    widths.push(cell.len());
-                } else {
-                    widths[i] = widths[i].max(cell.len());
-                }
-            }
-        }
-        let mut out = String::new();
-        out.push_str(&format!("== {} ==\n", self.title));
-        let fmt_row = |cells: &[String]| -> String {
-            let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
-                let w = widths.get(i).copied().unwrap_or(cell.len());
-                line.push_str(&format!("{cell:<w$}"));
-                if i + 1 < cells.len() {
-                    line.push_str("  ");
-                }
-            }
-            line.trim_end().to_string()
-        };
-        out.push_str(&fmt_row(&self.headers));
-        out.push('\n');
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row));
-            out.push('\n');
-        }
-        for note in &self.notes {
-            out.push_str(&format!("  note: {note}\n"));
-        }
-        out
-    }
-}
-
-/// Formats a float with the given precision.
-pub fn f(v: f64, prec: usize) -> String {
-    format!("{v:.prec$}")
-}
-
-/// Formats an integer-valued count.
-pub fn n(v: u64) -> String {
-    v.to_string()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_aligned() {
-        let mut t = Table::new("demo", &["name", "value"]);
-        t.row_str(&["alpha", "1"]);
-        t.row(&["beta-longer".to_string(), f(2.5, 2)]);
-        t.note("a note");
-        let s = t.render();
-        assert!(s.contains("== demo =="));
-        assert!(s.contains("alpha"));
-        assert!(s.contains("2.50"));
-        assert!(s.contains("note: a note"));
-        // Columns aligned: "name" padded to the longest cell.
-        let lines: Vec<&str> = s.lines().collect();
-        assert!(lines[1].starts_with("name"));
-        assert!(lines[3].starts_with("alpha      "), "{:?}", lines[3]);
-    }
-}
+pub use comma_obs::table::{f, n, Table};

@@ -67,6 +67,8 @@ pub mod prelude {
 
     pub use comma_rt::{ensure, ensure_eq, ensure_ne, Bytes, BytesMut, Rng, SeedableRng, SmallRng};
 
+    pub use comma_obs::{fields, obs_event, span, FieldValue, Obs};
+
     pub use comma_netsim::link::{LinkParams, LossModel};
     pub use comma_netsim::node::NodeId;
     pub use comma_netsim::packet::{Packet, TcpFlags, TcpOption, TcpSegment, UdpDatagram};

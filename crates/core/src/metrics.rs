@@ -4,18 +4,27 @@
 
 use std::rc::Rc;
 
-use comma_eem::{hub::sample_host, SharedHub, Value};
+use comma_eem::{
+    hub::{sample_host, sample_host_obs},
+    SharedHub, Value,
+};
 use comma_netsim::link::ChannelId;
 use comma_netsim::node::NodeId;
 use comma_netsim::sim::Simulator;
 use comma_netsim::time::{SimDuration, SimTime};
+use comma_obs::Obs;
 use comma_proxy::filter::MetricsSource;
 use comma_tcp::host::Host;
 
 /// Adapter exposing one node's hub variables to adaptive proxy filters.
+///
+/// Registry-backed: when built [`HubMetrics::with_obs`], lookups consult the
+/// observability registry first (gauge scope = node name) and fall back to
+/// the EEM hub, so filters see the same numbers `kati obs` reports.
 pub struct HubMetrics {
     hub: SharedHub,
     node: String,
+    obs: Option<Obs>,
 }
 
 impl HubMetrics {
@@ -24,12 +33,25 @@ impl HubMetrics {
         HubMetrics {
             hub,
             node: node.into(),
+            obs: None,
         }
+    }
+
+    /// Backs the adapter with the observability registry (consulted before
+    /// the hub).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 }
 
 impl MetricsSource for HubMetrics {
     fn get(&self, var: &str) -> Option<f64> {
+        if let Some(obs) = &self.obs {
+            if let Some(v) = obs.gauge_value(&self.node, var) {
+                return Some(v);
+            }
+        }
         self.hub.borrow().get(&self.node, var)?.as_f64()
     }
 }
@@ -66,12 +88,14 @@ fn schedule(sim: &mut Simulator, at: SimTime, spec: Rc<SamplerSpec>) {
 fn sample(sim: &mut Simulator, spec: &SamplerSpec) {
     let now = sim.now();
     let uptime = now.as_secs_f64() as i64;
+    let obs = sim.obs.clone();
     for (node, name) in &spec.hosts {
         // Hosts may be wrapped (MobileHost); sample only direct hosts here,
         // wrapped ones are sampled by their own integration.
         let counters = sim.node_mut::<Host>(*node).map(|h| {
             let mut hub = spec.hub.borrow_mut();
             sample_host(&mut hub, name, h, uptime);
+            sample_host_obs(&obs, name, h, uptime);
         });
         let _ = counters;
     }
@@ -100,6 +124,16 @@ fn sample(sim: &mut Simulator, spec: &SamplerSpec) {
         hub.set(name, "wireless.loss_drops", Value::Long(loss_drops));
         hub.set(name, "wireless.down_drops", Value::Long(down_drops));
         hub.set(name, "sysUpTime", Value::Long(uptime));
+        if obs.is_enabled() {
+            // Mirror into the registry so `kati obs` and registry-backed
+            // MetricsSource adapters see the wireless state.
+            obs.gauge(name, "wireless.up", (up_state && up_up) as u8 as f64);
+            obs.gauge(name, "wireless.qlen", qlen as f64);
+            obs.gauge(name, "wireless.bw", bw as f64);
+            obs.gauge(name, "bytes_tx", delivered as f64);
+            obs.gauge(name, "wireless.loss_drops", loss_drops as f64);
+            obs.gauge(name, "wireless.down_drops", down_drops as f64);
+        }
     }
 }
 

@@ -41,6 +41,7 @@ pub struct CommaBuilder {
     tcp_cfg: TcpConfig,
     double_proxy: bool,
     eem: bool,
+    observability: bool,
     sampler_period: SimDuration,
     preload_all: bool,
 }
@@ -56,6 +57,7 @@ impl CommaBuilder {
             tcp_cfg: TcpConfig::default(),
             double_proxy: false,
             eem: true,
+            observability: false,
             sampler_period: SimDuration::from_millis(100),
             preload_all: true,
         }
@@ -92,6 +94,15 @@ impl CommaBuilder {
         self
     }
 
+    /// Enables observability (the `comma-obs` registry and flight recorder)
+    /// for the whole world: netsim links, TCP connections, both proxy
+    /// engines, and the EEM sampler all record into one shared handle,
+    /// available as [`CommaWorld::obs`]. Off by default (zero overhead).
+    pub fn observability(mut self, on: bool) -> Self {
+        self.observability = on;
+        self
+    }
+
     /// Starts the main proxy with an *empty* loaded-filter pool, so a
     /// session must `load` filters explicitly (the Fig 5.3 situation).
     pub fn empty_filter_pool(mut self) -> Self {
@@ -106,6 +117,10 @@ impl CommaBuilder {
         mobile_apps: Vec<Box<dyn App>>,
     ) -> CommaWorld {
         let mut sim = Simulator::new(self.seed);
+        if self.observability {
+            sim.obs.set_enabled(true);
+        }
+        let obs = sim.obs.clone();
         let hub = MetricsHub::shared();
 
         let mut wired_host = Host::new("wired", addrs::WIRED);
@@ -135,7 +150,10 @@ impl CommaBuilder {
             FilterEngine::new(catalog),
             self.seed,
         );
-        sp.set_metrics(Box::new(HubMetrics::new(hub.clone(), "sp")));
+        sp.set_metrics(Box::new(
+            HubMetrics::new(hub.clone(), "sp").with_obs(obs.clone()),
+        ));
+        sp.set_obs(obs.clone());
         let proxy = sim.add_node(Box::new(sp));
 
         let mut mobile_host = Host::new("mobile", addrs::MOBILE);
@@ -169,7 +187,10 @@ impl CommaBuilder {
                 FilterEngine::new(stub_catalog),
                 self.seed ^ 0xbeef,
             );
-            stub_sp.set_metrics(Box::new(HubMetrics::new(hub.clone(), "sp")));
+            stub_sp.set_metrics(Box::new(
+                HubMetrics::new(hub.clone(), "sp").with_obs(obs.clone()),
+            ));
+            stub_sp.set_obs(obs.clone());
             let stub = sim.add_node(Box::new(stub_sp));
             let wireless = sim.connect(
                 proxy,
@@ -211,6 +232,7 @@ impl CommaBuilder {
             mobile,
             wireless_ch,
             hub,
+            obs,
             wired_app_ids,
             mobile_app_ids,
         }
@@ -233,6 +255,10 @@ pub struct CommaWorld {
     pub wireless_ch: (ChannelId, ChannelId),
     /// The shared metrics hub.
     pub hub: SharedHub,
+    /// The world's observability handle (shared by the simulator, the
+    /// proxies, and the sampler). Disabled unless the builder's
+    /// [`CommaBuilder::observability`] was set; may be toggled at runtime.
+    pub obs: comma_obs::Obs,
     /// Application ids installed on the wired host, in insertion order.
     pub wired_app_ids: Vec<comma_tcp::host::AppId>,
     /// Application ids installed on the mobile host, in insertion order.

@@ -95,6 +95,32 @@ pub fn sample_host(hub: &mut MetricsHub, node: &str, host: &Host, uptime_secs: i
     set(hub, "tcpRtoAlgorithm", 4); // Van Jacobson's algorithm.
 }
 
+/// Mirrors the same SNMP-named counters into the observability registry
+/// (gauge scope = node name). No-op when `obs` is disabled, so samplers can
+/// call it unconditionally.
+pub fn sample_host_obs(obs: &comma_obs::Obs, node: &str, host: &Host, uptime_secs: i64) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let c = host.counters;
+    let set = |var: &'static str, v: f64| obs.gauge(node, var, v);
+    set("sysUpTime", uptime_secs as f64);
+    set("ipInReceives", c.ip_in_receives as f64);
+    set("ipInDelivers", c.ip_in_delivers as f64);
+    set("ipOutRequests", c.ip_out_requests as f64);
+    set("ipInDiscards", c.ip_in_discards as f64);
+    set("udpInDatagrams", c.udp_in_datagrams as f64);
+    set("udpNoPorts", c.udp_no_ports as f64);
+    set("udpOutDatagrams", c.udp_out_datagrams as f64);
+    set("tcpInSegs", c.tcp_in_segs as f64);
+    set("tcpOutSegs", c.tcp_out_segs as f64);
+    set("tcpActiveOpens", c.tcp_active_opens as f64);
+    set("tcpPassiveOpens", c.tcp_passive_opens as f64);
+    set("tcpEstabResets", c.tcp_estab_resets as f64);
+    set("tcpCurrEstab", host.curr_estab() as f64);
+    set("tcpRetransSegs", host.retrans_segs() as f64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,7 +70,11 @@ impl Filter for TcpHousekeeping {
             Ok(_) => self.verified += 1,
             Err(e) => {
                 self.corrupt += 1;
-                ctx.log(format!("tcp: checksum verification failed: {e}"));
+                ctx.count("tcp.checksum_failures", 1);
+                ctx.event(
+                    "tcp.checksum_failure",
+                    vec![("error", comma_obs::FieldValue::Str(e.to_string()))],
+                );
             }
         }
         if let Some(seg) = pkt.as_tcp() {
@@ -142,10 +146,10 @@ impl Filter for Launcher {
         for (name, args) in &self.specs {
             ctx.add_service(WildKey::exact(key), name.clone(), args.clone());
         }
-        ctx.log(format!(
-            "launcher: applied {} services to {key}",
-            self.specs.len()
-        ));
+        ctx.event(
+            "launcher.applied",
+            comma_obs::fields!(services = self.specs.len(), key = key.to_string()),
+        );
         vec![key]
     }
 

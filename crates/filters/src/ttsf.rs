@@ -20,6 +20,7 @@
 
 use std::any::Any;
 
+use comma_obs::fields;
 use comma_rt::Bytes;
 use comma_netsim::packet::{Packet, TcpFlags};
 use comma_proxy::filter::{Capabilities, Filter, FilterCtx, Priority, Verdict};
@@ -124,9 +125,8 @@ impl Ttsf {
             // service is stream-stateful, so out-of-order bytes cannot be
             // transformed; drop and let the sender retransmit in order.
             self.stats.ooo_drops += 1;
-            ctx.log(format!(
-                "ttsf: dropped out-of-order seq={seq} (frontier {frontier})"
-            ));
+            ctx.count("ttsf.ooo_drops", 1);
+            ctx.event("ttsf.ooo_drop", fields!(seq = seq, frontier = frontier));
             return Verdict::Drop;
         }
 
@@ -195,7 +195,7 @@ impl Ttsf {
                     // Retransmitted FIN; flush already happened.
                 }
                 Some(_) => {
-                    ctx.log("ttsf: inconsistent FIN sequence".to_string());
+                    ctx.event("ttsf.fin_mismatch", fields!(seq = fin_orig));
                 }
             }
         }
@@ -291,11 +291,31 @@ impl Filter for Ttsf {
     }
 
     fn on_out(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, pkt: &mut Packet) -> Verdict {
-        if Some(key) == self.down_key {
-            self.handle_downlink(ctx, pkt)
+        let v = if Some(key) == self.down_key {
+            let records_before = self.stats.records;
+            let v = self.handle_downlink(ctx, pkt);
+            if self.stats.records > records_before {
+                ctx.count("ttsf.translations", self.stats.records - records_before);
+            }
+            v
         } else {
-            self.handle_uplink(pkt)
+            let acks_before = self.stats.acks_translated;
+            let v = self.handle_uplink(pkt);
+            if self.stats.acks_translated > acks_before {
+                ctx.count(
+                    "ttsf.acks_translated",
+                    self.stats.acks_translated - acks_before,
+                );
+            }
+            v
+        };
+        // Edit-map occupancy after every serviced packet: how much state the
+        // transparency mechanism is holding for this stream.
+        if let Some(map) = self.map.as_ref() {
+            ctx.gauge("ttsf.editmap_records", map.len() as f64);
+            ctx.gauge("ttsf.editmap_bytes", map.stored_bytes() as f64);
         }
+        v
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

@@ -182,7 +182,8 @@ impl Filter for Wsize {
                 if let Some(zwsm) = self.make_window_msg(0) {
                     ctx.inject(zwsm);
                     self.zwsms_sent += 1;
-                    ctx.log("wsize: mobile disconnected, ZWSM sent".to_string());
+                    ctx.count("wsize.zwsms_sent", 1);
+                    ctx.event("wsize.zwsm", vec![]);
                 }
             } else if !self.link_up && up {
                 // Reconnection: reopen with the last known window.
@@ -195,7 +196,8 @@ impl Filter for Wsize {
                 if let Some(reopen) = self.make_window_msg(window) {
                     ctx.inject(reopen);
                     self.reopens_sent += 1;
-                    ctx.log("wsize: mobile reconnected, window reopened".to_string());
+                    ctx.count("wsize.reopens_sent", 1);
+                    ctx.event("wsize.reopen", comma_obs::fields!(window = window));
                 }
             }
             self.link_up = up;

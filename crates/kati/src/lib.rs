@@ -113,6 +113,29 @@ mod tests {
     }
 
     #[test]
+    fn obs_command_reports_connections_filters_links() {
+        let (mut sim, mut kati, _) = world();
+        assert!(kati.exec(&mut sim, "obs summary").contains("disabled"));
+        assert_eq!(kati.exec(&mut sim, "obs on"), "obs: enabled\n");
+        kati.exec(&mut sim, "add tcp 0.0.0.0 0 11.11.10.10 0");
+        sim.run_until(SimTime::from_secs(5));
+        let s = kati.exec(&mut sim, "obs summary");
+        assert!(s.contains("== tcp connections =="), "{s}");
+        assert!(s.contains("cwnd"), "{s}");
+        assert!(s.contains("== filters =="), "{s}");
+        assert!(s.contains("tcp"), "{s}");
+        assert!(s.contains("== links =="), "{s}");
+        assert!(s.contains("events: "), "{s}");
+        let dump = kati.exec(&mut sim, "obs dump");
+        assert!(dump.contains("link.offered"), "{dump}");
+        assert!(dump.contains("tcp.cwnd"), "{dump}");
+        kati.exec(&mut sim, "obs reset");
+        let dump2 = kati.exec(&mut sim, "obs dump");
+        assert!(!dump2.contains("link.offered"), "{dump2}");
+        assert!(kati.exec(&mut sim, "obs bogus").contains("usage"));
+    }
+
+    #[test]
     fn transcript_and_help() {
         let (mut sim, mut kati, _) = world();
         kati.exec(&mut sim, "help");

@@ -89,6 +89,7 @@ impl Kati {
                 };
                 self.eem(node, var)
             }
+            "obs" => self.obs(sim, rest.first().copied().unwrap_or("summary")),
             "help" => HELP.to_string(),
             _ => format!("kati: unknown command '{cmd}' (try 'help')\n"),
         }
@@ -177,6 +178,143 @@ impl Kati {
         netload::render(&channel.series, width, 8)
     }
 
+    /// The `obs` command: a window onto the unified observability layer
+    /// (the simulator's shared `comma_obs::Obs` handle).
+    fn obs(&mut self, sim: &mut Simulator, sub: &str) -> String {
+        let obs = sim.obs.clone();
+        match sub {
+            "on" => {
+                obs.set_enabled(true);
+                // Share the simulator's handle with the bound proxy's
+                // engine so per-filter metrics land in the same registry.
+                let o = obs.clone();
+                sim.with_node::<ServiceProxy, _>(self.sp, move |sp| sp.set_obs(o));
+                "obs: enabled\n".to_string()
+            }
+            "off" => {
+                obs.set_enabled(false);
+                "obs: disabled\n".to_string()
+            }
+            "reset" => {
+                obs.reset();
+                "obs: metrics and events cleared\n".to_string()
+            }
+            "dump" => obs.export_jsonl(),
+            "summary" => {
+                if !obs.is_enabled() {
+                    return "obs: disabled (try 'obs on', then run traffic)\n".to_string();
+                }
+                Self::obs_summary(&obs)
+            }
+            _ => "usage: obs [summary|dump|reset|on|off]\n".to_string(),
+        }
+    }
+
+    /// Domain-specific summary: per-connection TCP state, per-filter
+    /// accounting, per-link counters, recorder occupancy.
+    fn obs_summary(obs: &comma_obs::Obs) -> String {
+        use comma_obs::table::Table;
+        let mut out = String::new();
+
+        let conns: Vec<String> = obs
+            .gauge_scopes()
+            .into_iter()
+            .filter(|s| s.contains(".conn."))
+            .collect();
+        if !conns.is_empty() {
+            let mut t = Table::new(
+                "tcp connections",
+                &[
+                    "connection",
+                    "cwnd",
+                    "ssthresh",
+                    "rto_ms",
+                    "retx",
+                    "timeouts",
+                    "dupacks",
+                ],
+            );
+            for c in &conns {
+                let g = |k: &str| obs.gauge_value(c, k).unwrap_or(0.0);
+                t.row(&[
+                    c.clone(),
+                    (g("tcp.cwnd") as u64).to_string(),
+                    (g("tcp.ssthresh") as u64).to_string(),
+                    comma_obs::table::f(g("tcp.rto_us") / 1000.0, 1),
+                    (g("tcp.retransmits") as u64).to_string(),
+                    (g("tcp.timeouts") as u64).to_string(),
+                    (g("tcp.dup_acks") as u64).to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+
+        let filters: Vec<String> = obs
+            .counter_scopes()
+            .into_iter()
+            .filter(|s| obs.counter(s, "filter.pkts") > 0)
+            .collect();
+        if !filters.is_empty() {
+            let mut t = Table::new(
+                "filters",
+                &[
+                    "filter",
+                    "pkts",
+                    "bytes",
+                    "drops",
+                    "modified",
+                    "injected",
+                    "violations",
+                ],
+            );
+            for f in &filters {
+                t.row(&[
+                    f.clone(),
+                    obs.counter(f, "filter.pkts").to_string(),
+                    obs.counter(f, "filter.bytes").to_string(),
+                    obs.counter(f, "filter.drops").to_string(),
+                    obs.counter(f, "filter.modified").to_string(),
+                    obs.counter(f, "filter.injected").to_string(),
+                    obs.counter(f, "filter.violations").to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+
+        let links: Vec<String> = obs
+            .counter_scopes()
+            .into_iter()
+            .filter(|s| obs.counter(s, "link.offered") > 0)
+            .collect();
+        if !links.is_empty() {
+            let mut t = Table::new(
+                "links",
+                &["channel", "offered", "enqueued", "dequeued", "delivered", "drops"],
+            );
+            for l in &links {
+                let drops = obs.counter(l, "link.drop.down")
+                    + obs.counter(l, "link.drop.queue_full")
+                    + obs.counter(l, "link.drop.loss");
+                t.row(&[
+                    l.clone(),
+                    obs.counter(l, "link.offered").to_string(),
+                    obs.counter(l, "link.enqueued").to_string(),
+                    obs.counter(l, "link.dequeued").to_string(),
+                    obs.counter(l, "link.delivered_pkts").to_string(),
+                    drops.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+
+        out.push_str(&format!(
+            "events: {} buffered, {} dropped\n",
+            obs.events_len(),
+            obs.dropped_events()
+        ));
+        out
+    }
+
     fn eem(&mut self, node: &str, var: &str) -> String {
         let Some(hub) = &self.hub else {
             return "kati: no EEM hub attached\n".to_string();
@@ -211,5 +349,8 @@ Kati commands:
   netload <channel> [w]      link load chart (xnetload)
   run <seconds>              advance simulated time
   eem <node> <var>           read an execution-environment metric
+  obs [summary|dump|reset|on|off]
+                             unified observability: summary tables,
+                             JSONL dump, clear, toggle recording
   help                       this text
 ";

@@ -3,6 +3,7 @@
 
 use std::any::Any;
 
+use comma_obs::Obs;
 use comma_rt::SmallRng;
 
 use crate::addr::Ipv4Addr;
@@ -59,6 +60,9 @@ pub struct NodeCtx<'a> {
     pub rng: &'a mut SmallRng,
     /// Shared event trace.
     pub trace: &'a mut Trace,
+    /// Observability handle, when the simulator carries an enabled one
+    /// (`None` in isolated node unit tests).
+    pub obs: Option<&'a Obs>,
     pub(crate) outputs: Vec<(IfaceId, Packet)>,
     pub(crate) timers: Vec<(SimTime, u64)>,
 }
@@ -78,9 +82,25 @@ impl<'a> NodeCtx<'a> {
             iface_count,
             rng,
             trace,
+            obs: None,
             outputs: Vec::new(),
             timers: Vec::new(),
         }
+    }
+
+    /// Attaches an observability handle (builder-style; the simulator calls
+    /// this on every dispatch).
+    pub fn with_obs(mut self, obs: &'a Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The observability handle, if one is attached **and** enabled. The
+    /// single call site check keeps instrumentation to one branch on the
+    /// disabled path.
+    #[inline]
+    pub fn obs(&self) -> Option<&'a Obs> {
+        self.obs.filter(|o| o.is_enabled())
     }
 
     /// Returns the current simulated time.

@@ -4,6 +4,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use comma_obs::{fields, Obs};
 use comma_rt::SmallRng;
 use comma_rt::SeedableRng;
 
@@ -83,6 +84,11 @@ pub struct Simulator {
     seed: u64,
     /// Shared packet/log trace.
     pub trace: Trace,
+    /// Observability handle. Disabled by default (a single-branch no-op on
+    /// every hot path); share an enabled handle to record link counters and
+    /// drop events under per-channel scopes (`ch0`, `ch1`, ...).
+    pub obs: Obs,
+    ch_scopes: Vec<String>,
 }
 
 impl Simulator {
@@ -100,6 +106,8 @@ impl Simulator {
             started: false,
             seed,
             trace: Trace::new(),
+            obs: Obs::new(),
+            ch_scopes: Vec::new(),
         }
     }
 
@@ -139,8 +147,10 @@ impl Simulator {
         let b_iface = IfaceId(self.node_meta[b.0].ifaces.len());
         let ch_ab = ChannelId(self.channels.len());
         self.channels.push(Channel::new(a, b, b_iface, ab));
+        self.ch_scopes.push(format!("ch{}", ch_ab.0));
         let ch_ba = ChannelId(self.channels.len());
         self.channels.push(Channel::new(b, a, a_iface, ba));
+        self.ch_scopes.push(format!("ch{}", ch_ba.0));
         self.node_meta[a.0].ifaces.push(ch_ab);
         self.node_meta[b.0].ifaces.push(ch_ba);
         (ch_ab, ch_ba)
@@ -164,6 +174,12 @@ impl Simulator {
     /// Returns a channel by id.
     pub fn channel(&self, id: ChannelId) -> &Channel {
         &self.channels[id.0]
+    }
+
+    /// The observability scope name of a channel (`"ch<N>"`), matching the
+    /// scopes used for link counters and drop events.
+    pub fn channel_scope(&self, id: ChannelId) -> &str {
+        &self.ch_scopes[id.0]
     }
 
     /// Returns a channel mutably (for parameter changes).
@@ -299,7 +315,8 @@ impl Simulator {
                 iface_count,
                 &mut self.node_rngs[node.0],
                 &mut self.trace,
-            );
+            )
+            .with_obs(&self.obs);
             f(&mut boxed, &mut ctx);
             ctx.take_effects()
         };
@@ -318,28 +335,58 @@ impl Simulator {
         self.dispatch(node, |n, ctx| n.on_packet(ctx, iface, pkt));
     }
 
+    /// Records one link-level drop into the registry and flight recorder.
+    fn obs_link_drop(&self, ch_id: ChannelId, key: &'static str, reason: &'static str, len: usize) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let scope = &self.ch_scopes[ch_id.0];
+        self.obs.inc(scope, key);
+        self.obs.event(
+            self.now.as_micros(),
+            scope,
+            "link.drop",
+            fields!(reason = reason, len = len),
+        );
+    }
+
     fn transmit(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
         let Some(&ch_id) = self.node_meta[node.0].ifaces.get(iface.0) else {
             let summary = pkt.summary();
             self.trace
                 .drop_pkt(self.now, node, DropReason::NoRoute, || summary);
+            if self.obs.is_enabled() {
+                self.obs
+                    .inc(&self.node_meta[node.0].name, "link.drop.no_route");
+            }
             return;
         };
         self.trace.tx(self.now, node, || pkt.summary());
+        if self.obs.is_enabled() {
+            self.obs.inc(&self.ch_scopes[ch_id.0], "link.offered");
+        }
         let ch = &mut self.channels[ch_id.0];
         ch.stats.offered_pkts += 1;
         if !ch.params.up {
             ch.stats.down_drops += 1;
+            let len = pkt.wire_len();
             let summary = pkt.summary();
             self.trace
                 .drop_pkt(self.now, node, DropReason::LinkDown, || summary);
+            self.obs_link_drop(ch_id, "link.drop.down", "down", len);
             return;
         }
         if ch.busy {
-            if !ch.enqueue(pkt.clone()) {
+            let len = pkt.wire_len();
+            if ch.enqueue(pkt.clone()) {
+                if self.obs.is_enabled() {
+                    self.obs.inc(&self.ch_scopes[ch_id.0], "link.enqueued");
+                }
+            } else {
                 let summary = pkt.summary();
                 self.trace
                     .drop_pkt(self.now, node, DropReason::QueueFull, || summary);
+                self.obs_link_drop(ch_id, "link.drop.queue_full", "queue_full", len);
             }
             return;
         }
@@ -378,11 +425,13 @@ impl Simulator {
             let summary = pkt.summary();
             self.trace
                 .drop_pkt(self.now, src_node, DropReason::LinkDown, || summary);
+            self.obs_link_drop(ch_id, "link.drop.down", "down", len);
         } else if lost {
             self.channels[ch_id.0].stats.loss_drops += 1;
             let summary = pkt.summary();
             self.trace
                 .drop_pkt(self.now, src_node, DropReason::Loss, || summary);
+            self.obs_link_drop(ch_id, "link.drop.loss", "loss", len);
         } else {
             let at = self.now + latency;
             self.push(
@@ -395,6 +444,9 @@ impl Simulator {
         }
         // Start the next queued packet regardless of this packet's fate.
         if let Some(next) = self.channels[ch_id.0].dequeue() {
+            if self.obs.is_enabled() {
+                self.obs.inc(&self.ch_scopes[ch_id.0], "link.dequeued");
+            }
             self.start_tx(ch_id, next);
         }
     }
@@ -407,14 +459,21 @@ impl Simulator {
         if !up {
             let src = self.channels[ch_id.0].src_node;
             self.channels[ch_id.0].stats.down_drops += 1;
+            let len = pkt.wire_len();
             let summary = pkt.summary();
             self.trace
                 .drop_pkt(self.now, src, DropReason::LinkDown, || summary);
+            self.obs_link_drop(ch_id, "link.drop.down", "down", len);
             return;
         }
         let len = pkt.wire_len();
         let now = self.now;
         self.channels[ch_id.0].record_delivery(now, len);
+        if self.obs.is_enabled() {
+            let scope = &self.ch_scopes[ch_id.0];
+            self.obs.inc(scope, "link.delivered_pkts");
+            self.obs.add(scope, "link.delivered_bytes", len as u64);
+        }
         self.dispatch_packet(dst_node, dst_iface, pkt);
     }
 }

@@ -33,12 +33,17 @@ impl TimeSeries {
     }
 
     /// Adds `value` at time `now`, rolling buckets forward as needed.
+    ///
+    /// Buckets are half-open `[start, start + bucket)`: a value recorded
+    /// exactly on a bucket boundary first flushes the closing bucket and
+    /// then lands in the newly-opened one (pinned by the
+    /// `boundary_value_opens_new_bucket` regression test).
     pub fn record(&mut self, now: SimTime, value: f64) {
         self.roll_to(now);
         self.current_sum += value;
     }
 
-    /// Flushes any buckets that ended before `now` (with zero-fill).
+    /// Flushes any buckets that ended at or before `now` (with zero-fill).
     pub fn roll_to(&mut self, now: SimTime) {
         while now >= self.current_start + self.bucket {
             self.push_sample(self.current_start, self.current_sum);
@@ -60,19 +65,31 @@ impl TimeSeries {
     }
 
     /// Returns the sum over the most recent `n` completed buckets.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read link counters from the comma-obs registry \
+                (e.g. `obs.counter(scope, \"link.delivered_bytes\")`) instead"
+    )]
     pub fn recent_sum(&self, n: usize) -> f64 {
         self.samples.iter().rev().take(n).map(|(_, v)| v).sum()
     }
 
     /// Returns the per-second rate averaged over the most recent `n`
     /// completed buckets.
+    #[deprecated(
+        since = "0.1.0",
+        note = "derive rates from comma-obs registry counters sampled by \
+                `core::metrics` instead"
+    )]
     pub fn recent_rate(&self, n: usize) -> f64 {
         let n = n.min(self.samples.len());
         if n == 0 {
             return 0.0;
         }
         let window = self.bucket.as_secs_f64() * n as f64;
-        self.recent_sum(n) / window
+        #[allow(deprecated)]
+        let sum = self.recent_sum(n);
+        sum / window
     }
 }
 
@@ -173,6 +190,25 @@ mod tests {
     }
 
     #[test]
+    fn boundary_value_opens_new_bucket() {
+        // Regression: a value recorded exactly at `current_start + bucket`
+        // must open the new bucket, not swell the closing one.
+        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
+        ts.record(SimTime::from_millis(50), 10.0);
+        ts.record(SimTime::from_millis(100), 7.0);
+        let s = ts.samples();
+        assert_eq!(s.len(), 1, "exactly one bucket closed");
+        assert_eq!(s[0], (SimTime::ZERO, 10.0), "closing bucket excludes it");
+        ts.roll_to(SimTime::from_millis(200));
+        assert_eq!(
+            ts.samples()[1],
+            (SimTime::from_millis(100), 7.0),
+            "the boundary value is the first entry of the new bucket"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn recent_rate_per_second() {
         let mut ts = TimeSeries::new(SimDuration::from_millis(100));
         for i in 0..10 {

@@ -1,0 +1,495 @@
+//! `comma-obs`: the unified observability layer for the Comma
+//! reproduction — one instrumentation API where there used to be four
+//! (`netsim::trace` packet events, `netsim::stats::TimeSeries`, EEM hub
+//! variables, and `FilterCtx::log` strings).
+//!
+//! Three pieces, one handle:
+//!
+//! - a **typed metrics registry** ([counters, gauges, fixed-bucket
+//!   histograms](registry)) with `&'static str` keys and per-node/
+//!   per-connection/per-filter scoping,
+//! - a **flight recorder** ([recorder]) — a bounded ring buffer of
+//!   structured events with sim-timestamps, replacing free-form log
+//!   strings with queryable data,
+//! - **exporters**: a hand-rolled [JSONL serializer](export) (no serde;
+//!   byte-identical for identical seeds) and a [summary table
+//!   renderer](table) shared with `bench::table`.
+//!
+//! # Determinism
+//!
+//! Everything keyed by sim time or derived from the seed is deterministic
+//! and appears in [`Obs::export_jsonl`]. Host wall-clock measurements
+//! (span latencies) are quarantined under the reserved `wall` scope /
+//! `wall.`-prefixed keys: visible in [`Obs::summary`], excluded from the
+//! export.
+//!
+//! # Zero overhead when disabled
+//!
+//! [`Obs`] is a cheap `Rc` handle that starts *disabled*; every mutator
+//! first checks one `Cell<bool>`. Hot paths additionally guard with
+//! [`Obs::is_enabled`] so even argument construction is skipped. The
+//! disabled-path cost is benchmarked in `crates/bench/benches/micro.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use comma_obs::{Obs, fields};
+//!
+//! let obs = Obs::enabled();
+//! obs.inc("ch0", "link.enqueued");
+//! obs.gauge("mobile.conn.1", "tcp.cwnd", 2920.0);
+//! if obs.is_enabled() {
+//!     obs.event(1500, "ttsf", "translate", fields!(seq = 4u64, len = 512usize));
+//! }
+//! assert_eq!(obs.counter("ch0", "link.enqueued"), 1);
+//! assert!(obs.export_jsonl().contains("\"tcp.cwnd\""));
+//! ```
+
+pub mod export;
+pub mod recorder;
+pub mod registry;
+pub mod table;
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Instant;
+
+pub use recorder::{Event, FieldValue, DEFAULT_CAPACITY};
+pub use registry::Histogram;
+
+/// Reserved scope for host wall-clock metrics (excluded from JSONL export).
+pub const WALL_SCOPE: &str = "wall";
+
+#[derive(Default)]
+struct Inner {
+    registry: registry::Registry,
+    recorder: recorder::Recorder,
+}
+
+/// The observability handle: clone freely (it is two `Rc`s), share across
+/// the simulator, hosts, proxies, and shells of one single-threaded world.
+///
+/// A fresh handle is **disabled** — every recording method is a single
+/// boolean load and return. Call [`Obs::set_enabled`] (or construct with
+/// [`Obs::enabled`]) to start recording.
+#[derive(Clone, Default)]
+pub struct Obs {
+    enabled: Rc<Cell<bool>>,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Obs {
+    /// Creates a disabled handle (recording methods are no-ops).
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// Creates an enabled handle.
+    pub fn enabled() -> Self {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        obs
+    }
+
+    /// Turns recording on or off. State is shared by every clone.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// `true` when recording. Hot paths should check this before building
+    /// scopes/fields so the disabled cost stays a single branch.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    // ---- write path -----------------------------------------------------
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&self, scope: &str, key: &'static str) {
+        self.add(scope, key, 1);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, scope: &str, key: &'static str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.borrow_mut().registry.add(scope, key, n);
+    }
+
+    /// Sets a gauge to `v` (last write wins).
+    #[inline]
+    pub fn gauge(&self, scope: &str, key: &'static str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.borrow_mut().registry.gauge(scope, key, v);
+    }
+
+    /// Records `v` into a fixed-bucket histogram (exponential bounds).
+    #[inline]
+    pub fn hist(&self, scope: &str, key: &'static str, v: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.borrow_mut().registry.hist(scope, key, v);
+    }
+
+    /// Records a structured event into the flight recorder.
+    pub fn event(
+        &self,
+        t_us: u64,
+        scope: &str,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.borrow_mut().recorder.push(Event {
+            t_us,
+            scope: scope.to_string(),
+            name,
+            fields,
+        });
+    }
+
+    /// Opens a span: records an enter event now and, when the returned
+    /// guard drops, a wall-clock duration histogram sample under the
+    /// non-exported key family (`wall.<name>_ns` in scope `wall`).
+    pub fn span(
+        &self,
+        t_us: u64,
+        scope: &str,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> SpanGuard {
+        if self.is_enabled() {
+            self.event(t_us, scope, name, fields);
+            SpanGuard {
+                obs: Some(self.clone()),
+                name,
+                start: Instant::now(),
+            }
+        } else {
+            SpanGuard {
+                obs: None,
+                name,
+                start: Instant::now(),
+            }
+        }
+    }
+
+    // ---- read path ------------------------------------------------------
+
+    /// Current value of a counter (0 when never written).
+    pub fn counter(&self, scope: &str, key: &str) -> u64 {
+        self.inner
+            .borrow()
+            .registry
+            .counters
+            .get(scope)
+            .and_then(|m| m.get(key))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, scope: &str, key: &str) -> Option<f64> {
+        self.inner
+            .borrow()
+            .registry
+            .gauges
+            .get(scope)
+            .and_then(|m| m.get(key))
+            .copied()
+    }
+
+    /// A copy of a histogram.
+    pub fn histogram(&self, scope: &str, key: &str) -> Option<Histogram> {
+        self.inner
+            .borrow()
+            .registry
+            .hists
+            .get(scope)
+            .and_then(|m| m.get(key))
+            .cloned()
+    }
+
+    /// All counters, sorted by scope then key.
+    pub fn counters(&self) -> Vec<(String, &'static str, u64)> {
+        let inner = self.inner.borrow();
+        inner
+            .registry
+            .counters
+            .iter()
+            .flat_map(|(s, m)| m.iter().map(move |(k, v)| (s.clone(), *k, *v)))
+            .collect()
+    }
+
+    /// All gauges, sorted by scope then key.
+    pub fn gauges(&self) -> Vec<(String, &'static str, f64)> {
+        let inner = self.inner.borrow();
+        inner
+            .registry
+            .gauges
+            .iter()
+            .flat_map(|(s, m)| m.iter().map(move |(k, v)| (s.clone(), *k, *v)))
+            .collect()
+    }
+
+    /// All histograms, sorted by scope then key.
+    pub fn histograms(&self) -> Vec<(String, &'static str, Histogram)> {
+        let inner = self.inner.borrow();
+        inner
+            .registry
+            .hists
+            .iter()
+            .flat_map(|(s, m)| m.iter().map(move |(k, v)| (s.clone(), *k, v.clone())))
+            .collect()
+    }
+
+    /// All scopes that carry at least one gauge, sorted. Useful for
+    /// discovering per-connection scopes (`<node>.conn.<four-tuple>`).
+    pub fn gauge_scopes(&self) -> Vec<String> {
+        self.inner.borrow().registry.gauges.keys().cloned().collect()
+    }
+
+    /// All scopes that carry at least one counter, sorted.
+    pub fn counter_scopes(&self) -> Vec<String> {
+        self.inner
+            .borrow()
+            .registry
+            .counters
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// A copy of the flight-recorder contents, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.borrow().recorder.iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn events_len(&self) -> usize {
+        self.inner.borrow().recorder.len()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.borrow().recorder.dropped()
+    }
+
+    /// Resizes the flight-recorder ring (evicting oldest as needed).
+    pub fn set_event_capacity(&self, cap: usize) {
+        self.inner.borrow_mut().recorder.set_capacity(cap);
+    }
+
+    /// Clears all metrics and events (the enabled flag is untouched).
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.registry.clear();
+        inner.recorder.clear();
+    }
+
+    // ---- renderers ------------------------------------------------------
+
+    /// Deterministic JSONL export of the registry and flight recorder
+    /// (wall-clock metrics excluded; see the module docs of [`export`]).
+    pub fn export_jsonl(&self) -> String {
+        let inner = self.inner.borrow();
+        export::export_jsonl(
+            &inner.registry,
+            inner.recorder.iter(),
+            inner.recorder.dropped(),
+        )
+    }
+
+    /// Generic human-readable summary: one table per metric kind, plus the
+    /// recorder occupancy. `kati obs summary` builds domain-specific views
+    /// (per-connection TCP, per-filter) on top of the raw accessors.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let counters = self.counters();
+        if !counters.is_empty() {
+            let mut t = table::Table::new("counters", &["scope", "key", "value"]);
+            for (scope, key, v) in &counters {
+                t.row(&[scope.clone(), key.to_string(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+        let gauges = self.gauges();
+        if !gauges.is_empty() {
+            let mut t = table::Table::new("gauges", &["scope", "key", "value"]);
+            for (scope, key, v) in &gauges {
+                t.row(&[scope.clone(), key.to_string(), format!("{v}")]);
+            }
+            out.push_str(&t.render());
+        }
+        let hists = self.histograms();
+        if !hists.is_empty() {
+            let mut t = table::Table::new(
+                "histograms",
+                &["scope", "key", "count", "mean", "min", "max"],
+            );
+            for (scope, key, h) in &hists {
+                t.row(&[
+                    scope.clone(),
+                    key.to_string(),
+                    h.count().to_string(),
+                    table::f(h.mean(), 1),
+                    h.min().map(|v| v.to_string()).unwrap_or_default(),
+                    h.max().map(|v| v.to_string()).unwrap_or_default(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out.push_str(&format!(
+            "events: {} buffered, {} dropped\n",
+            self.events_len(),
+            self.dropped_events()
+        ));
+        out
+    }
+}
+
+/// Guard returned by [`Obs::span`]: on drop, records the elapsed host
+/// wall-clock time into a `wall`-scoped histogram (never exported).
+pub struct SpanGuard {
+    obs: Option<Obs>,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(obs) = &self.obs {
+            let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs.hist(WALL_SCOPE, self.name, ns);
+        }
+    }
+}
+
+/// Builds a `Vec<(&'static str, FieldValue)>` from `name = value` pairs:
+/// `fields!(seq = 4u64, state = "Established")`.
+#[macro_export]
+macro_rules! fields {
+    ($($k:ident = $v:expr),* $(,)?) => {
+        vec![$((stringify!($k), $crate::FieldValue::from($v))),*]
+    };
+}
+
+/// Records a span with named fields:
+/// `let _g = span!(obs, t_us, "ttsf", "translate", conn = key, len = 512usize);`
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $t:expr, $scope:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $obs.span($t, $scope, $name, $crate::fields!($($k = $v),*))
+    };
+}
+
+/// Records a flight-recorder event with named fields:
+/// `obs_event!(obs, t_us, "mobile.conn.1", "tcp.state", to = "Established");`
+#[macro_export]
+macro_rules! obs_event {
+    ($obs:expr, $t:expr, $scope:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $obs.event($t, $scope, $name, $crate::fields!($($k = $v),*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::new();
+        obs.inc("s", "k");
+        obs.gauge("s", "g", 1.0);
+        obs.hist("s", "h", 5);
+        obs.event(0, "s", "e", vec![]);
+        assert_eq!(obs.counter("s", "k"), 0);
+        assert_eq!(obs.gauge_value("s", "g"), None);
+        assert!(obs.histogram("s", "h").is_none());
+        assert_eq!(obs.events_len(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::new();
+        let clone = obs.clone();
+        clone.set_enabled(true);
+        assert!(obs.is_enabled());
+        obs.inc("s", "k");
+        assert_eq!(clone.counter("s", "k"), 1);
+    }
+
+    #[test]
+    fn macros_and_span_guard() {
+        let obs = Obs::enabled();
+        obs_event!(obs, 10, "conn", "state", to = "Established", cwnd = 2920u64);
+        {
+            let _g = span!(obs, 20, "ttsf", "translate", len = 100usize);
+        }
+        let evs = obs.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "state");
+        assert_eq!(evs[0].field("cwnd"), Some(&FieldValue::U64(2920)));
+        assert_eq!(evs[1].name, "translate");
+        // The span recorded a wall-clock sample, quarantined in `wall`.
+        assert_eq!(obs.histogram(WALL_SCOPE, "translate").unwrap().count(), 1);
+        // ...and the export excludes it while keeping the events.
+        let jsonl = obs.export_jsonl();
+        assert!(!jsonl.contains("\"wall\""));
+        assert!(jsonl.contains("\"name\":\"translate\""));
+    }
+
+    #[test]
+    fn export_is_deterministic_for_same_writes() {
+        let write = || {
+            let obs = Obs::enabled();
+            obs.add("b", "k2", 7);
+            obs.add("a", "k1", 3);
+            obs.gauge("a", "g", 1.5);
+            obs.hist("a", "h", 9);
+            obs.event(5, "a", "e", fields!(x = 1u64));
+            obs.export_jsonl()
+        };
+        let a = write();
+        assert_eq!(a, write());
+        // Sorted by scope regardless of insertion order.
+        let ka = a.find("\"key\":\"k1\"").unwrap();
+        let kb = a.find("\"key\":\"k2\"").unwrap();
+        assert!(ka < kb);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let obs = Obs::enabled();
+        obs.inc("s", "k");
+        obs.event(0, "s", "e", vec![]);
+        obs.reset();
+        assert_eq!(obs.counter("s", "k"), 0);
+        assert_eq!(obs.events_len(), 0);
+        assert!(obs.is_enabled(), "reset keeps the enabled flag");
+    }
+
+    #[test]
+    fn summary_renders_tables() {
+        let obs = Obs::enabled();
+        obs.inc("ch0", "link.enqueued");
+        obs.gauge("mobile.conn.1", "tcp.cwnd", 2920.0);
+        obs.hist("s", "h", 3);
+        let s = obs.summary();
+        assert!(s.contains("== counters =="));
+        assert!(s.contains("link.enqueued"));
+        assert!(s.contains("== gauges =="));
+        assert!(s.contains("tcp.cwnd"));
+        assert!(s.contains("== histograms =="));
+        assert!(s.contains("events: "));
+    }
+}

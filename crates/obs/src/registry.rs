@@ -1,0 +1,177 @@
+//! The typed metrics registry: counters, gauges, and fixed-bucket
+//! histograms, keyed by a runtime *scope* (a node, connection, channel, or
+//! filter instance) and a `&'static str` metric key.
+//!
+//! Everything is stored in `BTreeMap`s so iteration — and therefore the
+//! JSONL export and the summary tables — is deterministic. The write path
+//! allocates only the first time a scope is seen; steady-state updates are
+//! two map lookups and an integer add.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are defined by inclusive upper bounds; one implicit overflow
+/// bucket catches everything above the last bound. The invariant that the
+/// bucket counts always sum to [`Histogram::count`] is property-tested in
+/// `tests/properties.rs`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given inclusive upper bounds
+    /// (must be sorted ascending; an overflow bucket is added implicitly).
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds sorted");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Default exponential bounds: powers of two from 1 to 2^40 — wide
+    /// enough for byte sizes and nanosecond latencies alike.
+    pub fn exponential() -> Self {
+        let bounds: Vec<u64> = (0..=40).map(|i| 1u64 << i).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The inclusive bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// The registry proper. Interior to [`crate::Obs`]; all access goes through
+/// the handle so the enabled check and `RefCell` discipline live in one
+/// place.
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: BTreeMap<String, BTreeMap<&'static str, u64>>,
+    pub(crate) gauges: BTreeMap<String, BTreeMap<&'static str, f64>>,
+    pub(crate) hists: BTreeMap<String, BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    pub(crate) fn add(&mut self, scope: &str, key: &'static str, n: u64) {
+        if let Some(m) = self.counters.get_mut(scope) {
+            *m.entry(key).or_insert(0) += n;
+        } else {
+            let mut m = BTreeMap::new();
+            m.insert(key, n);
+            self.counters.insert(scope.to_string(), m);
+        }
+    }
+
+    pub(crate) fn gauge(&mut self, scope: &str, key: &'static str, v: f64) {
+        if let Some(m) = self.gauges.get_mut(scope) {
+            m.insert(key, v);
+        } else {
+            let mut m = BTreeMap::new();
+            m.insert(key, v);
+            self.gauges.insert(scope.to_string(), m);
+        }
+    }
+
+    pub(crate) fn hist(&mut self, scope: &str, key: &'static str, v: u64) {
+        let m = match self.hists.get_mut(scope) {
+            Some(m) => m,
+            None => self.hists.entry(scope.to_string()).or_default(),
+        };
+        m.entry(key).or_insert_with(Histogram::exponential).record(v);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5000));
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn registry_scoping() {
+        let mut r = Registry::default();
+        r.add("a", "x", 1);
+        r.add("a", "x", 2);
+        r.add("b", "x", 5);
+        assert_eq!(r.counters["a"]["x"], 3);
+        assert_eq!(r.counters["b"]["x"], 5);
+        r.gauge("a", "g", 2.5);
+        r.gauge("a", "g", 3.5);
+        assert_eq!(r.gauges["a"]["g"], 3.5);
+        r.hist("a", "h", 7);
+        assert_eq!(r.hists["a"]["h"].count(), 1);
+    }
+}

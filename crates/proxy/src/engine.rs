@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use comma_netsim::packet::{IpPayload, Packet};
 use comma_netsim::time::SimTime;
+use comma_obs::Obs;
 use comma_rt::SmallRng;
 
 use crate::filter::{Capabilities, Filter, FilterCtx, MetricsSource, Priority, Verdict};
@@ -186,6 +187,11 @@ pub struct FilterEngine {
     /// Engine totals.
     pub totals: EngineStats,
     pending_timers: Vec<(comma_netsim::time::SimDuration, u64)>,
+    /// Observability handle (disabled by default). When enabled, the engine
+    /// keeps per-filter packet/byte/drop counters (scope = filter kind),
+    /// forwards filter events to the flight recorder, and samples dispatch
+    /// wall-clock latency (`wall.`-prefixed, never exported).
+    obs: Obs,
 }
 
 impl FilterEngine {
@@ -199,7 +205,19 @@ impl FilterEngine {
             log: Vec::new(),
             totals: EngineStats::default(),
             pending_timers: Vec::new(),
+            obs: Obs::new(),
         }
+    }
+
+    /// Shares an observability handle with the engine (typically the
+    /// simulator's). Replaces the default disabled handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The engine's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Adds a service registration: apply `filter` (with `args`) to streams
@@ -281,8 +299,7 @@ impl FilterEngine {
         }
         let mut ctx = FilterCtx::new(now, rng, metrics);
         inst.filter.on_removed(&mut ctx);
-        self.log
-            .extend(ctx.logs.drain(..).map(|l| format!("{}: {l}", inst.kind)));
+        self.drain_ctx(now, &inst.kind, &mut ctx);
     }
 
     /// Current registrations.
@@ -367,6 +384,7 @@ impl FilterEngine {
                 .collect();
         }
         self.totals.pkts += 1;
+        self.obs.inc("engine", "engine.pkts");
         let Some(key) = StreamKey::of_packet(&pkt) else {
             return vec![pkt]; // Non-keyed traffic passes through.
         };
@@ -379,6 +397,9 @@ impl FilterEngine {
         if members.is_empty() {
             return vec![pkt];
         }
+        // Host wall-clock dispatch latency; `wall.`-prefixed keys never
+        // reach the deterministic export.
+        let wall_start = self.obs.is_enabled().then(std::time::Instant::now);
 
         let mut out: Vec<Packet> = Vec::new();
         let mut dropped = false;
@@ -395,7 +416,7 @@ impl FilterEngine {
                 inst.filter.on_in(&mut ctx, key, &pkt);
                 let kind = self.instances[m].as_ref().expect("inst").kind.clone();
                 Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
-                Self::drain_ctx_common(&mut self.log, &kind, &mut ctx);
+                self.drain_ctx(now, &kind, &mut ctx);
                 self.drain_service_requests(&mut ctx);
             }
             // Out pass: lowest priority first; higher priorities override.
@@ -407,9 +428,14 @@ impl FilterEngine {
                     continue;
                 };
                 let before = pkt.clone();
+                let before_payload = payload_len(&before);
                 let verdict = inst.filter.on_out(&mut ctx, key, &mut pkt);
                 let caps = inst.caps;
                 let (hdr_changed, payload_changed) = diff_kind(&before, &pkt);
+                let mut was_modified = false;
+                let mut was_dropped = false;
+                let mut violations = 0u64;
+                let mut injected = 0u64;
                 let mut violated = false;
                 if hdr_changed && !caps.allows(Capabilities::MODIFY_HEADERS) {
                     violated = true;
@@ -419,6 +445,7 @@ impl FilterEngine {
                 }
                 if violated {
                     inst.stats.violations += 1;
+                    violations += 1;
                     let kind = inst.kind.clone();
                     pkt = before;
                     self.log.push(format!(
@@ -427,20 +454,22 @@ impl FilterEngine {
                 } else if hdr_changed || payload_changed {
                     inst.stats.pkts_modified += 1;
                     any_modified = true;
-                    let before_len = payload_len(&before);
+                    was_modified = true;
                     let after_len = payload_len(&pkt);
-                    if after_len < before_len {
-                        inst.stats.bytes_removed += (before_len - after_len) as u64;
+                    if after_len < before_payload {
+                        inst.stats.bytes_removed += (before_payload - after_len) as u64;
                     } else {
-                        inst.stats.bytes_added += (after_len - before_len) as u64;
+                        inst.stats.bytes_added += (after_len - before_payload) as u64;
                     }
                 }
                 if verdict == Verdict::Drop {
                     if caps.allows(Capabilities::DROP) {
                         inst.stats.pkts_dropped += 1;
                         dropped = true;
+                        was_dropped = true;
                     } else {
                         inst.stats.violations += 1;
+                        violations += 1;
                         let kind = inst.kind.clone();
                         self.log.push(format!(
                             "engine: blocked unauthorized drop by {kind} on {key}"
@@ -454,9 +483,11 @@ impl FilterEngine {
                     if inst.caps.allows(Capabilities::INJECT) {
                         inst.stats.pkts_injected += inj.len() as u64;
                         self.totals.injected += inj.len() as u64;
+                        injected = inj.len() as u64;
                         out.extend(inj);
                     } else {
                         inst.stats.violations += inj.len() as u64;
+                        violations += inj.len() as u64;
                         self.log.push(format!(
                             "engine: blocked unauthorized injection by {} on {key}",
                             self.instances[m].as_ref().expect("inst").kind
@@ -464,8 +495,25 @@ impl FilterEngine {
                     }
                 }
                 let kind = self.instances[m].as_ref().expect("inst").kind.clone();
+                if self.obs.is_enabled() {
+                    self.obs.inc(&kind, "filter.pkts");
+                    self.obs.add(&kind, "filter.bytes", before_payload as u64);
+                    if was_dropped {
+                        self.obs.inc(&kind, "filter.drops");
+                    }
+                    if was_modified {
+                        self.obs.inc(&kind, "filter.modified");
+                    }
+                    if injected > 0 {
+                        self.obs.add(&kind, "filter.injected", injected);
+                        self.obs.add("engine", "engine.injected", injected);
+                    }
+                    if violations > 0 {
+                        self.obs.add(&kind, "filter.violations", violations);
+                    }
+                }
                 Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
-                Self::drain_ctx_common(&mut self.log, &kind, &mut ctx);
+                self.drain_ctx(now, &kind, &mut ctx);
                 self.drain_service_requests(&mut ctx);
             }
             // Stream-closed requests are handled after the ctx borrow ends.
@@ -476,11 +524,20 @@ impl FilterEngine {
         }
         if dropped {
             self.totals.drops += 1;
+            self.obs.inc("engine", "engine.drops");
         } else {
             if any_modified {
                 self.totals.modified += 1;
+                self.obs.inc("engine", "engine.modified");
             }
             out.insert(0, pkt);
+        }
+        if let Some(t0) = wall_start {
+            self.obs.hist(
+                "engine",
+                "wall.dispatch_ns",
+                t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
         }
         out
     }
@@ -496,9 +553,39 @@ impl FilterEngine {
         }
     }
 
-    fn drain_ctx_common(log: &mut Vec<String>, kind: &str, ctx: &mut FilterCtx<'_>) {
-        for line in ctx.logs.drain(..) {
-            log.push(format!("{kind}: {line}"));
+    /// Drains a filter context's structured output: events become proxy-log
+    /// lines (and flight-recorder entries when obs is enabled), counts and
+    /// gauges land in the registry under the filter-kind scope.
+    fn drain_ctx(&mut self, now: SimTime, kind: &str, ctx: &mut FilterCtx<'_>) {
+        let enabled = self.obs.is_enabled();
+        for (name, fields) in ctx.events.drain(..) {
+            let line = if name == "log" && fields.len() == 1 && fields[0].0 == "msg" {
+                // The log() shim: render back to the original raw string.
+                fields[0].1.to_string()
+            } else {
+                let mut s = String::from(name);
+                for (k, v) in &fields {
+                    s.push(' ');
+                    s.push_str(k);
+                    s.push('=');
+                    s.push_str(&v.to_string());
+                }
+                s
+            };
+            self.log.push(format!("{kind}: {line}"));
+            if enabled {
+                self.obs.event(now.as_micros(), kind, name, fields);
+            }
+        }
+        for (key, n) in ctx.counts.drain(..) {
+            if enabled {
+                self.obs.add(kind, key, n);
+            }
+        }
+        for (key, v) in ctx.gauge_sets.drain(..) {
+            if enabled {
+                self.obs.gauge(kind, key, v);
+            }
         }
     }
 
@@ -539,18 +626,24 @@ impl FilterEngine {
         inst.filter.on_timer(&mut ctx, user);
         let mut out = Vec::new();
         let inj: Vec<Packet> = ctx.injections.drain(..).collect();
+        let mut injected = 0u64;
         if !inj.is_empty() {
             if inst.caps.allows(Capabilities::INJECT) {
                 inst.stats.pkts_injected += inj.len() as u64;
                 self.totals.injected += inj.len() as u64;
+                injected = inj.len() as u64;
                 out.extend(inj);
             } else {
                 inst.stats.violations += inj.len() as u64;
             }
         }
         let kind = inst.kind.clone();
+        if injected > 0 {
+            self.obs.add(&kind, "filter.injected", injected);
+            self.obs.add("engine", "engine.injected", injected);
+        }
         Self::drain_ctx_timers(&mut self.pending_timers, inst_id, &mut ctx);
-        Self::drain_ctx_common(&mut self.log, &kind, &mut ctx);
+        self.drain_ctx(now, &kind, &mut ctx);
         self.drain_service_requests(&mut ctx);
         let closed: Vec<StreamKey> = ctx.closed_streams.drain(..).collect();
         drop(ctx);
@@ -595,7 +688,7 @@ impl FilterEngine {
                         let keys = filter.insert(&mut ctx, key);
                         let inst_id = self.instances.len();
                         Self::drain_ctx_timers(&mut self.pending_timers, inst_id, &mut ctx);
-                        Self::drain_ctx_common(&mut self.log, &reg.filter, &mut ctx);
+                        self.drain_ctx(now, &reg.filter, &mut ctx);
                         self.drain_service_requests(&mut ctx);
                         let priority = filter.priority();
                         let caps = filter.capabilities();

@@ -11,6 +11,7 @@ use std::fmt;
 
 use comma_netsim::packet::Packet;
 use comma_netsim::time::{SimDuration, SimTime};
+use comma_obs::FieldValue;
 use comma_rt::SmallRng;
 
 use crate::key::StreamKey;
@@ -113,7 +114,9 @@ pub struct FilterCtx<'a> {
     pub(crate) injections: Vec<Packet>,
     pub(crate) timers: Vec<(SimDuration, u64)>,
     pub(crate) closed_streams: Vec<StreamKey>,
-    pub(crate) logs: Vec<String>,
+    pub(crate) events: Vec<(&'static str, Vec<(&'static str, FieldValue)>)>,
+    pub(crate) counts: Vec<(&'static str, u64)>,
+    pub(crate) gauge_sets: Vec<(&'static str, f64)>,
     pub(crate) service_requests: Vec<(crate::key::WildKey, String, Vec<String>)>,
 }
 
@@ -127,7 +130,9 @@ impl<'a> FilterCtx<'a> {
             injections: Vec::new(),
             timers: Vec::new(),
             closed_streams: Vec::new(),
-            logs: Vec::new(),
+            events: Vec::new(),
+            counts: Vec::new(),
+            gauge_sets: Vec::new(),
             service_requests: Vec::new(),
         }
     }
@@ -150,9 +155,34 @@ impl<'a> FilterCtx<'a> {
         self.closed_streams.push(key);
     }
 
+    /// Records a structured event, attributed to the invoking filter by the
+    /// engine: it lands in the proxy log (rendered) *and* in the
+    /// observability flight recorder (queryable). Prefer this over
+    /// [`FilterCtx::log`] — `event("ooo_drop", vec![("seq", seq.into())])`
+    /// can be filtered and counted; a formatted string cannot.
+    pub fn event(&mut self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        self.events.push((name, fields));
+    }
+
+    /// Adds `n` to a registry counter scoped to the invoking filter's kind
+    /// (e.g. `count("ttsf.acks_translated", 1)`).
+    pub fn count(&mut self, key: &'static str, n: u64) {
+        self.counts.push((key, n));
+    }
+
+    /// Sets a registry gauge scoped to the invoking filter's kind
+    /// (e.g. `gauge("ttsf.editmap_records", map.records() as f64)`).
+    pub fn gauge(&mut self, key: &'static str, v: f64) {
+        self.gauge_sets.push((key, v));
+    }
+
     /// Emits a diagnostic line into the proxy log.
+    ///
+    /// Compatibility shim over [`FilterCtx::event`]: the line is recorded
+    /// as a `log` event with a single `msg` field and rendered back to the
+    /// exact same proxy-log string as before.
     pub fn log(&mut self, msg: impl Into<String>) {
-        self.logs.push(msg.into());
+        self.event("log", vec![("msg", FieldValue::Str(msg.into()))]);
     }
 
     /// Drains the injected packets (engine and test use).
@@ -262,9 +292,21 @@ mod tests {
             IcmpMessage::RouterSolicitation,
         ));
         ctx.stream_closed("1.1.1.1 1 2.2.2.2 2".parse().unwrap());
+        ctx.event("probe", vec![("seq", FieldValue::U64(7))]);
+        ctx.count("pkts", 2);
+        ctx.gauge("window", 4096.0);
         assert_eq!(ctx.timers.len(), 1);
-        assert_eq!(ctx.logs.len(), 1);
         assert_eq!(ctx.injections.len(), 1);
         assert_eq!(ctx.closed_streams.len(), 1);
+        // log() is a shim over event("log", msg=...).
+        assert_eq!(ctx.events.len(), 2);
+        assert_eq!(ctx.events[0].0, "log");
+        assert_eq!(
+            ctx.events[0].1,
+            vec![("msg", FieldValue::Str("hello".into()))]
+        );
+        assert_eq!(ctx.events[1].0, "probe");
+        assert_eq!(ctx.counts, vec![("pkts", 2)]);
+        assert_eq!(ctx.gauge_sets, vec![("window", 4096.0)]);
     }
 }

@@ -63,6 +63,12 @@ impl ServiceProxy {
         self.metrics = metrics;
     }
 
+    /// Shares an observability handle with the filtering engine (typically
+    /// the simulator's; see `comma_obs::Obs`).
+    pub fn set_obs(&mut self, obs: comma_obs::Obs) {
+        self.engine.set_obs(obs);
+    }
+
     /// Executes one SP console command (§5.3.1) and returns its output.
     pub fn exec(&mut self, now: SimTime, line: &str) -> String {
         command::execute(

@@ -221,6 +221,11 @@ impl TcpConnection {
         self.rto.srtt()
     }
 
+    /// Current retransmission timeout (including backoff and clamping).
+    pub fn rto(&self) -> SimDuration {
+        self.rto.rto()
+    }
+
     /// `snd_nxt` restricted to payload space (excludes a sent FIN).
     fn data_nxt(&self) -> u32 {
         match self.fin_seq {

@@ -4,6 +4,7 @@
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
+use comma_obs::fields;
 use comma_rt::Bytes;
 use comma_netsim::addr::Ipv4Addr;
 use comma_netsim::node::{IfaceId, Node, NodeCtx};
@@ -81,6 +82,11 @@ struct SocketEntry {
     remote: (Ipv4Addr, u16),
     app: usize,
     passive: bool,
+    /// Cached observability scope (`<host>.conn.<l>:<lp>-<r>:<rp>`), built
+    /// lazily on the first publish so the disabled path never allocates.
+    obs_scope: Option<String>,
+    /// Last state published to the flight recorder.
+    last_state: TcpState,
 }
 
 struct Listener {
@@ -291,6 +297,55 @@ impl Host {
             work.push_back(Work::AppEvent(app, kind));
         }
         self.arm_socket_timer(ctx, sock);
+        self.publish_obs(ctx, sock);
+    }
+
+    /// Publishes this connection's congestion/RTT/loss state into the
+    /// observability registry, and a `tcp.state` flight-recorder event on
+    /// every state transition. Called after each batch of effects; a single
+    /// branch when observability is disabled.
+    fn publish_obs(&mut self, ctx: &mut NodeCtx<'_>, sock: usize) {
+        let Some(obs) = ctx.obs() else {
+            return;
+        };
+        let entry = &mut self.sockets[sock];
+        let scope = entry.obs_scope.get_or_insert_with(|| {
+            format!(
+                "{}.conn.{}:{}-{}:{}",
+                self.name, entry.local.0, entry.local.1, entry.remote.0, entry.remote.1
+            )
+        });
+        let conn = &entry.conn;
+        obs.gauge(scope, "tcp.cwnd", conn.cwnd() as f64);
+        obs.gauge(scope, "tcp.ssthresh", conn.ssthresh() as f64);
+        obs.gauge(scope, "tcp.rto_us", conn.rto().as_micros() as f64);
+        if let Some(srtt) = conn.srtt() {
+            obs.gauge(scope, "tcp.srtt_us", srtt.as_micros() as f64);
+        }
+        let st = conn.stats;
+        obs.gauge(scope, "tcp.retransmits", st.retransmits as f64);
+        obs.gauge(scope, "tcp.timeouts", st.timeouts as f64);
+        obs.gauge(scope, "tcp.fast_retransmits", st.fast_retransmits as f64);
+        obs.gauge(scope, "tcp.dup_acks", st.dup_acks as f64);
+        obs.gauge(scope, "tcp.segs_out", st.segs_out as f64);
+        obs.gauge(scope, "tcp.segs_in", st.segs_in as f64);
+        obs.gauge(scope, "tcp.bytes_sent", st.bytes_sent as f64);
+        obs.gauge(scope, "tcp.bytes_delivered", st.bytes_delivered as f64);
+        let state = conn.state();
+        if state != entry.last_state {
+            obs.event(
+                ctx.now.as_micros(),
+                scope,
+                "tcp.state",
+                fields!(
+                    from = format!("{:?}", entry.last_state),
+                    to = format!("{:?}", state),
+                    cwnd = conn.cwnd(),
+                    ssthresh = conn.ssthresh(),
+                ),
+            );
+            entry.last_state = state;
+        }
     }
 
     fn arm_socket_timer(&mut self, ctx: &mut NodeCtx<'_>, sock: usize) {
@@ -370,6 +425,8 @@ impl Host {
                         remote,
                         app: app_idx,
                         passive: false,
+                        obs_scope: None,
+                        last_state: TcpState::Closed,
                     });
                     work.push_back(Work::Effects(self.sockets.len() - 1, eff));
                 }
@@ -474,6 +531,8 @@ impl Host {
                     remote: (src, seg.src_port),
                     app,
                     passive: true,
+                    obs_scope: None,
+                    last_state: TcpState::Closed,
                 });
                 let mut work = VecDeque::new();
                 work.push_back(Work::Effects(self.sockets.len() - 1, eff));

@@ -5,6 +5,10 @@
 //! the bytes it reads are exactly the bytes that were written — only the
 //! wireless hop carries compressed blocks.
 //!
+//! The compressed run enables the unified observability layer and ends by
+//! printing `kati obs summary`: per-connection TCP state and per-filter
+//! packet/byte/drop accounting from one registry.
+//!
 //! Run with: `cargo run --example legacy_compression`
 
 use comma_repro::prelude::*;
@@ -16,6 +20,7 @@ fn run(compressed: bool) -> (f64, u64) {
     });
     let mut world = CommaBuilder::new(17)
         .double_proxy(true)
+        .observability(compressed)
         .wireless(
             LinkParams::wireless().with_bandwidth(128_000),
             LinkParams::wireless().with_bandwidth(128_000),
@@ -41,6 +46,13 @@ fn run(compressed: bool) -> (f64, u64) {
             *b,
             b"Wireless networks are characterized by the generally low QoS... "[i % 64]
         );
+    }
+    if compressed {
+        // The third-party view: what the transparency machinery did,
+        // straight from the unified observability registry.
+        let mut kati = Kati::new(world.proxy);
+        let summary = kati.exec(&mut world.sim, "obs summary");
+        println!("kati> obs summary\n{summary}");
     }
     (
         finished.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),

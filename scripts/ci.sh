@@ -27,6 +27,18 @@ else
     echo "== clippy not installed; skipping =="
 fi
 
+echo "== obs smoke (example emits a non-empty observability summary) =="
+out="$(cargo run -q --release --offline --example legacy_compression)"
+echo "$out" | grep -q "== tcp connections ==" || {
+    echo "obs smoke FAILED: no tcp-connections table in example output" >&2
+    exit 1
+}
+echo "$out" | grep -q "== filters ==" || {
+    echo "obs smoke FAILED: no filters table in example output" >&2
+    exit 1
+}
+echo "obs smoke ok"
+
 if [ "${1:-}" = "bench" ]; then
     echo "== bench smoke (COMMA_BENCH_FAST=${COMMA_BENCH_FAST:-0}) =="
     cargo bench -q --offline -p comma-bench --bench micro

@@ -9,6 +9,7 @@ pub use comma_filters as filters;
 pub use comma_kati as kati;
 pub use comma_mobileip as mobileip;
 pub use comma_netsim as netsim;
+pub use comma_obs as obs;
 pub use comma_proxy as proxy;
 pub use comma_rt as rt;
 pub use comma_tcp as tcp;

@@ -7,6 +7,52 @@
 use comma_repro::prelude::*;
 use comma_repro::rt::digest::Fnv1a;
 
+/// Runs a lossy double-proxy compression transfer with observability
+/// enabled; returns the full deterministic JSONL export.
+fn run_obs_jsonl(seed: u64) -> String {
+    let loss = LossModel::Gilbert {
+        p_good_to_bad: 0.05,
+        p_bad_to_good: 0.4,
+        loss_good: 0.01,
+        loss_bad: 0.3,
+    };
+    let sender = BulkSender::new((addrs::MOBILE, 9000), 60_000)
+        .with_pattern(|i| b"determinism is a feature. "[i % 26]);
+    let mut world = CommaBuilder::new(seed)
+        .double_proxy(true)
+        .observability(true)
+        .wireless(
+            LinkParams::wireless().with_loss(loss.clone()),
+            LinkParams::wireless().with_loss(loss),
+        )
+        .build(
+            vec![Box::new(sender)],
+            vec![Box::new(Sink::new(9000))],
+        );
+    world.sp("add compress 0.0.0.0 0 11.11.10.10 9000 lzss");
+    world.stub_sp("add decompress 0.0.0.0 0 11.11.10.10 9000");
+    world.run_until(SimTime::from_secs(90));
+    world.obs.export_jsonl()
+}
+
+#[test]
+fn same_seed_byte_identical_obs_export() {
+    let a = run_obs_jsonl(4242);
+    let b = run_obs_jsonl(4242);
+    assert!(!a.is_empty());
+    assert!(a.contains("link.offered"), "links instrumented");
+    assert!(a.contains("tcp.cwnd"), "connections instrumented");
+    assert!(a.contains("filter.pkts"), "filters instrumented");
+    assert!(
+        !a.contains("\"wall\"") && !a.contains("wall."),
+        "host wall-clock metrics are quarantined out of the export"
+    );
+    assert_eq!(
+        a, b,
+        "same seed must produce a byte-identical observability export"
+    );
+}
+
 /// Runs a lossy double-proxy compression transfer and fingerprints the
 /// full packet trace plus the delivered bytes.
 fn run_fingerprint(seed: u64) -> (u64, u64, usize) {

@@ -298,3 +298,40 @@ fn recv_buffer_reassembles() {
         },
     );
 }
+
+// ---------------------------------------------------------------------
+// Observability histograms (comma-obs).
+// ---------------------------------------------------------------------
+
+/// Bucket counts always sum to the sample count, for arbitrary bounds and
+/// samples (including values past the last bound, which land in the
+/// overflow bucket), and min/max/sum stay consistent.
+#[test]
+fn histogram_bucket_counts_sum_to_sample_count() {
+    use comma_repro::obs::Histogram;
+    Runner::new("histogram_bucket_counts_sum_to_sample_count")
+        .cases(200)
+        .run(
+            |rng| {
+                let mut bounds = gen::vec_of(rng, 1..12, |rng| rng.gen_range(1u64..1_000_000));
+                bounds.sort_unstable();
+                bounds.dedup();
+                let samples = gen::vec_of(rng, 0..200, |rng| rng.gen_range(0u64..2_000_000));
+                (bounds, samples)
+            },
+            |(bounds, samples)| {
+                let mut h = Histogram::new(bounds);
+                for &v in samples {
+                    h.record(v);
+                }
+                let bucket_sum: u64 = h.counts().iter().sum();
+                ensure_eq!(bucket_sum, samples.len() as u64);
+                ensure_eq!(h.count(), samples.len() as u64);
+                ensure_eq!(h.sum(), samples.iter().sum::<u64>());
+                ensure_eq!(h.min(), samples.iter().min().copied());
+                ensure_eq!(h.max(), samples.iter().max().copied());
+                ensure_eq!(h.counts().len(), h.bounds().len() + 1, "overflow bucket");
+                Ok(())
+            },
+        );
+}
