@@ -1,0 +1,189 @@
+//! Macro-benchmark: the perf trajectory the repo tracks over time.
+//!
+//! Drives a full wired→wireless TCP transfer through a 4-filter proxy
+//! chain plus a direct filter-engine dispatch loop and the experiment
+//! suite (serial vs parallel), then writes:
+//!
+//! - `BENCH_macro.json` (repo root) — the latest snapshot, with the four
+//!   headline numbers: `pkts_per_sec`, `engine_ns_per_pkt`,
+//!   `events_per_sec`, `exps_wall_ms`;
+//! - `BENCH.json` (repo root) — the append-only trajectory array.
+//!
+//! Run via `cargo bench -p comma-bench --bench macrobench`; set
+//! `COMMA_BENCH_FAST=1` for the CI smoke configuration (smaller packet
+//! counts and transfer, same report shape).
+
+use std::time::Instant;
+
+use comma::topology::{addrs, CommaBuilder};
+use comma_bench::exps;
+use comma_filters::standard_catalog;
+use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
+use comma_netsim::time::SimTime;
+use comma_proxy::engine::FilterEngine;
+use comma_proxy::filter::NullMetrics;
+use comma_proxy::{ServiceProxy, WildKey};
+use comma_rt::{Bytes, SeedableRng, SmallRng};
+use comma_tcp::apps::{BulkSender, Sink};
+
+fn fast_mode() -> bool {
+    std::env::var("COMMA_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Direct dispatch cost: ns per packet through a 4-filter chain
+/// (tcp → snoop → wsize → tcp), no simulator in the loop.
+fn engine_ns_per_pkt(pkts: u64) -> f64 {
+    let mut engine = FilterEngine::new(standard_catalog(comma_filters::ALL_FILTERS));
+    engine.register(WildKey::ANY, "tcp", vec![]).unwrap();
+    engine.register(WildKey::ANY, "snoop", vec![]).unwrap();
+    engine
+        .register(
+            WildKey::ANY,
+            "wsize",
+            vec!["scale".into(), "90".into()],
+        )
+        .unwrap();
+    engine.register(WildKey::ANY, "tcp", vec![]).unwrap();
+
+    let payload = Bytes::from(vec![0xabu8; 1400]);
+    let src = "11.11.10.99".parse().unwrap();
+    let dst = "11.11.10.10".parse().unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    // Prime the flow (queue expansion happens on the first packet).
+    let mut seg = TcpSegment::new(7, 1169, 0, 0, TcpFlags::ACK);
+    seg.payload = payload.clone();
+    engine.process(SimTime::ZERO, &mut rng, &NullMetrics, Packet::tcp(src, dst, seg));
+
+    let t = Instant::now();
+    for i in 0..pkts {
+        let mut seg = TcpSegment::new(7, 1169, (i as u32).wrapping_mul(1400), 0, TcpFlags::ACK);
+        seg.payload = payload.clone();
+        let out = engine.process(SimTime::ZERO, &mut rng, &NullMetrics, Packet::tcp(src, dst, seg));
+        std::hint::black_box(out);
+    }
+    t.elapsed().as_nanos() as f64 / pkts as f64
+}
+
+/// End-to-end transfer through the standard topology with the same
+/// 4-filter chain installed on the Service Proxy. Returns
+/// `(pkts_per_sec, events_per_sec, engine_pkts, sim_events, bytes_received)`.
+fn end_to_end(bytes: u64) -> (f64, f64, u64, u64, u64) {
+    let mut world = CommaBuilder::new(7).eem(false).build(
+        vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), bytes as usize))],
+        vec![Box::new(Sink::new(9000))],
+    );
+    world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
+    world.sp("add snoop 0.0.0.0 0 11.11.10.10 9000");
+    world.sp("add wsize 0.0.0.0 0 11.11.10.10 9000 scale 90");
+    world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
+
+    let t = Instant::now();
+    world.run_until(SimTime::from_secs(300));
+    let wall = t.elapsed().as_secs_f64();
+
+    let received =
+        world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received) as u64;
+    assert_eq!(received, bytes, "transfer did not complete within the run window");
+    let pkts = world
+        .sim
+        .with_node::<ServiceProxy, _>(world.proxy, |sp| sp.engine.totals.pkts);
+    let events = world.sim.events_processed();
+    (
+        pkts as f64 / wall,
+        events as f64 / wall,
+        pkts,
+        events,
+        received,
+    )
+}
+
+/// Experiment-suite wall clock, serial vs parallel; asserts the rendered
+/// reports are byte-identical.
+fn exps_wall_ms() -> (f64, f64) {
+    let t = Instant::now();
+    let serial = exps::run_all_serial();
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let parallel = exps::run_all();
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        serial, parallel,
+        "parallel experiment report diverged from serial"
+    );
+    (serial_ms, parallel_ms)
+}
+
+fn append_trajectory(root: &std::path::Path, entry: &str) {
+    let path = root.join("BENCH.json");
+    let existing = std::fs::read_to_string(&path).unwrap_or_else(|_| "[]".to_string());
+    let trimmed = existing.trim();
+    let body = trimmed
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .unwrap_or("")
+        .trim();
+    let joined = if body.is_empty() {
+        format!("[\n{entry}\n]\n")
+    } else {
+        format!("[\n{body},\n{entry}\n]\n")
+    };
+    std::fs::write(&path, joined).expect("write BENCH.json");
+}
+
+fn main() {
+    let fast = fast_mode();
+    let engine_pkts: u64 = if fast { 50_000 } else { 400_000 };
+    let transfer_bytes: u64 = if fast { 262_144 } else { 2_097_152 };
+
+    eprintln!("macrobench: engine dispatch ({engine_pkts} pkts, 4-filter chain)...");
+    let ns_per_pkt = engine_ns_per_pkt(engine_pkts);
+    eprintln!("macrobench:   engine_ns_per_pkt = {ns_per_pkt:.1}");
+
+    eprintln!("macrobench: end-to-end transfer ({transfer_bytes} B)...");
+    let (pkts_per_sec, events_per_sec, pkts, events, received) = end_to_end(transfer_bytes);
+    eprintln!(
+        "macrobench:   pkts_per_sec = {pkts_per_sec:.0} ({pkts} pkts), \
+         events_per_sec = {events_per_sec:.0} ({events} events), {received} B delivered"
+    );
+
+    eprintln!("macrobench: experiment suite serial vs parallel...");
+    let (serial_ms, parallel_ms) = exps_wall_ms();
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    eprintln!(
+        "macrobench:   exps_wall_ms serial = {serial_ms:.0}, parallel = {parallel_ms:.0} \
+         ({speedup:.2}x)"
+    );
+
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = format!(
+        "  {{\n    \"unix_ts\": {unix_ts},\n    \"fast\": {fast},\n    \
+         \"engine_ns_per_pkt\": {ns_per_pkt:.1},\n    \
+         \"pkts_per_sec\": {pkts_per_sec:.1},\n    \
+         \"events_per_sec\": {events_per_sec:.1},\n    \
+         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1} }}\n  }}"
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let snapshot = format!(
+        "{{\n  \"schema\": \"comma-macro-bench-v1\",\n  \"fast\": {fast},\n  \
+         \"engine_pkts\": {engine_pkts},\n  \
+         \"engine_ns_per_pkt\": {ns_per_pkt:.1},\n  \
+         \"transfer_bytes\": {transfer_bytes},\n  \
+         \"proxy_pkts\": {pkts},\n  \
+         \"pkts_per_sec\": {pkts_per_sec:.1},\n  \
+         \"sim_events\": {events},\n  \
+         \"events_per_sec\": {events_per_sec:.1},\n  \
+         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1}, \
+         \"speedup\": {speedup:.2} }}\n}}\n"
+    );
+    std::fs::write(root.join("BENCH_macro.json"), &snapshot).expect("write BENCH_macro.json");
+    append_trajectory(&root, &entry);
+    println!("{snapshot}");
+    eprintln!("macrobench: wrote BENCH_macro.json and appended BENCH.json");
+}

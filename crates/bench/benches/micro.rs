@@ -84,6 +84,63 @@ fn bench_engine(bench: &mut Bench) {
             engine.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400))
         });
     }
+
+    // The ISSUE-tracked fast-path benches: a packet through an empty queue
+    // (pure dispatch overhead) and through a realistic 4-filter chain
+    // (tcp → snoop → wsize → tcp), payload untouched — the zero-clone path.
+    let mut passthrough = FilterEngine::new(standard_catalog(comma_filters::ALL_FILTERS));
+    let mut rng = SmallRng::seed_from_u64(2);
+    passthrough.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400));
+    g.bench("engine_process_passthrough", || {
+        passthrough.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400))
+    });
+
+    let mut chain = FilterEngine::new(standard_catalog(comma_filters::ALL_FILTERS));
+    chain.register(WildKey::ANY, "tcp", vec![]).unwrap();
+    chain.register(WildKey::ANY, "snoop", vec![]).unwrap();
+    chain
+        .register(WildKey::ANY, "wsize", vec!["scale".into(), "90".into()])
+        .unwrap();
+    chain.register(WildKey::ANY, "tcp", vec![]).unwrap();
+    let mut rng = SmallRng::seed_from_u64(3);
+    chain.process(SimTime::ZERO, &mut rng, &NullMetrics, data_packet(1400));
+    let mut seq = 0u32;
+    g.bench("engine_process_4filter_chain", || {
+        seq = seq.wrapping_add(1400);
+        let mut pkt = data_packet(1400);
+        if let comma_netsim::packet::IpPayload::Tcp(seg) = &mut pkt.body {
+            seg.seq = seq;
+        }
+        chain.process(SimTime::ZERO, &mut rng, &NullMetrics, pkt)
+    });
+    g.finish();
+}
+
+fn bench_flow_table(bench: &mut Bench) {
+    use comma_proxy::flow::FlowTable;
+    use comma_proxy::StreamKey;
+    use std::rc::Rc;
+
+    let mut g = bench.group("flow-table");
+    let mut table = FlowTable::new();
+    let keys: Vec<StreamKey> = (0..64u16)
+        .map(|i| {
+            StreamKey::new(
+                "11.11.10.99".parse().unwrap(),
+                1024 + i,
+                "11.11.10.10".parse().unwrap(),
+                9000,
+            )
+        })
+        .collect();
+    for key in &keys {
+        table.entry(*key).members = Rc::from(vec![0, 1, 2, 3]);
+    }
+    let mut i = 0usize;
+    g.bench("flow_table_lookup", || {
+        i = (i + 1) & 63;
+        table.members(keys[i])
+    });
     g.finish();
 }
 
@@ -145,6 +202,7 @@ fn main() {
     bench_codecs(&mut bench);
     bench_editmap(&mut bench);
     bench_engine(&mut bench);
+    bench_flow_table(&mut bench);
     bench_simulation(&mut bench);
     bench_obs(&mut bench);
     bench.finish();

@@ -1,5 +1,12 @@
 //! The experiment suite: one module per group of tables/figures from the
 //! DESIGN.md experiment index.
+//!
+//! Each experiment is a self-contained `fn() -> String`: it builds its own
+//! seeded [`comma_netsim::sim::Simulator`] world, runs it, and renders a
+//! report block. Because nothing is shared, [`run_all`] fans the table out
+//! across scoped threads and joins the blocks back **by index**, so the
+//! rendered report is byte-identical to the serial order produced by
+//! [`run_all_serial`].
 
 pub mod ablations;
 pub mod matrix;
@@ -10,24 +17,47 @@ pub mod services;
 pub mod sessions;
 pub mod tuning;
 
-/// Runs every experiment and returns the rendered report blocks in order.
+/// Every experiment, in report order. Plain `fn` pointers are `Send`, and
+/// each experiment owns its seeded simulator, so the table can be run
+/// serially or in parallel with identical output.
+pub const EXPERIMENTS: [fn() -> String; 16] = [
+    sessions::e01_sp_session,
+    sessions::e02_eem_example,
+    sessions::e03_kati_session,
+    services::e04_removal,
+    services::e05_compression,
+    tuning::e06_snoop_sweep,
+    tuning::e07_prioritization,
+    tuning::e08_zwsm,
+    mip::e09_triangular_routing,
+    mip::e10_handoff_loss,
+    monitor::e11_monitor_traffic,
+    media::e12_hierarchical_discard,
+    services::e13_reduction_matrix,
+    matrix::e14_comparison_matrix,
+    ablations::a1_snoop_rto_clamp,
+    ablations::a2_compress_block_size,
+];
+
+/// Runs every experiment in parallel (one scoped thread each) and returns
+/// the rendered report blocks in table order. Results are collected into
+/// per-experiment slots, so the output is byte-identical to
+/// [`run_all_serial`] regardless of completion order.
 pub fn run_all() -> Vec<String> {
-    vec![
-        sessions::e01_sp_session(),
-        sessions::e02_eem_example(),
-        sessions::e03_kati_session(),
-        services::e04_removal(),
-        services::e05_compression(),
-        tuning::e06_snoop_sweep(),
-        tuning::e07_prioritization(),
-        tuning::e08_zwsm(),
-        mip::e09_triangular_routing(),
-        mip::e10_handoff_loss(),
-        monitor::e11_monitor_traffic(),
-        media::e12_hierarchical_discard(),
-        services::e13_reduction_matrix(),
-        matrix::e14_comparison_matrix(),
-        ablations::a1_snoop_rto_clamp(),
-        ablations::a2_compress_block_size(),
-    ]
+    let mut results: Vec<Option<String>> = (0..EXPERIMENTS.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, exp) in results.iter_mut().zip(EXPERIMENTS.iter()) {
+            scope.spawn(move || *slot = Some(exp()));
+        }
+    });
+    results
+        .into_iter()
+        .map(|block| block.expect("experiment thread panicked"))
+        .collect()
+}
+
+/// Runs every experiment on the calling thread, in table order (the
+/// reference ordering that [`run_all`] must match byte-for-byte).
+pub fn run_all_serial() -> Vec<String> {
+    EXPERIMENTS.iter().map(|exp| exp()).collect()
 }

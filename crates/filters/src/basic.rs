@@ -17,6 +17,9 @@ pub struct TcpHousekeeping {
     key: Option<StreamKey>,
     fin_down: bool,
     fin_up: bool,
+    /// Reusable wire-encode buffer (cleared per packet, capacity kept) so
+    /// verification does not allocate on the per-packet path.
+    buf: Vec<u8>,
     /// Packets whose wire encoding was verified.
     pub verified: u64,
     /// Packets that failed wire verification (should stay zero).
@@ -30,6 +33,7 @@ impl TcpHousekeeping {
             key: None,
             fin_down: false,
             fin_up: false,
+            buf: Vec::new(),
             verified: 0,
             corrupt: 0,
         }
@@ -62,12 +66,14 @@ impl Filter for TcpHousekeeping {
 
     fn on_out(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, pkt: &mut Packet) -> Verdict {
         // Highest priority: this out method runs last, after every
-        // modification. Encode and re-decode to prove the packet leaves the
+        // modification. Encode and re-verify to prove the packet leaves the
         // proxy with valid checksums (the thesis's "recalculating IP
-        // checksums as necessary").
-        let bytes = wire::encode(pkt);
-        match wire::decode(&bytes) {
-            Ok(_) => self.verified += 1,
+        // checksums as necessary"). `wire::verify` checks the same bounds
+        // and checksums as a full decode without allocating.
+        self.buf.clear();
+        wire::encode_into(&mut self.buf, pkt);
+        match wire::verify(&self.buf) {
+            Ok(()) => self.verified += 1,
             Err(e) => {
                 self.corrupt += 1;
                 ctx.count("tcp.checksum_failures", 1);

@@ -38,6 +38,9 @@ pub struct Snoop {
     /// Cache keyed by the segment's offset from the ISN (monotonic across
     /// sequence wraparound).
     cache: BTreeMap<u64, CachedSeg>,
+    /// Running wire-byte total of `cache` (kept in sync at every insert,
+    /// remove, and clear so the per-packet admission check is O(1)).
+    cached_bytes: usize,
     last_ack: Option<u32>,
     last_win: Option<u16>,
     dup_count: u32,
@@ -61,6 +64,7 @@ impl Snoop {
             down_key: None,
             base: None,
             cache: BTreeMap::new(),
+            cached_bytes: 0,
             last_ack: None,
             last_win: None,
             dup_count: 0,
@@ -91,7 +95,11 @@ impl Snoop {
     }
 
     fn cache_bytes(&self) -> usize {
-        self.cache.values().map(|c| c.pkt.wire_len()).sum()
+        debug_assert_eq!(
+            self.cached_bytes,
+            self.cache.values().map(|c| c.pkt.wire_len()).sum::<usize>()
+        );
+        self.cached_bytes
     }
 }
 
@@ -132,6 +140,7 @@ impl Filter for Snoop {
             }
             if seg.flags.rst() {
                 self.cache.clear();
+                self.cached_bytes = 0;
                 return Verdict::Continue;
             }
             if !seg.payload.is_empty() {
@@ -141,14 +150,18 @@ impl Filter for Snoop {
                 if self.cache_bytes() + pkt.wire_len() <= CACHE_LIMIT_BYTES {
                     let rel = self.rel(seg.seq);
                     self.stats.cached += 1;
-                    self.cache.insert(
+                    self.cached_bytes += pkt.wire_len();
+                    if let Some(old) = self.cache.insert(
                         rel,
                         CachedSeg {
                             pkt: pkt.clone(),
                             sent_at: ctx.now,
                             retx: 0,
                         },
-                    );
+                    ) {
+                        // Retransmission replaced an existing entry.
+                        self.cached_bytes -= old.pkt.wire_len();
+                    }
                 }
             }
             return Verdict::Continue;
@@ -174,6 +187,7 @@ impl Filter for Snoop {
             .collect();
         for rel in covered {
             if let Some(c) = self.cache.remove(&rel) {
+                self.cached_bytes -= c.pkt.wire_len();
                 if c.retx == 0 {
                     let sample = ctx.now.saturating_since(c.sent_at).as_micros() as f64;
                     self.srtt_us = 0.875 * self.srtt_us + 0.125 * sample;

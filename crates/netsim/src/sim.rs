@@ -82,6 +82,7 @@ pub struct Simulator {
     link_rng: SmallRng,
     started: bool,
     seed: u64,
+    events_processed: u64,
     /// Shared packet/log trace.
     pub trace: Trace,
     /// Observability handle. Disabled by default (a single-branch no-op on
@@ -105,6 +106,7 @@ impl Simulator {
             link_rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             started: false,
             seed,
+            events_processed: 0,
             trace: Trace::new(),
             obs: Obs::new(),
             ch_scopes: Vec::new(),
@@ -292,7 +294,14 @@ impl Simulator {
         Some(self.now)
     }
 
+    /// Total discrete events processed since construction (benchmarks use
+    /// this to report simulator event throughput).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     fn handle(&mut self, event: Event) {
+        self.events_processed += 1;
         match event {
             Event::TxComplete { channel, pkt } => self.tx_complete(channel, pkt),
             Event::Deliver { channel, pkt } => self.deliver(channel, pkt),

@@ -39,10 +39,23 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Encodes a packet to wire bytes with valid checksums.
+///
+/// Single-buffer: headers, options, and payload are written once into one
+/// `Vec` sized by [`Packet::wire_len`] — no intermediate body allocation
+/// (this runs per packet under the `tcp` housekeeping filter, so encode
+/// cost is dispatch-path cost).
 pub fn encode(pkt: &Packet) -> Vec<u8> {
-    let body = encode_body(&pkt.ip, &pkt.body);
-    let total_len = 20 + body.len();
-    let mut out = Vec::with_capacity(total_len);
+    let mut out = Vec::with_capacity(pkt.wire_len());
+    encode_into(&mut out, pkt);
+    out
+}
+
+/// Encodes a packet by appending to an existing buffer, letting callers on
+/// the per-packet path reuse one allocation across packets (`clear()` keeps
+/// capacity).
+pub fn encode_into(out: &mut Vec<u8>, pkt: &Packet) {
+    let hdr = out.len();
+    let total_len = pkt.wire_len();
     out.push(0x45); // Version 4, IHL 5.
     out.push(pkt.ip.tos);
     out.extend_from_slice(&(total_len as u16).to_be_bytes());
@@ -53,24 +66,19 @@ pub fn encode(pkt: &Packet) -> Vec<u8> {
     out.extend_from_slice(&[0, 0]); // Header checksum placeholder.
     out.extend_from_slice(&pkt.ip.src.octets());
     out.extend_from_slice(&pkt.ip.dst.octets());
-    let ck = internet_checksum(&out[..20]);
-    out[10..12].copy_from_slice(&ck.to_be_bytes());
-    out.extend_from_slice(&body);
-    out
-}
-
-fn encode_body(ip: &Ipv4Header, body: &IpPayload) -> Vec<u8> {
-    match body {
-        IpPayload::Tcp(seg) => encode_tcp(ip, seg),
-        IpPayload::Udp(dgram) => encode_udp(ip, dgram),
-        IpPayload::Icmp(msg) => encode_icmp(msg),
-        IpPayload::Encap(inner) => encode(inner),
+    let ck = internet_checksum(&out[hdr..hdr + 20]);
+    out[hdr + 10..hdr + 12].copy_from_slice(&ck.to_be_bytes());
+    match &pkt.body {
+        IpPayload::Tcp(seg) => encode_tcp_into(out, &pkt.ip, seg),
+        IpPayload::Udp(dgram) => encode_udp_into(out, &pkt.ip, dgram),
+        IpPayload::Icmp(msg) => encode_icmp_into(out, msg),
+        IpPayload::Encap(inner) => encode_into(out, inner),
     }
 }
 
-fn encode_tcp(ip: &Ipv4Header, seg: &TcpSegment) -> Vec<u8> {
+fn encode_tcp_into(out: &mut Vec<u8>, ip: &Ipv4Header, seg: &TcpSegment) {
+    let start = out.len();
     let header_len = seg.header_len();
-    let mut out = Vec::with_capacity(header_len + seg.payload.len());
     out.extend_from_slice(&seg.src_port.to_be_bytes());
     out.extend_from_slice(&seg.dst_port.to_be_bytes());
     out.extend_from_slice(&seg.seq.to_be_bytes());
@@ -89,7 +97,7 @@ fn encode_tcp(ip: &Ipv4Header, seg: &TcpSegment) -> Vec<u8> {
             }
         }
     }
-    while out.len() < header_len {
+    while out.len() - start < header_len {
         out.push(0); // End-of-options padding.
     }
     out.extend_from_slice(&seg.payload);
@@ -98,16 +106,15 @@ fn encode_tcp(ip: &Ipv4Header, seg: &TcpSegment) -> Vec<u8> {
     ck.add_addr(ip.src);
     ck.add_addr(ip.dst);
     ck.add_u16(IpProto::Tcp.number() as u16);
-    ck.add_u16(out.len() as u16);
-    ck.add_bytes(&out);
+    ck.add_u16((out.len() - start) as u16);
+    ck.add_bytes(&out[start..]);
     let sum = ck.finish();
-    out[16..18].copy_from_slice(&sum.to_be_bytes());
-    out
+    out[start + 16..start + 18].copy_from_slice(&sum.to_be_bytes());
 }
 
-fn encode_udp(ip: &Ipv4Header, dgram: &UdpDatagram) -> Vec<u8> {
+fn encode_udp_into(out: &mut Vec<u8>, ip: &Ipv4Header, dgram: &UdpDatagram) {
+    let start = out.len();
     let len = 8 + dgram.payload.len();
-    let mut out = Vec::with_capacity(len);
     out.extend_from_slice(&dgram.src_port.to_be_bytes());
     out.extend_from_slice(&dgram.dst_port.to_be_bytes());
     out.extend_from_slice(&(len as u16).to_be_bytes());
@@ -118,17 +125,16 @@ fn encode_udp(ip: &Ipv4Header, dgram: &UdpDatagram) -> Vec<u8> {
     ck.add_addr(ip.dst);
     ck.add_u16(IpProto::Udp.number() as u16);
     ck.add_u16(len as u16);
-    ck.add_bytes(&out);
+    ck.add_bytes(&out[start..]);
     let mut sum = ck.finish();
     if sum == 0 {
         sum = 0xffff; // RFC 768: transmitted as all-ones when computed zero.
     }
-    out[6..8].copy_from_slice(&sum.to_be_bytes());
-    out
+    out[start + 6..start + 8].copy_from_slice(&sum.to_be_bytes());
 }
 
-fn encode_icmp(msg: &IcmpMessage) -> Vec<u8> {
-    let mut out = Vec::new();
+fn encode_icmp_into(out: &mut Vec<u8>, msg: &IcmpMessage) {
+    let start = out.len();
     match msg {
         IcmpMessage::EchoRequest { id, seq, payload }
         | IcmpMessage::EchoReply { id, seq, payload } => {
@@ -189,9 +195,8 @@ fn encode_icmp(msg: &IcmpMessage) -> Vec<u8> {
             out.extend_from_slice(&0u32.to_be_bytes());
         }
     }
-    let ck = internet_checksum(&out);
-    out[2..4].copy_from_slice(&ck.to_be_bytes());
-    out
+    let ck = internet_checksum(&out[start..]);
+    out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
 }
 
 /// Decodes wire bytes into a packet, verifying all checksums.
@@ -235,6 +240,119 @@ pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
         IpProto::IpInIp => IpPayload::Encap(Box::new(decode(body_bytes)?)),
     };
     Ok(Packet { ip, body })
+}
+
+/// Verifies structural integrity and every checksum of a wire buffer
+/// without building a [`Packet`] — zero allocation.
+///
+/// Mirrors [`decode`]'s bounds, option, and checksum checks (ICMP bodies
+/// are checksum-validated without re-walking router-advertisement
+/// entries); the `tcp` housekeeping filter runs this per packet after
+/// [`encode`], so it must not copy payloads the way [`decode`] must.
+pub fn verify(bytes: &[u8]) -> Result<(), WireError> {
+    if bytes.len() < 20 {
+        return Err(WireError::Truncated("ipv4 header"));
+    }
+    if bytes[0] != 0x45 {
+        return Err(WireError::Unsupported("ip version/ihl"));
+    }
+    if internet_checksum(&bytes[..20]) != 0 {
+        return Err(WireError::BadChecksum("ipv4 header"));
+    }
+    let total_len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+    if total_len < 20 || total_len > bytes.len() {
+        return Err(WireError::Truncated("ipv4 total length"));
+    }
+    let protocol = IpProto::from_number(bytes[9]).ok_or(WireError::Unsupported("ip protocol"))?;
+    let src = Ipv4Addr(u32::from_be_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15],
+    ]));
+    let dst = Ipv4Addr(u32::from_be_bytes([
+        bytes[16], bytes[17], bytes[18], bytes[19],
+    ]));
+    let body = &bytes[20..total_len];
+    match protocol {
+        IpProto::Tcp => verify_tcp(src, dst, body),
+        IpProto::Udp => verify_udp(src, dst, body),
+        IpProto::Icmp => verify_icmp(body),
+        IpProto::IpInIp => verify(body),
+    }
+}
+
+fn verify_tcp(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Result<(), WireError> {
+    if bytes.len() < 20 {
+        return Err(WireError::Truncated("tcp header"));
+    }
+    let mut ck = Checksum::new();
+    ck.add_addr(src);
+    ck.add_addr(dst);
+    ck.add_u16(IpProto::Tcp.number() as u16);
+    ck.add_u16(bytes.len() as u16);
+    ck.add_bytes(bytes);
+    if ck.finish() != 0 {
+        return Err(WireError::BadChecksum("tcp segment"));
+    }
+    let data_off = ((bytes[12] >> 4) as usize) * 4;
+    if data_off < 20 || data_off > bytes.len() {
+        return Err(WireError::Truncated("tcp options"));
+    }
+    let mut i = 20;
+    while i < data_off {
+        match bytes[i] {
+            0 => break,
+            1 => i += 1,
+            2 => {
+                if i + 4 > data_off {
+                    return Err(WireError::Truncated("tcp mss option"));
+                }
+                i += 4;
+            }
+            _ => {
+                if i + 1 >= data_off {
+                    return Err(WireError::Truncated("tcp option"));
+                }
+                let len = bytes[i + 1] as usize;
+                if len < 2 || i + len > data_off {
+                    return Err(WireError::Truncated("tcp option length"));
+                }
+                i += len;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_udp(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Result<(), WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated("udp header"));
+    }
+    let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+    if len < 8 || len > bytes.len() {
+        return Err(WireError::Truncated("udp length"));
+    }
+    let mut ck = Checksum::new();
+    ck.add_addr(src);
+    ck.add_addr(dst);
+    ck.add_u16(IpProto::Udp.number() as u16);
+    ck.add_u16(len as u16);
+    ck.add_bytes(&bytes[..len]);
+    if ck.finish() != 0 {
+        return Err(WireError::BadChecksum("udp datagram"));
+    }
+    Ok(())
+}
+
+fn verify_icmp(bytes: &[u8]) -> Result<(), WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated("icmp header"));
+    }
+    if internet_checksum(bytes) != 0 {
+        return Err(WireError::BadChecksum("icmp message"));
+    }
+    match bytes[0] {
+        0 | 8 | 9 | 10 | 3 => Ok(()),
+        _ => Err(WireError::Unsupported("icmp type")),
+    }
 }
 
 fn decode_tcp(ip: &Ipv4Header, bytes: &[u8]) -> Result<TcpSegment, WireError> {
@@ -405,8 +523,29 @@ mod tests {
             "wire_len mismatch for {}",
             pkt.summary()
         );
+        verify(&bytes).expect("verify");
         let decoded = decode(&bytes).expect("decode");
         assert_eq!(&decoded, pkt);
+    }
+
+    #[test]
+    fn verify_agrees_with_decode_on_corruption() {
+        let mut seg = TcpSegment::new(7, 1169, 9, 4, TcpFlags::ACK | TcpFlags::PSH);
+        seg.payload = Bytes::from(vec![0x5au8; 600]);
+        let good = encode(&Packet::tcp(addr(99), addr(10), seg));
+        assert_eq!(verify(&good), Ok(()));
+        // Flip every byte in turn: verify must reject exactly when decode
+        // does (a checksum or structural failure somewhere).
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xff;
+            assert_eq!(
+                verify(&bad).is_ok(),
+                decode(&bad).is_ok(),
+                "verify/decode disagree at corrupted byte {i}"
+            );
+        }
+        assert!(verify(&good[..15]).is_err());
     }
 
     #[test]

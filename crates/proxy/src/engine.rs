@@ -1,14 +1,40 @@
 //! The filtering mechanism (Fig 5.1/5.2): stream registry, filter pool,
 //! per-key in/out filter queues, and filter accounting.
+//!
+//! # The fast dispatch path
+//!
+//! [`FilterEngine::process`] is the code every single packet traverses, so
+//! it is written to avoid per-packet allocation and deep copies entirely
+//! (see DESIGN.md's "Performance" section):
+//!
+//! - flow state lives in an FNV-hashed [`FlowTable`] whose entries cache
+//!   the member list as an `Rc<[usize]>` (refcount bump per packet, no
+//!   `Vec` clone) behind a registration-generation stamp (no per-packet
+//!   wild-card scan);
+//! - capability diffing takes a [`PacketSnap`] — header fields by value
+//!   plus the payload's `Bytes` handle — instead of cloning the packet per
+//!   filter; payload change detection is a pointer/length identity check
+//!   with an FNV-1a digest fallback, never a byte-by-byte compare of
+//!   untouched payloads;
+//! - filter kinds are interned as `Arc<str>`, so attributing stats, obs
+//!   scopes, and log lines costs a refcount bump, not four `String`
+//!   allocations per filter per packet.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Deref;
+use std::rc::Rc;
+use std::sync::Arc;
 
-use comma_netsim::packet::{IpPayload, Packet};
+use comma_netsim::packet::{
+    IpPayload, Ipv4Header, Packet, TcpFlags, TcpOption, TcpSegment, UdpDatagram,
+};
 use comma_netsim::time::SimTime;
 use comma_obs::Obs;
-use comma_rt::SmallRng;
+use comma_rt::digest::fnv1a;
+use comma_rt::{Bytes, SmallRng};
 
 use crate::filter::{Capabilities, Filter, FilterCtx, MetricsSource, Priority, Verdict};
+use crate::flow::FlowTable;
 use crate::key::{StreamKey, WildKey};
 
 /// Factory producing filter instances from `add`-command arguments.
@@ -131,7 +157,8 @@ pub struct InstanceStats {
 
 struct Instance {
     filter: Box<dyn Filter>,
-    kind: String,
+    /// Interned catalog name; cloning is a refcount bump (hot path).
+    kind: Arc<str>,
     registration: usize,
     keys: BTreeSet<StreamKey>,
     priority: Priority,
@@ -139,12 +166,80 @@ struct Instance {
     stats: InstanceStats,
 }
 
-#[derive(Default)]
-struct QueueState {
-    /// Instance ids, sorted by descending priority (in-method order).
-    members: Vec<usize>,
-    /// Registrations already expanded for this key.
-    applied: BTreeSet<usize>,
+/// Bounded engine diagnostic log: keeps the most recent lines (violation
+/// reports, filter events, teardown notices) up to a cap, counting what it
+/// sheds — a violation-heavy stream must not grow memory without bound.
+///
+/// Dereferences to `[String]`, so indexing, slicing, and iteration read
+/// like the plain `Vec<String>` it replaces.
+#[derive(Clone, Debug)]
+pub struct EngineLog {
+    lines: Vec<String>,
+    max_entries: usize,
+    dropped: u64,
+}
+
+impl EngineLog {
+    /// Default retention cap.
+    pub const DEFAULT_MAX_ENTRIES: usize = 10_000;
+
+    /// Creates an empty log with the default cap.
+    pub fn new() -> Self {
+        EngineLog {
+            lines: Vec::new(),
+            max_entries: Self::DEFAULT_MAX_ENTRIES,
+            dropped: 0,
+        }
+    }
+
+    /// Limits the number of retained lines (oldest dropped first, like
+    /// `Trace::set_max_entries`). A cap of zero is treated as one.
+    pub fn set_max_entries(&mut self, max: usize) {
+        self.max_entries = max.max(1);
+        if self.lines.len() > self.max_entries {
+            let excess = self.lines.len() - self.max_entries;
+            self.lines.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// Appends a line, shedding the oldest if at capacity.
+    pub fn push(&mut self, line: String) {
+        if self.lines.len() >= self.max_entries {
+            let excess = self.lines.len() + 1 - self.max_entries;
+            self.lines.drain(..excess);
+            self.dropped += excess as u64;
+        }
+        self.lines.push(line);
+    }
+
+    /// How many lines have been shed to stay under the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained lines, oldest first.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Clears retained lines (the dropped count is kept).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+impl Default for EngineLog {
+    fn default() -> Self {
+        EngineLog::new()
+    }
+}
+
+impl Deref for EngineLog {
+    type Target = [String];
+    fn deref(&self) -> &[String] {
+        &self.lines
+    }
 }
 
 /// Engine-level totals.
@@ -180,10 +275,16 @@ pub struct FilterEngine {
     /// The filter pool.
     pub catalog: FilterCatalog,
     registrations: Vec<Option<Registration>>,
+    /// Bumped on every registration-set change; flow entries stamped with
+    /// an older generation re-expand on their next packet.
+    reg_generation: u64,
     instances: Vec<Option<Instance>>,
-    queues: BTreeMap<StreamKey, QueueState>,
-    /// Diagnostic log lines emitted by filters and the engine.
-    pub log: Vec<String>,
+    flows: FlowTable,
+    /// Interned filter-kind strings (tiny; linear scan on intern).
+    kinds: Vec<Arc<str>>,
+    /// Diagnostic log lines emitted by filters and the engine (bounded;
+    /// see [`EngineLog`]).
+    pub log: EngineLog,
     /// Engine totals.
     pub totals: EngineStats,
     pending_timers: Vec<(comma_netsim::time::SimDuration, u64)>,
@@ -200,13 +301,25 @@ impl FilterEngine {
         FilterEngine {
             catalog,
             registrations: Vec::new(),
+            reg_generation: 1,
             instances: Vec::new(),
-            queues: BTreeMap::new(),
-            log: Vec::new(),
+            flows: FlowTable::new(),
+            kinds: Vec::new(),
+            log: EngineLog::new(),
             totals: EngineStats::default(),
             pending_timers: Vec::new(),
             obs: Obs::new(),
         }
+    }
+
+    /// Interns a filter-kind name; repeated kinds share one allocation.
+    fn intern_kind(&mut self, name: &str) -> Arc<str> {
+        if let Some(k) = self.kinds.iter().find(|k| &***k == name) {
+            return Arc::clone(k);
+        }
+        let k: Arc<str> = Arc::from(name);
+        self.kinds.push(Arc::clone(&k));
+        k
     }
 
     /// Shares an observability handle with the engine (typically the
@@ -238,8 +351,10 @@ impl FilterEngine {
             filter: filter.to_string(),
             args,
         }));
-        // Existing queues matching the new registration pick it up on their
-        // next packet (applied-set check); nothing to do eagerly.
+        // Existing flows matching the new registration pick it up on their
+        // next packet: the generation bump invalidates their stamps, and
+        // the applied-set check keeps expansion idempotent.
+        self.reg_generation += 1;
         Ok(id)
     }
 
@@ -277,9 +392,12 @@ impl FilterEngine {
             for inst_id in victims {
                 self.remove_instance(now, rng, metrics, inst_id);
             }
-            for q in self.queues.values_mut() {
-                q.applied.remove(&reg_id);
+            for entry in self.flows.values_mut() {
+                entry.applied.remove(&reg_id);
             }
+        }
+        if !removed_regs.is_empty() {
+            self.reg_generation += 1;
         }
         removed_regs.len()
     }
@@ -294,9 +412,7 @@ impl FilterEngine {
         let Some(mut inst) = self.instances[inst_id].take() else {
             return;
         };
-        for q in self.queues.values_mut() {
-            q.members.retain(|&m| m != inst_id);
-        }
+        self.flows.evict_instance(inst_id);
         let mut ctx = FilterCtx::new(now, rng, metrics);
         inst.filter.on_removed(&mut ctx);
         self.drain_ctx(now, &inst.kind, &mut ctx);
@@ -315,7 +431,7 @@ impl FilterEngine {
             .filter_map(|(id, slot)| {
                 slot.as_ref().map(|inst| InstanceInfo {
                     id,
-                    kind: inst.kind.clone(),
+                    kind: inst.kind.to_string(),
                     keys: inst.keys.iter().copied().collect(),
                     priority: inst.priority,
                     stats: inst.stats,
@@ -324,19 +440,23 @@ impl FilterEngine {
             .collect()
     }
 
-    /// Active stream keys with the filters applied to each, in queue order.
+    /// Active stream keys with the filters applied to each, in queue order
+    /// (sorted by key for stable display).
     pub fn streams(&self) -> Vec<(StreamKey, Vec<String>)> {
-        self.queues
+        let mut out: Vec<(StreamKey, Vec<String>)> = self
+            .flows
             .iter()
-            .map(|(key, q)| {
-                let names = q
+            .map(|(key, entry)| {
+                let names = entry
                     .members
                     .iter()
-                    .filter_map(|&m| self.instances[m].as_ref().map(|i| i.kind.clone()))
+                    .filter_map(|&m| self.instances[m].as_ref().map(|i| i.kind.to_string()))
                     .collect();
                 (*key, names)
             })
-            .collect()
+            .collect();
+        out.sort_by_key(|(key, _)| *key);
+        out
     }
 
     /// Typed access to the first live instance of a filter kind (tools).
@@ -344,7 +464,7 @@ impl FilterEngine {
         self.instances
             .iter_mut()
             .flatten()
-            .find(|i| i.kind == kind)
+            .find(|i| &*i.kind == kind)
             .and_then(|i| i.filter.as_any().downcast_mut::<T>())
     }
 
@@ -388,12 +508,7 @@ impl FilterEngine {
         let Some(key) = StreamKey::of_packet(&pkt) else {
             return vec![pkt]; // Non-keyed traffic passes through.
         };
-        self.ensure_queue(now, rng, metrics, key);
-        let members: Vec<usize> = self
-            .queues
-            .get(&key)
-            .map(|q| q.members.clone())
-            .unwrap_or_default();
+        let members = self.queue_members(now, rng, metrics, key);
         if members.is_empty() {
             return vec![pkt];
         }
@@ -408,13 +523,13 @@ impl FilterEngine {
         {
             let mut ctx = FilterCtx::new(now, rng, metrics);
             // In pass: highest priority first, read-only.
-            for &m in &members {
+            for &m in members.iter() {
                 let Some(inst) = self.instances[m].as_mut() else {
                     continue;
                 };
                 inst.stats.pkts_seen += 1;
+                let kind = Arc::clone(&inst.kind);
                 inst.filter.on_in(&mut ctx, key, &pkt);
-                let kind = self.instances[m].as_ref().expect("inst").kind.clone();
                 Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
                 self.drain_ctx(now, &kind, &mut ctx);
                 self.drain_service_requests(&mut ctx);
@@ -427,27 +542,22 @@ impl FilterEngine {
                 let Some(inst) = self.instances[m].as_mut() else {
                     continue;
                 };
-                let before = pkt.clone();
-                let before_payload = payload_len(&before);
-                let verdict = inst.filter.on_out(&mut ctx, key, &mut pkt);
+                let kind = Arc::clone(&inst.kind);
                 let caps = inst.caps;
-                let (hdr_changed, payload_changed) = diff_kind(&before, &pkt);
+                let snap = PacketSnap::capture(&pkt);
+                let before_payload = snap.payload_len();
+                let verdict = inst.filter.on_out(&mut ctx, key, &mut pkt);
+                let (hdr_changed, payload_changed) = snap.diff(&pkt);
                 let mut was_modified = false;
                 let mut was_dropped = false;
                 let mut violations = 0u64;
                 let mut injected = 0u64;
-                let mut violated = false;
-                if hdr_changed && !caps.allows(Capabilities::MODIFY_HEADERS) {
-                    violated = true;
-                }
-                if payload_changed && !caps.allows(Capabilities::MODIFY_PAYLOAD) {
-                    violated = true;
-                }
+                let violated = (hdr_changed && !caps.allows(Capabilities::MODIFY_HEADERS))
+                    || (payload_changed && !caps.allows(Capabilities::MODIFY_PAYLOAD));
                 if violated {
                     inst.stats.violations += 1;
                     violations += 1;
-                    let kind = inst.kind.clone();
-                    pkt = before;
+                    pkt = snap.restore();
                     self.log.push(format!(
                         "engine: blocked unauthorized modification by {kind} on {key}"
                     ));
@@ -463,6 +573,7 @@ impl FilterEngine {
                     }
                 }
                 if verdict == Verdict::Drop {
+                    let inst = self.instances[m].as_mut().expect("inst");
                     if caps.allows(Capabilities::DROP) {
                         inst.stats.pkts_dropped += 1;
                         dropped = true;
@@ -470,31 +581,29 @@ impl FilterEngine {
                     } else {
                         inst.stats.violations += 1;
                         violations += 1;
-                        let kind = inst.kind.clone();
                         self.log.push(format!(
                             "engine: blocked unauthorized drop by {kind} on {key}"
                         ));
                     }
                 }
                 // Attribute injections to this filter for the cap check.
-                let inj: Vec<Packet> = ctx.injections.drain(..).collect();
-                if !inj.is_empty() {
+                if !ctx.injections.is_empty() {
                     let inst = self.instances[m].as_mut().expect("inst");
-                    if inst.caps.allows(Capabilities::INJECT) {
-                        inst.stats.pkts_injected += inj.len() as u64;
-                        self.totals.injected += inj.len() as u64;
-                        injected = inj.len() as u64;
-                        out.extend(inj);
+                    let n = ctx.injections.len() as u64;
+                    if caps.allows(Capabilities::INJECT) {
+                        inst.stats.pkts_injected += n;
+                        self.totals.injected += n;
+                        injected = n;
+                        out.append(&mut ctx.injections);
                     } else {
-                        inst.stats.violations += inj.len() as u64;
-                        violations += inj.len() as u64;
+                        inst.stats.violations += n;
+                        violations += n;
+                        ctx.injections.clear();
                         self.log.push(format!(
-                            "engine: blocked unauthorized injection by {} on {key}",
-                            self.instances[m].as_ref().expect("inst").kind
+                            "engine: blocked unauthorized injection by {kind} on {key}"
                         ));
                     }
                 }
-                let kind = self.instances[m].as_ref().expect("inst").kind.clone();
                 if self.obs.is_enabled() {
                     self.obs.inc(&kind, "filter.pkts");
                     self.obs.add(&kind, "filter.bytes", before_payload as u64);
@@ -653,7 +762,27 @@ impl FilterEngine {
         out
     }
 
-    fn ensure_queue(
+    /// The per-packet flow lookup. Fast path: one FNV hash probe and a
+    /// refcount bump on the cached member list. The wild-card registration
+    /// scan and instantiation run only when the flow is new or the
+    /// registration set changed since the flow was stamped.
+    fn queue_members(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        key: StreamKey,
+    ) -> Rc<[usize]> {
+        if let Some(entry) = self.flows.get(key) {
+            if entry.generation == self.reg_generation {
+                return Rc::clone(&entry.members);
+            }
+        }
+        self.expand_queue(now, rng, metrics, key);
+        Rc::clone(&self.flows.get(key).expect("flow entry").members)
+    }
+
+    fn expand_queue(
         &mut self,
         now: SimTime,
         rng: &mut SmallRng,
@@ -671,9 +800,9 @@ impl FilterEngine {
                 .filter(|reg| {
                     reg.wild.matches(key)
                         && !self
-                            .queues
-                            .get(&key)
-                            .map(|q| q.applied.contains(&reg.id))
+                            .flows
+                            .get(key)
+                            .map(|entry| entry.applied.contains(&reg.id))
                             .unwrap_or(false)
                 })
                 .cloned()
@@ -692,7 +821,8 @@ impl FilterEngine {
                         self.drain_service_requests(&mut ctx);
                         let priority = filter.priority();
                         let caps = filter.capabilities();
-                        let kind = reg.filter.clone(); // Catalog name (services may share a Filter type).
+                        // Catalog name (services may share a Filter type).
+                        let kind = self.intern_kind(&reg.filter);
                         self.instances.push(Some(Instance {
                             filter,
                             kind,
@@ -703,30 +833,33 @@ impl FilterEngine {
                             stats: InstanceStats::default(),
                         }));
                         for k in keys {
-                            let q = self.queues.entry(k).or_default();
-                            q.members.push(inst_id);
-                            q.applied.insert(reg.id);
+                            let entry = self.flows.entry(k);
+                            let mut rebuilt: Vec<usize> = entry.members.to_vec();
+                            rebuilt.push(inst_id);
+                            entry.applied.insert(reg.id);
                             // In-method order: descending priority, then
                             // insertion order.
                             let instances = &self.instances;
-                            q.members.sort_by(|&a, &b| {
+                            rebuilt.sort_by(|&a, &b| {
                                 let pa = instances[a].as_ref().map(|i| i.priority);
                                 let pb = instances[b].as_ref().map(|i| i.priority);
                                 pb.cmp(&pa).then(a.cmp(&b))
                             });
+                            self.flows.entry(k).members = Rc::from(rebuilt);
                         }
                     }
                     Err(e) => {
                         self.log
                             .push(format!("engine: cannot instantiate {}: {e}", reg.filter));
                         // Mark applied so we do not retry per packet.
-                        self.queues.entry(key).or_default().applied.insert(reg.id);
+                        self.flows.entry(key).applied.insert(reg.id);
                     }
                 }
             }
         }
-        // Ensure the key has a queue entry even if instantiation failed.
-        self.queues.entry(key).or_default();
+        // Stamp the flow (creating it if nothing matched) so the next
+        // packet takes the fast path.
+        self.flows.entry(key).generation = self.reg_generation;
     }
 
     /// Tears down the filter queues for `key` and its reverse; instances
@@ -739,10 +872,10 @@ impl FilterEngine {
         key: StreamKey,
     ) {
         for k in [key, key.reverse()] {
-            let Some(q) = self.queues.remove(&k) else {
+            let Some(entry) = self.flows.remove(k) else {
                 continue;
             };
-            for m in q.members {
+            for &m in entry.members.iter() {
                 if let Some(inst) = self.instances[m].as_mut() {
                     inst.keys.remove(&k);
                     if inst.keys.is_empty() {
@@ -778,7 +911,7 @@ impl FilterEngine {
                 }
             }
             for inst in self.instances.iter().flatten() {
-                if inst.kind == name {
+                if *inst.kind == *name {
                     for k in &inst.keys {
                         keys.push(k.to_string());
                     }
@@ -809,35 +942,224 @@ fn payload_len(pkt: &Packet) -> usize {
     }
 }
 
-/// Classifies the difference between two packets as header and/or payload
-/// changes (capability enforcement).
-fn diff_kind(before: &Packet, after: &Packet) -> (bool, bool) {
-    if before == after {
-        return (false, false);
+/// Detects whether a payload was modified without reading untouched bytes:
+/// same `Bytes` view (pointer + offset + length) means provably unchanged;
+/// different lengths mean provably changed; only a *replaced* same-length
+/// buffer falls back to an FNV-1a digest comparison.
+fn payload_modified(before: &Bytes, after: &Bytes) -> bool {
+    if before.ptr_eq(after) {
+        return false;
     }
-    let payload_changed = match (&before.body, &after.body) {
-        (IpPayload::Tcp(a), IpPayload::Tcp(b)) => a.payload != b.payload,
-        (IpPayload::Udp(a), IpPayload::Udp(b)) => a.payload != b.payload,
-        _ => true,
-    };
-    let header_changed = if payload_changed {
-        // Compare everything except the payload.
-        let mut b2 = before.clone();
-        let mut a2 = after.clone();
-        match (&mut b2.body, &mut a2.body) {
-            (IpPayload::Tcp(x), IpPayload::Tcp(y)) => {
-                x.payload = comma_rt::Bytes::new();
-                y.payload = comma_rt::Bytes::new();
-            }
-            (IpPayload::Udp(x), IpPayload::Udp(y)) => {
-                x.payload = comma_rt::Bytes::new();
-                y.payload = comma_rt::Bytes::new();
-            }
-            _ => {}
+    if before.len() != after.len() {
+        return true;
+    }
+    fnv1a(before) != fnv1a(after)
+}
+
+/// A cheap pre-`on_out` snapshot for capability enforcement: header fields
+/// by value plus the payload's refcounted `Bytes` handle. Capturing never
+/// deep-copies a payload (the old path cloned the whole packet once per
+/// filter), and it carries enough to *restore* the packet when an
+/// unauthorized modification must be rolled back.
+enum PacketSnap {
+    Tcp {
+        ip: Ipv4Header,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        window: u16,
+        /// Empty on data segments, so cloning it does not allocate.
+        options: Vec<TcpOption>,
+        payload: Bytes,
+    },
+    Udp {
+        ip: Ipv4Header,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+    },
+    /// ICMP/Encap never reach the keyed dispatch loop (no [`StreamKey`]),
+    /// but stay safe if that ever changes.
+    Other(Box<Packet>),
+}
+
+impl PacketSnap {
+    fn capture(pkt: &Packet) -> PacketSnap {
+        match &pkt.body {
+            IpPayload::Tcp(seg) => PacketSnap::Tcp {
+                ip: pkt.ip.clone(),
+                src_port: seg.src_port,
+                dst_port: seg.dst_port,
+                seq: seg.seq,
+                ack: seg.ack,
+                flags: seg.flags,
+                window: seg.window,
+                options: seg.options.clone(),
+                payload: seg.payload.clone(),
+            },
+            IpPayload::Udp(dgram) => PacketSnap::Udp {
+                ip: pkt.ip.clone(),
+                src_port: dgram.src_port,
+                dst_port: dgram.dst_port,
+                payload: dgram.payload.clone(),
+            },
+            _ => PacketSnap::Other(Box::new(pkt.clone())),
         }
-        b2 != a2
-    } else {
-        true
-    };
-    (header_changed, payload_changed)
+    }
+
+    fn payload_len(&self) -> usize {
+        match self {
+            PacketSnap::Tcp { payload, .. } | PacketSnap::Udp { payload, .. } => payload.len(),
+            PacketSnap::Other(pkt) => payload_len(pkt),
+        }
+    }
+
+    /// Classifies what `on_out` did to the packet as (header changed,
+    /// payload changed) — the capability-enforcement diff.
+    fn diff(&self, after: &Packet) -> (bool, bool) {
+        match (self, &after.body) {
+            (
+                PacketSnap::Tcp {
+                    ip,
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                    window,
+                    options,
+                    payload,
+                },
+                IpPayload::Tcp(b),
+            ) => {
+                let hdr = *ip != after.ip
+                    || *src_port != b.src_port
+                    || *dst_port != b.dst_port
+                    || *seq != b.seq
+                    || *ack != b.ack
+                    || *flags != b.flags
+                    || *window != b.window
+                    || options[..] != b.options[..];
+                (hdr, payload_modified(payload, &b.payload))
+            }
+            (
+                PacketSnap::Udp {
+                    ip,
+                    src_port,
+                    dst_port,
+                    payload,
+                },
+                IpPayload::Udp(b),
+            ) => {
+                let hdr =
+                    *ip != after.ip || *src_port != b.src_port || *dst_port != b.dst_port;
+                (hdr, payload_modified(payload, &b.payload))
+            }
+            (PacketSnap::Other(before), _) => {
+                let changed = **before != *after;
+                (changed, changed)
+            }
+            // The body variant itself was replaced: header and payload.
+            _ => (true, true),
+        }
+    }
+
+    /// Rebuilds the pre-`on_out` packet (unauthorized-modification
+    /// rollback). Payload bytes are shared, not copied.
+    fn restore(self) -> Packet {
+        match self {
+            PacketSnap::Tcp {
+                ip,
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window,
+                options,
+                payload,
+            } => Packet {
+                ip,
+                body: IpPayload::Tcp(TcpSegment {
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                    window,
+                    options,
+                    payload,
+                }),
+            },
+            PacketSnap::Udp {
+                ip,
+                src_port,
+                dst_port,
+                payload,
+            } => Packet {
+                ip,
+                body: IpPayload::Udp(UdpDatagram {
+                    src_port,
+                    dst_port,
+                    payload,
+                }),
+            },
+            PacketSnap::Other(pkt) => *pkt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_log_caps_retention_and_counts_dropped() {
+        let mut log = EngineLog::new();
+        log.set_max_entries(3);
+        for i in 0..10 {
+            log.push(format!("line {i}"));
+        }
+        assert_eq!(log.len(), 3, "retention is capped");
+        assert_eq!(log.dropped(), 7, "shed lines are counted");
+        assert_eq!(
+            log.lines(),
+            &["line 7".to_string(), "line 8".to_string(), "line 9".to_string()],
+            "most-recent lines are kept, oldest shed first"
+        );
+        // Lowering the cap trims immediately.
+        log.set_max_entries(1);
+        assert_eq!(log.lines(), &["line 9".to_string()]);
+        assert_eq!(log.dropped(), 9);
+        // Deref keeps Vec-style call sites working.
+        assert!(log.iter().any(|l| l.contains("line 9")));
+    }
+
+    #[test]
+    fn engine_log_default_cap_bounds_violation_floods() {
+        let mut log = EngineLog::new();
+        for i in 0..(EngineLog::DEFAULT_MAX_ENTRIES + 500) {
+            log.push(format!("engine: blocked unauthorized modification #{i}"));
+        }
+        assert_eq!(log.len(), EngineLog::DEFAULT_MAX_ENTRIES);
+        assert_eq!(log.dropped(), 500);
+    }
+
+    #[test]
+    fn payload_modified_is_identity_then_digest() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let shared = a.clone();
+        assert!(!payload_modified(&a, &shared), "same Arc: no digest needed");
+        let equal_copy = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert!(
+            !payload_modified(&a, &equal_copy),
+            "distinct allocation, equal bytes: digest match"
+        );
+        let changed = Bytes::from(vec![1u8, 2, 3, 5]);
+        assert!(payload_modified(&a, &changed));
+        let longer = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert!(payload_modified(&a, &longer), "length change short-circuits");
+    }
 }

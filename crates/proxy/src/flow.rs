@@ -1,0 +1,158 @@
+//! The flow table: per-stream filter-queue state behind a deterministic
+//! FNV-1a-hashed map.
+//!
+//! Transparent in-path proxies live or die by per-packet dispatch cost, so
+//! the engine's per-flow state lookup must be O(1) and allocation-free.
+//! Each entry caches:
+//!
+//! - the **member list** (instance ids in in-method order) as an
+//!   `Rc<[usize]>`, so handing it to the dispatch loop is a refcount bump,
+//!   never a `Vec` clone;
+//! - a **generation stamp**: the engine bumps its registration generation
+//!   on every `register`/`deregister`, and a flow whose stamp matches the
+//!   engine's skips the wild-card registration scan entirely. The scan —
+//!   and the member-list rebuild — happens only when the registration set
+//!   actually changed (or the flow is new).
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use comma_rt::FnvHashMap;
+
+use crate::key::StreamKey;
+
+/// Cached queue state for one stream key.
+#[derive(Clone, Debug)]
+pub struct FlowEntry {
+    /// Instance ids, sorted by descending priority (in-method order).
+    /// Shared with the dispatch loop by refcount, rebuilt only when
+    /// membership changes.
+    pub members: Rc<[usize]>,
+    /// Registration slots already expanded for this key.
+    pub applied: BTreeSet<usize>,
+    /// Engine registration generation this entry was last expanded
+    /// against; a mismatch forces a re-scan on the next packet.
+    pub generation: u64,
+}
+
+impl Default for FlowEntry {
+    fn default() -> Self {
+        FlowEntry {
+            members: Rc::from(Vec::new()),
+            applied: BTreeSet::new(),
+            generation: 0,
+        }
+    }
+}
+
+/// The per-stream state table, keyed by [`StreamKey`] under deterministic
+/// FNV-1a hashing (stateless — no per-process seed, so iteration order is
+/// reproducible run to run; display paths still sort explicitly).
+#[derive(Default)]
+pub struct FlowTable {
+    map: FnvHashMap<StreamKey, FlowEntry>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// O(1) lookup of the cached member list for `key` (the per-packet
+    /// fast path; a refcount bump, no allocation).
+    pub fn members(&self, key: StreamKey) -> Option<Rc<[usize]>> {
+        self.map.get(&key).map(|e| Rc::clone(&e.members))
+    }
+
+    /// Borrowing lookup.
+    pub fn get(&self, key: StreamKey) -> Option<&FlowEntry> {
+        self.map.get(&key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: StreamKey) -> Option<&mut FlowEntry> {
+        self.map.get_mut(&key)
+    }
+
+    /// Returns the entry for `key`, creating a default one if absent.
+    pub fn entry(&mut self, key: StreamKey) -> &mut FlowEntry {
+        self.map.entry(key).or_default()
+    }
+
+    /// Removes and returns the entry for `key`.
+    pub fn remove(&mut self, key: StreamKey) -> Option<FlowEntry> {
+        self.map.remove(&key)
+    }
+
+    /// Iterates over `(key, entry)` pairs in unspecified (but
+    /// deterministic) order; sort on the key for display.
+    pub fn iter(&self) -> impl Iterator<Item = (&StreamKey, &FlowEntry)> {
+        self.map.iter()
+    }
+
+    /// Iterates mutably over entries.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut FlowEntry> {
+        self.map.values_mut()
+    }
+
+    /// Rebuilds the member list of every entry containing `inst_id`
+    /// without it (instance teardown).
+    pub fn evict_instance(&mut self, inst_id: usize) {
+        for entry in self.map.values_mut() {
+            if entry.members.contains(&inst_id) {
+                let rebuilt: Vec<usize> = entry
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != inst_id)
+                    .collect();
+                entry.members = Rc::from(rebuilt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> StreamKey {
+        format!("1.2.3.{n} 5 6.7.8.9 10").parse().unwrap()
+    }
+
+    #[test]
+    fn members_lookup_is_shared_not_copied() {
+        let mut t = FlowTable::new();
+        t.entry(key(1)).members = Rc::from(vec![3, 1, 2]);
+        let a = t.members(key(1)).unwrap();
+        let b = t.members(key(1)).unwrap();
+        assert!(Rc::ptr_eq(&a, &b), "lookups share one allocation");
+        assert_eq!(&a[..], &[3, 1, 2]);
+        assert!(t.members(key(2)).is_none());
+    }
+
+    #[test]
+    fn evict_rebuilds_only_affected_entries() {
+        let mut t = FlowTable::new();
+        t.entry(key(1)).members = Rc::from(vec![1, 2, 3]);
+        t.entry(key(2)).members = Rc::from(vec![4, 5]);
+        let untouched = t.members(key(2)).unwrap();
+        t.evict_instance(2);
+        assert_eq!(&t.members(key(1)).unwrap()[..], &[1, 3]);
+        assert!(
+            Rc::ptr_eq(&untouched, &t.members(key(2)).unwrap()),
+            "entries without the instance keep their cached list"
+        );
+    }
+}

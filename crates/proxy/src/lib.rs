@@ -48,10 +48,12 @@
 pub mod command;
 pub mod engine;
 pub mod filter;
+pub mod flow;
 pub mod key;
 pub mod node;
 
-pub use engine::{FilterCatalog, FilterEngine, InstanceStats, Registration};
+pub use engine::{EngineLog, FilterCatalog, FilterEngine, InstanceStats, Registration};
+pub use flow::FlowTable;
 pub use filter::{Capabilities, Filter, FilterCtx, MetricsSource, NullMetrics, Priority, Verdict};
 pub use key::{StreamKey, WildKey};
 pub use node::ServiceProxy;

@@ -121,6 +121,18 @@ impl Bytes {
         head
     }
 
+    /// Returns `true` if `self` and `other` are the *same view* of the
+    /// same storage (identical allocation, offset, and length).
+    ///
+    /// This is an O(1) identity check, not a content comparison: it can
+    /// return `false` for views with equal contents, but never returns
+    /// `true` for views that differ. Hot paths (the proxy engine's
+    /// capability diff) use it to prove a payload untouched without
+    /// reading a single payload byte.
+    pub fn ptr_eq(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data) && self.off == other.off && self.len == other.len
+    }
+
     /// The view as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.off..self.off + self.len]

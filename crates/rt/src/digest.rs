@@ -50,6 +50,42 @@ pub fn fnv1a(bytes: impl AsRef<[u8]>) -> u64 {
     h.finish()
 }
 
+/// [`Fnv1a`] behind the standard [`std::hash::Hasher`] interface, so FNV
+/// can key `std` hash maps without external crates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnvHasher(Fnv1a);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.update(bytes);
+    }
+}
+
+/// Build-hasher for [`FnvHasher`]: stateless, so two maps (or two runs)
+/// hash identically — unlike `RandomState`, there is no per-process seed,
+/// which keeps anything iteration-order-dependent deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by deterministic FNV-1a (small keys, O(1) lookup;
+/// the proxy flow table's backing store).
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` hashed by deterministic FNV-1a.
+pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +108,27 @@ mod tests {
     #[test]
     fn sensitive_to_order() {
         assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn std_hasher_matches_streaming() {
+        use std::hash::Hasher;
+        let mut h = FnvHasher::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn fnv_map_is_deterministic() {
+        let mut a: FnvHashMap<u64, u64> = FnvHashMap::default();
+        let mut b: FnvHashMap<u64, u64> = FnvHashMap::default();
+        for i in 0..100u64 {
+            a.insert(i, i * 2);
+            b.insert(i, i * 2);
+        }
+        // Stateless hashing: identical insertion sequences iterate
+        // identically (RandomState would not).
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+        assert_eq!(a.get(&42), Some(&84));
     }
 }

@@ -43,6 +43,7 @@ pub mod prop;
 pub mod rng;
 
 pub use bytes::{Bytes, BytesMut};
+pub use digest::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use rng::{Rng, SeedableRng, SmallRng};
 
 /// Mirror of `rand::rngs` so call sites migrate with an import swap.

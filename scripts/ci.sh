@@ -43,6 +43,20 @@ if [ "${1:-}" = "bench" ]; then
     echo "== bench smoke (COMMA_BENCH_FAST=${COMMA_BENCH_FAST:-0}) =="
     cargo bench -q --offline -p comma-bench --bench micro
     cargo bench -q --offline -p comma-bench --bench experiments
+
+    echo "== macro bench (fast) =="
+    COMMA_BENCH_FAST=1 cargo bench -q --offline -p comma-bench --bench macrobench
+    if [ ! -s BENCH_macro.json ]; then
+        echo "macro bench FAILED: BENCH_macro.json missing or empty" >&2
+        exit 1
+    fi
+    for key in pkts_per_sec engine_ns_per_pkt events_per_sec exps_wall_ms; do
+        grep -q "\"$key\"" BENCH_macro.json || {
+            echo "macro bench FAILED: BENCH_macro.json lacks \"$key\"" >&2
+            exit 1
+        }
+    done
+    echo "macro bench ok ($(grep -c '"unix_ts"' BENCH.json) trajectory entries)"
 fi
 
 echo "ci: all green"

@@ -105,6 +105,25 @@ fn same_seed_same_trace() {
     );
 }
 
+/// The experiment runner fans the 16-experiment table out across scoped
+/// threads; the joined report must be byte-identical to a serial run of
+/// the same table (each experiment owns its seeded simulator, and results
+/// are collected by index, so parallelism cannot reorder or perturb it).
+#[test]
+fn parallel_experiment_report_matches_serial() {
+    let serial = comma_bench::exps::run_all_serial();
+    let parallel = comma_bench::exps::run_all();
+    assert_eq!(serial.len(), comma_bench::exps::EXPERIMENTS.len());
+    assert!(
+        serial.iter().all(|block| !block.is_empty()),
+        "every experiment renders a non-empty block"
+    );
+    assert_eq!(
+        serial, parallel,
+        "parallel experiment report must be byte-identical to serial"
+    );
+}
+
 #[test]
 fn different_seed_different_trace() {
     let (trace_a, _, len_a) = run_fingerprint(1207);
