@@ -1,22 +1,30 @@
 //! Macro-benchmark: the perf trajectory the repo tracks over time.
 //!
-//! Drives a full wired→wireless TCP transfer through a 4-filter proxy
-//! chain plus a direct filter-engine dispatch loop and the experiment
-//! suite (serial vs parallel), then writes:
+//! Drives the event-dominated scheduler workload, a full wired→wireless
+//! TCP transfer through a 4-filter proxy chain, the many-flows scale
+//! workload (N ∈ {16, 64, 256} concurrent transfers through a filtered
+//! proxy over a lossy wireless link), a direct filter-engine dispatch
+//! loop, and the experiment suite (serial vs parallel), then writes:
 //!
-//! - `BENCH_macro.json` (repo root) — the latest snapshot, with the four
-//!   headline numbers: `pkts_per_sec`, `engine_ns_per_pkt`,
-//!   `events_per_sec`, `exps_wall_ms`;
+//! - `BENCH_macro.json` (repo root) — the latest snapshot. Headlines:
+//!   `events_per_sec` (median scheduler throughput on the event-dominated
+//!   workload, where node work is negligible), `pkts_per_sec`,
+//!   `engine_ns_per_pkt`, the per-N `scale` block, and `exps_wall_ms`.
+//!   The transfer-derived rate is reported as `transfer_events_per_sec`;
+//!   it is *not* the scheduler headline because timer cancellation
+//!   removes cheap events from both numerator and wall time, so it can
+//!   move either way while real throughput improves.
 //! - `BENCH.json` (repo root) — the append-only trajectory array.
 //!
 //! Run via `cargo bench -p comma-bench --bench macrobench`; set
 //! `COMMA_BENCH_FAST=1` for the CI smoke configuration (smaller packet
-//! counts and transfer, same report shape).
+//! counts and transfers, same report shape).
 
 use std::time::Instant;
 
 use comma::topology::{addrs, CommaBuilder};
 use comma_bench::exps;
+use comma_bench::scale::{run_event_core, run_many_flows, ScaleResult};
 use comma_filters::standard_catalog;
 use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
 use comma_netsim::time::SimTime;
@@ -98,6 +106,20 @@ fn end_to_end(bytes: u64) -> (f64, f64, u64, u64, u64) {
     )
 }
 
+/// Median of the event-dominated workload's `events_per_sec` over
+/// `runs` repetitions (the scheduler-throughput headline).
+fn event_core_median(nodes: usize, horizon_ms: u64, runs: usize) -> (f64, u64) {
+    let mut rates: Vec<f64> = Vec::with_capacity(runs);
+    let mut events = 0u64;
+    for _ in 0..runs {
+        let r = run_event_core(nodes, horizon_ms, 9);
+        events = r.sim_events;
+        rates.push(r.events_per_sec);
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (rates[rates.len() / 2], events)
+}
+
 /// Experiment-suite wall clock, serial vs parallel; asserts the rendered
 /// reports are byte-identical.
 fn exps_wall_ms() -> (f64, f64) {
@@ -137,17 +159,42 @@ fn main() {
     let fast = fast_mode();
     let engine_pkts: u64 = if fast { 50_000 } else { 400_000 };
     let transfer_bytes: u64 = if fast { 262_144 } else { 2_097_152 };
+    let (core_nodes, core_horizon_ms, core_runs) = if fast { (256, 50, 3) } else { (256, 200, 5) };
+    let scale_bytes: usize = if fast { 8_192 } else { 32_768 };
+
+    eprintln!(
+        "macrobench: event core ({core_nodes} nodes, {core_horizon_ms} ms, \
+         median of {core_runs})..."
+    );
+    let (events_per_sec, core_events) = event_core_median(core_nodes, core_horizon_ms, core_runs);
+    eprintln!("macrobench:   events_per_sec = {events_per_sec:.0} ({core_events} events/run)");
 
     eprintln!("macrobench: engine dispatch ({engine_pkts} pkts, 4-filter chain)...");
     let ns_per_pkt = engine_ns_per_pkt(engine_pkts);
     eprintln!("macrobench:   engine_ns_per_pkt = {ns_per_pkt:.1}");
 
     eprintln!("macrobench: end-to-end transfer ({transfer_bytes} B)...");
-    let (pkts_per_sec, events_per_sec, pkts, events, received) = end_to_end(transfer_bytes);
+    let (pkts_per_sec, transfer_events_per_sec, pkts, events, received) =
+        end_to_end(transfer_bytes);
     eprintln!(
         "macrobench:   pkts_per_sec = {pkts_per_sec:.0} ({pkts} pkts), \
-         events_per_sec = {events_per_sec:.0} ({events} events), {received} B delivered"
+         transfer_events_per_sec = {transfer_events_per_sec:.0} ({events} events), \
+         {received} B delivered"
     );
+
+    eprintln!("macrobench: many-flows scale workload ({scale_bytes} B/flow)...");
+    let scale: Vec<ScaleResult> = [16usize, 64, 256]
+        .iter()
+        .map(|&flows| {
+            let r = run_many_flows(flows, scale_bytes, 42);
+            eprintln!(
+                "macrobench:   flows_{flows}: events_per_sec = {:.0}, wall_ms = {:.1} \
+                 ({} events)",
+                r.events_per_sec, r.wall_ms, r.sim_events
+            );
+            r
+        })
+        .collect();
 
     eprintln!("macrobench: experiment suite serial vs parallel...");
     let (serial_ms, parallel_ms) = exps_wall_ms();
@@ -156,6 +203,18 @@ fn main() {
         "macrobench:   exps_wall_ms serial = {serial_ms:.0}, parallel = {parallel_ms:.0} \
          ({speedup:.2}x)"
     );
+
+    let scale_json = scale
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"flows_{}\": {{ \"events_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
+                 \"sim_events\": {} }}",
+                r.flows, r.events_per_sec, r.wall_ms, r.sim_events
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     let unix_ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -166,19 +225,26 @@ fn main() {
          \"engine_ns_per_pkt\": {ns_per_pkt:.1},\n    \
          \"pkts_per_sec\": {pkts_per_sec:.1},\n    \
          \"events_per_sec\": {events_per_sec:.1},\n    \
-         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1} }}\n  }}"
+         \"transfer_events_per_sec\": {transfer_events_per_sec:.1},\n    \
+         \"scale_events_per_sec\": {{ \"flows_16\": {:.1}, \"flows_64\": {:.1}, \
+         \"flows_256\": {:.1} }},\n    \
+         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1} }}\n  }}",
+        scale[0].events_per_sec, scale[1].events_per_sec, scale[2].events_per_sec
     );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let snapshot = format!(
-        "{{\n  \"schema\": \"comma-macro-bench-v1\",\n  \"fast\": {fast},\n  \
+        "{{\n  \"schema\": \"comma-macro-bench-v2\",\n  \"fast\": {fast},\n  \
+         \"event_core_nodes\": {core_nodes},\n  \
+         \"events_per_sec\": {events_per_sec:.1},\n  \
          \"engine_pkts\": {engine_pkts},\n  \
          \"engine_ns_per_pkt\": {ns_per_pkt:.1},\n  \
          \"transfer_bytes\": {transfer_bytes},\n  \
          \"proxy_pkts\": {pkts},\n  \
          \"pkts_per_sec\": {pkts_per_sec:.1},\n  \
          \"sim_events\": {events},\n  \
-         \"events_per_sec\": {events_per_sec:.1},\n  \
+         \"transfer_events_per_sec\": {transfer_events_per_sec:.1},\n  \
+         \"scale\": {{\n{scale_json}\n  }},\n  \
          \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1}, \
          \"speedup\": {speedup:.2} }}\n}}\n"
     );

@@ -144,6 +144,61 @@ fn bench_flow_table(bench: &mut Bench) {
     g.finish();
 }
 
+fn bench_sched(bench: &mut Bench) {
+    use comma_netsim::sched::TimerWheel;
+    use comma_rt::Rng;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut g = bench.group("sched");
+
+    // Steady-state schedule+pop at three standing queue depths. Each
+    // iteration replaces one popped entry, so the depth stays constant;
+    // the wheel's cost is O(1) amortized where the heap pays O(log n).
+    for depth in [100usize, 10_000, 100_000] {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut rng = SmallRng::seed_from_u64(depth as u64);
+        let mut now = 0u64;
+        for i in 0..depth {
+            wheel.schedule(SimTime::from_micros(rng.gen_range(0..1_000_000)), i as u64);
+        }
+        g.bench(format!("sched_schedule_pop_depth{depth}"), || {
+            let (t, v) = wheel.pop().expect("queue never drains");
+            now = t.as_micros();
+            wheel.schedule(
+                SimTime::from_micros(now + 1 + rng.gen_range(0..1_000_000)),
+                v,
+            );
+            v
+        });
+    }
+
+    // Cancel cost: allocate a handle, schedule, cancel. The cancelled
+    // entry never dispatches; the wheel purges it lazily.
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut i = 0u64;
+    g.bench("sched_cancel", || {
+        i += 1;
+        let h = wheel.schedule_with_handle(SimTime::from_micros(i + 500), i);
+        wheel.cancel(h)
+    });
+
+    // Retained baseline: the `BinaryHeap` the simulator used before the
+    // wheel, same steady-state workload at the deepest depth, for
+    // before/after comparison in bench reports.
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut rng = SmallRng::seed_from_u64(7);
+    for i in 0..100_000u64 {
+        heap.push(Reverse((rng.gen_range(0..1_000_000), i)));
+    }
+    g.bench("binary_heap_schedule_pop_depth100000", || {
+        let Reverse((t, v)) = heap.pop().expect("queue never drains");
+        heap.push(Reverse((t + 1 + rng.gen_range(0..1_000_000), v)));
+        v
+    });
+    g.finish();
+}
+
 fn bench_simulation(bench: &mut Bench) {
     use comma::topology::{addrs, CommaBuilder};
     use comma_tcp::apps::{BulkSender, Sink};
@@ -203,6 +258,7 @@ fn main() {
     bench_editmap(&mut bench);
     bench_engine(&mut bench);
     bench_flow_table(&mut bench);
+    bench_sched(&mut bench);
     bench_simulation(&mut bench);
     bench_obs(&mut bench);
     bench.finish();

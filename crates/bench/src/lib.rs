@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod exps;
+pub mod scale;
 pub mod table;
 
 /// Runs every experiment, printing each block as it completes.

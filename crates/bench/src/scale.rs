@@ -1,0 +1,312 @@
+//! Scale workloads for the discrete-event core.
+//!
+//! Two macro workloads exercise the scheduler (`comma_netsim::sched`) at
+//! depths the single-connection experiments never reach:
+//!
+//! - [`run_many_flows`] — N concurrent TCP transfers (N ∈ {16, 64, 256} in
+//!   the macro bench) from the wired host through the filtered Service
+//!   Proxy over a lossy wireless link to N sinks on the mobile host. This
+//!   is the milliProxy/Hermes regime: hundreds of per-flow states behind
+//!   one proxy, hundreds of outstanding RTO/delayed-ACK timers in the
+//!   event queue at once.
+//! - [`run_event_core`] — the event-dominated workload: many light nodes
+//!   exchanging small packets on self-rescheduled timers. Node callbacks
+//!   do near-zero work, so wall time is dominated by the event core itself
+//!   (schedule, queue, pop, dispatch); its `events_per_sec` is the macro
+//!   headline for scheduler throughput.
+
+use std::any::Any;
+use std::time::Instant;
+
+use comma::topology::{addrs, CommaBuilder};
+use comma_netsim::link::{LinkParams, LossModel};
+use comma_netsim::node::{IfaceId, Node, NodeCtx, NodeId};
+use comma_netsim::packet::{IcmpMessage, IpPayload, Packet};
+use comma_netsim::sim::Simulator;
+use comma_netsim::time::{SimDuration, SimTime};
+use comma_rt::{Bytes, Rng};
+use comma_tcp::apps::{BulkSender, Sink};
+
+/// Result of one many-flows run.
+#[derive(Clone, Debug)]
+pub struct ScaleResult {
+    /// Number of concurrent TCP transfers.
+    pub flows: usize,
+    /// Bytes each flow transfers.
+    pub bytes_per_flow: u64,
+    /// Total bytes delivered across all sinks (must equal
+    /// `flows * bytes_per_flow`).
+    pub delivered: u64,
+    /// Discrete events processed by the simulator.
+    pub sim_events: u64,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// `sim_events / wall seconds`.
+    pub events_per_sec: f64,
+    /// Simulated completion time of the whole batch.
+    pub sim_time: SimTime,
+}
+
+/// Builds the many-flows world: N bulk senders on the wired host, N sinks
+/// on the mobile host (ports `9000..9000+N`), the standard 4-filter chain
+/// installed wildcard on the Service Proxy, and a lossy wireless link.
+fn build_many_flows(
+    flows: usize,
+    bytes_per_flow: usize,
+    seed: u64,
+    observability: bool,
+) -> comma::topology::CommaWorld {
+    let loss = LossModel::Gilbert {
+        p_good_to_bad: 0.02,
+        p_bad_to_good: 0.5,
+        loss_good: 0.005,
+        loss_bad: 0.15,
+    };
+    let mut senders: Vec<Box<dyn comma_tcp::apps::App>> = Vec::with_capacity(flows);
+    let mut sinks: Vec<Box<dyn comma_tcp::apps::App>> = Vec::with_capacity(flows);
+    for i in 0..flows {
+        let port = 9000 + i as u16;
+        senders.push(Box::new(BulkSender::new((addrs::MOBILE, port), bytes_per_flow)));
+        sinks.push(Box::new(Sink::new(port)));
+    }
+    let mut world = CommaBuilder::new(seed)
+        .eem(false)
+        .observability(observability)
+        .wireless(
+            LinkParams::wireless()
+                .with_bandwidth(8_000_000)
+                .with_queue_limit(128 * 1024)
+                .with_loss(loss.clone()),
+            LinkParams::wireless()
+                .with_bandwidth(8_000_000)
+                .with_queue_limit(128 * 1024)
+                .with_loss(loss),
+        )
+        .build(senders, sinks);
+    world.sp("add tcp 0.0.0.0 0 11.11.10.10 0");
+    world.sp("add snoop 0.0.0.0 0 11.11.10.10 0");
+    world.sp("add wsize 0.0.0.0 0 11.11.10.10 0 scale 90");
+    world.sp("add tcp 0.0.0.0 0 11.11.10.10 0");
+    world
+}
+
+/// Runs `flows` concurrent TCP transfers of `bytes_per_flow` each through
+/// the filtered proxy over a lossy wireless link; panics unless every flow
+/// completes.
+pub fn run_many_flows(flows: usize, bytes_per_flow: usize, seed: u64) -> ScaleResult {
+    let mut world = build_many_flows(flows, bytes_per_flow, seed, false);
+    let target = flows as u64 * bytes_per_flow as u64;
+    // Step in one-second increments and stop once every flow has finished:
+    // the proxy's periodic filter timers (snoop ticks, wsize polls) run
+    // forever, so a fixed far horizon would measure idle timer noise.
+    let t = Instant::now();
+    let mut delivered = 0u64;
+    for sec in 1..=3_600u64 {
+        world.run_until(SimTime::from_secs(sec));
+        delivered = world
+            .mobile_app_ids
+            .clone()
+            .into_iter()
+            .map(|id| world.mobile_app::<Sink, _>(id, |s| s.bytes_received) as u64)
+            .sum();
+        if delivered >= target {
+            break;
+        }
+    }
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(
+        delivered, target,
+        "many-flows: not every transfer completed within the horizon"
+    );
+    let sim_events = world.sim.events_processed();
+    ScaleResult {
+        flows,
+        bytes_per_flow: bytes_per_flow as u64,
+        delivered,
+        sim_events,
+        wall_ms: wall * 1e3,
+        events_per_sec: sim_events as f64 / wall,
+        sim_time: world.sim.now(),
+    }
+}
+
+/// Runs the many-flows workload with observability enabled and returns the
+/// deterministic JSONL export (used by the determinism suite: same seed
+/// must produce a byte-identical export).
+pub fn many_flows_obs_export(flows: usize, bytes_per_flow: usize, seed: u64) -> String {
+    let mut world = build_many_flows(flows, bytes_per_flow, seed, true);
+    let target = flows as u64 * bytes_per_flow as u64;
+    for sec in 1..=3_600u64 {
+        world.run_until(SimTime::from_secs(sec));
+        let delivered: u64 = world
+            .mobile_app_ids
+            .clone()
+            .into_iter()
+            .map(|id| world.mobile_app::<Sink, _>(id, |s| s.bytes_received) as u64)
+            .sum();
+        if delivered >= target {
+            break;
+        }
+    }
+    world.obs.export_jsonl()
+}
+
+/// Runs the many-flows workload with full packet-trace capture and
+/// returns the FNV-1a digest of the rendered trace (used by the
+/// determinism suite: same seed must produce byte-identical traces).
+pub fn many_flows_trace_digest(flows: usize, bytes_per_flow: usize, seed: u64) -> u64 {
+    let mut world = build_many_flows(flows, bytes_per_flow, seed, false);
+    world.sim.trace.set_capture(true);
+    world.sim.trace.set_max_entries(1 << 21);
+    let target = flows as u64 * bytes_per_flow as u64;
+    let mut delivered = 0u64;
+    for sec in 1..=3_600u64 {
+        world.run_until(SimTime::from_secs(sec));
+        delivered = world
+            .mobile_app_ids
+            .clone()
+            .into_iter()
+            .map(|id| world.mobile_app::<Sink, _>(id, |s| s.bytes_received) as u64)
+            .sum();
+        if delivered >= target {
+            break;
+        }
+    }
+    assert_eq!(delivered, target, "many-flows: transfers incomplete");
+    let mut digest = comma_rt::digest::Fnv1a::new();
+    for line in world.sim.trace.render(|_| true) {
+        digest.update(line.as_bytes());
+        digest.update(b"\n");
+    }
+    digest.finish()
+}
+
+/// A light node for the event-core workload: every timer fire sends one
+/// small echo-request to its peer and re-arms the timer at a per-node
+/// deterministic pseudo-random interval. Packet handlers only count, so
+/// per-event node work is negligible next to the event machinery.
+struct TickNode {
+    name: String,
+    addr: comma_netsim::addr::Ipv4Addr,
+    received: u64,
+    sent: u64,
+}
+
+impl Node for TickNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn addresses(&self) -> Vec<comma_netsim::addr::Ipv4Addr> {
+        vec![self.addr]
+    }
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let jitter = ctx.rng.gen_range(0..1_000u64);
+        ctx.set_timer_after(SimDuration::from_micros(jitter), 0);
+    }
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+        if let IpPayload::Icmp(IcmpMessage::EchoRequest { .. }) = pkt.body {
+            self.received += 1;
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+        let pkt = Packet::icmp(
+            self.addr,
+            self.addr, // Delivery is by channel, not by address.
+            IcmpMessage::EchoRequest {
+                id: 0,
+                seq: (self.sent & 0xffff) as u16,
+                payload: Bytes::from_static(&[0u8; 64]),
+            },
+        );
+        ctx.send(IfaceId(0), pkt);
+        self.sent += 1;
+        let delay = 200 + ctx.rng.gen_range(0..800u64);
+        ctx.set_timer_after(SimDuration::from_micros(delay), 0);
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Result of one event-core run.
+#[derive(Clone, Debug)]
+pub struct EventCoreResult {
+    /// Nodes in the world (paired by wired links).
+    pub nodes: usize,
+    /// Discrete events processed.
+    pub sim_events: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// `sim_events / wall seconds` — the scheduler-throughput headline.
+    pub events_per_sec: f64,
+    /// Echo requests delivered across all nodes (sanity).
+    pub delivered: u64,
+}
+
+/// The event-dominated macro workload: `nodes` light nodes (paired by
+/// wired links) exchange 64-byte packets on self-rescheduled timers for
+/// `horizon_ms` of simulated time. Every event is cheap, so the measured
+/// `events_per_sec` is the throughput of the event core itself.
+pub fn run_event_core(nodes: usize, horizon_ms: u64, seed: u64) -> EventCoreResult {
+    assert!(
+        nodes >= 2 && nodes.is_multiple_of(2),
+        "event-core needs node pairs"
+    );
+    let mut sim = Simulator::new(seed);
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|i| {
+            sim.add_node(Box::new(TickNode {
+                name: format!("tick{i}"),
+                addr: comma_netsim::addr::Ipv4Addr::new(
+                    10,
+                    (i >> 8) as u8,
+                    (i >> 4 & 0xf) as u8,
+                    (i & 0xf) as u8,
+                ),
+                received: 0,
+                sent: 0,
+            }))
+        })
+        .collect();
+    let fast = LinkParams::wired()
+        .with_bandwidth(100_000_000)
+        .with_latency(SimDuration::from_micros(50));
+    for pair in ids.chunks(2) {
+        sim.connect(pair[0], pair[1], fast.clone(), fast.clone());
+    }
+    let t = Instant::now();
+    sim.run_until(SimTime::from_millis(horizon_ms));
+    let wall = t.elapsed().as_secs_f64();
+    let sim_events = sim.events_processed();
+    let mut delivered = 0u64;
+    for id in ids {
+        delivered += sim.with_node::<TickNode, _>(id, |n| n.received);
+    }
+    assert!(delivered > 0, "event-core: no packets delivered");
+    EventCoreResult {
+        nodes,
+        sim_events,
+        wall_ms: wall * 1e3,
+        events_per_sec: sim_events as f64 / wall,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_flows_small_batch_completes() {
+        let r = run_many_flows(4, 8_192, 11);
+        assert_eq!(r.delivered, 4 * 8_192);
+        assert!(r.sim_events > 0);
+    }
+
+    #[test]
+    fn event_core_runs_and_counts() {
+        let r = run_event_core(8, 50, 5);
+        assert!(r.sim_events > 100, "got {} events", r.sim_events);
+        assert!(r.delivered > 0);
+    }
+}

@@ -72,6 +72,7 @@ pub mod prelude {
     pub use comma_netsim::link::{LinkParams, LossModel};
     pub use comma_netsim::node::NodeId;
     pub use comma_netsim::packet::{Packet, TcpFlags, TcpOption, TcpSegment, UdpDatagram};
+    pub use comma_netsim::sched::TimerHandle;
     pub use comma_netsim::sim::Simulator;
     pub use comma_netsim::time::{SimDuration, SimTime};
 

@@ -7,6 +7,7 @@ use comma_rt::Bytes;
 use comma_netsim::addr::Ipv4Addr;
 use comma_netsim::node::{IfaceId, Node, NodeCtx};
 use comma_netsim::packet::{IcmpMessage, IpPayload, Packet, UdpDatagram};
+use comma_netsim::sched::TimerHandle;
 use comma_netsim::time::{SimDuration, SimTime};
 use comma_tcp::host::{Host, WRAPPER_TIMER_BIT};
 
@@ -33,6 +34,9 @@ pub struct MobileHost {
     pub handoffs: u64,
     /// Interface the most recent advertisement arrived on.
     pub active_iface: Option<IfaceId>,
+    /// Pending re-registration timer; a confirmed registration after a
+    /// handoff cancels the superseded one instead of letting it fire.
+    rereg_timer: Option<TimerHandle>,
 }
 
 impl MobileHost {
@@ -49,6 +53,7 @@ impl MobileHost {
             registrations: 0,
             handoffs: 0,
             active_iface: None,
+            rereg_timer: None,
         }
     }
 
@@ -124,10 +129,13 @@ impl MobileHost {
                 self.registrations += 1;
                 self.registered_at = Some(ctx.now);
                 ctx.log(format!("mobile: registration confirmed via {care_of}"));
-                ctx.set_timer_after(
+                if let Some(h) = self.rereg_timer.take() {
+                    ctx.cancel_timer(h);
+                }
+                self.rereg_timer = Some(ctx.set_timer_after(
                     SimDuration::from_secs(self.lifetime as u64 / 2),
                     REREG_TOKEN,
-                );
+                ));
             }
         }
     }
@@ -171,6 +179,7 @@ impl Node for MobileHost {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
         if token & WRAPPER_TIMER_BIT != 0 {
             if token == REREG_TOKEN {
+                self.rereg_timer = None;
                 if let (Some(care_of), Some(iface)) = (self.care_of, self.active_iface) {
                     self.send_registration(ctx, care_of, iface);
                 }

@@ -29,6 +29,7 @@ pub mod link;
 pub mod node;
 pub mod packet;
 pub mod routing;
+pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -45,6 +46,7 @@ pub mod prelude {
             IcmpMessage, IpPayload, IpProto, Ipv4Header, Packet, TcpFlags, TcpSegment, UdpDatagram,
         },
         routing::{Route, Router, RoutingTable},
+        sched::{TimerHandle, TimerWheel, WheelStats},
         sim::Simulator,
         time::{SimDuration, SimTime},
     };

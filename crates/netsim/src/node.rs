@@ -8,6 +8,7 @@ use comma_rt::SmallRng;
 
 use crate::addr::Ipv4Addr;
 use crate::packet::Packet;
+use crate::sched::{CancelSlab, TimerHandle};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
@@ -63,8 +64,12 @@ pub struct NodeCtx<'a> {
     /// Observability handle, when the simulator carries an enabled one
     /// (`None` in isolated node unit tests).
     pub obs: Option<&'a Obs>,
+    /// Scheduler cancellation slab, when dispatched by a simulator
+    /// (`None` in isolated node unit tests, where timers are
+    /// fire-and-forget and handles come back [`TimerHandle::NONE`]).
+    pub(crate) slab: Option<&'a mut CancelSlab>,
     pub(crate) outputs: Vec<(IfaceId, Packet)>,
-    pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) timers: Vec<(SimTime, u64, TimerHandle)>,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -83,6 +88,7 @@ impl<'a> NodeCtx<'a> {
             rng,
             trace,
             obs: None,
+            slab: None,
             outputs: Vec::new(),
             timers: Vec::new(),
         }
@@ -92,6 +98,14 @@ impl<'a> NodeCtx<'a> {
     /// this on every dispatch).
     pub fn with_obs(mut self, obs: &'a Obs) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches the scheduler's cancellation slab (builder-style; the
+    /// simulator calls this on every dispatch). Timers set without a slab
+    /// cannot be cancelled and return [`TimerHandle::NONE`].
+    pub fn with_timer_slab(mut self, slab: &'a mut CancelSlab) -> Self {
+        self.slab = Some(slab);
         self
     }
 
@@ -113,14 +127,31 @@ impl<'a> NodeCtx<'a> {
         self.outputs.push((iface, pkt));
     }
 
-    /// Schedules [`Node::on_timer`] with `token` after `delay`.
-    pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) {
-        self.timers.push((self.now + delay, token));
+    /// Schedules [`Node::on_timer`] with `token` after `delay`; the
+    /// returned handle cancels the timer via [`NodeCtx::cancel_timer`].
+    pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        self.set_timer_at(self.now + delay, token)
     }
 
-    /// Schedules [`Node::on_timer`] with `token` at absolute time `at`.
-    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
-        self.timers.push((at.max(self.now), token));
+    /// Schedules [`Node::on_timer`] with `token` at absolute time `at`
+    /// (clamped to now); the returned handle cancels the timer.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerHandle {
+        let handle = match &mut self.slab {
+            Some(slab) => slab.alloc(),
+            None => TimerHandle::NONE,
+        };
+        self.timers.push((at.max(self.now), token, handle));
+        handle
+    }
+
+    /// Cancels a timer scheduled earlier (this dispatch or a previous
+    /// one); returns `true` if it had not yet fired. Stale handles and
+    /// [`TimerHandle::NONE`] are inert.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        match &mut self.slab {
+            Some(slab) => slab.cancel(handle),
+            None => false,
+        }
     }
 
     /// Appends a line to the shared trace, attributed to this node.
@@ -130,7 +161,9 @@ impl<'a> NodeCtx<'a> {
 
     /// Drains the effects accumulated by the callbacks (used by the
     /// simulator and by tests driving nodes directly).
-    pub fn take_effects(&mut self) -> (Vec<(IfaceId, Packet)>, Vec<(SimTime, u64)>) {
+    pub fn take_effects(
+        &mut self,
+    ) -> (Vec<(IfaceId, Packet)>, Vec<(SimTime, u64, TimerHandle)>) {
         (
             std::mem::take(&mut self.outputs),
             std::mem::take(&mut self.timers),
@@ -173,7 +206,10 @@ mod tests {
         node.on_packet(&mut ctx, IfaceId(0), pkt);
         let (outputs, timers) = ctx.take_effects();
         assert_eq!(outputs.len(), 1);
-        assert_eq!(timers, vec![(SimTime::from_millis(15), 1)]);
+        assert_eq!(
+            timers,
+            vec![(SimTime::from_millis(15), 1, TimerHandle::NONE)]
+        );
     }
 
     #[test]
@@ -183,6 +219,19 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::from_secs(5), NodeId(0), 0, &mut rng, &mut trace);
         ctx.set_timer_at(SimTime::from_secs(1), 9);
         let (_, timers) = ctx.take_effects();
-        assert_eq!(timers, vec![(SimTime::from_secs(5), 9)]);
+        assert_eq!(timers, vec![(SimTime::from_secs(5), 9, TimerHandle::NONE)]);
+    }
+
+    #[test]
+    fn slab_backed_ctx_returns_cancellable_handles() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut trace = Trace::new();
+        let mut slab = CancelSlab::default();
+        let mut ctx = NodeCtx::new(SimTime::ZERO, NodeId(0), 0, &mut rng, &mut trace)
+            .with_timer_slab(&mut slab);
+        let h = ctx.set_timer_after(SimDuration::from_millis(1), 7);
+        assert!(!h.is_none());
+        assert!(ctx.cancel_timer(h));
+        assert!(!ctx.cancel_timer(h), "second cancel is inert");
     }
 }

@@ -1,0 +1,714 @@
+//! The hierarchical timer-wheel scheduler behind [`crate::sim::Simulator`].
+//!
+//! The wheel replaces the original global `BinaryHeap`: scheduling and
+//! popping are O(1) amortized instead of O(log n), and entries scheduled
+//! through [`TimerWheel::schedule_cancellable`] can be cancelled in O(1)
+//! through a [`TimerHandle`], so superseded timers (restarted TCP RTOs,
+//! rescheduled delayed ACKs) are dropped instead of firing as stale events.
+//!
+//! # Layout
+//!
+//! Time is kept in integer microseconds ([`crate::time::SimTime`]). The
+//! wheel has [`WHEEL_LEVELS`] levels of [`WHEEL_SLOTS`] slots each; level
+//! `l` buckets events by the `l`-th 6-bit digit of their absolute time, so
+//! level 0 resolves single microseconds and the whole wheel spans
+//! `64^6` µs ≈ 19 hours from the current cursor. Events beyond the span
+//! go to an overflow heap and are re-ingested when the cursor reaches
+//! their window. Each level keeps a 64-bit occupancy bitmap, so finding
+//! the next occupied slot is a couple of `trailing_zeros` instructions.
+//!
+//! # Determinism
+//!
+//! Every entry carries the monotonic sequence number assigned at schedule
+//! time. A popped batch (one level-0 slot, all entries at the identical
+//! microsecond) is sorted by that sequence number, so the pop order is
+//! exactly the `(time, seq)` order the binary heap produced: same seed,
+//! same event order, byte-identical traces.
+//!
+//! # Cancellation
+//!
+//! [`CancelSlab`] is a generation-checked slab: a [`TimerHandle`] is a
+//! `(slot, generation)` pair, cancel flips one bit, and stale handles
+//! (fired or reused slots) are ignored. Cancelled entries are purged
+//! lazily when the cursor reaches them — they never dispatch.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::SimTime;
+
+/// Bits per wheel level (64 slots).
+pub const WHEEL_BITS: u32 = 6;
+/// Slots per wheel level.
+pub const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// Number of hierarchical levels; the wheel spans `64^WHEEL_LEVELS`
+/// microseconds (~19 hours) from the cursor before the overflow heap
+/// takes over.
+pub const WHEEL_LEVELS: usize = 6;
+
+const SPAN_BITS: u32 = WHEEL_BITS * WHEEL_LEVELS as u32;
+const NO_CANCEL: u32 = u32::MAX;
+
+/// Handle to a cancellable scheduled timer.
+///
+/// Obtained from [`crate::node::NodeCtx::set_timer_after`] /
+/// [`crate::node::NodeCtx::set_timer_at`] /
+/// [`crate::sim::Simulator::schedule_timer`]; cancelling a handle whose
+/// timer already fired (or that was already cancelled) is a safe no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerHandle {
+    idx: u32,
+    gen: u32,
+}
+
+impl TimerHandle {
+    /// The null handle: never refers to a live timer; cancelling it is a
+    /// no-op. Returned by contexts detached from a simulator (unit tests
+    /// driving nodes directly).
+    pub const NONE: TimerHandle = TimerHandle {
+        idx: NO_CANCEL,
+        gen: 0,
+    };
+
+    /// Whether this is the null handle.
+    pub fn is_none(self) -> bool {
+        self.idx == NO_CANCEL
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SlabSlot {
+    gen: u32,
+    alive: bool,
+}
+
+/// Generation-checked slab tracking live cancellable timers.
+#[derive(Default)]
+pub struct CancelSlab {
+    slots: Vec<SlabSlot>,
+    free: Vec<u32>,
+    /// Timers cancelled over the slab's lifetime.
+    cancelled: u64,
+}
+
+impl CancelSlab {
+    /// Allocates a slot for a new pending timer and returns its handle.
+    pub fn alloc(&mut self) -> TimerHandle {
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.alive = true;
+                TimerHandle { idx, gen: slot.gen }
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                assert!(idx != NO_CANCEL, "timer slab exhausted");
+                self.slots.push(SlabSlot { gen: 0, alive: true });
+                TimerHandle { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// Cancels the timer behind `handle`. Returns `true` if the timer was
+    /// still pending; stale or null handles return `false`.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        if handle.is_none() {
+            return false;
+        }
+        match self.slots.get_mut(handle.idx as usize) {
+            Some(slot) if slot.gen == handle.gen && slot.alive => {
+                slot.alive = false;
+                self.cancelled += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the entry `(idx, gen)` is still live (not cancelled, not
+    /// superseded).
+    fn is_live(&self, idx: u32, gen: u32) -> bool {
+        let slot = &self.slots[idx as usize];
+        slot.gen == gen && slot.alive
+    }
+
+    /// Releases the slot after its entry fired or was purged; bumps the
+    /// generation so outstanding handles become inert.
+    fn release(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.alive = false;
+        self.free.push(idx);
+    }
+
+    /// Timers cancelled over the slab's lifetime.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+}
+
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    cancel_idx: u32,
+    cancel_gen: u32,
+    item: T,
+}
+
+/// Overflow entries live in a min-heap ordered by `(time, seq)` only.
+struct OverflowEntry<T>(Entry<T>);
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OverflowEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, the overflow wants min-first.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
+/// Counters and gauges describing the scheduler's state; exported into
+/// `comma-obs` under the `sched` scope by the simulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WheelStats {
+    /// Entries currently pending (wheel + overflow + ready batch).
+    pub queue_depth: usize,
+    /// Occupied wheel slots across all levels.
+    pub wheel_occupancy: u32,
+    /// Entries parked in the overflow heap.
+    pub overflow_len: usize,
+    /// Total entries scheduled over the wheel's lifetime.
+    pub scheduled: u64,
+    /// Total entries popped (dispatched) over the wheel's lifetime.
+    pub fired: u64,
+    /// Timers cancelled via [`TimerHandle`]s over the wheel's lifetime.
+    pub cancelled: u64,
+    /// Cancelled entries purged without dispatch.
+    pub purged: u64,
+}
+
+/// A hierarchical timer wheel holding events of type `T`.
+///
+/// Pop order is strictly `(time, seq)`: earliest time first, FIFO within
+/// the same microsecond.
+pub struct TimerWheel<T> {
+    /// Cursor: the time of the last popped batch. Entries are never
+    /// scheduled strictly before the cursor (callers clamp to "now").
+    base: u64,
+    next_seq: u64,
+    len: usize,
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    occ: [u64; WHEEL_LEVELS],
+    overflow: BinaryHeap<OverflowEntry<T>>,
+    /// The drained current-microsecond batch, sorted by seq.
+    ready: VecDeque<Entry<T>>,
+    /// Reusable cascade buffer: slot capacity rotates through here instead
+    /// of being freed by `mem::take` on every cascade.
+    scratch: Vec<Entry<T>>,
+    /// Cancellation slab (shared with dispatch contexts).
+    pub(crate) slab: CancelSlab,
+    scheduled: u64,
+    fired: u64,
+    purged: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            base: 0,
+            next_seq: 0,
+            len: 0,
+            levels: (0..WHEEL_LEVELS)
+                .map(|_| (0..WHEEL_SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occ: [0; WHEEL_LEVELS],
+            overflow: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+            slab: CancelSlab::default(),
+            scheduled: 0,
+            fired: 0,
+            purged: 0,
+        }
+    }
+
+    /// Entries currently pending.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Scheduler statistics snapshot.
+    pub fn stats(&self) -> WheelStats {
+        WheelStats {
+            queue_depth: self.len,
+            wheel_occupancy: self.occ.iter().map(|m| m.count_ones()).sum(),
+            overflow_len: self.overflow.len(),
+            scheduled: self.scheduled,
+            fired: self.fired,
+            cancelled: self.slab.cancelled(),
+            purged: self.purged,
+        }
+    }
+
+    /// Cancels a pending cancellable entry; `true` if it was still live.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        self.slab.cancel(handle)
+    }
+
+    /// Schedules `item` at `time` (clamped to the cursor). Plain entries
+    /// cannot be cancelled.
+    pub fn schedule(&mut self, time: SimTime, item: T) {
+        self.insert(time.as_micros(), NO_CANCEL, 0, item);
+    }
+
+    /// Schedules `item` at `time` under a pre-allocated handle from
+    /// [`CancelSlab::alloc`] (via `self.slab`).
+    pub fn schedule_cancellable(&mut self, time: SimTime, handle: TimerHandle, item: T) {
+        debug_assert!(!handle.is_none(), "cancellable entry needs a live handle");
+        self.insert(time.as_micros(), handle.idx, handle.gen, item);
+    }
+
+    /// Allocates a handle and schedules `item` under it in one step.
+    pub fn schedule_with_handle(&mut self, time: SimTime, item: T) -> TimerHandle {
+        let handle = self.slab.alloc();
+        self.schedule_cancellable(time, handle, item);
+        handle
+    }
+
+    fn insert(&mut self, time: u64, cancel_idx: u32, cancel_gen: u32, item: T) {
+        let time = time.max(self.base);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.len += 1;
+        let entry = Entry {
+            time,
+            seq,
+            cancel_idx,
+            cancel_gen,
+            item,
+        };
+        match Self::placement(self.base, time) {
+            Some((level, slot)) => {
+                self.levels[level][slot].push(entry);
+                self.occ[level] |= 1 << slot;
+            }
+            None => self.overflow.push(OverflowEntry(entry)),
+        }
+    }
+
+    /// Level/slot for an entry at `time` relative to cursor `base`, or
+    /// `None` if it belongs in the overflow heap. The level is the index
+    /// of the highest 6-bit digit where `time` differs from `base`.
+    #[inline]
+    fn placement(base: u64, time: u64) -> Option<(usize, usize)> {
+        let diff = base ^ time;
+        if diff == 0 {
+            return Some((0, (time & (WHEEL_SLOTS as u64 - 1)) as usize));
+        }
+        let high = 63 - diff.leading_zeros();
+        if high >= SPAN_BITS {
+            return None;
+        }
+        let level = (high / WHEEL_BITS) as usize;
+        let slot = ((time >> (WHEEL_BITS * level as u32)) & (WHEEL_SLOTS as u64 - 1)) as usize;
+        Some((level, slot))
+    }
+
+    #[inline]
+    fn entry_live(&self, e: &Entry<T>) -> bool {
+        e.cancel_idx == NO_CANCEL || self.slab.is_live(e.cancel_idx, e.cancel_gen)
+    }
+
+    /// Time of the next live entry, without advancing the cursor.
+    /// Cancelled entries encountered on the way are purged.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        // Serve from the drained batch first.
+        while let Some(front) = self.ready.front() {
+            if self.entry_live(front) {
+                return Some(SimTime::from_micros(front.time));
+            }
+            let e = self.ready.pop_front().expect("front checked");
+            self.discard(e);
+        }
+        loop {
+            if self.len == 0 {
+                return None;
+            }
+            // Level 0: exact microsecond known from the slot index.
+            let d0 = (self.base & (WHEEL_SLOTS as u64 - 1)) as u32;
+            let mask = self.occ[0] & (!0u64 << d0);
+            if mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                if self.purge_slot(0, slot) {
+                    continue;
+                }
+                return Some(SimTime::from_micros(
+                    (self.base & !(WHEEL_SLOTS as u64 - 1)) | slot as u64,
+                ));
+            }
+            // Higher levels: the first occupied slot of the lowest
+            // occupied level holds the globally earliest entries.
+            let mut found = None;
+            for level in 1..WHEEL_LEVELS {
+                let digit = ((self.base >> (WHEEL_BITS * level as u32))
+                    & (WHEEL_SLOTS as u64 - 1)) as u32;
+                let mask = self.occ[level] & (!0u64 << digit);
+                if mask != 0 {
+                    found = Some((level, mask.trailing_zeros() as usize));
+                    break;
+                }
+            }
+            if let Some((level, slot)) = found {
+                if self.purge_slot(level, slot) {
+                    continue;
+                }
+                let min = self.levels[level][slot]
+                    .iter()
+                    .map(|e| e.time)
+                    .min()
+                    .expect("slot non-empty after purge");
+                return Some(SimTime::from_micros(min));
+            }
+            // Wheel empty: the overflow heap holds the future.
+            match self.overflow.peek() {
+                Some(head) => {
+                    if self.entry_live(&head.0) {
+                        return Some(SimTime::from_micros(head.0.time));
+                    }
+                    let e = self.overflow.pop().expect("peeked").0;
+                    self.discard(e);
+                }
+                None => {
+                    debug_assert_eq!(self.len, 0, "len out of sync with queues");
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Removes cancelled entries from a slot; returns `true` if the slot
+    /// became empty (occupancy cleared).
+    fn purge_slot(&mut self, level: usize, slot: usize) -> bool {
+        let mut entries = std::mem::take(&mut self.levels[level][slot]);
+        let mut i = 0;
+        while i < entries.len() {
+            if self.entry_live(&entries[i]) {
+                i += 1;
+            } else {
+                let e = entries.swap_remove(i);
+                self.discard(e);
+            }
+        }
+        let empty = entries.is_empty();
+        if empty {
+            self.occ[level] &= !(1 << slot);
+        }
+        self.levels[level][slot] = entries;
+        empty
+    }
+
+    /// Accounts for a cancelled entry dropped without dispatch.
+    fn discard(&mut self, e: Entry<T>) {
+        debug_assert!(e.cancel_idx != NO_CANCEL, "only cancellable entries purge");
+        self.slab.release(e.cancel_idx);
+        self.len -= 1;
+        self.purged += 1;
+    }
+
+    /// Pops the next live entry in `(time, seq)` order.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_due(SimTime::MAX)
+    }
+
+    /// Pops the next live entry if it is due at or before `horizon`;
+    /// `None` when the queue is empty or the next entry lies beyond it.
+    /// This is the simulator's event-loop primitive: one call does the
+    /// peek-compare-pop the binary heap needed two queue operations for.
+    pub fn pop_due(&mut self, horizon: SimTime) -> Option<(SimTime, T)> {
+        let target = self.next_time()?;
+        if target > horizon {
+            return None;
+        }
+        if self.ready.is_empty() {
+            let t = target.as_micros();
+            self.advance_to(t);
+            self.drain_current(t);
+        }
+        // `next_time` guaranteed at least one live entry at `target` in
+        // the batch (nothing can be cancelled between the calls).
+        loop {
+            let e = self
+                .ready
+                .pop_front()
+                .expect("next_time guaranteed a live entry");
+            if !self.entry_live(&e) {
+                self.discard(e);
+                continue;
+            }
+            if e.cancel_idx != NO_CANCEL {
+                self.slab.release(e.cancel_idx);
+            }
+            self.len -= 1;
+            self.fired += 1;
+            return Some((SimTime::from_micros(e.time), e.item));
+        }
+    }
+
+    /// Moves the cursor to `target`, cascading every slot the cursor
+    /// enters so entries at `target` end up in level 0. `target` must not
+    /// precede any pending entry (it is the minimum pending time).
+    fn advance_to(&mut self, target: u64) {
+        // Re-ingest the overflow window if the wheel has drained and the
+        // target lies beyond the current span.
+        if Self::placement(self.base, target).is_none() {
+            debug_assert_eq!(
+                self.occ,
+                [0; WHEEL_LEVELS],
+                "cursor cannot leave the span while wheel entries remain"
+            );
+            self.base = target;
+            while let Some(head) = self.overflow.peek() {
+                if Self::placement(self.base, head.0.time).is_none() {
+                    break;
+                }
+                let entry = self.overflow.pop().expect("peeked").0;
+                match Self::placement(self.base, entry.time) {
+                    Some((level, slot)) => {
+                        self.levels[level][slot].push(entry);
+                        self.occ[level] |= 1 << slot;
+                    }
+                    None => unreachable!("checked in-window above"),
+                }
+            }
+        }
+        // Cascade top-down: each pass drains the highest-level slot on the
+        // path to `target` and re-places its entries relative to the new
+        // cursor; entries land strictly below the drained level.
+        loop {
+            match Self::placement(self.base, target) {
+                Some((0, _)) | None => break,
+                Some((level, slot)) => {
+                    // Enter the slot's window: higher digits follow
+                    // `target`, lower digits reset to zero.
+                    let span = 1u64 << (WHEEL_BITS * level as u32);
+                    self.base = target & !(span - 1);
+                    let mut entries = std::mem::take(&mut self.scratch);
+                    std::mem::swap(&mut self.levels[level][slot], &mut entries);
+                    self.occ[level] &= !(1 << slot);
+                    for entry in entries.drain(..) {
+                        match Self::placement(self.base, entry.time) {
+                            Some((l, s)) => {
+                                debug_assert!(l < level, "cascade must descend");
+                                self.levels[l][s].push(entry);
+                                self.occ[l] |= 1 << s;
+                            }
+                            None => unreachable!("cascaded entry left the span"),
+                        }
+                    }
+                    self.scratch = entries;
+                }
+            }
+        }
+        self.base = target;
+    }
+
+    /// Drains the level-0 slot at the cursor into the ready batch, sorted
+    /// by sequence number (same-microsecond FIFO). Both the slot vector
+    /// and the ready deque keep their capacity, so the steady state is
+    /// allocation-free.
+    fn drain_current(&mut self, target: u64) {
+        debug_assert_eq!(self.base, target);
+        debug_assert!(self.ready.is_empty());
+        let slot = (target & (WHEEL_SLOTS as u64 - 1)) as usize;
+        let batch = &mut self.levels[0][slot];
+        self.occ[0] &= !(1 << slot);
+        debug_assert!(batch.iter().all(|e| e.time == target), "level-0 slot mixes times");
+        self.ready.extend(batch.drain(..));
+        self.ready.make_contiguous().sort_by_key(|e| e.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(wheel: &mut TimerWheel<u32>) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((t, v)) = wheel.pop() {
+            out.push((t.as_micros(), v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::from_micros(50), 1);
+        w.schedule(SimTime::from_micros(10), 2);
+        w.schedule(SimTime::from_micros(50), 3);
+        w.schedule(SimTime::from_micros(10), 4);
+        assert_eq!(
+            drain_all(&mut w),
+            vec![(10, 2), (10, 4), (50, 1), (50, 3)]
+        );
+    }
+
+    #[test]
+    fn far_future_and_overflow_round_trip() {
+        let mut w = TimerWheel::new();
+        // One entry per level, plus one beyond the span.
+        let times = [
+            3u64,
+            70,
+            5_000,
+            300_000,
+            20_000_000,
+            1_500_000_000,
+            1u64 << 40, // overflow (span is 2^36)
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.schedule(SimTime::from_micros(t), i as u32);
+        }
+        let popped = drain_all(&mut w);
+        let mut expect: Vec<(u64, u32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        expect.sort();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn matches_binary_heap_reference_on_random_workload() {
+        use comma_rt::{Rng, SeedableRng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut w = TimerWheel::new();
+        let mut reference: Vec<(u64, u64, u32)> = Vec::new(); // (time, seq, val)
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut popped = Vec::new();
+        for round in 0..2_000u32 {
+            // Schedule a burst at mixed horizons, clamped to `now`.
+            for b in 0..(rng.gen_range(0..4u32)) {
+                let horizon: u64 = match rng.gen_range(0..4u32) {
+                    0 => rng.gen_range(0..64),
+                    1 => rng.gen_range(0..10_000),
+                    2 => rng.gen_range(0..50_000_000),
+                    _ => rng.gen_range(0..(1u64 << 40)),
+                };
+                let t = (now + horizon).max(now);
+                let val = round * 8 + b;
+                w.schedule(SimTime::from_micros(t), val);
+                reference.push((t, seq, val));
+                seq += 1;
+            }
+            // Pop a few.
+            for _ in 0..rng.gen_range(0..3u32) {
+                let Some((t, v)) = w.pop() else { break };
+                now = t.as_micros();
+                reference.sort();
+                let (rt, _, rv) = reference.remove(0);
+                assert_eq!((t.as_micros(), v), (rt, rv), "divergence from heap order");
+                popped.push(v);
+            }
+        }
+        // Drain the rest.
+        reference.sort();
+        for (rt, _, rv) in reference {
+            let (t, v) = w.pop().expect("wheel drained early");
+            assert_eq!((t.as_micros(), v), (rt, rv));
+        }
+        assert!(w.pop().is_none());
+        assert!(popped.len() > 100, "workload actually interleaved pops");
+    }
+
+    #[test]
+    fn cancel_prevents_dispatch_and_is_counted() {
+        let mut w = TimerWheel::new();
+        let h1 = w.schedule_with_handle(SimTime::from_micros(100), 1);
+        let h2 = w.schedule_with_handle(SimTime::from_micros(200), 2);
+        w.schedule(SimTime::from_micros(300), 3);
+        assert!(w.cancel(h1));
+        assert!(!w.cancel(h1), "double cancel is inert");
+        assert_eq!(w.pop().map(|(_, v)| v), Some(2));
+        assert!(!w.cancel(h2), "cancel after fire is inert");
+        assert_eq!(w.pop().map(|(_, v)| v), Some(3));
+        assert!(w.pop().is_none());
+        let stats = w.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.purged, 1);
+        assert_eq!(stats.fired, 2);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn cancel_inside_ready_batch() {
+        let mut w = TimerWheel::new();
+        let _a = w.schedule_with_handle(SimTime::from_micros(10), 1);
+        let hb = w.schedule_with_handle(SimTime::from_micros(10), 2);
+        w.schedule(SimTime::from_micros(10), 3);
+        // First pop drains the whole microsecond batch.
+        assert_eq!(w.pop().map(|(_, v)| v), Some(1));
+        assert!(w.cancel(hb), "cancel while batch is in flight");
+        assert_eq!(w.pop().map(|(_, v)| v), Some(3));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn next_time_is_exact_and_read_only_for_live_entries() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::from_micros(123_456), 1);
+        assert_eq!(w.next_time(), Some(SimTime::from_micros(123_456)));
+        // Peek does not advance the cursor: an earlier entry can still be
+        // scheduled and pops first.
+        w.schedule(SimTime::from_micros(77), 2);
+        assert_eq!(w.next_time(), Some(SimTime::from_micros(77)));
+        assert_eq!(w.pop().map(|(t, v)| (t.as_micros(), v)), Some((77, 2)));
+        assert_eq!(
+            w.pop().map(|(t, v)| (t.as_micros(), v)),
+            Some((123_456, 1))
+        );
+    }
+
+    #[test]
+    fn handle_reuse_does_not_cancel_successor() {
+        let mut w = TimerWheel::new();
+        let h1 = w.schedule_with_handle(SimTime::from_micros(10), 1);
+        assert_eq!(w.pop().map(|(_, v)| v), Some(1));
+        // Slot is reused for the next timer with a bumped generation.
+        let h2 = w.schedule_with_handle(SimTime::from_micros(20), 2);
+        assert!(!w.cancel(h1), "stale handle is inert after slot reuse");
+        assert_eq!(w.pop().map(|(_, v)| v), Some(2));
+        let _ = h2;
+    }
+
+    #[test]
+    fn zero_time_and_past_clamping() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::from_micros(100), 1);
+        assert_eq!(w.pop().map(|(_, v)| v), Some(1));
+        // Cursor is at 100; scheduling at 40 clamps to the cursor.
+        w.schedule(SimTime::from_micros(40), 2);
+        assert_eq!(w.pop().map(|(t, v)| (t.as_micros(), v)), Some((100, 2)));
+    }
+}

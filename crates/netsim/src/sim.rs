@@ -1,8 +1,15 @@
-//! The discrete-event simulator core: event queue, node dispatch, and link
-//! transmission machinery.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! The discrete-event simulator core: hierarchical timer-wheel event
+//! queue, node dispatch, and link transmission machinery.
+//!
+//! Events (transmission completions, deliveries, node timers, control
+//! actions) live in a [`crate::sched::TimerWheel`] — O(1) amortized
+//! schedule/pop instead of the O(log n) binary heap the simulator started
+//! with, with O(1) cancellation through [`TimerHandle`]s so protocol
+//! layers can kill superseded timers (restarted TCP RTOs, rescheduled
+//! delayed ACKs) instead of letting stale events fire and be filtered.
+//! Dispatch order is exactly the old heap's `(time, seq)` order: earliest
+//! time first, FIFO among events scheduled for the same microsecond, so
+//! seeded runs stay byte-identical across the scheduler swap.
 
 use comma_obs::{fields, Obs};
 use comma_rt::SmallRng;
@@ -12,6 +19,7 @@ use crate::addr::Ipv4Addr;
 use crate::link::{Channel, ChannelId, LinkParams};
 use crate::node::{IfaceId, Node, NodeCtx, NodeId};
 use crate::packet::Packet;
+use crate::sched::{TimerHandle, TimerWheel, WheelStats};
 use crate::time::SimTime;
 use crate::trace::{DropReason, Trace};
 
@@ -30,36 +38,17 @@ enum Event {
     Control(ControlFn),
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 struct NodeMeta {
     ifaces: Vec<ChannelId>,
     name: String,
 }
 
 /// The deterministic discrete-event network simulator.
+///
+/// Events are kept in a hierarchical timer wheel ([`crate::sched`]):
+/// schedule and pop are O(1) amortized, and timers scheduled through
+/// [`Simulator::schedule_timer`] or [`crate::node::NodeCtx`] return a
+/// [`TimerHandle`] that cancels the pending event in O(1).
 ///
 /// # Examples
 ///
@@ -70,11 +59,17 @@ struct NodeMeta {
 /// sim.at(SimTime::from_millis(5), |_sim| { /* scenario action */ });
 /// sim.run_until(SimTime::from_millis(10));
 /// assert_eq!(sim.now(), SimTime::from_millis(10));
+///
+/// // Timers are cancellable: this one never fires.
+/// let n = sim.add_node(Box::new(Router::new("r", vec![], RoutingTable::new())));
+/// let handle = sim.schedule_timer(SimTime::from_millis(20), n, 7);
+/// assert!(sim.cancel_timer(handle));
+/// sim.run_until(SimTime::from_millis(30));
+/// assert_eq!(sim.sched_stats().cancelled, 1);
 /// ```
 pub struct Simulator {
     now: SimTime,
-    events: BinaryHeap<Scheduled>,
-    next_seq: u64,
+    sched: TimerWheel<Event>,
     nodes: Vec<Option<Box<dyn Node>>>,
     node_meta: Vec<NodeMeta>,
     node_rngs: Vec<SmallRng>,
@@ -97,8 +92,7 @@ impl Simulator {
     pub fn new(seed: u64) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            events: BinaryHeap::new(),
-            next_seq: 0,
+            sched: TimerWheel::new(),
             nodes: Vec::new(),
             node_meta: Vec::new(),
             node_rngs: Vec::new(),
@@ -230,10 +224,26 @@ impl Simulator {
         self.push(time, Event::Control(Box::new(f)));
     }
 
-    /// Schedules a node timer at absolute time `at`.
-    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+    /// Schedules a node timer at absolute time `at` (clamped to now),
+    /// returning a handle that cancels it.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) -> TimerHandle {
         let time = at.max(self.now);
-        self.push(time, Event::Timer { node, token });
+        let handle = self.sched.slab.alloc();
+        self.sched
+            .schedule_cancellable(time, handle, Event::Timer { node, token });
+        handle
+    }
+
+    /// Cancels a pending timer; returns `true` if it had not yet fired.
+    /// Stale handles (fired, already cancelled, or [`TimerHandle::NONE`])
+    /// are inert.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.sched.cancel(handle)
+    }
+
+    /// Snapshot of the scheduler's counters and gauges.
+    pub fn sched_stats(&self) -> WheelStats {
+        self.sched.stats()
     }
 
     /// Injects a packet as if `node` had sent it on `iface` right now.
@@ -248,9 +258,7 @@ impl Simulator {
     }
 
     fn push(&mut self, time: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(Scheduled { time, seq, event });
+        self.sched.schedule(time, event);
     }
 
     fn ensure_started(&mut self) {
@@ -267,15 +275,12 @@ impl Simulator {
     /// `now` at the horizon (or at the last event if the queue drained).
     pub fn run_until(&mut self, horizon: SimTime) {
         self.ensure_started();
-        while let Some(head) = self.events.peek() {
-            if head.time > horizon {
-                break;
-            }
-            let scheduled = self.events.pop().expect("peeked");
-            self.now = scheduled.time;
-            self.handle(scheduled.event);
+        while let Some((time, event)) = self.sched.pop_due(horizon) {
+            self.now = time;
+            self.handle(event);
         }
         self.now = self.now.max(horizon);
+        self.obs_sched_gauges();
     }
 
     /// Runs until the queue drains or `horizon` is reached; returns the
@@ -288,10 +293,28 @@ impl Simulator {
     /// Processes a single event; returns its time, or `None` if idle.
     pub fn step(&mut self) -> Option<SimTime> {
         self.ensure_started();
-        let scheduled = self.events.pop()?;
-        self.now = scheduled.time;
-        self.handle(scheduled.event);
+        let (time, event) = self.sched.pop()?;
+        self.now = time;
+        self.handle(event);
         Some(self.now)
+    }
+
+    /// Publishes scheduler gauges under the `sched` scope (called at the
+    /// end of every [`Simulator::run_until`]); values depend only on the
+    /// deterministic event stream, so seeded obs exports stay
+    /// byte-identical.
+    fn obs_sched_gauges(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let s = self.sched.stats();
+        self.obs.gauge("sched", "queue_depth", s.queue_depth as f64);
+        self.obs.gauge("sched", "wheel_occupancy", s.wheel_occupancy as f64);
+        self.obs.gauge("sched", "overflow_len", s.overflow_len as f64);
+        self.obs.gauge("sched", "scheduled", s.scheduled as f64);
+        self.obs.gauge("sched", "fired", s.fired as f64);
+        self.obs.gauge("sched", "cancelled", s.cancelled as f64);
+        self.obs.gauge("sched", "purged", s.purged as f64);
     }
 
     /// Total discrete events processed since construction (benchmarks use
@@ -325,7 +348,8 @@ impl Simulator {
                 &mut self.node_rngs[node.0],
                 &mut self.trace,
             )
-            .with_obs(&self.obs);
+            .with_obs(&self.obs)
+            .with_timer_slab(&mut self.sched.slab);
             f(&mut boxed, &mut ctx);
             ctx.take_effects()
         };
@@ -333,8 +357,15 @@ impl Simulator {
         for (iface, pkt) in outputs {
             self.transmit(node, iface, pkt);
         }
-        for (at, token) in timers {
-            self.push(at.max(self.now), Event::Timer { node, token });
+        for (at, token, handle) in timers {
+            let at = at.max(self.now);
+            let event = Event::Timer { node, token };
+            if handle.is_none() {
+                // Context built without a slab (detached unit tests).
+                self.sched.schedule(at, event);
+            } else {
+                self.sched.schedule_cancellable(at, handle, event);
+            }
         }
     }
 

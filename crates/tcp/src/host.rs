@@ -10,6 +10,8 @@ use comma_netsim::addr::Ipv4Addr;
 use comma_netsim::node::{IfaceId, Node, NodeCtx};
 use comma_netsim::packet::{IcmpMessage, IpPayload, Packet, TcpFlags, TcpSegment, UdpDatagram};
 use comma_netsim::routing::RoutingTable;
+use comma_netsim::sched::TimerHandle;
+use comma_netsim::time::SimTime;
 use comma_rt::Rng;
 
 use crate::apps::{App, AppCtx, AppOp, SocketId};
@@ -87,6 +89,11 @@ struct SocketEntry {
     obs_scope: Option<String>,
     /// Last state published to the flight recorder.
     last_state: TcpState,
+    /// The armed connection timer: `(deadline, handle)`. Re-arming for a
+    /// different deadline cancels the pending event; re-arming for the
+    /// same deadline is a no-op, so RTO restarts and delayed-ACK
+    /// rescheduling stop flooding the scheduler with stale timers.
+    timer: Option<(SimTime, TimerHandle)>,
 }
 
 struct Listener {
@@ -349,8 +356,26 @@ impl Host {
     }
 
     fn arm_socket_timer(&mut self, ctx: &mut NodeCtx<'_>, sock: usize) {
-        if let Some(deadline) = self.sockets[sock].conn.next_deadline() {
-            ctx.set_timer_at(deadline, sock as u64);
+        let entry = &mut self.sockets[sock];
+        let deadline = entry.conn.next_deadline();
+        match (deadline, entry.timer) {
+            // Already armed for exactly this deadline: nothing to do.
+            (Some(d), Some((armed, _))) if d == armed => {}
+            // Deadline moved (RTO restart, delayed-ACK reschedule) or
+            // newly needed: cancel the superseded event, arm the new one.
+            (Some(d), prev) => {
+                if let Some((_, h)) = prev {
+                    ctx.cancel_timer(h);
+                }
+                let h = ctx.set_timer_at(d, sock as u64);
+                entry.timer = Some((d, h));
+            }
+            // No deadline left: kill any pending timer.
+            (None, Some((_, h))) => {
+                ctx.cancel_timer(h);
+                entry.timer = None;
+            }
+            (None, None) => {}
         }
     }
 
@@ -427,6 +452,7 @@ impl Host {
                         passive: false,
                         obs_scope: None,
                         last_state: TcpState::Closed,
+                        timer: None,
                     });
                     work.push_back(Work::Effects(self.sockets.len() - 1, eff));
                 }
@@ -533,6 +559,7 @@ impl Host {
                     passive: true,
                     obs_scope: None,
                     last_state: TcpState::Closed,
+                    timer: None,
                 });
                 let mut work = VecDeque::new();
                 work.push_back(Work::Effects(self.sockets.len() - 1, eff));
@@ -642,6 +669,8 @@ impl Node for Host {
         if sock >= self.sockets.len() {
             return;
         }
+        // The fired event consumed its handle; forget it before re-arming.
+        self.sockets[sock].timer = None;
         let now = ctx.now;
         let eff = self.sockets[sock].conn.on_timer(now);
         let mut work = VecDeque::new();

@@ -50,11 +50,26 @@ if [ "${1:-}" = "bench" ]; then
         echo "macro bench FAILED: BENCH_macro.json missing or empty" >&2
         exit 1
     fi
-    for key in pkts_per_sec engine_ns_per_pkt events_per_sec exps_wall_ms; do
+    for key in pkts_per_sec engine_ns_per_pkt events_per_sec exps_wall_ms scale; do
         grep -q "\"$key\"" BENCH_macro.json || {
             echo "macro bench FAILED: BENCH_macro.json lacks \"$key\"" >&2
             exit 1
         }
+    done
+    # The many-flows scale workload must report a nonzero events_per_sec
+    # for every N.
+    for n in 16 64 256; do
+        line="$(grep "\"flows_$n\"" BENCH_macro.json)" || {
+            echo "macro bench FAILED: BENCH_macro.json lacks \"flows_$n\"" >&2
+            exit 1
+        }
+        rate="$(printf '%s' "$line" | sed -n 's/.*"events_per_sec": \([0-9.]*\).*/\1/p')"
+        case "$rate" in
+            ''|0|0.0)
+                echo "macro bench FAILED: flows_$n events_per_sec missing or zero" >&2
+                exit 1
+                ;;
+        esac
     done
     echo "macro bench ok ($(grep -c '"unix_ts"' BENCH.json) trajectory entries)"
 fi

@@ -124,6 +124,43 @@ fn parallel_experiment_report_matches_serial() {
     );
 }
 
+/// Golden cross-scheduler equivalence: these digests were recorded on the
+/// pre-change `BinaryHeap` scheduler (seed 1207, the exact scenario of
+/// [`run_fingerprint`]). The timer wheel must dispatch in the identical
+/// `(time, seq)` order, so the packet trace and the delivered bytes must
+/// reproduce them bit-for-bit — including with timer cancellation active,
+/// because the cancelled timers were spurious fires that emitted no
+/// packets and drew no randomness.
+#[test]
+fn timer_wheel_trace_matches_binary_heap_golden() {
+    let (trace, data, len) = run_fingerprint(1207);
+    assert_eq!(len, 60_000, "transfer completes under loss");
+    assert_eq!(
+        data, 0x7d43_7a40_2447_006b,
+        "delivered bytes must match the binary-heap golden digest"
+    );
+    assert_eq!(
+        trace, 0x5975_f73c_f31a_3854,
+        "packet trace must match the binary-heap golden digest"
+    );
+}
+
+/// The many-flows scale workload (hundreds of outstanding connection
+/// timers in the wheel at once) must export byte-identical observability
+/// data for one seed, scheduler gauges included.
+#[test]
+fn scale_workload_same_seed_byte_identical_obs_export() {
+    let a = comma_bench::scale::many_flows_obs_export(16, 16_384, 42);
+    let b = comma_bench::scale::many_flows_obs_export(16, 16_384, 42);
+    assert!(!a.is_empty());
+    assert!(a.contains("queue_depth"), "scheduler gauges exported");
+    assert!(a.contains("tcp.cwnd"), "connections instrumented");
+    assert_eq!(
+        a, b,
+        "same seed must produce a byte-identical scale-workload export"
+    );
+}
+
 #[test]
 fn different_seed_different_trace() {
     let (trace_a, _, len_a) = run_fingerprint(1207);

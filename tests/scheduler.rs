@@ -1,0 +1,64 @@
+//! Scheduler-level guarantees of the timer-wheel event core: stale-timer
+//! cancellation must shrink the event stream, and the many-flows scale
+//! workload must stay deterministic.
+//!
+//! The exact-order equivalence with the old `BinaryHeap` scheduler is
+//! pinned in `determinism.rs::timer_wheel_trace_matches_binary_heap_golden`
+//! against digests recorded before the swap.
+
+use comma_repro::prelude::*;
+
+/// One bulk transfer over a bursty lossy wireless link: RTO restarts and
+/// delayed-ACK rescheduling churn the timer queue.
+fn retransmit_events(seed: u64) -> (u64, u64) {
+    let loss = LossModel::Gilbert {
+        p_good_to_bad: 0.05,
+        p_bad_to_good: 0.4,
+        loss_good: 0.01,
+        loss_bad: 0.3,
+    };
+    let mut world = CommaBuilder::new(seed)
+        .eem(false)
+        .wireless(
+            LinkParams::wireless().with_loss(loss.clone()),
+            LinkParams::wireless().with_loss(loss),
+        )
+        .build(
+            vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 65_536))],
+            vec![Box::new(Sink::new(9000))],
+        );
+    world.run_until(SimTime::from_secs(300));
+    let got = world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received);
+    assert_eq!(got, 65_536, "transfer completes under loss");
+    let cancelled = world.sim.sched_stats().cancelled;
+    (world.sim.events_processed(), cancelled)
+}
+
+/// Before timer cancellation, every TCP effects batch re-armed the
+/// connection timer and relied on deadline checks to ignore stale fires:
+/// this exact scenario processed 615 events on the pre-change scheduler.
+/// Cancelling superseded RTO/delayed-ACK timers must drop that count.
+#[test]
+fn stale_timer_cancellation_drops_event_count() {
+    let (events, cancelled) = retransmit_events(77);
+    assert!(
+        events < 615,
+        "expected fewer events than the pre-cancellation baseline of 615, got {events}"
+    );
+    assert!(
+        cancelled > 0,
+        "the retransmitting connection must actually cancel superseded timers"
+    );
+}
+
+/// Acceptance gate: the 256-flow scale workload completes and two
+/// same-seed runs produce byte-identical packet traces.
+#[test]
+fn many_flows_256_same_seed_trace_digests_match() {
+    let a = comma_bench::scale::many_flows_trace_digest(256, 8_192, 42);
+    let b = comma_bench::scale::many_flows_trace_digest(256, 8_192, 42);
+    assert_eq!(
+        a, b,
+        "256-flow runs with one seed must replay the identical trace"
+    );
+}
