@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use comma::topology::{addrs, CommaBuilder};
 use comma_bench::exps;
-use comma_bench::scale::{run_event_core, run_many_flows, ScaleResult};
+use comma_bench::scale::{run_event_core, run_many_flows, run_many_flows_churn, ScaleResult};
 use comma_filters::standard_catalog;
 use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
 use comma_netsim::time::SimTime;
@@ -196,6 +196,20 @@ fn main() {
         })
         .collect();
 
+    eprintln!("macrobench: many-flows scale workload under churn ({scale_bytes} B/flow)...");
+    let scale_churn: Vec<ScaleResult> = [16usize, 64, 256]
+        .iter()
+        .map(|&flows| {
+            let r = run_many_flows_churn(flows, scale_bytes, 42);
+            eprintln!(
+                "macrobench:   flows_churn_{flows}: events_per_sec = {:.0}, wall_ms = {:.1} \
+                 ({} events)",
+                r.events_per_sec, r.wall_ms, r.sim_events
+            );
+            r
+        })
+        .collect();
+
     eprintln!("macrobench: experiment suite serial vs parallel...");
     let (serial_ms, parallel_ms) = exps_wall_ms();
     let speedup = serial_ms / parallel_ms.max(1e-9);
@@ -213,6 +227,13 @@ fn main() {
                 r.flows, r.events_per_sec, r.wall_ms, r.sim_events
             )
         })
+        .chain(scale_churn.iter().map(|r| {
+            format!(
+                "    \"flows_churn_{}\": {{ \"events_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
+                 \"sim_events\": {} }}",
+                r.flows, r.events_per_sec, r.wall_ms, r.sim_events
+            )
+        }))
         .collect::<Vec<_>>()
         .join(",\n");
 

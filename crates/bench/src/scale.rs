@@ -19,6 +19,7 @@ use std::any::Any;
 use std::time::Instant;
 
 use comma::topology::{addrs, CommaBuilder};
+use comma_faultcheck::FaultPlan;
 use comma_netsim::link::{LinkParams, LossModel};
 use comma_netsim::node::{IfaceId, Node, NodeCtx, NodeId};
 use comma_netsim::packet::{IcmpMessage, IpPayload, Packet};
@@ -128,6 +129,95 @@ pub fn run_many_flows(flows: usize, bytes_per_flow: usize, seed: u64) -> ScaleRe
         events_per_sec: sim_events as f64 / wall,
         sim_time: world.sim.now(),
     }
+}
+
+/// The standard churn plan for the scale workloads: light reorder /
+/// duplication / checksum-caught corruption on every wireless packet
+/// stream, plus two link flaps and a mid-run bandwidth dip. Everything
+/// derives from `seed`, so a (world seed, plan seed) pair replays
+/// byte-identically.
+pub fn churn_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .reorder(0.01, SimDuration::from_millis(10))
+        .duplicate(0.005)
+        .corrupt(0.005)
+        .flap(SimTime::from_secs(2), SimDuration::from_millis(500))
+        .flap(SimTime::from_secs(9), SimDuration::from_millis(300))
+        .bandwidth_step(SimTime::from_secs(5), 2_000_000)
+        .bandwidth_step(SimTime::from_secs(7), 8_000_000)
+}
+
+/// [`run_many_flows`] under the standard [`churn_plan`]: N concurrent
+/// transfers while the wireless link reorders, duplicates, corrupts,
+/// flaps, and steps bandwidth. Every flow must still complete — the
+/// fault plan perturbs timing, never correctness.
+pub fn run_many_flows_churn(flows: usize, bytes_per_flow: usize, seed: u64) -> ScaleResult {
+    let mut world = build_many_flows(flows, bytes_per_flow, seed, false);
+    world.apply_fault_plan(&churn_plan(seed ^ 0xc4e7));
+    let target = flows as u64 * bytes_per_flow as u64;
+    let t = Instant::now();
+    let mut delivered = 0u64;
+    for sec in 1..=3_600u64 {
+        world.run_until(SimTime::from_secs(sec));
+        delivered = world
+            .mobile_app_ids
+            .clone()
+            .into_iter()
+            .map(|id| world.mobile_app::<Sink, _>(id, |s| s.bytes_received) as u64)
+            .sum();
+        if delivered >= target {
+            break;
+        }
+    }
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(
+        delivered, target,
+        "many-flows/churn: not every transfer completed within the horizon"
+    );
+    let sim_events = world.sim.events_processed();
+    ScaleResult {
+        flows,
+        bytes_per_flow: bytes_per_flow as u64,
+        delivered,
+        sim_events,
+        wall_ms: wall * 1e3,
+        events_per_sec: sim_events as f64 / wall,
+        sim_time: world.sim.now(),
+    }
+}
+
+/// Runs the many-flows workload under [`churn_plan`] with full
+/// packet-trace capture and the conformance oracle attached; panics on
+/// any oracle violation and returns the FNV-1a trace digest (used by the
+/// determinism suite: faulted runs must replay byte-identically).
+pub fn many_flows_churn_trace_digest(flows: usize, bytes_per_flow: usize, seed: u64) -> u64 {
+    let mut world = build_many_flows(flows, bytes_per_flow, seed, false);
+    world.apply_fault_plan(&churn_plan(seed ^ 0xc4e7));
+    world.attach_oracle();
+    world.sim.trace.set_capture(true);
+    world.sim.trace.set_max_entries(1 << 21);
+    let target = flows as u64 * bytes_per_flow as u64;
+    let mut delivered = 0u64;
+    for sec in 1..=3_600u64 {
+        world.run_until(SimTime::from_secs(sec));
+        delivered = world
+            .mobile_app_ids
+            .clone()
+            .into_iter()
+            .map(|id| world.mobile_app::<Sink, _>(id, |s| s.bytes_received) as u64)
+            .sum();
+        if delivered >= target {
+            break;
+        }
+    }
+    assert_eq!(delivered, target, "many-flows/churn: transfers incomplete");
+    world.assert_oracle_clean();
+    let mut digest = comma_rt::digest::Fnv1a::new();
+    for line in world.sim.trace.render(|_| true) {
+        digest.update(line.as_bytes());
+        digest.update(b"\n");
+    }
+    digest.finish()
 }
 
 /// Runs the many-flows workload with observability enabled and returns the
@@ -299,6 +389,13 @@ mod tests {
     #[test]
     fn many_flows_small_batch_completes() {
         let r = run_many_flows(4, 8_192, 11);
+        assert_eq!(r.delivered, 4 * 8_192);
+        assert!(r.sim_events > 0);
+    }
+
+    #[test]
+    fn many_flows_churn_small_batch_completes() {
+        let r = run_many_flows_churn(4, 8_192, 11);
         assert_eq!(r.delivered, 4 * 8_192);
         assert!(r.sim_events > 0);
     }

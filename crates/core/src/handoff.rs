@@ -16,7 +16,16 @@ pub struct HandoffReport {
     pub rejected: usize,
 }
 
-/// Moves every service registration from `from` to `to`.
+/// Moves every service registration from `from` to `to`, atomically: the
+/// configuration either moves in full or stays in full at the old proxy.
+///
+/// A partial move would silently strip services from live streams — the
+/// mobile keeps receiving compressed records with no decompressor, say —
+/// so any rejection at the target (most commonly a filter library not
+/// loaded there) aborts the whole handoff: target-side registrations made
+/// so far are rolled back, the source keeps everything, and the report
+/// says `moved: 0` with the number of offending registrations in
+/// `rejected`.
 ///
 /// Live per-stream filter state (e.g. a TTSF edit map) is deliberately not
 /// migrated: mid-stream state transfer is only sound between proxies that
@@ -26,7 +35,28 @@ pub struct HandoffReport {
 pub fn transfer_services(sim: &mut Simulator, from: NodeId, to: NodeId) -> HandoffReport {
     let now = sim.now();
     let regs = sim.with_node::<ServiceProxy, _>(from, |sp| sp.engine.registrations());
-    let mut report = HandoffReport::default();
+
+    // Validate first: every filter must be loadable at the target before
+    // anything is touched.
+    let unloadable = {
+        let names: Vec<String> = regs.iter().map(|r| r.filter.clone()).collect();
+        sim.with_node::<ServiceProxy, _>(to, move |sp| {
+            names
+                .iter()
+                .filter(|n| !sp.engine.catalog.is_loaded(n))
+                .count()
+        })
+    };
+    if unloadable > 0 {
+        return HandoffReport {
+            moved: 0,
+            rejected: unloadable,
+        };
+    }
+
+    // Commit: register everything on the target; an unexpected failure
+    // mid-way rolls the successes back off the target.
+    let mut committed: Vec<&comma_proxy::engine::Registration> = Vec::new();
     for reg in &regs {
         let ok = sim.with_node::<ServiceProxy, _>(to, |sp| {
             sp.engine
@@ -34,20 +64,39 @@ pub fn transfer_services(sim: &mut Simulator, from: NodeId, to: NodeId) -> Hando
                 .is_ok()
         });
         if ok {
-            report.moved += 1;
+            committed.push(reg);
         } else {
-            report.rejected += 1;
+            for done in &committed {
+                let line = delete_line(done);
+                sim.with_node::<ServiceProxy, _>(to, |sp| {
+                    sp.exec(now, &line);
+                });
+            }
+            return HandoffReport {
+                moved: 0,
+                rejected: 1,
+            };
         }
     }
-    // Remove from the old proxy (instances torn down with each).
+
+    // Only now that the target holds the full configuration, remove it
+    // from the old proxy (instances torn down with each).
     for reg in &regs {
-        let line = format!("delete {} {}", reg.filter, reg.wild).replace("->", "");
-        let line = line.split_whitespace().collect::<Vec<_>>().join(" ");
+        let line = delete_line(reg);
         sim.with_node::<ServiceProxy, _>(from, |sp| {
             sp.exec(now, &line);
         });
     }
-    report
+    HandoffReport {
+        moved: regs.len(),
+        rejected: 0,
+    }
+}
+
+/// Renders the SP console `delete` command for a registration.
+fn delete_line(reg: &comma_proxy::engine::Registration) -> String {
+    let line = format!("delete {} {}", reg.filter, reg.wild).replace("->", "");
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
 #[cfg(test)]
@@ -133,5 +182,40 @@ mod tests {
                 rejected: 1
             }
         );
+    }
+
+    #[test]
+    fn rejected_handoff_leaves_source_intact() {
+        // Regression for the half-handoff bug: a rejection at the target
+        // used to still delete every registration from the source, leaving
+        // the mobile with no services on either proxy. The handoff must be
+        // all-or-nothing.
+        let mut sim = Simulator::new(3);
+        let a = add_sp(&mut sim, "sp-a", true);
+        let b = add_sp(&mut sim, "sp-b", false); // Nothing loaded: rejects all.
+        sim.with_node::<ServiceProxy, _>(a, |sp| {
+            sp.exec(
+                comma_netsim::time::SimTime::ZERO,
+                "add snoop 0.0.0.0 0 11.11.10.10 0",
+            );
+            sp.exec(
+                comma_netsim::time::SimTime::ZERO,
+                "add rdrop 0.0.0.0 0 11.11.10.10 0 50",
+            );
+        });
+        let report = transfer_services(&mut sim, a, b);
+        assert_eq!(
+            report,
+            HandoffReport {
+                moved: 0,
+                rejected: 2
+            }
+        );
+        let (a_regs, b_regs) = (
+            sim.with_node::<ServiceProxy, _>(a, |sp| sp.engine.registrations().len()),
+            sim.with_node::<ServiceProxy, _>(b, |sp| sp.engine.registrations().len()),
+        );
+        assert_eq!(a_regs, 2, "source keeps its full configuration");
+        assert_eq!(b_regs, 0, "target holds nothing after the abort");
     }
 }

@@ -89,6 +89,8 @@ pub mod prelude {
 
     pub use comma_filters::{standard_catalog, EditMap, Ttsf, ALL_FILTERS};
 
+    pub use comma_faultcheck::{FaultPlan, Oracle, OracleConfig, OracleReport, Violation};
+
     pub use comma_eem::{
         Attr, EemServer, MetricsHub, Mode, MonitorApp, Operator, Value, VarId,
     };
@@ -114,10 +116,12 @@ mod tests {
             vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 300_000))],
             vec![Box::new(Sink::new(9000))],
         );
+        world.attach_oracle();
         world.run_until(SimTime::from_secs(20));
         let sink = world.mobile_app_ids[0];
         let got = world.mobile_app::<Sink, _>(sink, |s| s.bytes_received);
         assert_eq!(got, 300_000);
+        world.assert_oracle_clean();
     }
 
     #[test]
@@ -128,6 +132,7 @@ mod tests {
         );
         world.sp("add tcp 0.0.0.0 0 11.11.10.10 0");
         world.sp("add ttsf 0.0.0.0 0 11.11.10.10 9000");
+        world.attach_oracle();
         world.run_until(SimTime::from_secs(20));
         let sink = world.mobile_app_ids[0];
         let capture = world.mobile_app::<Sink, _>(sink, |s| s.capture.clone());
@@ -136,6 +141,9 @@ mod tests {
         for (i, b) in capture.iter().enumerate() {
             assert_eq!(*b as usize, i % 251, "byte {i} corrupted");
         }
+        // The identity TTSF neither fabricates ACKs nor changes bytes:
+        // even the strict oracle checks must hold.
+        world.assert_oracle_clean();
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! services (§10.2.4).
 
 use comma_eem::{EemServer, MetricsHub, SharedHub};
-use comma_filters::standard_catalog;
+use comma_faultcheck::{FaultPlan, Oracle, OracleConfig, OracleReport, Violation};
+use comma_filters::{standard_catalog, Ttsf};
 use comma_netsim::addr::{Ipv4Addr, Subnet};
 use comma_netsim::link::{ChannelId, LinkParams};
 use comma_netsim::node::{IfaceId, NodeId};
@@ -235,6 +236,7 @@ impl CommaBuilder {
             obs,
             wired_app_ids,
             mobile_app_ids,
+            fault_reorders: false,
         }
     }
 }
@@ -263,6 +265,9 @@ pub struct CommaWorld {
     pub wired_app_ids: Vec<comma_tcp::host::AppId>,
     /// Application ids installed on the mobile host, in insertion order.
     pub mobile_app_ids: Vec<comma_tcp::host::AppId>,
+    /// An applied fault plan reorders/duplicates deliveries (relaxes the
+    /// oracle's delivered-ACK monotonicity check).
+    fault_reorders: bool,
 }
 
 impl CommaWorld {
@@ -331,6 +336,149 @@ impl CommaWorld {
             sim.channel_mut(d).params.up = up;
             sim.channel_mut(u).params.up = up;
         });
+    }
+
+    /// Applies a [`FaultPlan`] to both directions of the wireless link.
+    /// Call before running; the plan's per-packet fault models and churn
+    /// script replay identically for one (world seed, plan) pair. Plans
+    /// that reorder or duplicate packets automatically relax the oracle's
+    /// delivered-ACK monotonicity check (whether the oracle is attached
+    /// before or after this call).
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let (d, u) = self.wireless_ch;
+        plan.apply(&mut self.sim, &[d, u]);
+        if plan.perturbs_delivery_order() {
+            self.fault_reorders = true;
+            if let Some(mut observer) = self.sim.take_packet_observer() {
+                if let Some(oracle) = observer.as_any().downcast_mut::<Oracle>() {
+                    oracle.set_allow_reordered_delivery(true);
+                }
+                self.sim.set_packet_observer(observer);
+            }
+        }
+    }
+
+    /// Installs the TCP conformance oracle as the simulator's packet
+    /// observer, watching the wired and mobile endpoints. Call before
+    /// running; collect with [`CommaWorld::oracle_report`] or assert with
+    /// [`CommaWorld::assert_oracle_clean`] after.
+    pub fn attach_oracle(&mut self) {
+        let mut cfg = OracleConfig::new(vec![
+            (self.wired, addrs::WIRED),
+            (self.mobile, addrs::MOBILE),
+        ]);
+        cfg.allow_reordered_delivery = self.fault_reorders;
+        let oracle = Oracle::new(cfg).with_obs(self.obs.clone());
+        self.sim.set_packet_observer(Box::new(oracle));
+    }
+
+    /// Detaches the oracle and finalizes it: decides strict mode from the
+    /// registered services (payload/sequence-rewriting services make the
+    /// strict end-to-end identity checks legitimately inapplicable), sweeps
+    /// every live TTSF edit map's structural invariants, and returns the
+    /// combined report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no oracle is attached.
+    pub fn oracle_report(&mut self) -> OracleReport {
+        let mut observer = self
+            .sim
+            .take_packet_observer()
+            .expect("no oracle attached: call attach_oracle() before running");
+        let oracle = observer
+            .as_any()
+            .downcast_mut::<Oracle>()
+            .expect("packet observer is not the conformance oracle");
+
+        // Services that rewrite payload bytes or sequence spaces disable
+        // the strict checks (V7 payload identity, V8 ack provenance); the
+        // always-on invariants keep running regardless.
+        const TRANSFORMING: &[&str] = &[
+            "compress",
+            "decompress",
+            "removal",
+            "translate",
+            "rdrop",
+            "hdiscard",
+        ];
+        let mut kinds: Vec<String> = self
+            .sim
+            .with_node::<ServiceProxy, _>(self.proxy, |sp| {
+                sp.engine.registrations().iter().map(|r| r.filter.clone()).collect()
+            });
+        if let Some(stub) = self.stub {
+            kinds.extend(self.sim.with_node::<ServiceProxy, _>(stub, |sp| {
+                sp.engine
+                    .registrations()
+                    .iter()
+                    .map(|r| r.filter.clone())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let transformed = kinds.iter().any(|k| TRANSFORMING.contains(&k.as_str()));
+        oracle.set_strict(!transformed);
+
+        // TTSF edit maps must stay structurally sound on every proxy —
+        // sweep every TTSF-backed registration kind, not just the
+        // identity "ttsf" service.
+        const TTSF_KINDS: &[&str] = &["ttsf", "compress", "decompress", "removal", "translate"];
+        let mut editmap_errors: Vec<String> = Vec::new();
+        let mut sweep = |sim: &mut Simulator, node: NodeId, name: &str| {
+            let label = name.to_string();
+            let errs: Vec<String> = sim.with_node::<ServiceProxy, _>(node, |sp| {
+                let mut errs = Vec::new();
+                for kind in TTSF_KINDS {
+                    errs.extend(
+                        sp.engine
+                            .instances_as::<Ttsf>(kind)
+                            .iter()
+                            .filter_map(|t| t.map())
+                            .filter_map(|m| m.check_invariants().err())
+                            .map(|e| format!("{label}: {e}")),
+                    );
+                }
+                errs
+            });
+            editmap_errors.extend(errs);
+        };
+        sweep(&mut self.sim, self.proxy, "sp");
+        if let Some(stub) = self.stub {
+            sweep(&mut self.sim, stub, "stub");
+        }
+
+        let taken = std::mem::replace(
+            oracle,
+            Oracle::new(OracleConfig::new(Vec::new())),
+        );
+        let mut report = taken.finish();
+        for err in editmap_errors {
+            report.total_violations += 1;
+            report.violations.push(Violation {
+                time: self.sim.now(),
+                kind: "editmap-invariant",
+                flow: "ttsf".to_string(),
+                detail: err,
+            });
+        }
+        report
+    }
+
+    /// [`CommaWorld::oracle_report`], asserting the run was violation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics with every retained violation if the oracle found any.
+    pub fn assert_oracle_clean(&mut self) {
+        let report = self.oracle_report();
+        assert!(
+            report.is_clean(),
+            "conformance oracle found {} violation(s) over {} flows / {} segments:\n{}",
+            report.total_violations,
+            report.flows,
+            report.segments_checked,
+            report.render()
+        );
     }
 
     /// The canonical downlink stream key for `(wired:sport → mobile:dport)`.

@@ -1,0 +1,30 @@
+//! Fault injection and conformance checking for the Comma reproduction.
+//!
+//! The thesis's central promise is that Comma filters may drop, shrink, or
+//! rewrite TCP payload bytes in flight *without breaking end-to-end TCP
+//! semantics*: no split connection, no proxy-fabricated ACKs. This crate
+//! makes that promise mechanically checkable:
+//!
+//! - [`plan`]: a seeded, schedulable [`FaultPlan`] that layers packet
+//!   reordering, duplication, and bit corruption (via
+//!   `comma_netsim::fault`) plus scripted link churn — down/up flaps and
+//!   bandwidth/latency steps mid-transfer, driven by the simulator's timer
+//!   wheel — over any set of channels.
+//! - [`oracle`]: a pure [`Oracle`] observing every packet the simulator
+//!   moves and asserting per-flow TCP invariants (SEQ/ACK monotonicity mod
+//!   2³², ACKs only for data the far end actually sent, receive-window
+//!   respect, retransmission consistency, end-to-end payload integrity).
+//!   Violations surface as structured [`Violation`] records and `oracle.*`
+//!   observability counters — never as hidden panics mid-run.
+//!
+//! Everything is deterministic: fault decisions come from dedicated seeded
+//! RNG streams, so a faulted run is byte-identical for one `(run seed,
+//! fault seed)` pair, and the oracle itself draws no randomness at all.
+
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod plan;
+
+pub use oracle::{Oracle, OracleConfig, OracleReport, Violation};
+pub use plan::FaultPlan;

@@ -228,6 +228,62 @@ impl EditMap {
         }
     }
 
+    /// Verifies the map's structural invariants, returning the first breach
+    /// found: records must tile both sequence spaces contiguously from the
+    /// bases, identity records must preserve length, and the boundary
+    /// mappings must agree in both directions. Conformance sweeps call this
+    /// on every live TTSF map; a breach here means ACK translation or
+    /// retransmission replay can silently corrupt the stream.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut orig = self.base_orig;
+        let mut new = self.base_new;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.orig_start != orig {
+                return Err(format!(
+                    "record {i}: orig_start {} leaves a gap after {}",
+                    r.orig_start, orig
+                ));
+            }
+            if r.new_start != new {
+                return Err(format!(
+                    "record {i}: new_start {} leaves a gap after {}",
+                    r.new_start, new
+                ));
+            }
+            if r.identity && r.orig_len as usize != r.out.len() {
+                return Err(format!(
+                    "record {i}: identity record changes length ({} -> {})",
+                    r.orig_len,
+                    r.out.len()
+                ));
+            }
+            orig = r.orig_end();
+            new = r.new_end();
+        }
+        if self.map_seq(self.base_orig) != self.base_new {
+            return Err(format!(
+                "base maps to {} instead of {}",
+                self.map_seq(self.base_orig),
+                self.base_new
+            ));
+        }
+        if self.map_seq(self.frontier_orig()) != self.frontier_new() {
+            return Err(format!(
+                "frontier maps to {} instead of {}",
+                self.map_seq(self.frontier_orig()),
+                self.frontier_new()
+            ));
+        }
+        if self.inverse_ack(self.frontier_new()) != self.frontier_orig() {
+            return Err(format!(
+                "frontier ack inverts to {} instead of {}",
+                self.inverse_ack(self.frontier_new()),
+                self.frontier_orig()
+            ));
+        }
+        Ok(())
+    }
+
     /// Net bytes saved so far (original minus output; negative if the
     /// stream expanded).
     pub fn bytes_saved(&self) -> i64 {
@@ -371,6 +427,32 @@ mod tests {
         assert_eq!(m.bytes_saved(), 60);
         let expand = map_with(&[(10, 25, false)]);
         assert_eq!(expand.bytes_saved(), -15);
+    }
+
+    #[test]
+    fn invariants_hold_through_push_and_trim() {
+        let mut m = map_with(&[(100, 40, false), (100, 100, true), (50, 0, false)]);
+        assert_eq!(m.check_invariants(), Ok(()));
+        m.trim(5040);
+        assert_eq!(m.check_invariants(), Ok(()));
+        let wrap_start = u32::MAX - 20;
+        let mut w = EditMap::new(wrap_start);
+        w.push(100, Bytes::from(vec![1u8; 30]), false);
+        w.push(60, Bytes::from(vec![2u8; 60]), true);
+        assert_eq!(w.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn invariants_catch_corruption() {
+        let mut m = map_with(&[(100, 40, false), (100, 100, true)]);
+        m.records[1].new_start = m.records[1].new_start.wrapping_add(3);
+        assert!(m.check_invariants().unwrap_err().contains("new_start"));
+        let mut m = map_with(&[(100, 100, true)]);
+        m.records[0].orig_len = 90;
+        assert!(m
+            .check_invariants()
+            .unwrap_err()
+            .contains("identity record changes length"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
-use comma_netsim::packet::Packet;
+use comma_netsim::packet::{Packet, TcpFlags};
 use comma_netsim::time::{SimDuration, SimTime};
 use comma_proxy::filter::{Capabilities, Filter, FilterCtx, Priority, Verdict};
 use comma_proxy::key::StreamKey;
@@ -48,6 +48,11 @@ pub struct Snoop {
     last_local_retx_at: Option<SimTime>,
     /// Upper clamp on the local RTO (ablation knob; default 200 ms).
     pub max_local_rto: SimDuration,
+    /// Fault-injection hook for the conformance harness: when set, the
+    /// filter acknowledges cached downlink data toward the sender on the
+    /// mobile's behalf — the split-connection behavior (I-TCP) that snoop
+    /// exists to avoid. Never set outside mutation tests.
+    pub mutate_fabricate_acks: bool,
     /// Counters.
     pub stats: SnoopStats,
 }
@@ -71,6 +76,7 @@ impl Snoop {
             srtt_us: 20_000.0,
             last_local_retx_at: None,
             max_local_rto: SimDuration::from_millis(200),
+            mutate_fabricate_acks: false,
             stats: SnoopStats::default(),
         }
     }
@@ -146,6 +152,21 @@ impl Filter for Snoop {
             if !seg.payload.is_empty() {
                 if self.base.is_none() {
                     self.base = Some(seg.seq);
+                }
+                if self.mutate_fabricate_acks {
+                    // Split-connection mutant: acknowledge the data here,
+                    // spoofing the mobile, before it ever crosses the
+                    // wireless link.
+                    let fab_ack = seg.seq.wrapping_add(seg.payload.len() as u32);
+                    let mut fab = comma_netsim::packet::TcpSegment::new(
+                        seg.dst_port,
+                        seg.src_port,
+                        seg.ack,
+                        fab_ack,
+                        TcpFlags::ACK,
+                    );
+                    fab.window = self.last_win.unwrap_or(u16::MAX);
+                    ctx.inject(Packet::tcp(pkt.ip.dst, pkt.ip.src, fab));
                 }
                 if self.cache_bytes() + pkt.wire_len() <= CACHE_LIMIT_BYTES {
                     let rel = self.rel(seg.seq);

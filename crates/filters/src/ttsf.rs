@@ -56,6 +56,11 @@ pub struct Ttsf {
     fin_flushed: bool,
     /// Maximum payload bytes per emitted packet.
     pub emit_cap: usize,
+    /// Fault-injection hook for the conformance harness: when set, uplink
+    /// acknowledgements pass through *without* edit-map translation — the
+    /// exact bug a TTSF implementation would have if it forgot the inverse
+    /// mapping. Never set outside mutation tests.
+    pub mutate_skip_ack_translation: bool,
     /// Counters.
     pub stats: TtsfStats,
 }
@@ -70,6 +75,7 @@ impl Ttsf {
             fin_orig: None,
             fin_flushed: false,
             emit_cap: 1460,
+            mutate_skip_ack_translation: false,
             stats: TtsfStats::default(),
         }
     }
@@ -246,6 +252,9 @@ impl Ttsf {
             return Verdict::Continue;
         };
         if !seg.flags.ack() {
+            return Verdict::Continue;
+        }
+        if self.mutate_skip_ack_translation {
             return Verdict::Continue;
         }
         let new_ack = seg.ack;

@@ -1,0 +1,244 @@
+//! Deterministic link-level fault injection: packet reordering,
+//! duplication, and bit corruption layered on top of the loss models.
+//!
+//! Faults are sampled from a *dedicated* per-channel RNG installed with the
+//! fault configuration, never from the simulator's link RNG. That keeps the
+//! draw order of the loss models untouched: a run with no faults installed
+//! executes the exact event stream (and digests) it always did, and a
+//! faulted run is a pure function of `(run seed, fault seed, config)`.
+//!
+//! Corruption has two modes. The default (`deliver = false`) models the
+//! receiver's checksum discarding the damaged frame: the packet is dropped
+//! with [`crate::trace::DropReason::Corrupt`] and counted separately from
+//! loss-model drops. The escape hatch (`deliver = true`) flips a payload
+//! byte and delivers the damaged packet anyway — the packet a *broken*
+//! checksum would have let through — which exists so conformance oracles
+//! can prove they catch end-to-end integrity violations.
+
+use comma_rt::{Rng, SeedableRng, SmallRng};
+
+use crate::packet::{IpPayload, Packet};
+use crate::time::SimDuration;
+
+/// Per-channel fault configuration. All probabilities are per delivered
+/// packet (loss-model survivors), evaluated in the order corrupt →
+/// duplicate → reorder.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// Probability a packet is held back by an extra delay, letting later
+    /// packets overtake it (reordering at the receiver).
+    pub reorder_p: f64,
+    /// Maximum extra delay for a reordered packet; the actual delay is
+    /// drawn uniformly from `1..=reorder_extra` microseconds.
+    pub reorder_extra: SimDuration,
+    /// Probability a packet is delivered twice.
+    pub duplicate_p: f64,
+    /// Probability a packet is corrupted in flight.
+    pub corrupt_p: f64,
+    /// `false`: the receiver's checksum catches the damage and the packet
+    /// is dropped ([`crate::trace::DropReason::Corrupt`]). `true`: a TCP
+    /// payload byte is flipped and the packet is delivered anyway.
+    pub corrupt_deliver: bool,
+}
+
+impl FaultConfig {
+    /// Returns `true` if no fault has a nonzero probability.
+    pub fn is_noop(&self) -> bool {
+        self.reorder_p <= 0.0 && self.duplicate_p <= 0.0 && self.corrupt_p <= 0.0
+    }
+}
+
+/// Counters kept per faulted channel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Packets delivered late (held back past later traffic).
+    pub reordered: u64,
+    /// Packets delivered twice.
+    pub duplicated: u64,
+    /// Packets dropped as checksum-discards (`corrupt_deliver = false`).
+    pub corrupt_drops: u64,
+    /// Packets delivered with a flipped payload byte.
+    pub corrupt_delivered: u64,
+}
+
+/// The installed fault state of one channel: configuration, a dedicated
+/// RNG stream, and counters.
+#[derive(Debug)]
+pub struct FaultState {
+    /// The active configuration.
+    pub cfg: FaultConfig,
+    /// Dedicated randomness stream (independent of the link RNG).
+    pub rng: SmallRng,
+    /// Counters.
+    pub stats: FaultStats,
+}
+
+/// What the fault layer decided to do with one delivered packet.
+pub(crate) struct FaultAction {
+    /// Deliver at all (false = corrupt drop).
+    pub deliver: bool,
+    /// Extra delivery delay (reordering).
+    pub extra_delay: SimDuration,
+    /// Schedule a second delivery.
+    pub duplicate: bool,
+    /// A payload byte was flipped in place.
+    pub corrupted_in_place: bool,
+}
+
+impl FaultState {
+    /// Creates fault state for one channel. The RNG is seeded from the
+    /// caller's fault seed so distinct channels get distinct streams.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultState {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Samples the fault pipeline for one loss-surviving packet, flipping a
+    /// payload byte in place when deliverable corruption strikes.
+    pub(crate) fn sample(&mut self, pkt: &mut Packet) -> FaultAction {
+        let mut action = FaultAction {
+            deliver: true,
+            extra_delay: SimDuration::ZERO,
+            duplicate: false,
+            corrupted_in_place: false,
+        };
+        if self.cfg.corrupt_p > 0.0 && self.rng.gen_bool(self.cfg.corrupt_p.clamp(0.0, 1.0)) {
+            if self.cfg.corrupt_deliver {
+                if flip_payload_byte(pkt, &mut self.rng) {
+                    self.stats.corrupt_delivered += 1;
+                    action.corrupted_in_place = true;
+                }
+            } else {
+                self.stats.corrupt_drops += 1;
+                action.deliver = false;
+                return action;
+            }
+        }
+        if self.cfg.duplicate_p > 0.0 && self.rng.gen_bool(self.cfg.duplicate_p.clamp(0.0, 1.0)) {
+            self.stats.duplicated += 1;
+            action.duplicate = true;
+        }
+        if self.cfg.reorder_p > 0.0 && self.rng.gen_bool(self.cfg.reorder_p.clamp(0.0, 1.0)) {
+            let max = self.cfg.reorder_extra.as_micros().max(1);
+            let extra = 1 + self.rng.gen_range(0..max);
+            action.extra_delay = SimDuration::from_micros(extra);
+            self.stats.reordered += 1;
+        }
+        action
+    }
+}
+
+/// Flips one byte of a TCP payload; returns `false` when the packet has no
+/// payload to damage (header corruption is modeled by the drop mode).
+fn flip_payload_byte(pkt: &mut Packet, rng: &mut SmallRng) -> bool {
+    let IpPayload::Tcp(seg) = &mut pkt.body else {
+        return false;
+    };
+    if seg.payload.is_empty() {
+        return false;
+    }
+    let mut bytes = seg.payload.to_vec();
+    let pos = rng.gen_range(0..bytes.len() as u64) as usize;
+    bytes[pos] ^= 0x20;
+    seg.payload = comma_rt::Bytes::from(bytes);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::packet::{TcpFlags, TcpSegment};
+    use comma_rt::Bytes;
+
+    fn data_pkt() -> Packet {
+        let mut seg = TcpSegment::new(1, 2, 100, 0, TcpFlags::ACK);
+        seg.payload = Bytes::from(vec![b'a'; 64]);
+        Packet::tcp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), seg)
+    }
+
+    #[test]
+    fn noop_config_touches_nothing() {
+        let mut fs = FaultState::new(FaultConfig::default(), 7);
+        let mut pkt = data_pkt();
+        let a = fs.sample(&mut pkt);
+        assert!(a.deliver && !a.duplicate && !a.corrupted_in_place);
+        assert_eq!(a.extra_delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn corrupt_drop_mode_drops() {
+        let cfg = FaultConfig {
+            corrupt_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut fs = FaultState::new(cfg, 7);
+        let mut pkt = data_pkt();
+        let a = fs.sample(&mut pkt);
+        assert!(!a.deliver);
+        assert_eq!(fs.stats.corrupt_drops, 1);
+    }
+
+    #[test]
+    fn corrupt_deliver_mode_flips_one_byte() {
+        let cfg = FaultConfig {
+            corrupt_p: 1.0,
+            corrupt_deliver: true,
+            ..FaultConfig::default()
+        };
+        let mut fs = FaultState::new(cfg, 7);
+        let mut pkt = data_pkt();
+        let a = fs.sample(&mut pkt);
+        assert!(a.deliver && a.corrupted_in_place);
+        let payload = &pkt.as_tcp().unwrap().payload;
+        let flipped = payload.iter().filter(|&&b| b != b'a').count();
+        assert_eq!(flipped, 1, "exactly one byte flipped");
+        assert_eq!(fs.stats.corrupt_delivered, 1);
+    }
+
+    #[test]
+    fn corrupt_deliver_skips_empty_payloads() {
+        let cfg = FaultConfig {
+            corrupt_p: 1.0,
+            corrupt_deliver: true,
+            ..FaultConfig::default()
+        };
+        let mut fs = FaultState::new(cfg, 7);
+        let mut pkt = Packet::tcp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            TcpSegment::new(1, 2, 100, 0, TcpFlags::ACK),
+        );
+        let a = fs.sample(&mut pkt);
+        assert!(a.deliver && !a.corrupted_in_place);
+        assert_eq!(fs.stats.corrupt_delivered, 0);
+    }
+
+    #[test]
+    fn reorder_and_duplicate_sample_deterministically() {
+        let cfg = FaultConfig {
+            reorder_p: 0.5,
+            reorder_extra: SimDuration::from_millis(5),
+            duplicate_p: 0.5,
+            ..FaultConfig::default()
+        };
+        let run = |seed: u64| {
+            let mut fs = FaultState::new(cfg.clone(), seed);
+            let mut log = Vec::new();
+            for _ in 0..200 {
+                let mut pkt = data_pkt();
+                let a = fs.sample(&mut pkt);
+                log.push((a.duplicate, a.extra_delay.as_micros()));
+            }
+            (log, fs.stats)
+        };
+        let (log_a, stats_a) = run(9);
+        let (log_b, stats_b) = run(9);
+        assert_eq!(log_a, log_b, "same fault seed, same decisions");
+        assert!(stats_a.reordered > 0 && stats_a.duplicated > 0);
+        assert_eq!(stats_a.reordered, stats_b.reordered);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod addr;
 pub mod checksum;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -40,6 +41,7 @@ pub mod wire;
 pub mod prelude {
     pub use crate::{
         addr::{Ipv4Addr, Subnet},
+        fault::{FaultConfig, FaultStats},
         link::{ChannelId, LinkParams, LossModel},
         node::{IfaceId, Node, NodeCtx, NodeId},
         packet::{

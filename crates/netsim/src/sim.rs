@@ -16,16 +16,33 @@ use comma_rt::SmallRng;
 use comma_rt::SeedableRng;
 
 use crate::addr::Ipv4Addr;
+use crate::fault::{FaultConfig, FaultState, FaultStats};
 use crate::link::{Channel, ChannelId, LinkParams};
 use crate::node::{IfaceId, Node, NodeCtx, NodeId};
 use crate::packet::Packet;
 use crate::sched::{TimerHandle, TimerWheel, WheelStats};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace};
 
 /// A control action scheduled to run against the simulator itself (link
 /// parameter changes, host movement, application starts).
 pub type ControlFn = Box<dyn FnOnce(&mut Simulator)>;
+
+/// A passive observer of every packet the simulator moves: called once when
+/// a node hands a packet to a channel ([`PacketObserver::on_tx`]) and once
+/// when a packet is dispatched into a node ([`PacketObserver::on_deliver`]).
+///
+/// Observers see the *typed* packet (not a summary string), so conformance
+/// oracles can check protocol invariants the trace cannot express. The hook
+/// is opt-in and the `Option` test is the only cost when none is installed.
+pub trait PacketObserver {
+    /// `node` handed `pkt` to one of its channels at `now`.
+    fn on_tx(&mut self, now: SimTime, node: NodeId, pkt: &Packet);
+    /// `pkt` is being dispatched into `node` at `now`.
+    fn on_deliver(&mut self, now: SimTime, node: NodeId, pkt: &Packet);
+    /// Typed access for retrieval via [`Simulator::take_packet_observer`].
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
 
 enum Event {
     /// Serialization of `pkt` on `channel` completes.
@@ -85,6 +102,8 @@ pub struct Simulator {
     /// drop events under per-channel scopes (`ch0`, `ch1`, ...).
     pub obs: Obs,
     ch_scopes: Vec<String>,
+    faults: Vec<Option<FaultState>>,
+    observer: Option<Box<dyn PacketObserver>>,
 }
 
 impl Simulator {
@@ -104,7 +123,46 @@ impl Simulator {
             trace: Trace::new(),
             obs: Obs::new(),
             ch_scopes: Vec::new(),
+            faults: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Installs a fault configuration on one directed channel, replacing any
+    /// previous one. Fault decisions draw from a dedicated RNG seeded with
+    /// `fault_seed`, never from the link RNG, so installing (or clearing)
+    /// faults cannot perturb the loss models' draw order.
+    pub fn install_link_faults(&mut self, ch: ChannelId, cfg: FaultConfig, fault_seed: u64) {
+        if self.faults.len() < self.channels.len() {
+            self.faults.resize_with(self.channels.len(), || None);
+        }
+        self.faults[ch.0] = Some(FaultState::new(cfg, fault_seed));
+    }
+
+    /// Removes any fault configuration from one directed channel.
+    pub fn clear_link_faults(&mut self, ch: ChannelId) {
+        if let Some(slot) = self.faults.get_mut(ch.0) {
+            *slot = None;
+        }
+    }
+
+    /// Fault counters of a channel, when faults are installed on it.
+    pub fn fault_stats(&self, ch: ChannelId) -> Option<FaultStats> {
+        self.faults.get(ch.0)?.as_ref().map(|f| f.stats)
+    }
+
+    /// Installs a packet observer (conformance oracle); replaces any
+    /// previous one, returning it.
+    pub fn set_packet_observer(
+        &mut self,
+        obs: Box<dyn PacketObserver>,
+    ) -> Option<Box<dyn PacketObserver>> {
+        self.observer.replace(obs)
+    }
+
+    /// Removes and returns the installed packet observer.
+    pub fn take_packet_observer(&mut self) -> Option<Box<dyn PacketObserver>> {
+        self.observer.take()
     }
 
     /// Current simulated time.
@@ -372,6 +430,9 @@ impl Simulator {
     fn dispatch_packet(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
         let summary_node = node;
         self.trace.rx(self.now, summary_node, || pkt.summary());
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_deliver(self.now, node, &pkt);
+        }
         self.dispatch(node, |n, ctx| n.on_packet(ctx, iface, pkt));
     }
 
@@ -402,6 +463,9 @@ impl Simulator {
             return;
         };
         self.trace.tx(self.now, node, || pkt.summary());
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_tx(self.now, node, &pkt);
+        }
         if self.obs.is_enabled() {
             self.obs.inc(&self.ch_scopes[ch_id.0], "link.offered");
         }
@@ -473,14 +537,51 @@ impl Simulator {
                 .drop_pkt(self.now, src_node, DropReason::Loss, || summary);
             self.obs_link_drop(ch_id, "link.drop.loss", "loss", len);
         } else {
-            let at = self.now + latency;
-            self.push(
-                at,
-                Event::Deliver {
-                    channel: ch_id,
-                    pkt,
-                },
-            );
+            let mut pkt = pkt;
+            let mut at = self.now + latency;
+            let mut deliver = true;
+            let mut duplicate = false;
+            if let Some(fs) = self.faults.get_mut(ch_id.0).and_then(Option::as_mut) {
+                let action = fs.sample(&mut pkt);
+                deliver = action.deliver;
+                duplicate = action.duplicate;
+                at += action.extra_delay;
+                if self.obs.is_enabled() {
+                    let scope = &self.ch_scopes[ch_id.0];
+                    if action.corrupted_in_place {
+                        self.obs.inc(scope, "link.fault.corrupt_delivered");
+                    }
+                    if action.duplicate {
+                        self.obs.inc(scope, "link.fault.duplicated");
+                    }
+                    if action.extra_delay > SimDuration::ZERO {
+                        self.obs.inc(scope, "link.fault.reordered");
+                    }
+                }
+            }
+            if !deliver {
+                let summary = pkt.summary();
+                self.trace
+                    .drop_pkt(self.now, src_node, DropReason::Corrupt, || summary);
+                self.obs_link_drop(ch_id, "link.drop.corrupt", "corrupt", len);
+            } else {
+                if duplicate {
+                    self.push(
+                        at,
+                        Event::Deliver {
+                            channel: ch_id,
+                            pkt: pkt.clone(),
+                        },
+                    );
+                }
+                self.push(
+                    at,
+                    Event::Deliver {
+                        channel: ch_id,
+                        pkt,
+                    },
+                );
+            }
         }
         // Start the next queued packet regardless of this packet's fate.
         if let Some(next) = self.channels[ch_id.0].dequeue() {

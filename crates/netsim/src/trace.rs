@@ -24,6 +24,8 @@ pub enum DropReason {
     NoRoute,
     /// A proxy filter dropped the packet.
     Filter,
+    /// Injected corruption caught by the receiver's checksum.
+    Corrupt,
 }
 
 impl fmt::Display for DropReason {
@@ -35,6 +37,7 @@ impl fmt::Display for DropReason {
             DropReason::TtlExpired => "ttl-expired",
             DropReason::NoRoute => "no-route",
             DropReason::Filter => "filter",
+            DropReason::Corrupt => "corrupt",
         };
         write!(f, "{s}")
     }

@@ -459,6 +459,17 @@ impl FilterEngine {
         out
     }
 
+    /// Typed access to every live instance of a filter kind (tools,
+    /// invariant sweeps).
+    pub fn instances_as<T: 'static>(&mut self, kind: &str) -> Vec<&mut T> {
+        self.instances
+            .iter_mut()
+            .flatten()
+            .filter(|i| &*i.kind == kind)
+            .filter_map(|i| i.filter.as_any().downcast_mut::<T>())
+            .collect()
+    }
+
     /// Typed access to the first live instance of a filter kind (tools).
     pub fn instance_as<T: 'static>(&mut self, kind: &str) -> Option<&mut T> {
         self.instances

@@ -14,7 +14,7 @@ use comma_netsim::time::{SimDuration, SimTime};
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::config::{Recovery, TcpConfig};
 use crate::rto::RtoEstimator;
-use crate::seq::{seq_diff, seq_ge, seq_gt, seq_le, seq_lt};
+use crate::seq::{seq_diff, seq_ge, seq_gt, seq_le, seq_lt, seq_max};
 
 /// RFC 793 connection states.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -110,6 +110,10 @@ pub struct TcpConnection {
     iss: u32,
     snd_una: u32,
     snd_nxt: u32,
+    /// Highest sequence ever transmitted (BSD's `snd_max`): after a
+    /// go-back-N pullback, sequences below it are retransmissions and must
+    /// not be RTT-timed (Karn's rule).
+    snd_max: u32,
     snd_wnd: u32,
     snd_wl1: u32,
     snd_wl2: u32,
@@ -155,6 +159,7 @@ impl TcpConnection {
             iss,
             snd_una: iss,
             snd_nxt: iss,
+            snd_max: iss,
             snd_wnd: 0,
             snd_wl1: 0,
             snd_wl2: 0,
@@ -247,6 +252,7 @@ impl TcpConnection {
         syn.options.push(TcpOption::Mss(self.cfg.mss));
         syn.window = self.cfg.recv_buffer.min(65_535) as u16;
         self.snd_nxt = self.iss.wrapping_add(1);
+        self.snd_max = self.snd_nxt;
         self.push_seg(&mut eff, syn);
         self.arm_rto(now);
         eff
@@ -356,6 +362,7 @@ impl TcpConnection {
         let mut synack = self.make_seg(self.iss, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
         synack.options.push(TcpOption::Mss(self.cfg.mss));
         self.snd_nxt = self.iss.wrapping_add(1);
+        self.snd_max = self.snd_nxt;
         self.push_seg(eff, synack);
     }
 
@@ -451,8 +458,10 @@ impl TcpConnection {
             self.rto.clear_backoff();
             eff.events.push(ConnEvent::Connected);
         }
-        // Continue: the same segment may carry data.
-        if seq_gt(ack, self.snd_nxt) {
+        // Continue: the same segment may carry data. Validate against
+        // snd_max, not snd_nxt: after a go-back-N pullback the receiver may
+        // legitimately ACK buffered out-of-order data beyond snd_nxt.
+        if seq_gt(ack, self.snd_max) {
             // Acking data we never sent: tell the peer where we are.
             let a = self.make_ack();
             self.push_seg(eff, a);
@@ -480,12 +489,20 @@ impl TcpConnection {
             return;
         }
 
-        // New data acknowledged.
+        // New data acknowledged. Note RFC 6298 §5.7: the ACK may cover a
+        // retransmission, whose RTT is unmeasurable under Karn's rule, so
+        // the exponential backoff must survive until `rto.sample()` takes a
+        // fresh measurement — clearing it here would let one ambiguous ACK
+        // collapse a backed-off timer on a path that is still losing.
         let acked = seq_diff(ack, self.snd_una);
         self.snd_una = ack;
+        if seq_lt(self.snd_nxt, self.snd_una) {
+            // The ACK overtook a pulled-back snd_nxt (the receiver held the
+            // "lost" tail after all): resume sending from the edge.
+            self.snd_nxt = self.snd_una;
+        }
         self.send_buf.ack_to(ack);
         self.dup_acks = 0;
-        self.rto.clear_backoff();
         self.persist_shift = 0;
 
         if let Some((probe_seq, sent_at)) = self.rtt_probe {
@@ -681,11 +698,16 @@ impl TcpConnection {
         let mss = self.cfg.mss as u32;
         let wnd = self.snd_wnd.min(self.cwnd);
         loop {
-            if self.fin_seq.is_some() {
-                break; // Everything (incl. FIN) already transmitted once.
-            }
             let flight = self.flight_size();
-            let unsent = self.pending_send_bytes();
+            // Data between snd_nxt and the buffer's end still needs (re-)
+            // transmission; after a go-back-N pullback this includes
+            // sequence space sent before the timeout.
+            let end = self.send_buf.end_seq();
+            let unsent = if seq_lt(self.snd_nxt, end) {
+                seq_diff(end, self.snd_nxt)
+            } else {
+                0
+            };
             if unsent > 0 && flight < wnd {
                 let room = wnd - flight;
                 let take = unsent.min(mss).min(room) as usize;
@@ -699,28 +721,51 @@ impl TcpConnection {
                     flags = flags | TcpFlags::PSH;
                 }
                 let seg = self.make_seg(self.snd_nxt, flags, payload);
+                // Only never-before-sent data may be RTT-timed: a re-send
+                // of pulled-back sequence space has an ambiguous ACK under
+                // Karn's rule.
+                let new_data = seq_ge(self.snd_nxt, self.snd_max);
                 self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
+                self.snd_max = seq_max(self.snd_max, self.snd_nxt);
                 self.stats.bytes_sent += take as u64;
-                if self.rtt_probe.is_none() {
+                if new_data && self.rtt_probe.is_none() {
                     self.rtt_probe = Some((self.snd_nxt, now));
                 }
                 self.push_seg(eff, seg);
                 self.arm_rto_if_unarmed(now);
                 continue;
             }
-            // Queue a FIN once all data has been transmitted.
-            if self.fin_pending && unsent == 0 {
-                let seg = self.make_seg(self.snd_nxt, TcpFlags::FIN | TcpFlags::ACK, Bytes::new());
-                self.fin_seq = Some(self.snd_nxt);
-                self.snd_nxt = self.snd_nxt.wrapping_add(1);
-                self.fin_pending = false;
-                match self.state {
-                    TcpState::Established => self.state = TcpState::FinWait1,
-                    TcpState::CloseWait => self.state = TcpState::LastAck,
+            if unsent == 0 {
+                match self.fin_seq {
+                    // Re-emit a FIN that a pullback rewound over.
+                    Some(fin) if self.snd_nxt == fin => {
+                        let seg =
+                            self.make_seg(fin, TcpFlags::FIN | TcpFlags::ACK, Bytes::new());
+                        self.snd_nxt = fin.wrapping_add(1);
+                        self.push_seg(eff, seg);
+                        self.arm_rto_if_unarmed(now);
+                    }
+                    // Queue a FIN once all data has been transmitted.
+                    None if self.fin_pending => {
+                        let seg = self.make_seg(
+                            self.snd_nxt,
+                            TcpFlags::FIN | TcpFlags::ACK,
+                            Bytes::new(),
+                        );
+                        self.fin_seq = Some(self.snd_nxt);
+                        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                        self.snd_max = seq_max(self.snd_max, self.snd_nxt);
+                        self.fin_pending = false;
+                        match self.state {
+                            TcpState::Established => self.state = TcpState::FinWait1,
+                            TcpState::CloseWait => self.state = TcpState::LastAck,
+                            _ => {}
+                        }
+                        self.push_seg(eff, seg);
+                        self.arm_rto_if_unarmed(now);
+                    }
                     _ => {}
                 }
-                self.push_seg(eff, seg);
-                self.arm_rto_if_unarmed(now);
             }
             break;
         }
@@ -760,6 +805,9 @@ impl TcpConnection {
         let seg = if payload.is_empty() {
             match self.fin_seq {
                 Some(fin) if fin == self.snd_una => {
+                    if seq_lt(self.snd_nxt, fin.wrapping_add(1)) {
+                        self.snd_nxt = fin.wrapping_add(1);
+                    }
                     self.make_seg(fin, TcpFlags::FIN | TcpFlags::ACK, Bytes::new())
                 }
                 _ => {
@@ -778,6 +826,12 @@ impl TcpConnection {
                 }
             }
         } else {
+            // After a go-back-N pullback snd_nxt sits at snd_una; account
+            // for the resent head so flight_size() reflects it.
+            let end = self.snd_una.wrapping_add(payload.len() as u32);
+            if seq_lt(self.snd_nxt, end) {
+                self.snd_nxt = end;
+            }
             self.make_seg(self.snd_una, TcpFlags::ACK, payload)
         };
         self.push_seg(eff, seg);
@@ -864,6 +918,15 @@ impl TcpConnection {
         self.in_fast_recovery = false;
         self.dup_acks = 0;
         self.rto.backoff();
+        // Go-back-N pullback (BSD tcp_timers, REXMT case): the whole flight
+        // is presumed lost, so pull snd_nxt back to the cumulative edge and
+        // let the normal send path stream the lost range out again under
+        // slow start. Without the pullback the lost tail keeps counting
+        // toward flight_size(), the one-MSS window never opens past it, and
+        // recovery crawls at one segment per backed-off RTO.
+        if !matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
+            self.snd_nxt = self.snd_una;
+        }
         self.retransmit_head(now, eff);
     }
 
@@ -872,20 +935,29 @@ impl TcpConnection {
         if self.snd_wnd > 0 || self.pending_send_bytes() == 0 {
             return;
         }
-        // Send a one-byte window probe without advancing snd_nxt: the byte
-        // is the next unsent byte; if accepted it will be acked and the
-        // window update resumes normal transmission.
+        // Probe with the byte at the window edge. When a previous probe (or
+        // a flight frozen by the zero window) is still unacknowledged, this
+        // re-sends the first unacked byte rather than consuming fresh
+        // sequence space: a conforming receiver discards bytes beyond its
+        // advertised window, so each new byte would creep the sender
+        // further past the credit without ever being deliverable (BSD
+        // resets snd_nxt to snd_una on a closed window for this reason).
         self.stats.persist_probes += 1;
-        let probe_seq = self.data_nxt();
+        let probe_seq = if seq_lt(self.snd_una, self.snd_max) {
+            self.snd_una
+        } else {
+            self.data_nxt()
+        };
         let payload = self.send_buf.slice(probe_seq, 1);
         if payload.is_empty() {
             return;
         }
         let seg = self.make_seg(probe_seq, TcpFlags::ACK, payload);
-        // The probe byte enters the stream: account for it so its ACK is
-        // accepted (BSD keeps snd_nxt >= snd_una the same way).
+        // A fresh probe byte enters the stream: account for it so its ACK
+        // is accepted (BSD keeps snd_nxt >= snd_una the same way).
         if probe_seq == self.snd_nxt {
             self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.snd_max = seq_max(self.snd_max, self.snd_nxt);
         }
         self.push_seg(eff, seg);
         self.persist_shift = (self.persist_shift + 1).min(10);
@@ -1263,6 +1335,237 @@ mod tests {
             a.on_segment(now, ack);
         }
         assert_eq!(a.cwnd(), 1460, "Tahoe slow-starts after fast retransmit");
+    }
+
+    #[test]
+    fn backoff_survives_ack_of_retransmission() {
+        // RFC 6298 §5.7 regression: the ACK of a retransmitted segment is
+        // ambiguous under Karn's rule, so it must NOT collapse the
+        // exponential backoff — only a fresh RTT sample may. The bug this
+        // pins: clear_backoff() on every new-data ACK let one ambiguous ACK
+        // reset a backed-off timer on a path that was still losing.
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let _lost = a.write(now, &[1u8; 1460]); // never delivered
+        let d1 = a.next_deadline().expect("rto armed");
+        let _also_lost = a.on_timer(d1);
+        let d2 = a.next_deadline().expect("rto rearmed");
+        let eff = a.on_timer(d2);
+        assert_eq!(a.rto.backoff_shift(), 2, "two timeouts, two doublings");
+        // The second retransmission gets through; its ACK reaches a.
+        let reply = b.on_segment(d2, &eff.segments[0]);
+        let ack = reply.segments.last().expect("ack");
+        a.on_segment(d2, ack);
+        assert_eq!(
+            a.rto.backoff_shift(),
+            2,
+            "ambiguous ACK of a retransmission must not clear the backoff"
+        );
+        // New (never-retransmitted) data yields a measurable RTT sample,
+        // which is what legitimately ends the backoff sequence.
+        let eff = a.write(d2, &[2u8; 100]);
+        let reply = b.on_segment(d2, &eff.segments[0]);
+        a.on_segment(d2, reply.segments.last().expect("ack"));
+        assert_eq!(a.rto.backoff_shift(), 0, "fresh sample ends the backoff");
+    }
+
+    #[test]
+    fn reno_full_ack_deflates_cwnd_to_ssthresh() {
+        // Pins the RFC 6582 fast-recovery exit: when the ACK finally covers
+        // `recover`, the inflated window must deflate to exactly ssthresh —
+        // keeping the inflation would burst into a path that just lost.
+        let cfg = TcpConfig::default().with_delayed_ack(false);
+        let mut a = TcpConnection::new(cfg.clone(), 0);
+        let mut b = TcpConnection::new(cfg, 0);
+        b.listen();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let warm = a.write(now, &vec![0u8; 1460 * 4]);
+        pump(&mut a, &mut b, now, warm, true);
+        b.take_data(now);
+        // Drop the head of a 5-segment flight; dupacks trigger recovery.
+        let segs = a.write(now, &vec![1u8; 1460 * 5]).segments;
+        let mut dup_acks = Vec::new();
+        for seg in &segs[1..] {
+            dup_acks.extend(b.on_segment(now, seg).segments);
+        }
+        let mut retx = Vec::new();
+        for ack in &dup_acks {
+            retx.extend(a.on_segment(now, ack).segments);
+        }
+        assert!(a.in_fast_recovery, "triple dupack entered recovery");
+        assert!(a.cwnd() > a.ssthresh(), "window inflated during recovery");
+        // Deliver the retransmitted head: the receiver's cumulative ACK
+        // covers the whole flight (a full ACK past `recover`).
+        let head = retx.iter().find(|s| s.seq == segs[0].seq).expect("retx");
+        let full = b.on_segment(now, head);
+        let cumulative = full.segments.last().expect("cumulative ack");
+        a.on_segment(now, cumulative);
+        assert!(!a.in_fast_recovery, "full ACK exits recovery");
+        assert_eq!(a.cwnd(), a.ssthresh(), "window deflates to ssthresh");
+    }
+
+    /// Drives a pair into a zero-window standoff: `a` has filled `b`'s
+    /// 2920-byte receive buffer and still has unsent data queued.
+    fn zero_window_pair() -> (TcpConnection, TcpConnection) {
+        let cfg = TcpConfig::default()
+            .with_delayed_ack(false)
+            .with_recv_buffer(2920);
+        let mut a = TcpConnection::new(cfg.clone(), 0);
+        let mut b = TcpConnection::new(cfg, 0);
+        b.listen();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        let eff = a.write(now, &vec![3u8; 10_000]);
+        pump(&mut a, &mut b, now, eff, true);
+        let mut eff = Effects::default();
+        a.try_send(now, &mut eff);
+        pump(&mut a, &mut b, now, eff, true);
+        assert_eq!(a.snd_wnd(), 0);
+        assert!(a.pending_send_bytes() > 0);
+        (a, b)
+    }
+
+    /// Fires the sender's persist timer once with the probe lost in
+    /// transit (the case where backoff matters: no reply means no reset);
+    /// returns the fire time.
+    fn fire_persist_probe_lost(a: &mut TcpConnection) -> SimTime {
+        let d = a.persist_deadline.expect("persist armed");
+        let eff = a.on_timer(d);
+        assert!(!eff.segments.is_empty(), "probe emitted");
+        d
+    }
+
+    #[test]
+    fn persist_probe_interval_clamps_at_persist_max() {
+        // Pins the persist backoff clamp: with probes lost in transit the
+        // intervals double from persist_initial but never exceed
+        // persist_max (RFC 9293 §3.8.6.1 leaves the cap to the
+        // implementation; ours is configured).
+        let (mut a, _b) = zero_window_pair();
+        let mut fires = Vec::new();
+        for _ in 0..12 {
+            fires.push(fire_persist_probe_lost(&mut a));
+        }
+        assert_eq!(a.stats.persist_probes, 12);
+        let gaps: Vec<SimDuration> = fires.windows(2).map(|w| w[1] - w[0]).collect();
+        for w in gaps.windows(2) {
+            assert!(w[1] >= w[0], "persist intervals never shrink mid-standoff");
+        }
+        for gap in &gaps {
+            assert!(*gap <= a.cfg.persist_max, "interval exceeds persist_max");
+        }
+        assert_eq!(
+            *gaps.last().unwrap(),
+            a.cfg.persist_max,
+            "backoff saturates at persist_max"
+        );
+    }
+
+    #[test]
+    fn persist_backoff_resets_when_window_reopens() {
+        // Pins the persist reset: once the peer reopens its window, the
+        // next zero-window episode must start probing at persist_initial
+        // again, not at the previous episode's backed-off interval.
+        let (mut a, mut b) = zero_window_pair();
+        for _ in 0..4 {
+            fire_persist_probe_lost(&mut a);
+        }
+        assert!(a.persist_shift >= 4, "backoff built up during standoff");
+        // The receiving app drains its buffer; the window-update ACK
+        // reopens the stream.
+        let now = a.persist_deadline.expect("persist armed");
+        let (_data, weff) = b.take_data(now);
+        for seg in &weff.segments {
+            a.on_segment(now, seg);
+        }
+        assert!(a.snd_wnd() > 0, "window reopened");
+        assert_eq!(a.persist_shift, 0, "backoff cleared on reopen");
+        assert_eq!(a.persist_deadline, None, "persist timer disarmed");
+    }
+
+    #[test]
+    fn accepted_probe_byte_restarts_persist_backoff() {
+        // When the receiver accepts and ACKs the probe byte (our elastic
+        // receive buffer takes in-order data even at a zero advertised
+        // window), the sender made forward progress, so restarting the
+        // backoff from persist_initial is the correct behaviour — pin it.
+        let (mut a, mut b) = zero_window_pair();
+        let d = a.persist_deadline.expect("persist armed");
+        let eff = a.on_timer(d);
+        assert!(a.persist_shift > 0);
+        for seg in eff.segments {
+            for reply in b.on_segment(d, &seg).segments {
+                a.on_segment(d, &reply);
+            }
+        }
+        assert_eq!(a.persist_shift, 0, "acked probe byte is forward progress");
+        assert!(a.persist_deadline.is_some(), "still zero-window: keep probing");
+    }
+
+    #[test]
+    fn lost_persist_probes_reprobe_the_window_edge() {
+        // Regression (found by the conformance oracle): every persist fire
+        // used to send the NEXT unsent byte, so a standoff with lost
+        // probes crept the sender one byte further past the advertised
+        // window per probe — bytes a conforming receiver must discard. A
+        // lost probe must be followed by a re-probe of the same
+        // window-edge byte.
+        let (mut a, _b) = zero_window_pair();
+        let edge = a.snd_una;
+        let mut probes = Vec::new();
+        for _ in 0..6 {
+            let d = a.persist_deadline.expect("persist armed");
+            for seg in a.on_timer(d).segments {
+                if !seg.payload.is_empty() {
+                    probes.push((seg.seq, seg.payload.len()));
+                }
+            }
+        }
+        assert_eq!(probes.len(), 6);
+        for (seq, len) in &probes {
+            assert_eq!(*seq, edge, "probe re-sends the window-edge byte");
+            assert_eq!(*len, 1);
+        }
+        assert_eq!(a.flight_size(), 1, "never more than one byte past the window");
+    }
+
+    #[test]
+    fn timeout_pullback_streams_lost_flight_without_more_timeouts() {
+        // Regression (surfaced by the disconnection workloads once the
+        // RFC 6298 backoff fix landed): an RTO used to retransmit only
+        // the head segment while snd_nxt stayed at the end of the lost
+        // flight, so flight_size() never dropped below the one-MSS window
+        // and recovery crawled at one segment per backed-off RTO. The
+        // go-back-N pullback lets ACK-clocked slow start stream the whole
+        // lost range after a single timeout.
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        let eff = a.connect(now);
+        pump(&mut a, &mut b, now, eff, true);
+        // Warm-up transfer grows cwnd past one segment.
+        let warm = a.write(now, &vec![0u8; 1460 * 4]);
+        pump(&mut a, &mut b, now, warm, true);
+        b.take_data(now);
+        // A multi-segment flight, lost in its entirety.
+        let segs = a.write(now, &vec![7u8; 1460 * 5]).segments;
+        assert!(segs.len() >= 2, "flight has {} segments", segs.len());
+        let d = a.rto_deadline.expect("rto armed");
+        let eff = a.on_timer(d);
+        assert_eq!(a.stats.timeouts, 1);
+        assert_eq!(eff.segments.len(), 1, "the timeout itself resends the head");
+        assert_eq!(eff.segments[0].seq, a.snd_una);
+        // From here the recovery must be ACK-clocked: no further timer
+        // fires, the whole flight arrives.
+        pump(&mut a, &mut b, d, eff, true);
+        let (data, _weff) = b.take_data(d);
+        assert_eq!(data.len(), 1460 * 5, "full flight recovered via slow start");
+        assert_eq!(a.stats.timeouts, 1, "no additional timeouts needed");
+        assert_eq!(a.flight_size(), 0);
     }
 
     #[test]

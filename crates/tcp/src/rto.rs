@@ -59,7 +59,11 @@ impl RtoEstimator {
         }
     }
 
-    /// Clears the exponential backoff (called when new data is acked).
+    /// Clears the exponential backoff. Only the handshake completion calls
+    /// this: per RFC 6298 §5.7 a data ACK alone must not collapse a
+    /// backed-off timer (the ACK may cover a retransmission with no
+    /// measurable RTT under Karn's rule); data-path backoff ends through
+    /// [`RtoEstimator::sample`] when a fresh measurement arrives.
     pub fn clear_backoff(&mut self) {
         self.backoff_shift = 0;
     }

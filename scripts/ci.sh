@@ -7,6 +7,7 @@
 # stays hermetic. Run from the repository root:
 #
 #   ./scripts/ci.sh          # build + tests (+ clippy when installed)
+#   ./scripts/ci.sh faults   # also gate on the fault/conformance suite
 #   COMMA_BENCH_FAST=1 ./scripts/ci.sh bench   # also smoke the benches
 
 set -euo pipefail
@@ -38,6 +39,17 @@ echo "$out" | grep -q "== filters ==" || {
     exit 1
 }
 echo "obs smoke ok"
+
+if [ "${1:-}" = "faults" ]; then
+    echo "== fault-injection + conformance gate (release) =="
+    # The mutation tests and the churn golden digest run in the workspace
+    # suite too, but this gate runs them release-mode and in isolation so a
+    # fault-model regression fails with its own banner.
+    cargo test -q --release --offline --test faults
+    cargo test -q --release --offline --test determinism churn_workload_trace_matches_golden
+    cargo test -q --release --offline --test properties oracle_clean_on_wrapped_flows
+    echo "fault gate ok"
+fi
 
 if [ "${1:-}" = "bench" ]; then
     echo "== bench smoke (COMMA_BENCH_FAST=${COMMA_BENCH_FAST:-0}) =="

@@ -5,6 +5,7 @@
 
 pub use comma as core;
 pub use comma_eem as eem;
+pub use comma_faultcheck as faultcheck;
 pub use comma_filters as filters;
 pub use comma_kati as kati;
 pub use comma_mobileip as mobileip;

@@ -131,6 +131,12 @@ fn parallel_experiment_report_matches_serial() {
 /// reproduce them bit-for-bit — including with timer cancellation active,
 /// because the cancelled timers were spurious fires that emitted no
 /// packets and drew no randomness.
+///
+/// The trace digest was re-recorded when the conformance oracle flushed
+/// out two sender bugs (persist probes consuming new sequence space past
+/// the advertised window, and a missing go-back-N pullback on RTO): the
+/// retransmission schedule legitimately changed, while the delivered
+/// bytes — pure pattern data — did not.
 #[test]
 fn timer_wheel_trace_matches_binary_heap_golden() {
     let (trace, data, len) = run_fingerprint(1207);
@@ -140,8 +146,8 @@ fn timer_wheel_trace_matches_binary_heap_golden() {
         "delivered bytes must match the binary-heap golden digest"
     );
     assert_eq!(
-        trace, 0x5975_f73c_f31a_3854,
-        "packet trace must match the binary-heap golden digest"
+        trace, 0xdc32_e7bc_c9f9_58d0,
+        "packet trace must match the recorded golden digest"
     );
 }
 
@@ -158,6 +164,20 @@ fn scale_workload_same_seed_byte_identical_obs_export() {
     assert_eq!(
         a, b,
         "same seed must produce a byte-identical scale-workload export"
+    );
+}
+
+/// Golden fault-plan determinism: the 8-flow scale workload under the
+/// standard churn plan (reorder + duplicate + corrupt + flaps + bandwidth
+/// steps) with the conformance oracle attached must reproduce this trace
+/// digest bit-for-bit. Any change to the fault RNG streams, the churn
+/// scheduler, or the per-channel seed derivation shows up here.
+#[test]
+fn churn_workload_trace_matches_golden() {
+    let digest = comma_bench::scale::many_flows_churn_trace_digest(8, 8_192, 42);
+    assert_eq!(
+        digest, 0x11af_fce8_d107_14cf,
+        "faulted run must match the recorded golden digest"
     );
 }
 

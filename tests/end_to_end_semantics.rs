@@ -22,6 +22,7 @@ fn proxy_never_acknowledges_for_the_mobile() {
     world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
     world.sp("add compress 0.0.0.0 0 11.11.10.10 9000 lzss");
     world.stub_sp("add decompress 0.0.0.0 0 11.11.10.10 9000");
+    world.attach_oracle();
     // The mobile vanishes early and never returns.
     world.set_wireless_up_at(SimTime::from_millis(800), false);
     world.run_until(SimTime::from_secs(120));
@@ -46,6 +47,7 @@ fn proxy_never_acknowledges_for_the_mobile() {
     assert_ne!(state, TcpState::Closed, "no phantom successful close");
     let finished = world.wired_app::<BulkSender, _>(world.wired_app_ids[0], |s| s.finished_at);
     assert_eq!(finished, None, "the transfer must not report success");
+    world.assert_oracle_clean();
 }
 
 /// Conservation check under a lossy run: everything the receiving
@@ -64,6 +66,7 @@ fn delivered_bytes_conserve() {
         )
         .build(vec![Box::new(sender)], vec![Box::new(Sink::new(9000))]);
     world.sp("add ttsf 0.0.0.0 0 11.11.10.10 9000");
+    world.attach_oracle();
     world.run_until(SimTime::from_secs(120));
     let sink = world.mobile_app_ids[0];
     let received = world.mobile_app::<Sink, _>(sink, |s| s.bytes_received);
@@ -78,4 +81,5 @@ fn delivered_bytes_conserve() {
         received, 250_000,
         "identity service: exact delivery despite loss"
     );
+    world.assert_oracle_clean();
 }

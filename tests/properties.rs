@@ -7,8 +7,11 @@ use comma_repro::rt::prop::{gen, Runner};
 
 use comma_repro::filters::codec::{lzss_compress, lzss_decompress, rle_compress, rle_decompress};
 use comma_repro::netsim::wire;
+use comma_repro::netsim::sim::PacketObserver;
 use comma_repro::tcp::buffer::RecvBuffer;
-use comma_repro::tcp::seq::{seq_diff, seq_le};
+use comma_repro::tcp::seq::{
+    seq_diff, seq_ge, seq_gt, seq_in, seq_le, seq_lt, seq_max, seq_min,
+};
 
 // ---------------------------------------------------------------------
 // Edit map (the TTSF's core invariants).
@@ -104,6 +107,186 @@ fn editmap_trim_preserves_mapping() {
             ensure_eq!(map.map_seq(probe_orig), before);
             Ok(())
         });
+}
+
+/// Wrap-aware sequence comparisons agree with plain offset order for any
+/// base — including bases a few bytes before the 2³² boundary — as long as
+/// both points sit within half the sequence space of each other.
+#[test]
+fn seq_arithmetic_respects_offset_order_across_wrap() {
+    Runner::new("seq_arithmetic_respects_offset_order_across_wrap")
+        .cases(300)
+        .run(
+            |rng| {
+                // Half the cases pin the base right at the wrap boundary,
+                // where naive `<` comparisons break.
+                let base = if rng.gen::<bool>() {
+                    u32::MAX - rng.gen_range(0u32..4096)
+                } else {
+                    rng.gen::<u32>()
+                };
+                let d1 = rng.gen_range(0u32..(1 << 30));
+                let d2 = rng.gen_range(0u32..(1 << 30));
+                (base, d1, d2)
+            },
+            |(base, d1, d2)| {
+                let a = base.wrapping_add(*d1);
+                let b = base.wrapping_add(*d2);
+                ensure_eq!(seq_lt(a, b), d1 < d2);
+                ensure_eq!(seq_le(a, b), d1 <= d2);
+                ensure_eq!(seq_gt(a, b), d1 > d2);
+                ensure_eq!(seq_ge(a, b), d1 >= d2);
+                ensure_eq!(seq_max(a, b), base.wrapping_add(*d1.max(d2)));
+                ensure_eq!(seq_min(a, b), base.wrapping_add(*d1.min(d2)));
+                if d1 < d2 {
+                    ensure_eq!(seq_diff(b, a), d2 - d1);
+                    ensure!(seq_in(a, a, b), "lo is in [lo, hi)");
+                    ensure!(!seq_in(b, a, b), "hi is not in [lo, hi)");
+                }
+                Ok(())
+            },
+        );
+}
+
+/// `EditMap::check_invariants` holds for arbitrary edit scripts whose
+/// records tile across the 2³² boundary, and keeps holding after trimming
+/// any prefix of the output space.
+#[test]
+fn editmap_invariants_hold_across_wrap_and_trim() {
+    Runner::new("editmap_invariants_hold_across_wrap_and_trim")
+        .cases(200)
+        .run(
+            |rng| {
+                let (_, script) = edit_script(rng);
+                // Start within ±4 KiB of the boundary so most maps wrap.
+                let start = u32::MAX
+                    .wrapping_sub(4096)
+                    .wrapping_add(rng.gen_range(0u32..8192));
+                let trim_tenths = rng.gen_range(0u32..11);
+                (start, script, trim_tenths)
+            },
+            |(start, script, trim_tenths)| {
+                let mut map = build_map(*start, script);
+                if let Err(e) = map.check_invariants() {
+                    ensure!(false, "fresh map: {e}");
+                }
+                let span = seq_diff(map.frontier_new(), map.base_new());
+                let cut = map.base_new().wrapping_add(span / 10 * trim_tenths);
+                map.trim(cut);
+                if let Err(e) = map.check_invariants() {
+                    ensure!(false, "after trim({cut}): {e}");
+                }
+                Ok(())
+            },
+        );
+}
+
+// ---------------------------------------------------------------------
+// Conformance oracle on wrapped flows.
+// ---------------------------------------------------------------------
+
+/// Feeds one legal TCP exchange (handshake, chunked data, cumulative ACKs,
+/// FIN) through the oracle as both transmit and delivery events.
+fn play_exchange(o: &mut Oracle, isn_a: u32, isn_b: u32, data: &[u8], chunk: usize) {
+    const A: comma_netsim::addr::Ipv4Addr = comma_netsim::addr::Ipv4Addr::new(10, 0, 0, 1);
+    const B: comma_netsim::addr::Ipv4Addr = comma_netsim::addr::Ipv4Addr::new(10, 0, 0, 2);
+    let t = SimTime::from_millis(1);
+    let send = |o: &mut Oracle, from_a: bool, seq: u32, ack: u32, flags: TcpFlags, payload: &[u8]| {
+        let (src, dst, sport, dport, tx, rx) = if from_a {
+            (A, B, 1000, 2000, NodeId(0), NodeId(1))
+        } else {
+            (B, A, 2000, 1000, NodeId(1), NodeId(0))
+        };
+        let mut s = TcpSegment::new(sport, dport, seq, ack, flags);
+        s.window = u16::MAX;
+        s.payload = Bytes::from(payload.to_vec());
+        let pkt = Packet::tcp(src, dst, s);
+        o.on_tx(t, tx, &pkt);
+        o.on_deliver(t, rx, &pkt);
+    };
+    send(o, true, isn_a, 0, TcpFlags::SYN, &[]);
+    send(
+        o,
+        false,
+        isn_b,
+        isn_a.wrapping_add(1),
+        TcpFlags::SYN | TcpFlags::ACK,
+        &[],
+    );
+    send(
+        o,
+        true,
+        isn_a.wrapping_add(1),
+        isn_b.wrapping_add(1),
+        TcpFlags::ACK,
+        &[],
+    );
+    let mut off = 0usize;
+    while off < data.len() {
+        let end = (off + chunk).min(data.len());
+        let seq = isn_a.wrapping_add(1).wrapping_add(off as u32);
+        send(
+            o,
+            true,
+            seq,
+            isn_b.wrapping_add(1),
+            TcpFlags::ACK,
+            &data[off..end],
+        );
+        let ack = isn_a.wrapping_add(1).wrapping_add(end as u32);
+        send(o, false, isn_b.wrapping_add(1), ack, TcpFlags::ACK, &[]);
+        off = end;
+    }
+    let fin = isn_a.wrapping_add(1).wrapping_add(data.len() as u32);
+    send(
+        o,
+        true,
+        fin,
+        isn_b.wrapping_add(1),
+        TcpFlags::FIN | TcpFlags::ACK,
+        &[],
+    );
+    send(
+        o,
+        false,
+        isn_b.wrapping_add(1),
+        fin.wrapping_add(1),
+        TcpFlags::ACK,
+        &[],
+    );
+}
+
+/// Any legal exchange stays oracle-clean — in strict mode, with every
+/// invariant armed — no matter where the ISNs sit relative to the wrap
+/// point or how the data is chunked. The data deliberately straddles the
+/// boundary in most cases.
+#[test]
+fn oracle_clean_on_wrapped_flows() {
+    Runner::new("oracle_clean_on_wrapped_flows").cases(150).run(
+        |rng| {
+            // ISN within 2 KiB before the wrap (or anywhere, sometimes).
+            let isn_a = if rng.gen_range(0u32..4) == 0 {
+                rng.gen::<u32>()
+            } else {
+                u32::MAX - rng.gen_range(0u32..2048)
+            };
+            let isn_b = rng.gen::<u32>();
+            let data = gen::bytes(rng, 1..4096);
+            let chunk = rng.gen_range(1usize..1500);
+            (isn_a, isn_b, data, chunk)
+        },
+        |(isn_a, isn_b, data, chunk)| {
+            let mut o = Oracle::new(OracleConfig::new(vec![
+                (NodeId(0), "10.0.0.1".parse().unwrap()),
+                (NodeId(1), "10.0.0.2".parse().unwrap()),
+            ]));
+            play_exchange(&mut o, *isn_a, *isn_b, data, *chunk);
+            let r = o.finish();
+            ensure!(r.is_clean(), "wrapped flow flagged:\n{}", r.render());
+            ensure_eq!(r.flows, 1);
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------

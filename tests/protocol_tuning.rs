@@ -22,6 +22,7 @@ fn run_lossy_transfer(seed: u64, loss: f64, with_snoop: bool) -> (f64, u64) {
     if with_snoop {
         world.sp("add snoop 0.0.0.0 0 11.11.10.10 9000");
     }
+    world.attach_oracle();
     world.run_until(SimTime::from_secs(300));
     let sink = world.mobile_app_ids[0];
     let (bytes, finished) =
@@ -33,6 +34,7 @@ fn run_lossy_transfer(seed: u64, loss: f64, with_snoop: bool) -> (f64, u64) {
     let timeouts = world.sim.with_node::<Host, _>(world.wired, |h| {
         h.socket_infos().iter().map(|s| s.stats.timeouts).sum()
     });
+    world.assert_oracle_clean();
     (finished.expect("data arrived").as_secs_f64(), timeouts)
 }
 
@@ -78,10 +80,12 @@ fn wsize_prioritization_shifts_bandwidth() {
         if scale_background {
             world.sp("add wsize 0.0.0.0 0 11.11.10.10 9002 scale 10");
         }
+        world.attach_oracle();
         // Measure mid-flight, while both streams still compete.
         world.run_until(SimTime::from_secs(10));
         let p = world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received);
         let b = world.mobile_app::<Sink, _>(world.mobile_app_ids[1], |s| s.bytes_received);
+        world.assert_oracle_clean();
         (p, b)
     }
 
@@ -114,6 +118,7 @@ fn zwsm_recovers_faster_from_disconnection() {
         if with_zwsm {
             world.sp("add wsize 0.0.0.0 0 11.11.10.10 9000 zwsm wireless.up");
         }
+        world.attach_oracle();
         // Disconnect 3s in, reconnect at 33s.
         world.set_wireless_up_at(SimTime::from_secs(3), false);
         world.set_wireless_up_at(SimTime::from_secs(33), true);
@@ -125,6 +130,7 @@ fn zwsm_recovers_faster_from_disconnection() {
             bytes, 1_500_000,
             "transfer survives the disconnection (zwsm={with_zwsm})"
         );
+        world.assert_oracle_clean();
         finished.expect("finished").as_secs_f64()
     }
 
@@ -144,6 +150,7 @@ fn zwsm_converts_timeouts_to_freezes() {
     let mut world =
         CommaBuilder::new(65).build(vec![Box::new(sender)], vec![Box::new(Sink::new(9000))]);
     world.sp("add wsize 0.0.0.0 0 11.11.10.10 9000 zwsm wireless.up");
+    world.attach_oracle();
     world.set_wireless_up_at(SimTime::from_secs(3), false);
     world.set_wireless_up_at(SimTime::from_secs(23), true);
     world.run_until(SimTime::from_secs(120));
@@ -158,6 +165,7 @@ fn zwsm_converts_timeouts_to_freezes() {
         )
     });
     assert!(freezes > 0, "the ZWSM put the sender into persist-freeze");
+    world.assert_oracle_clean();
     // SimDuration imported for future tuning; silence unused warnings.
     let _ = SimDuration::from_secs(1);
 }

@@ -17,6 +17,7 @@ fn removal_service_drops_records_transparently() {
     );
     world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
     world.sp("add removal 0.0.0.0 0 11.11.10.10 9000 2");
+    world.attach_oracle();
     world.run_until(SimTime::from_secs(30));
 
     let done = world.wired_app::<RecordSender, _>(world.wired_app_ids[0], |s| s.done);
@@ -44,6 +45,7 @@ fn removal_service_drops_records_transparently() {
         wireless < sent * 7 / 10,
         "wireless {wireless} vs sent {sent}: reduction visible"
     );
+    world.assert_oracle_clean();
 }
 
 /// E05 under stress: packet compression with a bursty-lossy wireless link.
@@ -73,6 +75,7 @@ fn compression_survives_wireless_loss() {
     world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
     world.sp("add compress 0.0.0.0 0 11.11.10.10 9000 lzss");
     world.stub_sp("add decompress 0.0.0.0 0 11.11.10.10 9000");
+    world.attach_oracle();
     world.run_until(SimTime::from_secs(120));
 
     let sink = world.mobile_app_ids[0];
@@ -84,6 +87,7 @@ fn compression_survives_wireless_loss() {
     // Loss actually occurred (the test exercised the replay path).
     let drops = world.sim.channel(world.wireless_ch.0).stats.loss_drops;
     assert!(drops > 0, "the wireless link dropped packets: {drops}");
+    world.assert_oracle_clean();
 }
 
 /// The data-type translation service (§8.3.3): colour images shrink to
@@ -97,6 +101,7 @@ fn translation_converts_data_types() {
     );
     world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
     world.sp("add translate 0.0.0.0 0 11.11.10.10 9000");
+    world.attach_oracle();
     world.run_until(SimTime::from_secs(30));
 
     let sink = world.mobile_app_ids[0];
@@ -118,6 +123,7 @@ fn translation_converts_data_types() {
         }
     }
     assert!(frames.iter().any(|f| f.kind == FrameKind::ImageMono));
+    world.assert_oracle_clean();
 }
 
 /// TTSF accounting is visible through the proxy (what Kati displays).
@@ -127,6 +133,7 @@ fn ttsf_stats_exposed_for_monitoring() {
     let mut world =
         CommaBuilder::new(44).build(vec![Box::new(sender)], vec![Box::new(Sink::new(9000))]);
     world.sp("add removal 0.0.0.0 0 11.11.10.10 9000 2");
+    world.attach_oracle();
     world.run_until(SimTime::from_secs(20));
     let (in_bytes, out_bytes, saved) = world.sim.with_node::<ServiceProxy, _>(world.proxy, |sp| {
         let ttsf = sp.engine.instance_as::<Ttsf>("removal").expect("ttsf live");
@@ -138,4 +145,5 @@ fn ttsf_stats_exposed_for_monitoring() {
     });
     assert!(in_bytes > out_bytes, "in={in_bytes} out={out_bytes}");
     assert!(saved > 0);
+    world.assert_oracle_clean();
 }
