@@ -5,6 +5,7 @@ use std::any::Any;
 
 use comma_netsim::packet::Packet;
 use comma_netsim::wire;
+use comma_proxy::batch::PacketBatch;
 use comma_proxy::filter::{Capabilities, Filter, FilterCtx, Priority, Verdict};
 use comma_proxy::key::{StreamKey, WildKey};
 use comma_rt::Rng;
@@ -17,9 +18,6 @@ pub struct TcpHousekeeping {
     key: Option<StreamKey>,
     fin_down: bool,
     fin_up: bool,
-    /// Reusable wire-encode buffer (cleared per packet, capacity kept) so
-    /// verification does not allocate on the per-packet path.
-    buf: Vec<u8>,
     /// Packets whose wire encoding was verified.
     pub verified: u64,
     /// Packets that failed wire verification (should stay zero).
@@ -33,9 +31,46 @@ impl TcpHousekeeping {
             key: None,
             fin_down: false,
             fin_up: false,
-            buf: Vec::new(),
             verified: 0,
             corrupt: 0,
+        }
+    }
+
+    /// Per-packet housekeeping: wire verification plus FIN/RST close
+    /// tracking. `down` is the pre-resolved direction of the run's key.
+    fn check(&mut self, ctx: &mut FilterCtx<'_>, down: bool, pkt: &Packet) {
+        // Highest priority: the out method runs last, after every
+        // modification. Re-verify to prove the packet leaves the proxy
+        // with valid checksums (the thesis's "recalculating IP checksums
+        // as necessary"). `wire::verify_packet` checks the same bounds
+        // and checksums as encode-then-verify in a single pass over the
+        // payload, without materializing the wire buffer.
+        match wire::verify_packet(pkt) {
+            Ok(()) => self.verified += 1,
+            Err(e) => {
+                self.corrupt += 1;
+                ctx.count("tcp.checksum_failures", 1);
+                ctx.event(
+                    "tcp.checksum_failure",
+                    vec![("error", comma_obs::FieldValue::Str(e.to_string()))],
+                );
+            }
+        }
+        if let Some(seg) = pkt.as_tcp() {
+            if seg.flags.fin() {
+                if down {
+                    self.fin_down = true;
+                } else {
+                    self.fin_up = true;
+                }
+            }
+            if seg.flags.rst() || (self.fin_down && self.fin_up && seg.flags.ack()) {
+                // Stream fully closing: tear down its filters (the final
+                // ACK of the second FIN, or a reset).
+                if let Some(k) = self.key {
+                    ctx.stream_closed(k);
+                }
+            }
         }
     }
 }
@@ -59,48 +94,33 @@ impl Filter for TcpHousekeeping {
         Capabilities::READ_ONLY
     }
 
+    fn observes_in(&self) -> bool {
+        // Out-only filter: no in method, skip the read-only pass.
+        false
+    }
+
     fn insert(&mut self, _ctx: &mut FilterCtx<'_>, key: StreamKey) -> Vec<StreamKey> {
         self.key = Some(key);
         vec![key, key.reverse()]
     }
 
     fn on_out(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, pkt: &mut Packet) -> Verdict {
-        // Highest priority: this out method runs last, after every
-        // modification. Encode and re-verify to prove the packet leaves the
-        // proxy with valid checksums (the thesis's "recalculating IP
-        // checksums as necessary"). `wire::verify` checks the same bounds
-        // and checksums as a full decode without allocating.
-        self.buf.clear();
-        wire::encode_into(&mut self.buf, pkt);
-        match wire::verify(&self.buf) {
-            Ok(()) => self.verified += 1,
-            Err(e) => {
-                self.corrupt += 1;
-                ctx.count("tcp.checksum_failures", 1);
-                ctx.event(
-                    "tcp.checksum_failure",
-                    vec![("error", comma_obs::FieldValue::Str(e.to_string()))],
-                );
-            }
-        }
-        if let Some(seg) = pkt.as_tcp() {
-            let down = Some(key) == self.key;
-            if seg.flags.fin() {
-                if down {
-                    self.fin_down = true;
-                } else {
-                    self.fin_up = true;
-                }
-            }
-            if seg.flags.rst() || (self.fin_down && self.fin_up && seg.flags.ack()) {
-                // Stream fully closing: tear down its filters (the final
-                // ACK of the second FIN, or a reset).
-                if let Some(k) = self.key {
-                    ctx.stream_closed(k);
-                }
-            }
-        }
+        let down = Some(key) == self.key;
+        self.check(ctx, down, pkt);
         Verdict::Continue
+    }
+
+    fn on_out_batch(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, batch: &mut PacketBatch) {
+        // Every packet in a run shares the key, so the direction resolves
+        // once per batch instead of once per packet.
+        let down = Some(key) == self.key;
+        for i in 0..batch.len() {
+            if batch.is_dropped(i) {
+                continue;
+            }
+            ctx.set_batch_cursor(i as u32);
+            self.check(ctx, down, batch.pkt(i));
+        }
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
@@ -145,6 +165,11 @@ impl Filter for Launcher {
 
     fn capabilities(&self) -> Capabilities {
         Capabilities::READ_ONLY
+    }
+
+    fn observes_in(&self) -> bool {
+        // Out-only filter: no in method, skip the read-only pass.
+        false
     }
 
     fn insert(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey) -> Vec<StreamKey> {
@@ -207,6 +232,11 @@ impl Filter for RandomDrop {
         Capabilities::DROP
     }
 
+    fn observes_in(&self) -> bool {
+        // Out-only filter: no in method, skip the read-only pass.
+        false
+    }
+
     fn on_out(&mut self, ctx: &mut FilterCtx<'_>, _key: StreamKey, _pkt: &mut Packet) -> Verdict {
         if ctx.rng.gen_bool(self.rate) {
             self.dropped += 1;
@@ -214,6 +244,22 @@ impl Filter for RandomDrop {
         } else {
             self.passed += 1;
             Verdict::Continue
+        }
+    }
+
+    fn on_out_batch(&mut self, ctx: &mut FilterCtx<'_>, _key: StreamKey, batch: &mut PacketBatch) {
+        // One RNG draw per live slot, in arrival order — identical draw
+        // sequence to the scalar path.
+        for i in 0..batch.len() {
+            if batch.is_dropped(i) {
+                continue;
+            }
+            if ctx.rng.gen_bool(self.rate) {
+                self.dropped += 1;
+                batch.request_drop(i);
+            } else {
+                self.passed += 1;
+            }
         }
     }
 

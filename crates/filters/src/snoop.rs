@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 
 use comma_netsim::packet::{Packet, TcpFlags};
 use comma_netsim::time::{SimDuration, SimTime};
+use comma_proxy::batch::PacketBatch;
 use comma_proxy::filter::{Capabilities, Filter, FilterCtx, Priority, Verdict};
 use comma_proxy::key::StreamKey;
 use comma_tcp::seq::seq_lt;
@@ -128,6 +129,11 @@ impl Filter for Snoop {
         Capabilities::DROP.with(Capabilities::INJECT)
     }
 
+    fn observes_in(&self) -> bool {
+        // Out-only filter: no in method, skip the read-only pass.
+        false
+    }
+
     fn insert(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey) -> Vec<StreamKey> {
         self.down_key = Some(key);
         ctx.set_timer(TICK, TIMER_TOKEN);
@@ -136,6 +142,54 @@ impl Filter for Snoop {
 
     fn on_out(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, pkt: &mut Packet) -> Verdict {
         let down = Some(key) == self.down_key;
+        self.handle(ctx, down, pkt)
+    }
+
+    fn on_out_batch(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, batch: &mut PacketBatch) {
+        // One direction resolution per run; the per-packet cache logic is
+        // unchanged, so the draw of cached/suppressed packets matches the
+        // scalar path exactly.
+        let down = Some(key) == self.down_key;
+        for i in 0..batch.len() {
+            if batch.is_dropped(i) {
+                continue;
+            }
+            ctx.set_batch_cursor(i as u32);
+            if self.handle(ctx, down, batch.pkt(i)) == Verdict::Drop {
+                batch.request_drop(i);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut FilterCtx<'_>, token: u64) {
+        if token != TIMER_TOKEN {
+            return;
+        }
+        // Local timeout: retransmit the oldest cached segment if it has
+        // waited longer than the local RTO.
+        let rto = self.local_rto();
+        if let Some((_, cached)) = self.cache.iter_mut().next() {
+            if ctx.now.saturating_since(cached.sent_at) >= rto && cached.retx < 50 {
+                cached.retx += 1;
+                cached.sent_at = ctx.now;
+                self.stats.timeout_retx += 1;
+                ctx.inject(cached.pkt.clone());
+            }
+        }
+        ctx.set_timer(TICK, TIMER_TOKEN);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl Snoop {
+    /// Per-packet snoop logic shared by the scalar and batch out-methods.
+    /// `down` is the pre-resolved direction of the packet's key. Snoop
+    /// never mutates the packet (its capabilities are DROP + INJECT), so a
+    /// shared reference suffices.
+    fn handle(&mut self, ctx: &mut FilterCtx<'_>, down: bool, pkt: &Packet) -> Verdict {
         let Some(seg) = pkt.as_tcp() else {
             return Verdict::Continue;
         };
@@ -265,28 +319,6 @@ impl Filter for Snoop {
             return Verdict::Drop;
         }
         Verdict::Continue
-    }
-
-    fn on_timer(&mut self, ctx: &mut FilterCtx<'_>, token: u64) {
-        if token != TIMER_TOKEN {
-            return;
-        }
-        // Local timeout: retransmit the oldest cached segment if it has
-        // waited longer than the local RTO.
-        let rto = self.local_rto();
-        if let Some((_, cached)) = self.cache.iter_mut().next() {
-            if ctx.now.saturating_since(cached.sent_at) >= rto && cached.retx < 50 {
-                cached.retx += 1;
-                cached.sent_at = ctx.now;
-                self.stats.timeout_retx += 1;
-                ctx.inject(cached.pkt.clone());
-            }
-        }
-        ctx.set_timer(TICK, TIMER_TOKEN);
-    }
-
-    fn as_any(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

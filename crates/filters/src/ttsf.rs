@@ -23,6 +23,7 @@ use std::any::Any;
 use comma_obs::fields;
 use comma_rt::Bytes;
 use comma_netsim::packet::{Packet, TcpFlags};
+use comma_proxy::batch::PacketBatch;
 use comma_proxy::filter::{Capabilities, Filter, FilterCtx, Priority, Verdict};
 use comma_proxy::key::StreamKey;
 use comma_tcp::seq::{seq_diff, seq_le, seq_lt};
@@ -294,13 +295,53 @@ impl Filter for Ttsf {
             .with(Capabilities::INJECT)
     }
 
+    fn observes_in(&self) -> bool {
+        // Out-only filter: no in method, skip the read-only pass.
+        false
+    }
+
     fn insert(&mut self, _ctx: &mut FilterCtx<'_>, key: StreamKey) -> Vec<StreamKey> {
         self.down_key = Some(key);
         vec![key, key.reverse()]
     }
 
     fn on_out(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, pkt: &mut Packet) -> Verdict {
-        let v = if Some(key) == self.down_key {
+        let down = Some(key) == self.down_key;
+        let v = self.serve(ctx, down, pkt);
+        // Edit-map occupancy after every serviced packet: how much state the
+        // transparency mechanism is holding for this stream.
+        self.report_occupancy(ctx);
+        v
+    }
+
+    fn on_out_batch(&mut self, ctx: &mut FilterCtx<'_>, key: StreamKey, batch: &mut PacketBatch) {
+        // Direction resolves once per run, and the edit-map occupancy
+        // gauges sample once at the end of the run rather than per packet
+        // (at run length 1 that is exactly the scalar cadence).
+        let down = Some(key) == self.down_key;
+        for i in 0..batch.len() {
+            if batch.is_dropped(i) {
+                continue;
+            }
+            ctx.set_batch_cursor(i as u32);
+            if self.serve(ctx, down, batch.pkt_mut(i)) == Verdict::Drop {
+                batch.request_drop(i);
+            }
+        }
+        self.report_occupancy(ctx);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl Ttsf {
+    /// Per-packet service shared by the scalar and batch out-methods:
+    /// dispatch on the pre-resolved direction and bump the translation
+    /// counters.
+    fn serve(&mut self, ctx: &mut FilterCtx<'_>, down: bool, pkt: &mut Packet) -> Verdict {
+        if down {
             let records_before = self.stats.records;
             let v = self.handle_downlink(ctx, pkt);
             if self.stats.records > records_before {
@@ -317,18 +358,14 @@ impl Filter for Ttsf {
                 );
             }
             v
-        };
-        // Edit-map occupancy after every serviced packet: how much state the
-        // transparency mechanism is holding for this stream.
+        }
+    }
+
+    fn report_occupancy(&self, ctx: &mut FilterCtx<'_>) {
         if let Some(map) = self.map.as_ref() {
             ctx.gauge("ttsf.editmap_records", map.len() as f64);
             ctx.gauge("ttsf.editmap_bytes", map.stored_bytes() as f64);
         }
-        v
-    }
-
-    fn as_any(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

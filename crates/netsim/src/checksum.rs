@@ -43,14 +43,55 @@ impl Checksum {
     }
 
     /// Adds a byte slice, padding an odd trailing byte with zero.
+    ///
+    /// The hot loop consumes 32 bytes per iteration over two independent
+    /// accumulators: each 64-bit word splits into two 32-bit halves of two
+    /// 16-bit words apiece, and the ones'-complement sum is commutative
+    /// and carry-preserving under folding, so accumulating halves in
+    /// `u64`s and folding once at the end yields exactly the
+    /// word-at-a-time sum. This runs per packet under the `tcp`
+    /// housekeeping filter, so bytes/cycle here is dispatch-path
+    /// throughput.
     pub fn add_bytes(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(2);
+        // Ones'-complement addition over full 64-bit words (end-around
+        // carry): congruent to the 16-bit word sum under the final fold,
+        // at a quarter of the adds of half-splitting.
+        #[inline(always)]
+        fn oc_add(acc: u64, w: u64) -> u64 {
+            let (s, c) = acc.overflowing_add(w);
+            // `s + c` cannot overflow: a carry means s <= u64::MAX - 1.
+            s + c as u64
+        }
+        let mut a0 = 0u64;
+        let mut a1 = 0u64;
+        let mut a2 = 0u64;
+        let mut a3 = 0u64;
+        let mut wide = bytes.chunks_exact(32);
+        for chunk in &mut wide {
+            a0 = oc_add(a0, u64::from_be_bytes(chunk[0..8].try_into().expect("chunk[0..8]")));
+            a1 = oc_add(a1, u64::from_be_bytes(chunk[8..16].try_into().expect("chunk[8..16]")));
+            a2 = oc_add(a2, u64::from_be_bytes(chunk[16..24].try_into().expect("chunk[16..24]")));
+            a3 = oc_add(a3, u64::from_be_bytes(chunk[24..32].try_into().expect("chunk[24..32]")));
+        }
+        let mut acc64 = oc_add(oc_add(a0, a1), oc_add(a2, a3));
+        let mut chunks = wide.remainder().chunks_exact(8);
         for chunk in &mut chunks {
-            self.add_u16(u16::from_be_bytes([chunk[0], chunk[1]]));
+            acc64 = oc_add(acc64, u64::from_be_bytes(chunk.try_into().expect("chunks_exact(8)")));
         }
-        if let [last] = chunks.remainder() {
-            self.add_u16(u16::from_be_bytes([*last, 0]));
+        let mut acc = (acc64 >> 32) + (acc64 & 0xffff_ffff);
+        let mut tail = chunks.remainder().chunks_exact(2);
+        for pair in &mut tail {
+            acc += u16::from_be_bytes([pair[0], pair[1]]) as u64;
         }
+        if let [last] = tail.remainder() {
+            acc += u16::from_be_bytes([*last, 0]) as u64;
+        }
+        while acc >> 32 != 0 {
+            acc = (acc >> 32) + (acc & 0xffff_ffff);
+        }
+        // Pre-fold both sides so the running 32-bit sum cannot overflow no
+        // matter how many slices are accumulated.
+        self.sum = (self.sum >> 16) + (self.sum & 0xffff) + (acc >> 16) as u32 + (acc & 0xffff) as u32;
     }
 
     /// Folds the accumulator and returns the ones'-complement checksum.
@@ -105,6 +146,32 @@ mod tests {
         assert!(verify(&data));
         data[0] ^= 0xff;
         assert!(!verify(&data));
+    }
+
+    #[test]
+    fn wide_word_sum_matches_word_at_a_time_reference() {
+        // Pseudo-random buffer; check every length so the 8-byte main
+        // loop, the 2-byte tail, and the odd-byte pad all get exercised.
+        let data: Vec<u8> = (0u32..257).map(|i| (i.wrapping_mul(0x9e37) >> 3) as u8).collect();
+        for len in 0..data.len() {
+            let bytes = &data[..len];
+            let mut reference = 0u32;
+            let mut it = bytes.chunks_exact(2);
+            for pair in &mut it {
+                reference += u16::from_be_bytes([pair[0], pair[1]]) as u32;
+            }
+            if let [last] = it.remainder() {
+                reference += u16::from_be_bytes([*last, 0]) as u32;
+            }
+            while reference >> 16 != 0 {
+                reference = (reference >> 16) + (reference & 0xffff);
+            }
+            assert_eq!(
+                internet_checksum(bytes),
+                !(reference as u16),
+                "mismatch at length {len}"
+            );
+        }
     }
 
     #[test]

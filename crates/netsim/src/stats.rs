@@ -64,33 +64,6 @@ impl TimeSeries {
         &self.samples
     }
 
-    /// Returns the sum over the most recent `n` completed buckets.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read link counters from the comma-obs registry \
-                (e.g. `obs.counter(scope, \"link.delivered_bytes\")`) instead"
-    )]
-    pub fn recent_sum(&self, n: usize) -> f64 {
-        self.samples.iter().rev().take(n).map(|(_, v)| v).sum()
-    }
-
-    /// Returns the per-second rate averaged over the most recent `n`
-    /// completed buckets.
-    #[deprecated(
-        since = "0.1.0",
-        note = "derive rates from comma-obs registry counters sampled by \
-                `core::metrics` instead"
-    )]
-    pub fn recent_rate(&self, n: usize) -> f64 {
-        let n = n.min(self.samples.len());
-        if n == 0 {
-            return 0.0;
-        }
-        let window = self.bucket.as_secs_f64() * n as f64;
-        #[allow(deprecated)]
-        let sum = self.recent_sum(n);
-        sum / window
-    }
 }
 
 /// Online summary statistics (count/mean/min/max and population variance via
@@ -205,19 +178,6 @@ mod tests {
             (SimTime::from_millis(100), 7.0),
             "the boundary value is the first entry of the new bucket"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn recent_rate_per_second() {
-        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
-        for i in 0..10 {
-            ts.record(SimTime::from_millis(i * 100 + 1), 100.0);
-        }
-        ts.roll_to(SimTime::from_secs(1));
-        // 100 units per 100 ms bucket = 1000 units/s.
-        assert!((ts.recent_rate(10) - 1000.0).abs() < 1e-9);
-        assert_eq!(ts.recent_rate(0), 0.0);
     }
 
     #[test]

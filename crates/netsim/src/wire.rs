@@ -279,6 +279,122 @@ pub fn verify(bytes: &[u8]) -> Result<(), WireError> {
     }
 }
 
+/// Verifies a typed packet exactly as [`encode`]-then-[`verify`] would,
+/// without materializing the wire buffer.
+///
+/// The `tcp` housekeeping filter runs this per packet, so the common TCP
+/// and UDP cases synthesize the transport header into a stack buffer and
+/// make a single checksum pass over pseudo-header + header + payload —
+/// no heap traffic, one read of the payload. ICMP and encapsulated
+/// bodies, oversized packets (total length beyond the 16-bit field), and
+/// TCP headers past the 60-byte data-offset limit take the
+/// encode-and-verify path so the verdict stays byte-identical to the
+/// wire codec's in every case.
+pub fn verify_packet(pkt: &Packet) -> Result<(), WireError> {
+    if pkt.wire_len() > u16::MAX as usize {
+        return verify(&encode(pkt));
+    }
+    match &pkt.body {
+        IpPayload::Tcp(seg) if seg.header_len() <= 60 => verify_packet_tcp(&pkt.ip, seg),
+        IpPayload::Udp(dgram) => verify_packet_udp(&pkt.ip, dgram),
+        _ => verify(&encode(pkt)),
+    }
+}
+
+fn verify_packet_tcp(ip: &Ipv4Header, seg: &TcpSegment) -> Result<(), WireError> {
+    let header_len = seg.header_len();
+    let mut hdr = [0u8; 60];
+    hdr[0..2].copy_from_slice(&seg.src_port.to_be_bytes());
+    hdr[2..4].copy_from_slice(&seg.dst_port.to_be_bytes());
+    hdr[4..8].copy_from_slice(&seg.seq.to_be_bytes());
+    hdr[8..12].copy_from_slice(&seg.ack.to_be_bytes());
+    hdr[12] = ((header_len / 4) as u8) << 4;
+    hdr[13] = seg.flags.0;
+    hdr[14..16].copy_from_slice(&seg.window.to_be_bytes());
+    // [16..18] checksum and [18..20] urgent pointer stay zero; option
+    // padding past the options is already zero.
+    let mut o = 20;
+    for opt in &seg.options {
+        match opt {
+            TcpOption::Mss(mss) => {
+                hdr[o] = 2;
+                hdr[o + 1] = 4;
+                hdr[o + 2..o + 4].copy_from_slice(&mss.to_be_bytes());
+                o += 4;
+            }
+        }
+    }
+    let tcp_len = header_len + seg.payload.len();
+    let mut ck = Checksum::new();
+    ck.add_addr(ip.src);
+    ck.add_addr(ip.dst);
+    ck.add_u16(IpProto::Tcp.number() as u16);
+    ck.add_u16(tcp_len as u16);
+    ck.add_bytes(&hdr[..header_len]);
+    ck.add_bytes(&seg.payload);
+    // `header_len` is a multiple of 4, so the header/payload split falls
+    // on an even offset and split accumulation matches the contiguous
+    // wire sum. Re-add the checksum the encoder would have stored and
+    // run the receiver-side zero check, as `verify` does on the buffer.
+    let stored = ck.finish();
+    ck.add_u16(stored);
+    if ck.finish() != 0 {
+        return Err(WireError::BadChecksum("tcp segment"));
+    }
+    let data_off = ((hdr[12] >> 4) as usize) * 4;
+    if data_off < 20 || data_off > tcp_len {
+        return Err(WireError::Truncated("tcp options"));
+    }
+    let mut i = 20;
+    while i < data_off {
+        match hdr[i] {
+            0 => break,
+            1 => i += 1,
+            2 => {
+                if i + 4 > data_off {
+                    return Err(WireError::Truncated("tcp mss option"));
+                }
+                i += 4;
+            }
+            _ => {
+                if i + 1 >= data_off {
+                    return Err(WireError::Truncated("tcp option"));
+                }
+                let len = hdr[i + 1] as usize;
+                if len < 2 || i + len > data_off {
+                    return Err(WireError::Truncated("tcp option length"));
+                }
+                i += len;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_packet_udp(ip: &Ipv4Header, dgram: &UdpDatagram) -> Result<(), WireError> {
+    let len = 8 + dgram.payload.len();
+    let mut hdr = [0u8; 8];
+    hdr[0..2].copy_from_slice(&dgram.src_port.to_be_bytes());
+    hdr[2..4].copy_from_slice(&dgram.dst_port.to_be_bytes());
+    hdr[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+    let mut ck = Checksum::new();
+    ck.add_addr(ip.src);
+    ck.add_addr(ip.dst);
+    ck.add_u16(IpProto::Udp.number() as u16);
+    ck.add_u16(len as u16);
+    ck.add_bytes(&hdr);
+    ck.add_bytes(&dgram.payload);
+    let mut stored = ck.finish();
+    if stored == 0 {
+        stored = 0xffff; // RFC 768: the encoder transmits all-ones for zero.
+    }
+    ck.add_u16(stored);
+    if ck.finish() != 0 {
+        return Err(WireError::BadChecksum("udp datagram"));
+    }
+    Ok(())
+}
+
 fn verify_tcp(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Result<(), WireError> {
     if bytes.len() < 20 {
         return Err(WireError::Truncated("tcp header"));
@@ -546,6 +662,57 @@ mod tests {
             );
         }
         assert!(verify(&good[..15]).is_err());
+    }
+
+    #[test]
+    fn verify_packet_agrees_with_encode_verify() {
+        let mut cases: Vec<Packet> = Vec::new();
+        for payload_len in [0usize, 1, 3, 536, 1399, 1400] {
+            let mut seg = TcpSegment::new(7, 1169, 0x0102_0304, 0x0a0b_0c0d, TcpFlags::ACK);
+            seg.payload = Bytes::from(vec![0x5au8; payload_len]);
+            cases.push(Packet::tcp(addr(99), addr(10), seg));
+        }
+        let mut syn = TcpSegment::new(7, 1169, 1, 0, TcpFlags::SYN);
+        syn.options.push(TcpOption::Mss(536));
+        cases.push(Packet::tcp(addr(99), addr(10), syn));
+        for payload_len in [0usize, 1, 7, 512] {
+            cases.push(Packet::udp(
+                addr(1),
+                addr(2),
+                UdpDatagram {
+                    src_port: 9000,
+                    dst_port: 9001,
+                    payload: Bytes::from(vec![0x17u8; payload_len]),
+                },
+            ));
+        }
+        cases.push(Packet::icmp(
+            addr(1),
+            addr(2),
+            IcmpMessage::EchoRequest {
+                id: 3,
+                seq: 4,
+                payload: Bytes::from_static(b"ping"),
+            },
+        ));
+        let inner = Packet::udp(
+            addr(5),
+            addr(6),
+            UdpDatagram {
+                src_port: 1,
+                dst_port: 2,
+                payload: Bytes::from_static(b"x"),
+            },
+        );
+        cases.push(Packet::encap(addr(3), addr(4), inner));
+        for pkt in &cases {
+            assert_eq!(
+                verify_packet(pkt),
+                verify(&encode(pkt)),
+                "verify_packet/verify disagree for {}",
+                pkt.summary()
+            );
+        }
     }
 
     #[test]

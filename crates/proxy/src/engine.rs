@@ -33,7 +33,8 @@ use comma_obs::Obs;
 use comma_rt::digest::fnv1a;
 use comma_rt::{Bytes, SmallRng};
 
-use crate::filter::{Capabilities, Filter, FilterCtx, MetricsSource, Priority, Verdict};
+use crate::batch::PacketBatch;
+use crate::filter::{Capabilities, Filter, FilterCtx, MetricsSource, Priority};
 use crate::flow::FlowTable;
 use crate::key::{StreamKey, WildKey};
 
@@ -163,6 +164,9 @@ struct Instance {
     keys: BTreeSet<StreamKey>,
     priority: Priority,
     caps: Capabilities,
+    /// Cached [`Filter::observes_in`] (sampled once at instantiation): the
+    /// in-pass is skipped wholesale for out-only filters.
+    wants_in: bool,
     stats: InstanceStats,
 }
 
@@ -253,6 +257,12 @@ pub struct EngineStats {
     pub modified: u64,
     /// Packets injected by filters.
     pub injected: u64,
+    /// Same-flow runs dispatched through the filter queues. A scalar
+    /// [`FilterEngine::process`] call counts as a depth-1 batch, so
+    /// `batch_pkts / batches` is the honest average batch depth.
+    pub batches: u64,
+    /// Packets carried by those runs.
+    pub batch_pkts: u64,
 }
 
 /// Snapshot of one filter instance for monitoring tools.
@@ -293,6 +303,23 @@ pub struct FilterEngine {
     /// forwards filter events to the flight recorder, and samples dispatch
     /// wall-clock latency (`wall.`-prefixed, never exported).
     obs: Obs,
+    /// Recycled dispatch storage (batch, snapshots, injection staging):
+    /// taken at the top of `process`/`process_batch` and restored on exit,
+    /// so steady state allocates nothing at batch granularity.
+    scratch: EngineScratch,
+}
+
+/// Recycled per-dispatch storage; see [`FilterEngine::process_batch`].
+#[derive(Default)]
+struct EngineScratch {
+    batch: PacketBatch,
+    /// Pre-`on_out_batch` snapshots of the live packets, by batch index.
+    snaps: Vec<(u32, PacketSnap)>,
+    /// Capability-cleared injections staged for assembly, tagged with the
+    /// batch index of the packet they follow.
+    injections: Vec<(u32, Packet)>,
+    /// Parallel to the batch: whether any filter modified the packet.
+    modified: Vec<bool>,
 }
 
 impl FilterEngine {
@@ -309,6 +336,7 @@ impl FilterEngine {
             totals: EngineStats::default(),
             pending_timers: Vec::new(),
             obs: Obs::new(),
+            scratch: EngineScratch::default(),
         }
     }
 
@@ -488,6 +516,11 @@ impl FilterEngine {
     // The packet path.
     // ------------------------------------------------------------------
 
+    /// Longest same-flow run dispatched as one batch. Bounds snapshot and
+    /// flag storage and keeps teardown latency (a close observed mid-run
+    /// takes effect at run end) to a small constant.
+    pub const MAX_BATCH: usize = 64;
+
     /// Runs a packet through the filter queues. Returns the packets to
     /// forward: empty if dropped, the (possibly modified) packet plus any
     /// injected packets otherwise.
@@ -496,12 +529,16 @@ impl FilterEngine {
     /// co-located with a Mobile IP agent path (§5.1.1's "merge the
     /// interception point with the FA") services the inner stream and
     /// re-wraps the results in the original tunnel header.
+    ///
+    /// This is the scalar entry point: it dispatches a depth-1 batch
+    /// through the same core as [`FilterEngine::process_batch`], so the
+    /// two paths cannot diverge.
     pub fn process(
         &mut self,
         now: SimTime,
         rng: &mut SmallRng,
         metrics: &dyn MetricsSource,
-        mut pkt: Packet,
+        pkt: Packet,
     ) -> Vec<Packet> {
         if let IpPayload::Encap(inner) = pkt.body {
             let outer = pkt.ip;
@@ -514,127 +551,284 @@ impl FilterEngine {
                 })
                 .collect();
         }
-        self.totals.pkts += 1;
-        self.obs.inc("engine", "engine.pkts");
         let Some(key) = StreamKey::of_packet(&pkt) else {
+            self.totals.pkts += 1;
+            self.obs.inc("engine", "engine.pkts");
             return vec![pkt]; // Non-keyed traffic passes through.
         };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.batch.push(pkt);
+        let mut out = Vec::new();
+        let mut dropped = Vec::new();
+        self.dispatch_run(now, rng, metrics, key, &mut scratch, &mut out, &mut dropped);
+        self.scratch = scratch;
+        out
+    }
+
+    /// Runs a sequence of packets through the filter queues, coalescing
+    /// contiguous same-flow packets into per-flow runs (capped at
+    /// [`FilterEngine::MAX_BATCH`]) so the flow lookup, the member-queue
+    /// resolution, and each filter's virtual dispatch are paid once per
+    /// run instead of once per packet.
+    ///
+    /// `input` is drained. Surviving and injected packets are appended to
+    /// `out` in the scalar emission order (each packet followed by the
+    /// injections it caused, runs in arrival order); input packets that
+    /// produced *no* output (dropped, nothing injected) are appended to
+    /// `dropped` so callers can trace them. Both buffers are appended to,
+    /// never cleared, and keep their capacity across calls.
+    pub fn process_batch(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        input: &mut Vec<Packet>,
+        out: &mut Vec<Packet>,
+        dropped: &mut Vec<Packet>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut run_key: Option<StreamKey> = None;
+        for pkt in input.drain(..) {
+            if let IpPayload::Encap(_) = pkt.body {
+                // Tunneled traffic re-enters through the scalar path (the
+                // inner stream is serviced recursively); flush first so
+                // relative order holds, and hand the scratch back for the
+                // reentrant call.
+                if let Some(k) = run_key.take() {
+                    self.dispatch_run(now, rng, metrics, k, &mut scratch, out, dropped);
+                }
+                self.scratch = scratch;
+                let original = pkt.clone();
+                let outs = self.process(now, rng, metrics, pkt);
+                scratch = std::mem::take(&mut self.scratch);
+                if outs.is_empty() {
+                    dropped.push(original);
+                } else {
+                    out.extend(outs);
+                }
+                continue;
+            }
+            let Some(key) = StreamKey::of_packet(&pkt) else {
+                if let Some(k) = run_key.take() {
+                    self.dispatch_run(now, rng, metrics, k, &mut scratch, out, dropped);
+                }
+                self.totals.pkts += 1;
+                self.obs.inc("engine", "engine.pkts");
+                out.push(pkt);
+                continue;
+            };
+            if run_key.is_some_and(|k| k != key) || scratch.batch.len() >= Self::MAX_BATCH {
+                let k = run_key.take().expect("non-empty run has a key");
+                self.dispatch_run(now, rng, metrics, k, &mut scratch, out, dropped);
+            }
+            // Connection-lifecycle packets end the run: SYN may instantiate
+            // filters and FIN/RST may tear the stream down, and both must
+            // be visible to the very next packet's queue resolution, as in
+            // the scalar path.
+            let lifecycle = matches!(&pkt.body, IpPayload::Tcp(seg)
+                if seg.flags.syn() || seg.flags.fin() || seg.flags.rst());
+            run_key = Some(key);
+            scratch.batch.push(pkt);
+            if lifecycle {
+                let k = run_key.take().expect("just set");
+                self.dispatch_run(now, rng, metrics, k, &mut scratch, out, dropped);
+            }
+        }
+        if let Some(k) = run_key.take() {
+            self.dispatch_run(now, rng, metrics, k, &mut scratch, out, dropped);
+        }
+        self.scratch = scratch;
+    }
+
+    /// The dispatch core: runs one same-flow run through the in/out filter
+    /// queues. Byte-for-byte equivalent to the historical scalar loop at
+    /// depth 1; at depth n it amortizes the flow lookup and virtual
+    /// dispatch and enforces capabilities per packet exactly as before.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_run(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        metrics: &dyn MetricsSource,
+        key: StreamKey,
+        scratch: &mut EngineScratch,
+        out: &mut Vec<Packet>,
+        dropped_out: &mut Vec<Packet>,
+    ) {
+        let n = scratch.batch.len();
+        debug_assert!(n > 0, "dispatch_run needs a non-empty run");
+        self.totals.pkts += n as u64;
+        self.totals.batches += 1;
+        self.totals.batch_pkts += n as u64;
+        if self.obs.is_enabled() {
+            self.obs.add("engine", "engine.pkts", n as u64);
+            self.obs.inc("engine", "engine.batches");
+            self.obs.add("engine", "engine.batch_pkts", n as u64);
+        }
         let members = self.queue_members(now, rng, metrics, key);
         if members.is_empty() {
-            return vec![pkt];
+            scratch.batch.dropped.clear();
+            out.append(&mut scratch.batch.pkts);
+            return;
         }
         // Host wall-clock dispatch latency; `wall.`-prefixed keys never
         // reach the deterministic export.
         let wall_start = self.obs.is_enabled().then(std::time::Instant::now);
 
-        let mut out: Vec<Packet> = Vec::new();
-        let mut dropped = false;
-        let mut any_modified = false;
+        scratch.injections.clear();
+        scratch.modified.clear();
+        scratch.modified.resize(n, false);
+        let mut live = n;
         let closed_keys: Vec<StreamKey>;
         {
             let mut ctx = FilterCtx::new(now, rng, metrics);
-            // In pass: highest priority first, read-only.
+            // In pass: highest priority first, read-only, whole run per
+            // filter. Out-only filters (`observes_in` false) skip the call
+            // and its drain bookkeeping entirely; their `pkts_seen` still
+            // counts every packet of the run.
             for &m in members.iter() {
                 let Some(inst) = self.instances[m].as_mut() else {
                     continue;
                 };
-                inst.stats.pkts_seen += 1;
-                let kind = Arc::clone(&inst.kind);
-                inst.filter.on_in(&mut ctx, key, &pkt);
-                Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
-                self.drain_ctx(now, &kind, &mut ctx);
-                self.drain_service_requests(&mut ctx);
+                inst.stats.pkts_seen += n as u64;
+                if !inst.wants_in {
+                    continue;
+                }
+                inst.filter.on_in_batch(&mut ctx, key, scratch.batch.pkts());
+                if !ctx.timers.is_empty() {
+                    Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
+                }
+                if !ctx.events.is_empty() || !ctx.counts.is_empty() || !ctx.gauge_sets.is_empty() {
+                    let kind = Arc::clone(&self.instances[m].as_ref().expect("inst").kind);
+                    self.drain_ctx(now, &kind, &mut ctx);
+                }
+                if !ctx.service_requests.is_empty() {
+                    self.drain_service_requests(&mut ctx);
+                }
             }
             // Out pass: lowest priority first; higher priorities override.
             for &m in members.iter().rev() {
-                if dropped {
+                if live == 0 {
                     break;
                 }
                 let Some(inst) = self.instances[m].as_mut() else {
                     continue;
                 };
-                let kind = Arc::clone(&inst.kind);
                 let caps = inst.caps;
-                let snap = PacketSnap::capture(&pkt);
-                let before_payload = snap.payload_len();
-                let verdict = inst.filter.on_out(&mut ctx, key, &mut pkt);
-                let (hdr_changed, payload_changed) = snap.diff(&pkt);
-                let mut was_modified = false;
-                let mut was_dropped = false;
-                let mut violations = 0u64;
-                let mut injected = 0u64;
-                let violated = (hdr_changed && !caps.allows(Capabilities::MODIFY_HEADERS))
-                    || (payload_changed && !caps.allows(Capabilities::MODIFY_PAYLOAD));
-                if violated {
-                    inst.stats.violations += 1;
-                    violations += 1;
-                    pkt = snap.restore();
-                    self.log.push(format!(
-                        "engine: blocked unauthorized modification by {kind} on {key}"
-                    ));
-                } else if hdr_changed || payload_changed {
-                    inst.stats.pkts_modified += 1;
-                    any_modified = true;
-                    was_modified = true;
-                    let after_len = payload_len(&pkt);
-                    if after_len < before_payload {
-                        inst.stats.bytes_removed += (before_payload - after_len) as u64;
-                    } else {
-                        inst.stats.bytes_added += (after_len - before_payload) as u64;
+                // Snapshot every live packet for the capability diff.
+                scratch.snaps.clear();
+                let mut visited_bytes = 0u64;
+                for i in 0..n {
+                    if !scratch.batch.dropped[i] {
+                        let snap = PacketSnap::capture(&scratch.batch.pkts[i]);
+                        visited_bytes += snap.payload_len() as u64;
+                        scratch.snaps.push((i as u32, snap));
                     }
                 }
-                if verdict == Verdict::Drop {
-                    let inst = self.instances[m].as_mut().expect("inst");
+                let visited = scratch.snaps.len() as u64;
+                inst.filter.on_out_batch(&mut ctx, key, &mut scratch.batch);
+                // Per-packet capability diff; stats accumulate locally and
+                // land on the instance in one re-borrow below.
+                let mut f_modified = 0u64;
+                let mut f_bytes_removed = 0u64;
+                let mut f_bytes_added = 0u64;
+                let mut f_violations = 0u64;
+                let mut f_dropped = 0u64;
+                for (i, snap) in scratch.snaps.drain(..) {
+                    let i = i as usize;
+                    let pkt = &mut scratch.batch.pkts[i];
+                    let before_payload = snap.payload_len();
+                    let (hdr_changed, payload_changed) = snap.diff(pkt);
+                    let violated = (hdr_changed && !caps.allows(Capabilities::MODIFY_HEADERS))
+                        || (payload_changed && !caps.allows(Capabilities::MODIFY_PAYLOAD));
+                    if violated {
+                        f_violations += 1;
+                        *pkt = snap.restore();
+                        let kind = &self.instances[m].as_ref().expect("inst").kind;
+                        let line =
+                            format!("engine: blocked unauthorized modification by {kind} on {key}");
+                        self.log.push(line);
+                    } else if hdr_changed || payload_changed {
+                        f_modified += 1;
+                        scratch.modified[i] = true;
+                        let after_len = payload_len(pkt);
+                        if after_len < before_payload {
+                            f_bytes_removed += (before_payload - after_len) as u64;
+                        } else {
+                            f_bytes_added += (after_len - before_payload) as u64;
+                        }
+                    }
+                }
+                // Apply the filter's drop requests under its capability.
+                for r in 0..scratch.batch.drop_requests.len() {
+                    let i = scratch.batch.drop_requests[r] as usize;
+                    if scratch.batch.dropped[i] {
+                        continue;
+                    }
                     if caps.allows(Capabilities::DROP) {
-                        inst.stats.pkts_dropped += 1;
-                        dropped = true;
-                        was_dropped = true;
+                        scratch.batch.dropped[i] = true;
+                        live -= 1;
+                        f_dropped += 1;
                     } else {
-                        inst.stats.violations += 1;
-                        violations += 1;
-                        self.log.push(format!(
-                            "engine: blocked unauthorized drop by {kind} on {key}"
-                        ));
+                        f_violations += 1;
+                        let kind = &self.instances[m].as_ref().expect("inst").kind;
+                        let line = format!("engine: blocked unauthorized drop by {kind} on {key}");
+                        self.log.push(line);
                     }
                 }
+                scratch.batch.drop_requests.clear();
                 // Attribute injections to this filter for the cap check.
+                let mut f_injected = 0u64;
                 if !ctx.injections.is_empty() {
-                    let inst = self.instances[m].as_mut().expect("inst");
-                    let n = ctx.injections.len() as u64;
+                    let cnt = ctx.injections.len() as u64;
                     if caps.allows(Capabilities::INJECT) {
-                        inst.stats.pkts_injected += n;
-                        self.totals.injected += n;
-                        injected = n;
-                        out.append(&mut ctx.injections);
+                        f_injected = cnt;
+                        self.totals.injected += cnt;
+                        scratch.injections.append(&mut ctx.injections);
                     } else {
-                        inst.stats.violations += n;
-                        violations += n;
+                        f_violations += cnt;
                         ctx.injections.clear();
-                        self.log.push(format!(
-                            "engine: blocked unauthorized injection by {kind} on {key}"
-                        ));
+                        let kind = &self.instances[m].as_ref().expect("inst").kind;
+                        let line =
+                            format!("engine: blocked unauthorized injection by {kind} on {key}");
+                        self.log.push(line);
                     }
                 }
+                let inst = self.instances[m].as_mut().expect("inst");
+                inst.stats.pkts_modified += f_modified;
+                inst.stats.bytes_removed += f_bytes_removed;
+                inst.stats.bytes_added += f_bytes_added;
+                inst.stats.pkts_dropped += f_dropped;
+                inst.stats.pkts_injected += f_injected;
+                inst.stats.violations += f_violations;
                 if self.obs.is_enabled() {
-                    self.obs.inc(&kind, "filter.pkts");
-                    self.obs.add(&kind, "filter.bytes", before_payload as u64);
-                    if was_dropped {
-                        self.obs.inc(&kind, "filter.drops");
+                    let kind = Arc::clone(&inst.kind);
+                    self.obs.add(&kind, "filter.pkts", visited);
+                    self.obs.add(&kind, "filter.bytes", visited_bytes);
+                    if f_dropped > 0 {
+                        self.obs.add(&kind, "filter.drops", f_dropped);
                     }
-                    if was_modified {
-                        self.obs.inc(&kind, "filter.modified");
+                    if f_modified > 0 {
+                        self.obs.add(&kind, "filter.modified", f_modified);
                     }
-                    if injected > 0 {
-                        self.obs.add(&kind, "filter.injected", injected);
-                        self.obs.add("engine", "engine.injected", injected);
+                    if f_injected > 0 {
+                        self.obs.add(&kind, "filter.injected", f_injected);
+                        self.obs.add("engine", "engine.injected", f_injected);
                     }
-                    if violations > 0 {
-                        self.obs.add(&kind, "filter.violations", violations);
+                    if f_violations > 0 {
+                        self.obs.add(&kind, "filter.violations", f_violations);
                     }
                 }
-                Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
-                self.drain_ctx(now, &kind, &mut ctx);
-                self.drain_service_requests(&mut ctx);
+                if !ctx.timers.is_empty() {
+                    Self::drain_ctx_timers(&mut self.pending_timers, m, &mut ctx);
+                }
+                if !ctx.events.is_empty() || !ctx.counts.is_empty() || !ctx.gauge_sets.is_empty() {
+                    let kind = Arc::clone(&self.instances[m].as_ref().expect("inst").kind);
+                    self.drain_ctx(now, &kind, &mut ctx);
+                }
+                if !ctx.service_requests.is_empty() {
+                    self.drain_service_requests(&mut ctx);
+                }
             }
             // Stream-closed requests are handled after the ctx borrow ends.
             closed_keys = ctx.closed_streams.drain(..).collect();
@@ -642,16 +836,40 @@ impl FilterEngine {
         for k in closed_keys {
             self.teardown_stream(now, rng, metrics, k);
         }
-        if dropped {
-            self.totals.drops += 1;
-            self.obs.inc("engine", "engine.drops");
-        } else {
-            if any_modified {
+        for i in 0..n {
+            if scratch.batch.dropped[i] {
+                self.totals.drops += 1;
+                self.obs.inc("engine", "engine.drops");
+            } else if scratch.modified[i] {
                 self.totals.modified += 1;
                 self.obs.inc("engine", "engine.modified");
             }
-            out.insert(0, pkt);
         }
+        // Assembly: each surviving packet followed by the injections it
+        // caused (stable by source index, preserving the out-pass filter
+        // visit order within a packet — the scalar emission order).
+        scratch.injections.sort_by_key(|&(i, _)| i);
+        let mut inj = scratch.injections.drain(..).peekable();
+        for (i, pkt) in scratch.batch.pkts.drain(..).enumerate() {
+            if scratch.batch.dropped[i] {
+                let mut had_injections = false;
+                while inj.peek().is_some_and(|&(j, _)| j as usize == i) {
+                    out.push(inj.next().expect("peeked").1);
+                    had_injections = true;
+                }
+                if !had_injections {
+                    dropped_out.push(pkt);
+                } // else: the packet itself is consumed, injections carry on.
+            } else {
+                out.push(pkt);
+                while inj.peek().is_some_and(|&(j, _)| j as usize == i) {
+                    out.push(inj.next().expect("peeked").1);
+                }
+            }
+        }
+        debug_assert!(inj.next().is_none(), "injection tagged past the run");
+        drop(inj);
+        scratch.batch.dropped.clear();
         if let Some(t0) = wall_start {
             self.obs.hist(
                 "engine",
@@ -659,7 +877,6 @@ impl FilterEngine {
                 t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             );
         }
-        out
     }
 
     fn drain_ctx_timers(
@@ -679,19 +896,13 @@ impl FilterEngine {
     fn drain_ctx(&mut self, now: SimTime, kind: &str, ctx: &mut FilterCtx<'_>) {
         let enabled = self.obs.is_enabled();
         for (name, fields) in ctx.events.drain(..) {
-            let line = if name == "log" && fields.len() == 1 && fields[0].0 == "msg" {
-                // The log() shim: render back to the original raw string.
-                fields[0].1.to_string()
-            } else {
-                let mut s = String::from(name);
-                for (k, v) in &fields {
-                    s.push(' ');
-                    s.push_str(k);
-                    s.push('=');
-                    s.push_str(&v.to_string());
-                }
-                s
-            };
+            let mut line = String::from(name);
+            for (k, v) in &fields {
+                line.push(' ');
+                line.push_str(k);
+                line.push('=');
+                line.push_str(&v.to_string());
+            }
             self.log.push(format!("{kind}: {line}"));
             if enabled {
                 self.obs.event(now.as_micros(), kind, name, fields);
@@ -745,7 +956,7 @@ impl FilterEngine {
         let mut ctx = FilterCtx::new(now, rng, metrics);
         inst.filter.on_timer(&mut ctx, user);
         let mut out = Vec::new();
-        let inj: Vec<Packet> = ctx.injections.drain(..).collect();
+        let inj: Vec<Packet> = ctx.injections.drain(..).map(|(_, p)| p).collect();
         let mut injected = 0u64;
         if !inj.is_empty() {
             if inst.caps.allows(Capabilities::INJECT) {
@@ -834,6 +1045,7 @@ impl FilterEngine {
                         let caps = filter.capabilities();
                         // Catalog name (services may share a Filter type).
                         let kind = self.intern_kind(&reg.filter);
+                        let wants_in = filter.observes_in();
                         self.instances.push(Some(Instance {
                             filter,
                             kind,
@@ -841,6 +1053,7 @@ impl FilterEngine {
                             keys: keys.iter().copied().collect(),
                             priority,
                             caps,
+                            wants_in,
                             stats: InstanceStats::default(),
                         }));
                         for k in keys {

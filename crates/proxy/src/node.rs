@@ -34,6 +34,11 @@ pub struct ServiceProxy {
     pub forwarded: u64,
     /// Packets dropped by filters.
     pub filtered_out: u64,
+    /// Reusable output buffer for batched delivery (capacity persists
+    /// across dispatches; steady state allocates nothing).
+    batch_out: Vec<Packet>,
+    /// Reusable dropped-packet buffer for batched delivery.
+    batch_dropped: Vec<Packet>,
 }
 
 impl ServiceProxy {
@@ -55,6 +60,8 @@ impl ServiceProxy {
             rng: SmallRng::seed_from_u64(seed ^ 0x5350_5350),
             forwarded: 0,
             filtered_out: 0,
+            batch_out: Vec::new(),
+            batch_dropped: Vec::new(),
         }
     }
 
@@ -119,6 +126,38 @@ impl Node for ServiceProxy {
         for out in outs {
             self.forward(ctx, out);
         }
+        self.arm_pending_timers(ctx);
+    }
+
+    fn on_packets(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkts: &mut Vec<Packet>) {
+        // Console traffic terminates here, exactly as in the scalar path.
+        pkts.retain(|p| !self.addrs.contains(&p.ip.dst));
+        if pkts.is_empty() {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.batch_out);
+        let mut dropped = std::mem::take(&mut self.batch_dropped);
+        self.engine.process_batch(
+            ctx.now,
+            &mut self.rng,
+            self.metrics.as_ref(),
+            pkts,
+            &mut out,
+            &mut dropped,
+        );
+        // A packet the engine consumed without emitting anything (no
+        // survivors, no injections) counts as filtered out, matching the
+        // scalar `outs.is_empty()` accounting.
+        for pkt in dropped.drain(..) {
+            self.filtered_out += 1;
+            ctx.trace
+                .drop_pkt(ctx.now, ctx.node, DropReason::Filter, || pkt.summary());
+        }
+        for pkt in out.drain(..) {
+            self.forward(ctx, pkt);
+        }
+        self.batch_out = out;
+        self.batch_dropped = dropped;
         self.arm_pending_timers(ctx);
     }
 

@@ -1,0 +1,287 @@
+//! Scalar-vs-batched dispatch equivalence: the batched filter/engine API
+//! must be observationally identical to per-packet dispatch — same
+//! survivors (byte-for-byte on the wire), same drops, same engine log,
+//! same RNG draw order — for any multi-flow interleaving at any batch
+//! depth, and the simulator's opt-in delivery coalescing must preserve
+//! delivered application bytes and stay conformance-oracle clean.
+
+use comma_repro::prelude::*;
+use comma_repro::rt::prop::{gen, Runner};
+
+use comma_repro::netsim::packet::IpPayload;
+use comma_repro::netsim::wire;
+
+/// The reference chain: two rewriting filters, one stateful observer, and
+/// exactly one RNG-consuming filter (`rdrop`). Batched dispatch preserves
+/// per-packet draw order only while a single filter consumes randomness,
+/// which every production chain satisfies.
+const CHAIN: &[(&str, &[&str])] = &[
+    ("tcp", &[]),
+    ("snoop", &[]),
+    ("wsize", &["scale", "90"]),
+    ("rdrop", &["30"]),
+];
+
+fn build_engine() -> FilterEngine {
+    let mut engine = FilterEngine::new(standard_catalog(ALL_FILTERS));
+    for (name, args) in CHAIN {
+        engine
+            .register(
+                WildKey::ANY,
+                name,
+                args.iter().map(|a| a.to_string()).collect(),
+            )
+            .expect("register chain filter");
+    }
+    engine
+}
+
+/// One generated workload step: which flow sends, how much, and whether
+/// the segment closes the flow.
+#[derive(Debug, Clone)]
+struct Step {
+    flow: usize,
+    len: usize,
+    fin: bool,
+}
+
+/// Builds the packet sequence for a workload: per-flow seq cursors, a SYN
+/// opening each flow, ACK data segments, and occasional FINs (which also
+/// exercise the engine's lifecycle batch cuts).
+fn build_packets(steps: &[Step]) -> Vec<Packet> {
+    let src: comma_repro::netsim::addr::Ipv4Addr = "11.11.10.99".parse().unwrap();
+    let dst: comma_repro::netsim::addr::Ipv4Addr = "11.11.10.10".parse().unwrap();
+    let mut seqs = [0u32; 8];
+    let mut opened = [false; 8];
+    let mut pkts = Vec::with_capacity(steps.len() + 8);
+    for step in steps {
+        let sport = 5000 + step.flow as u16;
+        if !opened[step.flow] {
+            opened[step.flow] = true;
+            pkts.push(Packet::tcp(
+                src,
+                dst,
+                TcpSegment::new(sport, 9000, seqs[step.flow], 0, TcpFlags::SYN),
+            ));
+            seqs[step.flow] = seqs[step.flow].wrapping_add(1);
+        }
+        let flags = if step.fin {
+            TcpFlags::FIN | TcpFlags::ACK
+        } else {
+            TcpFlags::ACK
+        };
+        let mut seg = TcpSegment::new(sport, 9000, seqs[step.flow], 77, flags);
+        seg.payload = Bytes::from(vec![(step.flow as u8) ^ 0x5a; step.len]);
+        seqs[step.flow] = seqs[step.flow].wrapping_add(step.len as u32);
+        pkts.push(Packet::tcp(src, dst, seg));
+    }
+    pkts
+}
+
+/// Everything observable about a dispatch run, for exact comparison.
+#[derive(PartialEq, Debug)]
+struct RunResult {
+    /// Wire encodings of the forwarded packets, in order.
+    survivors: Vec<Vec<u8>>,
+    dropped: usize,
+    total_pkts: u64,
+    log: Vec<String>,
+}
+
+fn encode_all(pkts: &[Packet]) -> Vec<Vec<u8>> {
+    pkts.iter().map(wire::encode).collect()
+}
+
+fn run_scalar(pkts: Vec<Packet>, seed: u64) -> RunResult {
+    let mut engine = build_engine();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut survivors = Vec::new();
+    let mut dropped = 0usize;
+    for pkt in pkts {
+        let outs = engine.process(SimTime::ZERO, &mut rng, &NullMetrics, pkt);
+        if outs.is_empty() {
+            dropped += 1;
+        }
+        survivors.extend(outs);
+    }
+    RunResult {
+        survivors: encode_all(&survivors),
+        dropped,
+        total_pkts: engine.totals.pkts,
+        log: engine.log.lines().to_vec(),
+    }
+}
+
+fn run_batched(pkts: Vec<Packet>, seed: u64, depth: usize) -> RunResult {
+    let mut engine = build_engine();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut survivors = Vec::new();
+    let mut dropped = 0usize;
+    let mut input = Vec::with_capacity(depth);
+    let mut out = Vec::new();
+    let mut dropped_out = Vec::new();
+    for chunk in pkts.chunks(depth) {
+        input.extend(chunk.iter().cloned());
+        engine.process_batch(
+            SimTime::ZERO,
+            &mut rng,
+            &NullMetrics,
+            &mut input,
+            &mut out,
+            &mut dropped_out,
+        );
+        dropped += dropped_out.len();
+        dropped_out.clear();
+        survivors.append(&mut out);
+    }
+    RunResult {
+        survivors: encode_all(&survivors),
+        dropped,
+        total_pkts: engine.totals.pkts,
+        log: engine.log.lines().to_vec(),
+    }
+}
+
+/// Random multi-flow interleavings dispatch identically — survivors,
+/// drops, engine log, and counters — through the scalar path and through
+/// `process_batch` at every required depth.
+#[test]
+fn batched_dispatch_matches_scalar_on_random_interleavings() {
+    Runner::new("batched_dispatch_matches_scalar_on_random_interleavings")
+        .cases(60)
+        .run(
+            |rng| {
+                let flows = rng.gen_range(1usize..5);
+                let steps = gen::vec_of(rng, 1..120, |rng| Step {
+                    flow: rng.gen_range(0..flows),
+                    len: rng.gen_range(0usize..300),
+                    fin: rng.gen_range(0u32..40) == 0,
+                });
+                (steps, rng.gen::<u64>())
+            },
+            |(steps, seed)| {
+                let pkts = build_packets(steps);
+                let reference = run_scalar(pkts.clone(), *seed);
+                for depth in [1usize, 4, 16, 64] {
+                    let batched = run_batched(pkts.clone(), *seed, depth);
+                    ensure_eq!(
+                        reference.survivors.len(),
+                        batched.survivors.len(),
+                        "survivor count diverged at depth {depth}"
+                    );
+                    ensure!(
+                        reference == batched,
+                        "batched dispatch diverged from scalar at depth {depth}"
+                    );
+                }
+                Ok(())
+            },
+        );
+}
+
+/// A mixed batch that straddles flow boundaries, lifecycle flags, and
+/// non-keyed (ICMP) traffic still matches the scalar path — the run
+/// formation cuts (key change, SYN/FIN, passthrough) are invisible to the
+/// observable outcome.
+#[test]
+fn batch_run_cuts_are_observationally_invisible() {
+    let src: comma_repro::netsim::addr::Ipv4Addr = "11.11.10.99".parse().unwrap();
+    let dst: comma_repro::netsim::addr::Ipv4Addr = "11.11.10.10".parse().unwrap();
+    let mut pkts = build_packets(&[
+        Step { flow: 0, len: 100, fin: false },
+        Step { flow: 0, len: 200, fin: false },
+        Step { flow: 1, len: 50, fin: false },
+        Step { flow: 0, len: 80, fin: true },
+        Step { flow: 1, len: 10, fin: false },
+    ]);
+    // Splice a non-keyed packet mid-stream: it must pass through in order.
+    pkts.insert(
+        3,
+        Packet::icmp(
+            src,
+            dst,
+            comma_repro::netsim::packet::IcmpMessage::EchoRequest {
+                id: 9,
+                seq: 1,
+                payload: Bytes::from(vec![1u8; 32]),
+            },
+        ),
+    );
+    let reference = run_scalar(pkts.clone(), 7);
+    for depth in [2usize, 3, 64] {
+        assert_eq!(
+            run_batched(pkts.clone(), 7, depth),
+            reference,
+            "depth {depth} diverged"
+        );
+    }
+    // The ICMP splice really survived (passthrough, not drop).
+    let icmp_survivors = reference
+        .survivors
+        .iter()
+        .filter(|bytes| {
+            wire::decode(bytes)
+                .map(|p| matches!(p.body, IpPayload::Icmp(_)))
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(icmp_survivors, 1);
+}
+
+// ---------------------------------------------------------------------
+// Simulator-level delivery coalescing.
+// ---------------------------------------------------------------------
+
+fn transfer_with_coalescing(coalesce: bool, faults: bool) -> (usize, u64, u64) {
+    let mut world = CommaBuilder::new(11).eem(false).build(
+        vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 300_000))],
+        vec![Box::new(Sink::new(9000))],
+    );
+    world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
+    world.sp("add snoop 0.0.0.0 0 11.11.10.10 9000");
+    world.sp("add wsize 0.0.0.0 0 11.11.10.10 9000 scale 90");
+    world.sp("add tcp 0.0.0.0 0 11.11.10.10 9000");
+    if faults {
+        // Deterministic fault churn on the wireless downlink: delay jitter
+        // plus duplication, seeded independently of the link RNG.
+        let cfg = comma_repro::netsim::fault::FaultConfig {
+            reorder_p: 0.02,
+            reorder_extra: SimDuration::from_millis(3),
+            duplicate_p: 0.01,
+            ..Default::default()
+        };
+        world
+            .sim
+            .install_link_faults(comma_repro::netsim::link::ChannelId(2), cfg, 99);
+    }
+    world.attach_oracle();
+    world.sim.set_coalesce_delivery(coalesce);
+    world.run_until(SimTime::from_secs(120));
+    world.assert_oracle_clean();
+    let received = world.mobile_app::<Sink, _>(world.mobile_app_ids[0], |s| s.bytes_received);
+    let (tx, rx) = (world.sim.trace.counters.tx, world.sim.trace.counters.rx);
+    (received, tx, rx)
+}
+
+/// Delivery coalescing is transparent end to end: the full wired→wireless
+/// transfer through the 4-filter proxy delivers the same bytes, moves the
+/// same packet counts, and stays conformance-oracle clean with batching
+/// on and off.
+#[test]
+fn sim_delivery_coalescing_preserves_transfer() {
+    let scalar = transfer_with_coalescing(false, false);
+    let batched = transfer_with_coalescing(true, false);
+    assert_eq!(scalar.0, 300_000, "transfer must complete");
+    assert_eq!(scalar, batched, "coalesced run diverged from scalar run");
+}
+
+/// Same transparency under deterministic link-fault churn (reordering and
+/// duplication on the wireless downlink): the oracle stays clean and the
+/// delivered byte count matches the scalar schedule.
+#[test]
+fn sim_delivery_coalescing_preserves_transfer_under_faults() {
+    let scalar = transfer_with_coalescing(false, true);
+    let batched = transfer_with_coalescing(true, true);
+    assert_eq!(scalar.0, 300_000, "faulted transfer must complete");
+    assert_eq!(scalar, batched, "coalesced faulted run diverged");
+}
