@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use comma::topology::{addrs, CommaBuilder};
 use comma_bench::exps;
-use comma_bench::scale::{run_event_core, run_many_flows, run_many_flows_churn, ScaleResult};
+use comma_bench::scale::{
+    run_event_core, run_many_flows, run_many_flows_churn, run_sharded_flows, ScaleResult,
+};
 use comma_filters::standard_catalog;
 use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
 use comma_netsim::time::SimTime;
@@ -266,6 +268,29 @@ fn main() {
         })
         .collect();
 
+    let (shard_cells, shard_flows_per_cell) = (100usize, 100usize);
+    let shard_bytes: u64 = if fast { 1_024 } else { 4_096 };
+    let shard_workers = 4usize;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "macrobench: sharded flows_10k workload ({shard_cells} cells × \
+         {shard_flows_per_cell} flows, {shard_bytes} B/flow, {cores} cores)..."
+    );
+    let shard_serial =
+        run_sharded_flows(shard_cells, shard_flows_per_cell, shard_bytes, 42, 1);
+    let shard_par =
+        run_sharded_flows(shard_cells, shard_flows_per_cell, shard_bytes, 42, shard_workers);
+    let speedup_vs_serial = shard_serial.wall_ms / shard_par.wall_ms.max(1e-9);
+    eprintln!(
+        "macrobench:   flows_10k: events_per_sec = {:.0}, wall_ms = {:.1} at {shard_workers} \
+         workers vs {:.1} serial ({speedup_vs_serial:.2}x, {} xfer pkts, {} windows)",
+        shard_par.events_per_sec,
+        shard_par.wall_ms,
+        shard_serial.wall_ms,
+        shard_par.xfer_pkts,
+        shard_par.windows
+    );
+
     let workers = exps::worker_count();
     eprintln!("macrobench: experiment suite serial vs parallel ({workers} workers)...");
     let (serial_ms, parallel_ms) = exps_wall_ms();
@@ -291,6 +316,22 @@ fn main() {
                 r.flows, r.events_per_sec, r.wall_ms, r.sim_events
             )
         }))
+        .chain(std::iter::once(format!(
+            "    \"flows_10k\": {{ \"events_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
+             \"sim_events\": {}, \"flows\": {}, \"workers\": {}, \
+             \"serial_wall_ms\": {:.1}, \"speedup_vs_serial\": {:.3}, \"cores\": {}, \
+             \"windows\": {}, \"xfer_pkts\": {} }}",
+            shard_par.events_per_sec,
+            shard_par.wall_ms,
+            shard_par.sim_events,
+            shard_cells * shard_flows_per_cell,
+            shard_par.workers,
+            shard_serial.wall_ms,
+            speedup_vs_serial,
+            cores,
+            shard_par.windows,
+            shard_par.xfer_pkts
+        )))
         .collect::<Vec<_>>()
         .join(",\n");
 
@@ -308,6 +349,7 @@ fn main() {
          \"transfer_events_per_sec\": {transfer_events_per_sec:.1},\n    \
          \"scale_events_per_sec\": {{ \"flows_16\": {:.1}, \"flows_64\": {:.1}, \
          \"flows_256\": {:.1} }},\n    \
+         \"flows_10k_speedup_vs_serial\": {speedup_vs_serial:.3},\n    \
          \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1} }}\n  }}",
         scale[0].events_per_sec, scale[1].events_per_sec, scale[2].events_per_sec
     );

@@ -382,6 +382,223 @@ pub fn run_event_core(nodes: usize, horizon_ms: u64, seed: u64) -> EventCoreResu
     }
 }
 
+/// Result of one sharded multi-cell run.
+#[derive(Clone, Debug)]
+pub struct ShardScaleResult {
+    /// Wireless cells (one shard each, plus the backbone shard).
+    pub cells: usize,
+    /// Concurrent TCP transfers per cell.
+    pub flows_per_cell: usize,
+    /// Bytes each flow transfers.
+    pub bytes_per_flow: u64,
+    /// Total bytes delivered (must equal `cells × flows × bytes`).
+    pub delivered: u64,
+    /// Discrete events processed across all shards.
+    pub sim_events: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// `sim_events / wall seconds` across all shards.
+    pub events_per_sec: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Packets ferried across shard boundaries.
+    pub xfer_pkts: u64,
+}
+
+/// Builds the sharded multi-cell world: `cells` wireless cells, each with
+/// `flows_per_cell` bulk transfers (ports `9000..`) from its wired host
+/// through its filtered Service Proxy over a lossy wireless link — the
+/// [`build_many_flows`] recipe instantiated per cell, compiled onto the
+/// sharded runner (or into one shard with `single_shard`). The 10 ms
+/// wired backbone is the inter-shard boundary and sets the conservative
+/// lookahead.
+pub fn build_cells(
+    cells: usize,
+    flows_per_cell: usize,
+    bytes_per_flow: u64,
+    seed: u64,
+    workers: usize,
+    single_shard: bool,
+) -> comma::topo::ShardedWorld {
+    let loss = LossModel::Gilbert {
+        p_good_to_bad: 0.02,
+        p_bad_to_good: 0.5,
+        loss_good: 0.005,
+        loss_bad: 0.15,
+    };
+    let wireless = || {
+        LinkParams::wireless()
+            .with_bandwidth(8_000_000)
+            .with_queue_limit(128 * 1024)
+            .with_loss(loss.clone())
+    };
+    let mut builder = comma::topo::TopologyBuilder::new(seed)
+        .backbone(LinkParams::wired().with_latency(SimDuration::from_millis(10)))
+        .workers(workers);
+    if single_shard {
+        builder = builder.single_shard();
+    }
+    for c in 0..cells {
+        let mut spec = comma::topo::CellSpec::new(format!("cell{c}"))
+            .wireless(wireless(), wireless())
+            .filter("add tcp 0.0.0.0 0 {mobile} 0")
+            .filter("add snoop 0.0.0.0 0 {mobile} 0")
+            .filter("add wsize 0.0.0.0 0 {mobile} 0 scale 90")
+            .filter("add tcp 0.0.0.0 0 {mobile} 0");
+        for f in 0..flows_per_cell {
+            spec = spec.transfer(9000 + f as u16, bytes_per_flow);
+        }
+        builder = builder.cell(spec);
+    }
+    builder.build().expect("sharded scale topology is valid")
+}
+
+/// Drives a sharded world in one-second increments until `target` bytes
+/// are delivered (or the horizon runs out), returning `(delivered, wall
+/// seconds)`.
+fn drive_to_target(world: &mut comma::topo::ShardedWorld, target: u64) -> (u64, f64) {
+    let t = Instant::now();
+    let mut delivered = 0u64;
+    for sec in 1..=3_600u64 {
+        world.run_until(SimTime::from_secs(sec));
+        delivered = world.total_delivered();
+        if delivered >= target {
+            break;
+        }
+    }
+    (delivered, t.elapsed().as_secs_f64())
+}
+
+/// Runs `cells × flows_per_cell` concurrent transfers on the sharded
+/// runner with `workers` threads; panics unless every flow completes.
+pub fn run_sharded_flows(
+    cells: usize,
+    flows_per_cell: usize,
+    bytes_per_flow: u64,
+    seed: u64,
+    workers: usize,
+) -> ShardScaleResult {
+    let mut world = build_cells(cells, flows_per_cell, bytes_per_flow, seed, workers, false);
+    let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
+    let (delivered, wall) = drive_to_target(&mut world, target);
+    assert_eq!(
+        delivered, target,
+        "sharded flows: not every transfer completed within the horizon"
+    );
+    let stats = world.stats();
+    ShardScaleResult {
+        cells,
+        flows_per_cell,
+        bytes_per_flow,
+        delivered,
+        sim_events: stats.events,
+        wall_ms: wall * 1e3,
+        events_per_sec: stats.events as f64 / wall,
+        workers,
+        windows: stats.windows,
+        xfer_pkts: stats.xfer_pkts,
+    }
+}
+
+/// [`run_sharded_flows`]' delivered-bytes digest: FNV-1a over every
+/// sink's final byte count. Identical for every worker count.
+pub fn sharded_delivered_digest(
+    cells: usize,
+    flows_per_cell: usize,
+    bytes_per_flow: u64,
+    seed: u64,
+    workers: usize,
+) -> u64 {
+    let mut world = build_cells(cells, flows_per_cell, bytes_per_flow, seed, workers, false);
+    let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
+    let (delivered, _) = drive_to_target(&mut world, target);
+    assert_eq!(delivered, target, "sharded flows: transfers incomplete");
+    world.delivered_digest()
+}
+
+/// Full merged-trace digest of the sharded multi-cell workload —
+/// byte-identical across worker counts *and* across the partitioned vs
+/// [`comma::topo::TopologyBuilder::single_shard`] builds.
+pub fn sharded_trace_digest(
+    cells: usize,
+    flows_per_cell: usize,
+    bytes_per_flow: u64,
+    seed: u64,
+    workers: usize,
+    single_shard: bool,
+) -> u64 {
+    let mut world = build_cells(cells, flows_per_cell, bytes_per_flow, seed, workers, single_shard);
+    world.set_trace_capture(true, 1 << 21);
+    let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
+    let (delivered, _) = drive_to_target(&mut world, target);
+    assert_eq!(delivered, target, "sharded flows: transfers incomplete");
+    world.trace_digest()
+}
+
+/// The sharded churn workload: every cell's wireless link runs the
+/// standard [`churn_plan`] (per-cell seed) with the conformance oracle
+/// attached to every shard; panics on any violation or incomplete flow.
+pub fn run_sharded_churn(
+    cells: usize,
+    flows_per_cell: usize,
+    bytes_per_flow: u64,
+    seed: u64,
+    workers: usize,
+) -> ShardScaleResult {
+    let loss = LossModel::Gilbert {
+        p_good_to_bad: 0.02,
+        p_bad_to_good: 0.5,
+        loss_good: 0.005,
+        loss_bad: 0.15,
+    };
+    let wireless = || {
+        LinkParams::wireless()
+            .with_bandwidth(8_000_000)
+            .with_queue_limit(128 * 1024)
+            .with_loss(loss.clone())
+    };
+    let mut builder = comma::topo::TopologyBuilder::new(seed)
+        .backbone(LinkParams::wired().with_latency(SimDuration::from_millis(10)))
+        .workers(workers);
+    for c in 0..cells {
+        let mut spec = comma::topo::CellSpec::new(format!("cell{c}"))
+            .wireless(wireless(), wireless())
+            .filter("add tcp 0.0.0.0 0 {mobile} 0")
+            .filter("add snoop 0.0.0.0 0 {mobile} 0")
+            .filter("add wsize 0.0.0.0 0 {mobile} 0 scale 90")
+            .filter("add tcp 0.0.0.0 0 {mobile} 0")
+            .fault_plan(churn_plan(seed ^ 0xc4e7 ^ (c as u64) << 32));
+        for f in 0..flows_per_cell {
+            spec = spec.transfer(9000 + f as u16, bytes_per_flow);
+        }
+        builder = builder.cell(spec);
+    }
+    let mut world = builder.build().expect("sharded churn topology is valid");
+    world.attach_oracle();
+    let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
+    let (delivered, wall) = drive_to_target(&mut world, target);
+    assert_eq!(
+        delivered, target,
+        "sharded churn: not every transfer completed within the horizon"
+    );
+    world.assert_oracle_clean();
+    let stats = world.stats();
+    ShardScaleResult {
+        cells,
+        flows_per_cell,
+        bytes_per_flow,
+        delivered,
+        sim_events: stats.events,
+        wall_ms: wall * 1e3,
+        events_per_sec: stats.events as f64 / wall,
+        workers,
+        windows: stats.windows,
+        xfer_pkts: stats.xfer_pkts,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,5 +622,22 @@ mod tests {
         let r = run_event_core(8, 50, 5);
         assert!(r.sim_events > 100, "got {} events", r.sim_events);
         assert!(r.delivered > 0);
+    }
+
+    #[test]
+    fn sharded_small_batch_completes_and_is_worker_invariant() {
+        let r = run_sharded_flows(2, 2, 4_096, 11, 2);
+        assert_eq!(r.delivered, 2 * 2 * 4_096);
+        assert!(r.windows > 0);
+        assert!(r.xfer_pkts > 0, "no packets crossed shard boundaries");
+        let d1 = sharded_delivered_digest(2, 2, 4_096, 11, 1);
+        let d2 = sharded_delivered_digest(2, 2, 4_096, 11, 2);
+        assert_eq!(d1, d2, "delivered digest differs across worker counts");
+    }
+
+    #[test]
+    fn sharded_churn_small_batch_is_oracle_clean() {
+        let r = run_sharded_churn(2, 2, 4_096, 11, 2);
+        assert_eq!(r.delivered, 2 * 2 * 4_096);
     }
 }

@@ -40,6 +40,7 @@ pub mod handoff;
 pub mod media;
 pub mod metrics;
 pub mod services;
+pub mod topo;
 pub mod topology;
 
 /// One-import surface for driving the standard Comma deployment.
@@ -63,14 +64,16 @@ pub mod prelude {
     pub use crate::media::{MediaSink, MediaSource, RecordSender};
     pub use crate::metrics::{install_sampler, HubMetrics, SamplerSpec};
     pub use crate::services::{apply_service, find_service, standard_services, ServiceDef};
+    pub use crate::topo::{CellSpec, ShardedWorld, TopologyBuilder, TopologyError, COMMA_SHARDS};
     pub use crate::topology::{addrs, CommaBuilder, CommaWorld};
 
     pub use comma_rt::{ensure, ensure_eq, ensure_ne, Bytes, BytesMut, Rng, SeedableRng, SmallRng};
 
     pub use comma_obs::{fields, obs_event, span, FieldValue, Obs};
 
-    pub use comma_netsim::link::{LinkParams, LossModel};
+    pub use comma_netsim::link::{LinkKind, LinkParams, LossModel};
     pub use comma_netsim::node::NodeId;
+    pub use comma_netsim::shard::{ShardPlan, ShardStats, ShardWiring, ShardedSimulator};
     pub use comma_netsim::packet::{Packet, TcpFlags, TcpOption, TcpSegment, UdpDatagram};
     pub use comma_netsim::sched::TimerHandle;
     pub use comma_netsim::sim::Simulator;
@@ -102,6 +105,7 @@ pub use handoff::{transfer_services, HandoffReport};
 pub use media::{MediaSink, MediaSource};
 pub use metrics::{install_sampler, HubMetrics, SamplerSpec};
 pub use services::{apply_service, find_service, standard_services, ServiceDef};
+pub use topo::{CellSpec, ShardedWorld, TopologyBuilder, TopologyError};
 pub use topology::{addrs, CommaBuilder, CommaWorld};
 
 #[cfg(test)]

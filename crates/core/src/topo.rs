@@ -1,0 +1,886 @@
+//! Partition-aware topology builder: declarative wireless *cells* compiled
+//! onto the sharded parallel runner.
+//!
+//! [`TopologyBuilder`] describes a deployment as a set of named
+//! [`CellSpec`]s — each a wireless cell in the thesis's sense: a Service
+//! Proxy at the wired/wireless boundary, a mobile host behind the wireless
+//! link, and a wired correspondent host reached over the wired backbone.
+//! [`TopologyBuilder::build`] validates the description (typed
+//! [`TopologyError`]s, not panics) and compiles it onto a
+//! [`ShardedSimulator`]: one shard per cell (proxy + mobile) plus one
+//! backbone shard holding every wired host, connected by wired-only
+//! boundary links whose latency bounds the runner's conservative
+//! lookahead.
+//!
+//! The same description compiled with [`TopologyBuilder::single_shard`]
+//! produces the whole topology inside one shard. Because every RNG stream
+//! is keyed by `(world seed, entity key)` rather than by insertion order,
+//! the two compilations move byte-identical traffic — the golden-digest
+//! tests pin this.
+
+use comma_eem::MetricsHub;
+use comma_faultcheck::{FaultPlan, Oracle, OracleConfig, OracleReport, Violation};
+use comma_filters::{standard_catalog, Ttsf};
+use comma_netsim::addr::{Ipv4Addr, Subnet};
+use comma_netsim::link::{ChannelId, LinkKind, LinkParams};
+use comma_netsim::node::{IfaceId, NodeId};
+use comma_netsim::shard::{BoundaryId, ShardPlan, ShardStats, ShardWiring, ShardedSimulator};
+use comma_netsim::sim::Simulator;
+use comma_netsim::time::{SimDuration, SimTime};
+use comma_proxy::engine::FilterEngine;
+use comma_proxy::ServiceProxy;
+use comma_tcp::apps::{BulkSender, Sink};
+use comma_tcp::host::{AppId, Host};
+use comma_tcp::TcpConfig;
+
+use crate::metrics::HubMetrics;
+use crate::topology::{TRANSFORMING, TTSF_KINDS};
+
+/// Environment variable selecting the default worker count for
+/// [`TopologyBuilder::build`] when [`TopologyBuilder::workers`] was not
+/// called. Unset, unparsable, or `0` all mean one worker (the serial
+/// runner — results are identical either way).
+pub const COMMA_SHARDS: &str = "COMMA_SHARDS";
+
+/// One wireless cell: a wired correspondent host, the cell's Service
+/// Proxy, and a mobile host, with per-cell link parameters, transfers,
+/// filter registrations, and an optional fault plan.
+#[derive(Clone)]
+pub struct CellSpec {
+    name: String,
+    wireless_down: LinkParams,
+    wireless_up: LinkParams,
+    tcp_cfg: TcpConfig,
+    /// `(mobile port, bytes)` bulk transfers, wired → mobile.
+    transfers: Vec<(u16, u64)>,
+    /// SP console commands run at build time; `{wired}`, `{proxy}` and
+    /// `{mobile}` expand to the cell's addresses.
+    filters: Vec<String>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl CellSpec {
+    /// A cell with default wireless/TCP parameters and no traffic.
+    pub fn new(name: impl Into<String>) -> Self {
+        CellSpec {
+            name: name.into(),
+            wireless_down: LinkParams::wireless(),
+            wireless_up: LinkParams::wireless(),
+            tcp_cfg: TcpConfig::default(),
+            transfers: Vec::new(),
+            filters: Vec::new(),
+            fault_plan: None,
+        }
+    }
+
+    /// Sets both wireless directions.
+    pub fn wireless(mut self, down: LinkParams, up: LinkParams) -> Self {
+        self.wireless_down = down;
+        self.wireless_up = up;
+        self
+    }
+
+    /// Sets the TCP configuration for both of the cell's hosts.
+    pub fn tcp(mut self, cfg: TcpConfig) -> Self {
+        self.tcp_cfg = cfg;
+        self
+    }
+
+    /// Adds a bulk transfer: a [`BulkSender`] on the wired host streaming
+    /// `bytes` to a [`Sink`] on the mobile at `port`.
+    pub fn transfer(mut self, port: u16, bytes: u64) -> Self {
+        self.transfers.push((port, bytes));
+        self
+    }
+
+    /// Queues an SP console command to run against the cell's proxy at
+    /// build time. `{wired}`, `{proxy}` and `{mobile}` expand to the
+    /// cell's addresses.
+    pub fn filter(mut self, cmd: impl Into<String>) -> Self {
+        self.filters.push(cmd.into());
+        self
+    }
+
+    /// Applies a fault plan to the cell's wireless link (both directions).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// Why a topology description failed to compile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The builder has no cells.
+    NoCells,
+    /// Two cells share a name (names key traces and lookups).
+    DuplicateCell(String),
+    /// The backbone link — the only inter-shard edge — must be wired.
+    WirelessBoundary,
+    /// Conservative lookahead must be positive, so the backbone link needs
+    /// a non-zero latency.
+    ZeroLookahead,
+    /// An explicit lookahead exceeds the backbone latency; the runner
+    /// could then deliver cross-shard packets into a window it already
+    /// executed.
+    LookaheadExceedsLatency {
+        /// Requested lookahead (µs).
+        lookahead_us: u64,
+        /// Minimum inter-shard (backbone) link latency (µs).
+        latency_us: u64,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NoCells => write!(f, "topology has no cells"),
+            TopologyError::DuplicateCell(name) => {
+                write!(f, "duplicate cell name {name:?}")
+            }
+            TopologyError::WirelessBoundary => {
+                write!(f, "backbone (inter-shard) links must be wired")
+            }
+            TopologyError::ZeroLookahead => {
+                write!(f, "backbone latency must be positive: it bounds the lookahead")
+            }
+            TopologyError::LookaheadExceedsLatency {
+                lookahead_us,
+                latency_us,
+            } => write!(
+                f,
+                "lookahead {lookahead_us} µs exceeds the minimum boundary \
+                 link latency {latency_us} µs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Declarative builder for multi-cell topologies on the sharded runner.
+pub struct TopologyBuilder {
+    seed: u64,
+    cells: Vec<CellSpec>,
+    backbone: LinkParams,
+    workers: Option<usize>,
+    single: bool,
+    lookahead: Option<SimDuration>,
+    coalesce: bool,
+}
+
+impl TopologyBuilder {
+    /// A builder with default (wired) backbone parameters and no cells.
+    pub fn new(seed: u64) -> Self {
+        TopologyBuilder {
+            seed,
+            cells: Vec::new(),
+            backbone: LinkParams::wired(),
+            workers: None,
+            single: false,
+            lookahead: None,
+            coalesce: false,
+        }
+    }
+
+    /// Adds a cell.
+    pub fn cell(mut self, spec: CellSpec) -> Self {
+        self.cells.push(spec);
+        self
+    }
+
+    /// Sets the backbone link parameters (each cell's wired host ↔ its
+    /// proxy; the only inter-shard edges). Must be wired; its latency is
+    /// the default conservative lookahead.
+    pub fn backbone(mut self, params: LinkParams) -> Self {
+        self.backbone = params;
+        self
+    }
+
+    /// Sets the worker-thread count. Defaults to the `COMMA_SHARDS`
+    /// environment variable, else 1. Results never depend on this.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Alias for [`TopologyBuilder::workers`], matching the `COMMA_SHARDS`
+    /// vocabulary.
+    pub fn shards(self, n: usize) -> Self {
+        self.workers(n)
+    }
+
+    /// Escape hatch: compile the whole topology into one shard (one plain
+    /// `Simulator`), exactly as a non-partitioned build would. Golden
+    /// tests pin that this moves byte-identical traffic to the
+    /// partitioned build.
+    pub fn single_shard(mut self) -> Self {
+        self.single = true;
+        self
+    }
+
+    /// Overrides the conservative lookahead (defaults to the backbone
+    /// latency; may not exceed it).
+    pub fn lookahead(mut self, d: SimDuration) -> Self {
+        self.lookahead = Some(d);
+        self
+    }
+
+    /// Enables same-instant delivery coalescing on every shard.
+    /// Coalescing is shard-local by construction: a cross-shard packet
+    /// re-enters the destination shard's event queue and can only
+    /// coalesce there, so this stays deterministic across worker counts.
+    pub fn coalesce_delivery(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Validates the description and builds the world.
+    pub fn build(self) -> Result<ShardedWorld, TopologyError> {
+        if self.cells.is_empty() {
+            return Err(TopologyError::NoCells);
+        }
+        let mut names: Vec<&str> = self.cells.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(TopologyError::DuplicateCell(w[0].to_string()));
+        }
+        if self.backbone.kind != LinkKind::Wired {
+            return Err(TopologyError::WirelessBoundary);
+        }
+        let latency = self.backbone.latency;
+        if latency == SimDuration::ZERO {
+            return Err(TopologyError::ZeroLookahead);
+        }
+        let lookahead = match self.lookahead {
+            None => latency,
+            Some(d) if d == SimDuration::ZERO => return Err(TopologyError::ZeroLookahead),
+            Some(d) if d > latency => {
+                return Err(TopologyError::LookaheadExceedsLatency {
+                    lookahead_us: d.as_micros(),
+                    latency_us: latency.as_micros(),
+                })
+            }
+            Some(d) => d,
+        };
+        let workers = self.workers.unwrap_or_else(|| {
+            std::env::var(COMMA_SHARDS)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1)
+        });
+
+        let fault_reorders = self
+            .cells
+            .iter()
+            .any(|c| c.fault_plan.as_ref().is_some_and(|p| p.perturbs_delivery_order()));
+
+        let mut plan = ShardPlan::new(self.seed, lookahead);
+        let n_cells = self.cells.len();
+        let cell_names: Vec<String> = self.cells.iter().map(|c| c.name.clone()).collect();
+
+        if self.single {
+            let cells = self.cells;
+            let backbone = self.backbone.clone();
+            let shard = plan.add_shard(move |sim| {
+                let tags: Vec<CellTag> = cells
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| build_cell(sim, i, spec, WiredSide::Local(backbone.clone())))
+                    .collect();
+                ShardWiring::new().with_tag(Box::new(tags))
+            });
+            let mut runner = ShardedSimulator::new(plan, workers);
+            let tags = *runner
+                .take_tag(shard)
+                .downcast::<Vec<CellTag>>()
+                .expect("single-shard tag");
+            let handles = tags
+                .into_iter()
+                .map(|t| CellHandle {
+                    shard,
+                    wired_shard: shard,
+                    tag: t,
+                })
+                .collect();
+            Ok(finish(runner, handles, cell_names, self.coalesce, fault_reorders))
+        } else {
+            // Shard 0: the wired backbone (every cell's wired host).
+            // Shards 1..=n: one per cell. Boundary ids: cell i uses
+            // 2i (backbone → cell) and 2i+1 (cell → backbone).
+            let backbone_specs: Vec<(usize, CellSpec)> =
+                self.cells.iter().cloned().enumerate().collect();
+            let backbone_params = self.backbone.clone();
+            let backbone_shard = plan.add_shard(move |sim| {
+                let mut wiring = ShardWiring::new();
+                let mut tag = BackboneTag::default();
+                for (i, spec) in &backbone_specs {
+                    let (wired, senders, ingress) =
+                        build_wired_host(sim, *i, spec, &backbone_params);
+                    wiring = wiring.ingress(up_boundary(*i), ingress);
+                    tag.wired.push(wired);
+                    tag.senders.push(senders);
+                }
+                wiring.with_tag(Box::new(tag))
+            });
+            debug_assert_eq!(backbone_shard, 0);
+            let mut cell_shards = Vec::with_capacity(n_cells);
+            for (i, spec) in self.cells.into_iter().enumerate() {
+                let backbone = self.backbone.clone();
+                let shard = plan.add_shard(move |sim| {
+                    let tag = build_cell(
+                        sim,
+                        i,
+                        &spec,
+                        WiredSide::Boundary {
+                            egress: up_boundary(i),
+                            params: backbone,
+                        },
+                    );
+                    let ingress = tag.wired_ingress.expect("boundary cell has an ingress");
+                    ShardWiring::new()
+                        .ingress(down_boundary(i), ingress)
+                        .with_tag(Box::new(tag))
+                });
+                cell_shards.push(shard);
+                plan.declare_boundary(backbone_shard, shard);
+                plan.declare_boundary(shard, backbone_shard);
+            }
+            let mut runner = ShardedSimulator::new(plan, workers);
+            let backbone_tag = *runner
+                .take_tag(backbone_shard)
+                .downcast::<BackboneTag>()
+                .expect("backbone tag");
+            let handles: Vec<CellHandle> = cell_shards
+                .iter()
+                .enumerate()
+                .map(|(i, &shard)| {
+                    let mut tag = *runner
+                        .take_tag(shard)
+                        .downcast::<CellTag>()
+                        .expect("cell tag");
+                    tag.wired = backbone_tag.wired[i];
+                    tag.senders = backbone_tag.senders[i].clone();
+                    CellHandle {
+                        shard,
+                        wired_shard: backbone_shard,
+                        tag,
+                    }
+                })
+                .collect();
+            Ok(finish(runner, handles, cell_names, self.coalesce, fault_reorders))
+        }
+    }
+}
+
+fn finish(
+    mut runner: ShardedSimulator,
+    cells: Vec<CellHandle>,
+    names: Vec<String>,
+    coalesce: bool,
+    fault_reorders: bool,
+) -> ShardedWorld {
+    if coalesce {
+        runner.set_coalesce_delivery(true);
+    }
+    ShardedWorld {
+        runner,
+        cells,
+        names,
+        fault_reorders,
+        oracle_attached: false,
+    }
+}
+
+/// Boundary-id helpers: cell `i` receives on `2i`, sends on `2i+1`.
+fn down_boundary(cell: usize) -> BoundaryId {
+    (cell * 2) as BoundaryId
+}
+
+fn up_boundary(cell: usize) -> BoundaryId {
+    (cell * 2 + 1) as BoundaryId
+}
+
+/// Stable entity keys for cell `i`: every RNG stream in the topology is
+/// derived from `(world seed, one of these)`, which is what makes the
+/// single-shard and partitioned builds byte-identical.
+fn cell_keys(cell: usize) -> CellKeys {
+    let base = (cell as u64) * 16;
+    CellKeys {
+        wired_node: base,
+        proxy_node: base + 1,
+        mobile_node: base + 2,
+        wired_link: base + 8,
+        wireless_link: base + 9,
+    }
+}
+
+struct CellKeys {
+    wired_node: u64,
+    proxy_node: u64,
+    mobile_node: u64,
+    wired_link: u64,
+    wireless_link: u64,
+}
+
+/// Per-cell addresses: cell `i` lives in `10.(1 + i/256).(i % 256).0/24`.
+fn cell_addrs(cell: usize) -> (Ipv4Addr, Ipv4Addr, Ipv4Addr) {
+    let b = (1 + (cell >> 8)) as u8;
+    let c = (cell & 0xff) as u8;
+    (
+        Ipv4Addr::new(10, b, c, 1), // wired host
+        Ipv4Addr::new(10, b, c, 2), // proxy
+        Ipv4Addr::new(10, b, c, 3), // mobile
+    )
+}
+
+/// How a cell reaches its wired host: directly (single-shard build) or
+/// over a boundary link to the backbone shard.
+enum WiredSide {
+    Local(LinkParams),
+    Boundary { egress: BoundaryId, params: LinkParams },
+}
+
+struct CellTag {
+    sp: NodeId,
+    mobile: NodeId,
+    sinks: Vec<AppId>,
+    wireless: (ChannelId, ChannelId),
+    /// Ingress channel for packets arriving from the backbone (partitioned
+    /// builds only).
+    wired_ingress: Option<ChannelId>,
+    /// Filled in from the backbone tag after build.
+    wired: NodeId,
+    senders: Vec<AppId>,
+}
+
+#[derive(Default)]
+struct BackboneTag {
+    wired: Vec<NodeId>,
+    senders: Vec<Vec<AppId>>,
+}
+
+/// Builds cell `i`'s wired host into the backbone shard: the host, its
+/// sender apps, and the boundary link toward the cell's proxy.
+fn build_wired_host(
+    sim: &mut Simulator,
+    cell: usize,
+    spec: &CellSpec,
+    backbone: &LinkParams,
+) -> (NodeId, Vec<AppId>, ChannelId) {
+    let keys = cell_keys(cell);
+    let (wired_addr, _, mobile_addr) = cell_addrs(cell);
+    let mut host = Host::new(format!("{}.wired", spec.name), wired_addr);
+    host.set_default_config(spec.tcp_cfg.clone());
+    let senders = spec
+        .transfers
+        .iter()
+        .map(|&(port, bytes)| host.add_app(Box::new(BulkSender::new((mobile_addr, port), bytes as usize))))
+        .collect();
+    let wired = sim.add_node_keyed(Box::new(host), keys.wired_node);
+    // Egress = wired → cell proxy: direction salt 0, like connect_keyed's
+    // a→b stream when `a` is the wired host.
+    let (_, ingress) =
+        sim.connect_boundary(wired, down_boundary(cell), backbone.clone(), backbone.clone(), keys.wired_link, 0);
+    (wired, senders, ingress)
+}
+
+/// Builds one cell — proxy, mobile host, wireless link, filters, faults —
+/// into `sim`, with its wired host either local or across a boundary.
+fn build_cell(sim: &mut Simulator, cell: usize, spec: &CellSpec, wired_side: WiredSide) -> CellTag {
+    let keys = cell_keys(cell);
+    let (wired_addr, proxy_addr, mobile_addr) = cell_addrs(cell);
+
+    // Local builds create the wired host first so iface/NodeId orders
+    // match the dispatch order of the backbone variant.
+    let (local_wired, wired_params) = match &wired_side {
+        WiredSide::Local(params) => {
+            let mut host = Host::new(format!("{}.wired", spec.name), wired_addr);
+            host.set_default_config(spec.tcp_cfg.clone());
+            let senders: Vec<AppId> = spec
+                .transfers
+                .iter()
+                .map(|&(port, bytes)| {
+                    host.add_app(Box::new(BulkSender::new((mobile_addr, port), bytes as usize)))
+                })
+                .collect();
+            let wired = sim.add_node_keyed(Box::new(host), keys.wired_node);
+            (Some((wired, senders)), params.clone())
+        }
+        WiredSide::Boundary { params, .. } => (None, params.clone()),
+    };
+
+    // The proxy: iface 0 toward the wired side, iface 1 wireless.
+    let mut table = comma_netsim::routing::RoutingTable::new();
+    table.add(Subnet::host(wired_addr), IfaceId(0));
+    table.add_default(IfaceId(1));
+    let hub = MetricsHub::shared();
+    let mut sp = ServiceProxy::new(
+        format!("{}.sp", spec.name),
+        vec![proxy_addr],
+        table,
+        FilterEngine::new(standard_catalog(comma_filters::ALL_FILTERS)),
+        sim.seed() ^ keys.proxy_node,
+    );
+    sp.set_metrics(Box::new(HubMetrics::new(hub, "sp")));
+    let sp_id = sim.add_node_keyed(Box::new(sp), keys.proxy_node);
+
+    // Wired side first, so the proxy's iface 0 is the wired-facing one in
+    // both build modes.
+    let wired_ingress = match (&wired_side, &local_wired) {
+        (WiredSide::Local(_), Some((wired, _))) => {
+            sim.connect_keyed(
+                *wired,
+                sp_id,
+                wired_params.clone(),
+                wired_params.clone(),
+                keys.wired_link,
+            );
+            None
+        }
+        (WiredSide::Boundary { egress, .. }, _) => {
+            // Egress = proxy → backbone: direction salt 1 (the b→a stream
+            // of the same keyed link).
+            let (_, ingress) = sim.connect_boundary(
+                sp_id,
+                *egress,
+                wired_params.clone(),
+                wired_params.clone(),
+                keys.wired_link,
+                1,
+            );
+            Some(ingress)
+        }
+        _ => unreachable!("local build always has a wired host"),
+    };
+
+    let mut mobile = Host::new(format!("{}.mobile", spec.name), mobile_addr);
+    mobile.set_default_config(spec.tcp_cfg.clone());
+    let sinks: Vec<AppId> = spec
+        .transfers
+        .iter()
+        .map(|&(port, _)| mobile.add_app(Box::new(Sink::new(port))))
+        .collect();
+    let mobile_id = sim.add_node_keyed(Box::new(mobile), keys.mobile_node);
+
+    let wireless = sim.connect_keyed(
+        sp_id,
+        mobile_id,
+        spec.wireless_down.clone(),
+        spec.wireless_up.clone(),
+        keys.wireless_link,
+    );
+
+    for cmd in &spec.filters {
+        let line = cmd
+            .replace("{wired}", &wired_addr.to_string())
+            .replace("{proxy}", &proxy_addr.to_string())
+            .replace("{mobile}", &mobile_addr.to_string());
+        let now = sim.now();
+        sim.with_node::<ServiceProxy, _>(sp_id, move |sp| sp.exec(now, &line));
+    }
+
+    if let Some(plan) = &spec.fault_plan {
+        plan.apply(sim, &[wireless.0, wireless.1]);
+    }
+
+    let (wired, senders) = match local_wired {
+        Some((wired, senders)) => (wired, senders),
+        // Placeholder; the builder patches in the backbone values.
+        None => (NodeId(usize::MAX), Vec::new()),
+    };
+    CellTag {
+        sp: sp_id,
+        mobile: mobile_id,
+        sinks,
+        wireless,
+        wired_ingress,
+        wired,
+        senders,
+    }
+}
+
+/// One built cell's handles.
+struct CellHandle {
+    shard: usize,
+    wired_shard: usize,
+    tag: CellTag,
+}
+
+/// A multi-cell deployment running on the sharded runner.
+pub struct ShardedWorld {
+    /// The underlying sharded runner (shard gauges live on `runner.obs`).
+    pub runner: ShardedSimulator,
+    cells: Vec<CellHandle>,
+    names: Vec<String>,
+    fault_reorders: bool,
+    oracle_attached: bool,
+}
+
+impl ShardedWorld {
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell's name.
+    pub fn cell_name(&self, cell: usize) -> &str {
+        &self.names[cell]
+    }
+
+    /// Advances every shard to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.runner.run_until(t);
+    }
+
+    /// Global simulated time.
+    pub fn now(&self) -> SimTime {
+        self.runner.now()
+    }
+
+    /// Runner statistics (windows, cross-shard transfers, barrier waits).
+    pub fn stats(&self) -> ShardStats {
+        self.runner.stats()
+    }
+
+    /// Executes an SP console command on a cell's proxy.
+    pub fn sp(&mut self, cell: usize, line: &str) -> String {
+        let h = &self.cells[cell];
+        let (shard, sp) = (h.shard, h.tag.sp);
+        let now = self.runner.now();
+        let line = line.to_string();
+        self.runner.with_shard(shard, move |sim| {
+            sim.with_node::<ServiceProxy, _>(sp, move |p| p.exec(now, &line))
+        })
+    }
+
+    /// Bytes received by one cell's sinks, in transfer order.
+    pub fn delivered_bytes(&mut self, cell: usize) -> Vec<u64> {
+        let h = &self.cells[cell];
+        let (shard, mobile, sinks) = (h.shard, h.tag.mobile, h.tag.sinks.clone());
+        self.runner.with_shard(shard, move |sim| {
+            sim.with_node::<Host, _>(mobile, move |host| {
+                sinks
+                    .iter()
+                    .map(|&s| host.app_mut::<Sink>(s).bytes_received as u64)
+                    .collect()
+            })
+        })
+    }
+
+    /// Total bytes received by every sink in the world.
+    pub fn total_delivered(&mut self) -> u64 {
+        (0..self.cell_count())
+            .map(|c| self.delivered_bytes(c).iter().sum::<u64>())
+            .sum()
+    }
+
+    /// FNV-1a digest over `(cell, sink, bytes received)` for every sink —
+    /// the cheap workload-level determinism check.
+    pub fn delivered_digest(&mut self) -> u64 {
+        let mut digest = comma_rt::digest::Fnv1a::new();
+        for cell in 0..self.cell_count() {
+            for (i, bytes) in self.delivered_bytes(cell).iter().enumerate() {
+                digest.update((cell as u64).to_le_bytes());
+                digest.update((i as u64).to_le_bytes());
+                digest.update(bytes.to_le_bytes());
+            }
+        }
+        digest.finish()
+    }
+
+    /// Enables full packet-trace capture on every shard (`max_entries`
+    /// per shard).
+    pub fn set_trace_capture(&mut self, on: bool, max_entries: usize) {
+        self.runner.set_trace_capture(on, max_entries);
+    }
+
+    /// Canonical merged trace digest (see
+    /// [`ShardedSimulator::merged_trace_digest`]); byte-identical across
+    /// worker counts *and* across single-shard vs partitioned builds.
+    pub fn trace_digest(&mut self) -> u64 {
+        self.runner.merged_trace_digest()
+    }
+
+    /// Enables shard-local delivery coalescing everywhere.
+    pub fn set_coalesce_delivery(&mut self, on: bool) {
+        self.runner.set_coalesce_delivery(on);
+    }
+
+    /// Schedules a wireless up/down change for one cell at `t`
+    /// (disconnection scenarios). `t` must be at or after the current
+    /// time.
+    pub fn set_wireless_up_at(&mut self, cell: usize, t: SimTime, up: bool) {
+        let h = &self.cells[cell];
+        let (shard, (d, u)) = (h.shard, h.tag.wireless);
+        self.runner.with_shard(shard, move |sim| {
+            sim.at(t, move |sim| {
+                sim.channel_mut(d).params.up = up;
+                sim.channel_mut(u).params.up = up;
+            });
+        });
+    }
+
+    /// Typed access to a cell's mobile-host application.
+    pub fn mobile_app<T: 'static, R: Send + 'static>(
+        &mut self,
+        cell: usize,
+        app: AppId,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> R {
+        let h = &self.cells[cell];
+        let (shard, mobile) = (h.shard, h.tag.mobile);
+        self.runner.with_shard(shard, move |sim| {
+            sim.with_node::<Host, _>(mobile, move |host| f(host.app_mut::<T>(app)))
+        })
+    }
+
+    /// The sink app ids of a cell, in transfer order.
+    pub fn sink_ids(&self, cell: usize) -> Vec<AppId> {
+        self.cells[cell].tag.sinks.clone()
+    }
+
+    /// Installs the TCP conformance oracle on every shard, each watching
+    /// the true TCP endpoints it hosts (wired hosts on the backbone
+    /// shard, mobiles on cell shards). Per-endpoint invariants (V1–V5)
+    /// are checked everywhere; the cross-endpoint strict checks (V7/V8)
+    /// additionally require both endpoints in the same shard, so they
+    /// only apply to [`TopologyBuilder::single_shard`] builds with no
+    /// transforming services.
+    pub fn attach_oracle(&mut self) {
+        let reorders = self.fault_reorders;
+        // Group endpoints by shard: single-shard builds put everything in
+        // one oracle (full strict semantics), partitioned builds get one
+        // oracle per shard.
+        let mut by_shard: std::collections::BTreeMap<usize, Vec<(NodeId, Ipv4Addr)>> =
+            std::collections::BTreeMap::new();
+        for (cell, h) in self.cells.iter().enumerate() {
+            let (wired_addr, _, mobile_addr) = cell_addrs(cell);
+            by_shard
+                .entry(h.wired_shard)
+                .or_default()
+                .push((h.tag.wired, wired_addr));
+            by_shard
+                .entry(h.shard)
+                .or_default()
+                .push((h.tag.mobile, mobile_addr));
+        }
+        for (shard, endpoints) in by_shard {
+            let mut cfg = OracleConfig::new(endpoints);
+            cfg.allow_reordered_delivery = reorders;
+            self.runner.with_shard(shard, move |sim| {
+                sim.set_packet_observer(Box::new(Oracle::new(cfg)));
+            });
+        }
+        self.oracle_attached = true;
+    }
+
+    /// Detaches every shard's oracle, finalizes them (strict-mode
+    /// decision, TTSF edit-map sweep over every cell proxy), and merges
+    /// the reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ShardedWorld::attach_oracle`] was not called.
+    pub fn oracle_report(&mut self) -> OracleReport {
+        assert!(
+            self.oracle_attached,
+            "no oracle attached: call attach_oracle() before running"
+        );
+        self.oracle_attached = false;
+
+        // Strict mode needs both endpoints visible to one oracle (only
+        // true in single-shard builds) and no transforming services.
+        let single = self
+            .cells
+            .iter()
+            .all(|h| h.shard == h.wired_shard && h.shard == self.cells[0].shard);
+        let mut transformed = false;
+        let mut editmap_errors: Vec<String> = Vec::new();
+        for (cell, h) in self.cells.iter().enumerate() {
+            let sp = h.tag.sp;
+            let label = format!("{}.sp", self.names[cell]);
+            let (kinds, errs) = self.runner.with_shard(h.shard, move |sim| {
+                sim.with_node::<ServiceProxy, _>(sp, move |p| {
+                    let kinds: Vec<String> = p
+                        .engine
+                        .registrations()
+                        .iter()
+                        .map(|r| r.filter.clone())
+                        .collect();
+                    let mut errs = Vec::new();
+                    for kind in TTSF_KINDS {
+                        errs.extend(
+                            p.engine
+                                .instances_as::<Ttsf>(kind)
+                                .iter()
+                                .filter_map(|t| t.map())
+                                .filter_map(|m| m.check_invariants().err())
+                                .map(|e| format!("{label}: {e}")),
+                        );
+                    }
+                    (kinds, errs)
+                })
+            });
+            transformed |= kinds.iter().any(|k| TRANSFORMING.contains(&k.as_str()));
+            editmap_errors.extend(errs);
+        }
+        let strict = single && !transformed;
+
+        let mut shards: Vec<usize> = self
+            .cells
+            .iter()
+            .flat_map(|h| [h.shard, h.wired_shard])
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let mut merged = OracleReport::default();
+        for shard in shards {
+            let report = self.runner.with_shard(shard, move |sim| {
+                let mut observer = sim
+                    .take_packet_observer()
+                    .expect("oracle attached to every endpoint shard");
+                let oracle = observer
+                    .as_any()
+                    .downcast_mut::<Oracle>()
+                    .expect("packet observer is not the conformance oracle");
+                oracle.set_strict(strict);
+                std::mem::replace(oracle, Oracle::new(OracleConfig::new(Vec::new()))).finish()
+            });
+            merged.violations.extend(report.violations);
+            merged.total_violations += report.total_violations;
+            merged.suppressed_strict += report.suppressed_strict;
+            merged.flows += report.flows;
+            merged.segments_checked += report.segments_checked;
+            merged.truncated_flows += report.truncated_flows;
+        }
+        for err in editmap_errors {
+            merged.total_violations += 1;
+            merged.violations.push(Violation {
+                time: self.runner.now(),
+                kind: "editmap-invariant",
+                flow: "ttsf".to_string(),
+                detail: err,
+            });
+        }
+        merged
+    }
+
+    /// [`ShardedWorld::oracle_report`], asserting the run was clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics with every retained violation if any oracle found one.
+    pub fn assert_oracle_clean(&mut self) {
+        let report = self.oracle_report();
+        assert!(
+            report.is_clean(),
+            "conformance oracle found {} violation(s) over {} flows / {} segments:\n{}",
+            report.total_violations,
+            report.flows,
+            report.segments_checked,
+            report.render()
+        );
+    }
+}

@@ -33,6 +33,22 @@ pub mod addrs {
     pub const MOBILE: Ipv4Addr = Ipv4Addr::new(11, 11, 10, 10);
 }
 
+/// Filter kinds that rewrite payload bytes or sequence spaces, making the
+/// oracle's strict end-to-end identity checks legitimately inapplicable.
+pub(crate) const TRANSFORMING: &[&str] = &[
+    "compress",
+    "decompress",
+    "removal",
+    "translate",
+    "rdrop",
+    "hdiscard",
+];
+
+/// Filter kinds backed by a TTSF whose edit map must stay structurally
+/// sound (swept by the oracle finalizers).
+pub(crate) const TTSF_KINDS: &[&str] =
+    &["ttsf", "compress", "decompress", "removal", "translate"];
+
 /// Builder for the standard topology.
 pub struct CommaBuilder {
     seed: u64,
@@ -109,6 +125,23 @@ impl CommaBuilder {
     pub fn empty_filter_pool(mut self) -> Self {
         self.preload_all = false;
         self
+    }
+
+    /// Hands this deployment's parameters to the partition-aware
+    /// [`crate::topo::TopologyBuilder`] as a single cell named `cell0`,
+    /// selecting the sharded runner with `n` workers. Applications are
+    /// not carried over — declare transfers on the returned builder's
+    /// cell spec ([`crate::topo::CellSpec::transfer`]); EEM, double-proxy,
+    /// and observability likewise stay [`CommaBuilder::build`]-only.
+    pub fn shards(self, n: usize) -> crate::topo::TopologyBuilder {
+        crate::topo::TopologyBuilder::new(self.seed)
+            .backbone(self.wired_params.clone())
+            .cell(
+                crate::topo::CellSpec::new("cell0")
+                    .wireless(self.wireless_down.clone(), self.wireless_up.clone())
+                    .tcp(self.tcp_cfg.clone()),
+            )
+            .workers(n)
     }
 
     /// Builds the world with the given applications installed.
@@ -394,14 +427,6 @@ impl CommaWorld {
         // Services that rewrite payload bytes or sequence spaces disable
         // the strict checks (V7 payload identity, V8 ack provenance); the
         // always-on invariants keep running regardless.
-        const TRANSFORMING: &[&str] = &[
-            "compress",
-            "decompress",
-            "removal",
-            "translate",
-            "rdrop",
-            "hdiscard",
-        ];
         let mut kinds: Vec<String> = self
             .sim
             .with_node::<ServiceProxy, _>(self.proxy, |sp| {
@@ -422,7 +447,6 @@ impl CommaWorld {
         // TTSF edit maps must stay structurally sound on every proxy —
         // sweep every TTSF-backed registration kind, not just the
         // identity "ttsf" service.
-        const TTSF_KINDS: &[&str] = &["ttsf", "compress", "decompress", "removal", "translate"];
         let mut editmap_errors: Vec<String> = Vec::new();
         let mut sweep = |sim: &mut Simulator, node: NodeId, name: &str| {
             let label = name.to_string();

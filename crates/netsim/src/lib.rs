@@ -31,6 +31,7 @@ pub mod node;
 pub mod packet;
 pub mod routing;
 pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -42,13 +43,14 @@ pub mod prelude {
     pub use crate::{
         addr::{Ipv4Addr, Subnet},
         fault::{FaultConfig, FaultStats},
-        link::{ChannelId, LinkParams, LossModel},
+        link::{ChannelId, LinkKind, LinkParams, LossModel},
         node::{IfaceId, Node, NodeCtx, NodeId},
         packet::{
             IcmpMessage, IpPayload, IpProto, Ipv4Header, Packet, TcpFlags, TcpSegment, UdpDatagram,
         },
         routing::{Route, Router, RoutingTable},
         sched::{TimerHandle, TimerWheel, WheelStats},
+        shard::{BoundaryId, ShardPlan, ShardStats, ShardWiring, ShardedSimulator},
         sim::Simulator,
         time::{SimDuration, SimTime},
     };

@@ -88,6 +88,19 @@ pub struct LossState {
     pub bad: bool,
 }
 
+/// The physical class of a link: wired links may cross shard boundaries
+/// in a [`crate::shard::ShardedSimulator`] (their latency funds the
+/// conservative lookahead window); wireless links must stay inside one
+/// shard (one cell = one shard). The marker carries no simulation
+/// semantics of its own — QoS comes from the other [`LinkParams`] fields.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkKind {
+    /// A wired link (backbone / internet path).
+    Wired,
+    /// A wireless link (cell-internal last hop).
+    Wireless,
+}
+
 /// Configurable parameters of a directed channel.
 #[derive(Clone, Debug)]
 pub struct LinkParams {
@@ -102,6 +115,9 @@ pub struct LinkParams {
     /// Whether the channel is up; packets sent on a down channel are dropped
     /// (modeling disconnection).
     pub up: bool,
+    /// Physical class (wired/wireless); partition-aware builders only let
+    /// wired links cross shard boundaries.
+    pub kind: LinkKind,
 }
 
 impl LinkParams {
@@ -113,6 +129,7 @@ impl LinkParams {
             queue_limit_bytes: 64 * 1024,
             loss: LossModel::None,
             up: true,
+            kind: LinkKind::Wired,
         }
     }
 
@@ -125,6 +142,7 @@ impl LinkParams {
             queue_limit_bytes: 32 * 1024,
             loss: LossModel::None,
             up: true,
+            kind: LinkKind::Wireless,
         }
     }
 
@@ -202,6 +220,17 @@ pub struct Channel {
     pub stats: ChannelStats,
     /// Delivered-bytes time series for monitoring (netload, EEM).
     pub series: TimeSeries,
+    /// Private loss-RNG stream, present on channels created through
+    /// [`crate::sim::Simulator::connect_keyed`]: loss draws come from here
+    /// instead of the simulator-wide link RNG, so the stream depends only
+    /// on the (world seed, channel key) pair — not on how many other
+    /// channels share the simulator. This is what makes a partitioned
+    /// topology reproduce the single-shard run bit-exactly.
+    pub loss_rng: Option<SmallRng>,
+    /// When set, this channel is the *egress half* of a cross-shard
+    /// boundary: completed transmissions are exported to the simulator's
+    /// outbox under this boundary id instead of being delivered locally.
+    pub remote: Option<u32>,
 }
 
 impl Channel {
@@ -218,6 +247,8 @@ impl Channel {
             loss_state: LossState::default(),
             stats: ChannelStats::default(),
             series: TimeSeries::new(SimDuration::from_millis(100)),
+            loss_rng: None,
+            remote: None,
         }
     }
 

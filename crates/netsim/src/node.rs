@@ -60,6 +60,27 @@ pub trait Node {
     fn as_any(&mut self) -> &mut dyn Any;
 }
 
+/// Where a context's timer handles come from: the owning simulator's wheel
+/// slab during dispatch, or a private lazily-created slab when the context
+/// is detached (unit tests driving nodes directly). Either way
+/// [`NodeCtx::set_timer_at`] mints real, cancellable [`TimerHandle`]s from
+/// exactly one slab — there is no second, non-cancellable timer path.
+pub(crate) enum SlabSource<'a> {
+    /// Dispatched by a simulator: handles belong to its wheel.
+    Attached(&'a mut CancelSlab),
+    /// Detached context: a private slab, created on first use.
+    Detached(Option<Box<CancelSlab>>),
+}
+
+impl SlabSource<'_> {
+    fn slab(&mut self) -> &mut CancelSlab {
+        match self {
+            SlabSource::Attached(slab) => slab,
+            SlabSource::Detached(slab) => slab.get_or_insert_with(Box::default),
+        }
+    }
+}
+
 /// Context handed to node callbacks: the only way nodes affect the world.
 pub struct NodeCtx<'a> {
     /// Current simulated time.
@@ -75,10 +96,7 @@ pub struct NodeCtx<'a> {
     /// Observability handle, when the simulator carries an enabled one
     /// (`None` in isolated node unit tests).
     pub obs: Option<&'a Obs>,
-    /// Scheduler cancellation slab, when dispatched by a simulator
-    /// (`None` in isolated node unit tests, where timers are
-    /// fire-and-forget and handles come back [`TimerHandle::NONE`]).
-    pub(crate) slab: Option<&'a mut CancelSlab>,
+    pub(crate) slab: SlabSource<'a>,
     pub(crate) outputs: Vec<(IfaceId, Packet)>,
     pub(crate) timers: Vec<(SimTime, u64, TimerHandle)>,
 }
@@ -99,7 +117,7 @@ impl<'a> NodeCtx<'a> {
             rng,
             trace,
             obs: None,
-            slab: None,
+            slab: SlabSource::Detached(None),
             outputs: Vec::new(),
             timers: Vec::new(),
         }
@@ -113,10 +131,12 @@ impl<'a> NodeCtx<'a> {
     }
 
     /// Attaches the scheduler's cancellation slab (builder-style; the
-    /// simulator calls this on every dispatch). Timers set without a slab
-    /// cannot be cancelled and return [`TimerHandle::NONE`].
+    /// simulator calls this on every dispatch), so the handles this
+    /// context mints cancel against the simulator's own wheel. Detached
+    /// contexts fall back to a private slab instead — the API is the same
+    /// either way.
     pub fn with_timer_slab(mut self, slab: &'a mut CancelSlab) -> Self {
-        self.slab = Some(slab);
+        self.slab = SlabSource::Attached(slab);
         self
     }
 
@@ -147,22 +167,17 @@ impl<'a> NodeCtx<'a> {
     /// Schedules [`Node::on_timer`] with `token` at absolute time `at`
     /// (clamped to now); the returned handle cancels the timer.
     pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerHandle {
-        let handle = match &mut self.slab {
-            Some(slab) => slab.alloc(),
-            None => TimerHandle::NONE,
-        };
+        let handle = self.slab.slab().alloc();
         self.timers.push((at.max(self.now), token, handle));
         handle
     }
 
     /// Cancels a timer scheduled earlier (this dispatch or a previous
-    /// one); returns `true` if it had not yet fired. Stale handles and
-    /// [`TimerHandle::NONE`] are inert.
+    /// one); returns `true` if it had not yet fired. Stale handles,
+    /// [`TimerHandle::NONE`], and handles minted by a *different*
+    /// simulator's wheel (another shard) are inert.
     pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
-        match &mut self.slab {
-            Some(slab) => slab.cancel(handle),
-            None => false,
-        }
+        self.slab.slab().cancel(handle)
     }
 
     /// Appends a line to the shared trace, attributed to this node.
@@ -217,10 +232,10 @@ mod tests {
         node.on_packet(&mut ctx, IfaceId(0), pkt);
         let (outputs, timers) = ctx.take_effects();
         assert_eq!(outputs.len(), 1);
-        assert_eq!(
-            timers,
-            vec![(SimTime::from_millis(15), 1, TimerHandle::NONE)]
-        );
+        assert_eq!(timers.len(), 1);
+        let (at, token, handle) = timers[0];
+        assert_eq!((at, token), (SimTime::from_millis(15), 1));
+        assert!(!handle.is_none(), "detached contexts mint real handles too");
     }
 
     #[test]
@@ -230,7 +245,8 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::from_secs(5), NodeId(0), 0, &mut rng, &mut trace);
         ctx.set_timer_at(SimTime::from_secs(1), 9);
         let (_, timers) = ctx.take_effects();
-        assert_eq!(timers, vec![(SimTime::from_secs(5), 9, TimerHandle::NONE)]);
+        assert_eq!(timers.len(), 1);
+        assert_eq!((timers[0].0, timers[0].1), (SimTime::from_secs(5), 9));
     }
 
     #[test]
@@ -244,5 +260,28 @@ mod tests {
         assert!(!h.is_none());
         assert!(ctx.cancel_timer(h));
         assert!(!ctx.cancel_timer(h), "second cancel is inert");
+    }
+
+    #[test]
+    fn detached_ctx_timers_are_cancellable_and_shard_safe() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut trace = Trace::new();
+        let mut ctx = NodeCtx::new(SimTime::ZERO, NodeId(0), 0, &mut rng, &mut trace);
+        let h = ctx.set_timer_after(SimDuration::from_millis(1), 7);
+        assert!(!h.is_none());
+        assert!(ctx.cancel_timer(h));
+        assert!(!ctx.cancel_timer(h), "second cancel is inert");
+
+        // A handle from one context (one slab) is inert against another:
+        // the cross-shard cancellation guarantee, in miniature.
+        let mut rng2 = SmallRng::seed_from_u64(0);
+        let mut trace2 = Trace::new();
+        let mut other = NodeCtx::new(SimTime::ZERO, NodeId(0), 0, &mut rng2, &mut trace2);
+        let h2 = other.set_timer_after(SimDuration::from_millis(1), 8);
+        let mut rng3 = SmallRng::seed_from_u64(0);
+        let mut trace3 = Trace::new();
+        let mut third = NodeCtx::new(SimTime::ZERO, NodeId(0), 0, &mut rng3, &mut trace3);
+        third.set_timer_after(SimDuration::from_millis(1), 9);
+        assert!(!third.cancel_timer(h2), "foreign handle is inert");
     }
 }

@@ -28,12 +28,18 @@
 //! # Cancellation
 //!
 //! [`CancelSlab`] is a generation-checked slab: a [`TimerHandle`] is a
-//! `(slot, generation)` pair, cancel flips one bit, and stale handles
-//! (fired or reused slots) are ignored. Cancelled entries are purged
-//! lazily when the cursor reaches them — they never dispatch.
+//! `(slab id, slot, generation)` triple, cancel flips one bit, and stale
+//! handles (fired or reused slots) are ignored. Cancelled entries are
+//! purged lazily when the cursor reaches them — they never dispatch.
+//!
+//! Every slab carries a process-unique id stamped into the handles it
+//! mints, so a handle is *shard-safe*: cancelling it against a different
+//! simulator's wheel (a different slab) is an inert no-op instead of
+//! silently killing an unrelated timer that happens to share a slot index.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
 
 use crate::time::SimTime;
 
@@ -49,23 +55,40 @@ pub const WHEEL_LEVELS: usize = 6;
 const SPAN_BITS: u32 = WHEEL_BITS * WHEEL_LEVELS as u32;
 const NO_CANCEL: u32 = u32::MAX;
 
-/// Handle to a cancellable scheduled timer.
+/// Process-wide slab id allocator. Id 0 is reserved for
+/// [`TimerHandle::NONE`], so every live handle names the slab that minted
+/// it and is inert against every other slab.
+static SLAB_IDS: AtomicU32 = AtomicU32::new(1);
+
+fn next_slab_id() -> u32 {
+    let id = SLAB_IDS.fetch_add(1, AtomicOrdering::Relaxed);
+    assert!(id != 0, "slab id space exhausted");
+    id
+}
+
+/// Handle to a cancellable scheduled timer — the single timer-handle type
+/// of the simulator: [`crate::sim::Simulator::schedule_timer`] and
+/// [`crate::node::NodeCtx::set_timer_after`] /
+/// [`crate::node::NodeCtx::set_timer_at`] all mint it from the same
+/// per-wheel [`CancelSlab`].
 ///
-/// Obtained from [`crate::node::NodeCtx::set_timer_after`] /
-/// [`crate::node::NodeCtx::set_timer_at`] /
-/// [`crate::sim::Simulator::schedule_timer`]; cancelling a handle whose
-/// timer already fired (or that was already cancelled) is a safe no-op.
+/// Handles are *shard-safe*: each carries the id of the slab that minted
+/// it, so cancelling a handle against another simulator's wheel (e.g. a
+/// different shard of a [`crate::shard::ShardedSimulator`]) is an inert
+/// no-op. Cancelling a handle whose timer already fired (or that was
+/// already cancelled) is likewise a safe no-op.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TimerHandle {
+    slab: u32,
     idx: u32,
     gen: u32,
 }
 
 impl TimerHandle {
     /// The null handle: never refers to a live timer; cancelling it is a
-    /// no-op. Returned by contexts detached from a simulator (unit tests
-    /// driving nodes directly).
+    /// no-op.
     pub const NONE: TimerHandle = TimerHandle {
+        slab: 0,
         idx: NO_CANCEL,
         gen: 0,
     };
@@ -82,37 +105,56 @@ struct SlabSlot {
     alive: bool,
 }
 
-/// Generation-checked slab tracking live cancellable timers.
-#[derive(Default)]
+/// Generation-checked slab tracking live cancellable timers. Each slab has
+/// a process-unique id stamped into every handle it mints; handles from
+/// other slabs are inert against it.
 pub struct CancelSlab {
+    id: u32,
     slots: Vec<SlabSlot>,
     free: Vec<u32>,
     /// Timers cancelled over the slab's lifetime.
     cancelled: u64,
 }
 
+impl Default for CancelSlab {
+    fn default() -> Self {
+        CancelSlab {
+            id: next_slab_id(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            cancelled: 0,
+        }
+    }
+}
+
 impl CancelSlab {
     /// Allocates a slot for a new pending timer and returns its handle.
     pub fn alloc(&mut self) -> TimerHandle {
+        let slab = self.id;
         match self.free.pop() {
             Some(idx) => {
                 let slot = &mut self.slots[idx as usize];
                 slot.alive = true;
-                TimerHandle { idx, gen: slot.gen }
+                TimerHandle {
+                    slab,
+                    idx,
+                    gen: slot.gen,
+                }
             }
             None => {
                 let idx = self.slots.len() as u32;
                 assert!(idx != NO_CANCEL, "timer slab exhausted");
                 self.slots.push(SlabSlot { gen: 0, alive: true });
-                TimerHandle { idx, gen: 0 }
+                TimerHandle { slab, idx, gen: 0 }
             }
         }
     }
 
     /// Cancels the timer behind `handle`. Returns `true` if the timer was
-    /// still pending; stale or null handles return `false`.
+    /// still pending; stale or null handles — and handles minted by a
+    /// *different* slab (another simulator's wheel) — return `false`.
     pub fn cancel(&mut self, handle: TimerHandle) -> bool {
-        if handle.is_none() {
+        if handle.is_none() || handle.slab != self.id {
             return false;
         }
         match self.slots.get_mut(handle.idx as usize) {
@@ -728,6 +770,22 @@ mod tests {
         assert!(!w.cancel(h1), "stale handle is inert after slot reuse");
         assert_eq!(w.pop().map(|(_, v)| v), Some(2));
         let _ = h2;
+    }
+
+    #[test]
+    fn handle_is_inert_against_foreign_wheel() {
+        // Shard safety: a handle minted by one wheel's slab must never
+        // cancel a timer in another wheel, even when slot indices and
+        // generations collide exactly.
+        let mut w1 = TimerWheel::new();
+        let mut w2 = TimerWheel::new();
+        let h1 = w1.schedule_with_handle(SimTime::from_micros(10), 1);
+        let h2 = w2.schedule_with_handle(SimTime::from_micros(10), 2);
+        assert!(!w2.cancel(h1), "foreign handle must be inert");
+        assert!(!w1.cancel(h2), "foreign handle must be inert");
+        assert_eq!(w1.pop().map(|(_, v)| v), Some(1), "timer survived");
+        assert_eq!(w2.pop().map(|(_, v)| v), Some(2), "timer survived");
+        assert!(!w1.cancel(h1) && !w2.cancel(h2), "fired handles stay inert");
     }
 
     #[test]

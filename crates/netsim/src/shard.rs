@@ -1,0 +1,1049 @@
+//! Sharded parallel simulation: conservative time-window synchronization
+//! over per-shard [`Simulator`]s running on `std::thread` workers.
+//!
+//! # Model
+//!
+//! A [`ShardPlan`] splits one topology into shards — in the Comma world,
+//! one shard per wireless cell (mobile host + Service Proxy) plus wired
+//! backbone shards — connected only by *boundary links* declared with
+//! [`Simulator::connect_boundary`]. Every shard is an ordinary,
+//! fully-deterministic `Simulator`; the runner advances them in lockstep
+//! windows and ferries cross-shard packets between them.
+//!
+//! # Conservative lookahead
+//!
+//! Let `L` be the plan's lookahead: the minimum latency of any boundary
+//! link (the builder validates this). Each synchronization round:
+//!
+//! 1. every worker ingests the packets its shards were sent last round,
+//! 2. the global minimum next-event time `T` is computed at a barrier,
+//! 3. every shard executes the window `[T, T+L)` in parallel.
+//!
+//! A packet crossing a boundary inside the window is exported with
+//! arrival time `tc + latency ≥ T + L` (transmission completes at
+//! `tc ≥ T`, latency `≥ L`), i.e. at or after the window's end — so no
+//! shard can receive an event inside a window it is concurrently
+//! executing. Cross-window transfers are merged before delivery in
+//! `(arrival time, source shard, sequence)` order, which is independent
+//! of thread scheduling; the whole run is therefore bit-exact for any
+//! worker count, including `workers = 1` (the serial runner).
+//!
+//! # Determinism across partitionings
+//!
+//! Worker-count invariance comes from the protocol above. *Partitioning*
+//! invariance (the same topology built as one shard or many) additionally
+//! requires that every RNG stream depends only on the world seed and a
+//! stable entity key — use [`Simulator::add_node_keyed`] /
+//! [`Simulator::connect_keyed`], as the partition-aware topology builder
+//! does.
+//!
+//! `Simulator` is intentionally not `Send` (observability handles are
+//! reference-counted), so shards are *built inside* their owning worker
+//! thread from `Send` builder closures and never move; the main thread
+//! talks to them through command channels ([`ShardedSimulator::with_shard`]).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use comma_obs::Obs;
+
+use crate::link::ChannelId;
+use crate::packet::Packet;
+use crate::sim::Simulator;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a directed cross-shard boundary link (one per direction).
+pub type BoundaryId = u32;
+
+/// Sentinel window end meaning "nothing left to do before the target".
+const STOP: u64 = u64::MAX;
+
+/// What a shard-builder closure reports back: where each inbound boundary
+/// terminates inside the shard, plus an arbitrary `Send` tag the caller
+/// can retrieve with [`ShardedSimulator::take_tag`] (topology builders use
+/// it to return node/app ids minted during in-thread construction).
+pub struct ShardWiring {
+    /// `(boundary id, ingress channel)` pairs: packets exported by peers
+    /// under that boundary id are injected on that channel.
+    pub ingress: Vec<(BoundaryId, ChannelId)>,
+    /// Caller data produced during construction.
+    pub tag: Box<dyn Any + Send>,
+}
+
+impl Default for ShardWiring {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardWiring {
+    /// An empty wiring (no inbound boundaries, unit tag).
+    pub fn new() -> Self {
+        ShardWiring {
+            ingress: Vec::new(),
+            tag: Box::new(()),
+        }
+    }
+
+    /// Registers the ingress channel for a boundary (builder-style).
+    pub fn ingress(mut self, boundary: BoundaryId, ch: ChannelId) -> Self {
+        self.ingress.push((boundary, ch));
+        self
+    }
+
+    /// Attaches caller data (builder-style).
+    pub fn with_tag(mut self, tag: Box<dyn Any + Send>) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+/// A closure that builds one shard's contents inside its worker thread.
+pub type ShardBuilder = Box<dyn FnOnce(&mut Simulator) -> ShardWiring + Send + 'static>;
+
+struct BoundaryDecl {
+    src_shard: usize,
+    dst_shard: usize,
+}
+
+/// A partitioned-topology description: per-shard builder closures plus the
+/// declared boundaries between them. Consumed by [`ShardedSimulator::new`].
+pub struct ShardPlan {
+    seed: u64,
+    lookahead: SimDuration,
+    builders: Vec<ShardBuilder>,
+    boundaries: Vec<BoundaryDecl>,
+}
+
+impl ShardPlan {
+    /// Creates a plan. `lookahead` must be positive and no larger than the
+    /// latency of any boundary link the builders create (the runner
+    /// asserts the consequence at run time: no export may arrive before
+    /// the end of the window it was sent in).
+    pub fn new(seed: u64, lookahead: SimDuration) -> Self {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative lookahead must be positive"
+        );
+        ShardPlan {
+            seed,
+            lookahead,
+            builders: Vec::new(),
+            boundaries: Vec::new(),
+        }
+    }
+
+    /// The world seed every shard simulator is constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The conservative lookahead window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Adds a shard, returning its index. The closure runs once, inside
+    /// the worker thread that owns the shard.
+    pub fn add_shard(
+        &mut self,
+        builder: impl FnOnce(&mut Simulator) -> ShardWiring + Send + 'static,
+    ) -> usize {
+        self.builders.push(Box::new(builder));
+        self.builders.len() - 1
+    }
+
+    /// Declares a directed boundary from `src_shard` to `dst_shard`,
+    /// returning its id. The source shard's builder must create the
+    /// egress half ([`Simulator::connect_boundary`]) under this id, and
+    /// the destination shard's builder must register the ingress half in
+    /// its [`ShardWiring`].
+    pub fn declare_boundary(&mut self, src_shard: usize, dst_shard: usize) -> BoundaryId {
+        let id = self.boundaries.len() as BoundaryId;
+        self.boundaries.push(BoundaryDecl {
+            src_shard,
+            dst_shard,
+        });
+        id
+    }
+
+    /// Number of shards added so far.
+    pub fn shard_count(&self) -> usize {
+        self.builders.len()
+    }
+}
+
+/// A cross-shard packet in flight between synchronization rounds.
+struct XferMsg {
+    time: u64,
+    src_shard: u32,
+    seq: u32,
+    boundary: BoundaryId,
+    pkt: Packet,
+}
+
+/// A barrier that can be poisoned: when a worker panics, it poisons the
+/// barrier instead of leaving its peers blocked forever; every subsequent
+/// or pending `wait` panics, unwinding the whole gang deterministically.
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    gen: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(BarrierState {
+                count: 0,
+                gen: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut s = self.state.lock().expect("barrier lock");
+        assert!(!s.poisoned, "shard worker panicked; barrier poisoned");
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.gen = s.gen.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        let gen = s.gen;
+        while s.gen == gen && !s.poisoned {
+            s = self.cv.wait(s).expect("barrier lock");
+        }
+        assert!(!s.poisoned, "shard worker panicked; barrier poisoned");
+    }
+
+    fn poison(&self) {
+        if let Ok(mut s) = self.state.lock() {
+            s.poisoned = true;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// State shared by all workers for window synchronization and transfer.
+struct SyncState {
+    barrier: PoisonBarrier,
+    /// Per-worker minimum next-event time (µs; `u64::MAX` when idle).
+    local_min: Vec<AtomicU64>,
+    /// End (exclusive, µs) of the current window; [`STOP`] to finish.
+    window_end: AtomicU64,
+    /// Per-shard merge queues: packets awaiting ingest. Filled between
+    /// barriers, drained by the owning worker at round start; occupancy is
+    /// naturally bounded by one lookahead window's cross-shard traffic.
+    inboxes: Vec<Mutex<Vec<XferMsg>>>,
+    /// `boundary id → (destination shard, ingress channel index, declared
+    /// source shard)`; set once after all shards report their wiring.
+    route: OnceLock<Vec<(usize, usize, usize)>>,
+}
+
+/// Commands the main thread sends to a worker.
+enum Cmd {
+    Run { target_us: u64 },
+    Exec { shard: usize, f: ExecFn, reply: Sender<Result<Box<dyn Any + Send>, String>> },
+    Shutdown,
+}
+
+type ExecFn = Box<dyn FnOnce(&mut Simulator) -> Box<dyn Any + Send> + Send>;
+
+/// Per-`run_until` report from one worker.
+#[derive(Clone, Copy, Default)]
+struct RunReport {
+    windows: u64,
+    xfer_pkts: u64,
+    xfer_batches: u64,
+    max_batch_depth: u64,
+    events: u64,
+    barrier_wait_ns: u64,
+}
+
+enum WorkerMsg {
+    Built {
+        wirings: Vec<(usize, Vec<(BoundaryId, ChannelId)>, Box<dyn Any + Send>)>,
+    },
+    RunDone {
+        report: RunReport,
+    },
+    Panicked {
+        msg: String,
+    },
+}
+
+struct WorkerHandle {
+    cmd_tx: Sender<Cmd>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Cumulative runner statistics; all fields except `barrier_wait_ns`
+/// depend only on the deterministic event stream (identical for any
+/// worker count).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Packets transferred across shard boundaries.
+    pub xfer_pkts: u64,
+    /// Non-empty per-destination transfer batches pushed.
+    pub xfer_batches: u64,
+    /// Deepest per-shard merge queue observed at ingest.
+    pub max_batch_depth: u64,
+    /// Total events processed across all shards.
+    pub events: u64,
+    /// Wall-clock nanoseconds workers spent waiting at barriers (summed
+    /// over workers; *not* deterministic — exported under a `wall.` key).
+    pub barrier_wait_ns: u64,
+}
+
+/// The sharded parallel runner: per-shard [`Simulator`]s pinned to worker
+/// threads, advanced in conservative lookahead windows.
+///
+/// `workers = 1` is the serial runner — same protocol, one thread — and
+/// produces byte-identical results to any other worker count.
+pub struct ShardedSimulator {
+    workers: Vec<WorkerHandle>,
+    done_rx: Receiver<WorkerMsg>,
+    /// `shard index → worker index` (round-robin).
+    assignment: Vec<usize>,
+    tags: Vec<Option<Box<dyn Any + Send>>>,
+    now: SimTime,
+    lookahead: SimDuration,
+    stats: ShardStats,
+    /// Observability handle for `shard.*` runner gauges (window count,
+    /// transfer depth, lookahead) — disabled by default, like
+    /// [`Simulator::obs`]. Per-shard simulators have their own (disabled)
+    /// handles; reference-counted registries cannot cross threads.
+    pub obs: Obs,
+}
+
+impl ShardedSimulator {
+    /// Spawns `workers` threads (clamped to `1..=shard count`), builds
+    /// every shard inside its owning thread, and wires the boundary
+    /// routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no shards, if a declared boundary is missing
+    /// its ingress registration (or registers it in the wrong shard), or
+    /// if a builder closure panics.
+    pub fn new(plan: ShardPlan, workers: usize) -> Self {
+        let n_shards = plan.builders.len();
+        assert!(n_shards > 0, "shard plan has no shards");
+        let n_workers = workers.clamp(1, n_shards);
+        let assignment: Vec<usize> = (0..n_shards).map(|s| s % n_workers).collect();
+
+        let state = Arc::new(SyncState {
+            barrier: PoisonBarrier::new(n_workers),
+            local_min: (0..n_workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            window_end: AtomicU64::new(STOP),
+            inboxes: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            route: OnceLock::new(),
+        });
+
+        let (done_tx, done_rx) = channel::<WorkerMsg>();
+        let seed = plan.seed;
+        let lookahead_us = plan.lookahead.as_micros();
+
+        // Distribute builders round-robin, preserving shard order within
+        // each worker.
+        let mut per_worker: Vec<Vec<(usize, ShardBuilder)>> =
+            (0..n_workers).map(|_| Vec::new()).collect();
+        for (idx, builder) in plan.builders.into_iter().enumerate() {
+            per_worker[assignment[idx]].push((idx, builder));
+        }
+
+        let mut handles = Vec::with_capacity(n_workers);
+        for (w, builders) in per_worker.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = channel::<Cmd>();
+            let state = Arc::clone(&state);
+            let done_tx = done_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("shard-worker-{w}"))
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        worker_main(w, seed, lookahead_us, builders, &state, &cmd_rx, &done_tx)
+                    }));
+                    if let Err(payload) = result {
+                        state.barrier.poison();
+                        let _ = done_tx.send(WorkerMsg::Panicked {
+                            msg: panic_message(payload),
+                        });
+                    }
+                })
+                .expect("spawn shard worker");
+            handles.push(WorkerHandle {
+                cmd_tx,
+                join: Some(join),
+            });
+        }
+
+        // Collect every shard's wiring and assemble the boundary routes.
+        let mut tags: Vec<Option<Box<dyn Any + Send>>> =
+            (0..n_shards).map(|_| None).collect();
+        let mut ingress: HashMap<BoundaryId, (usize, ChannelId)> = HashMap::new();
+        let mut built = 0usize;
+        while built < n_workers {
+            match done_rx.recv().expect("worker hung up during build") {
+                WorkerMsg::Built { wirings } => {
+                    built += 1;
+                    for (shard, pairs, tag) in wirings {
+                        tags[shard] = Some(tag);
+                        for (b, ch) in pairs {
+                            let prev = ingress.insert(b, (shard, ch));
+                            assert!(
+                                prev.is_none(),
+                                "boundary {b} has two ingress registrations"
+                            );
+                        }
+                    }
+                }
+                WorkerMsg::Panicked { msg } => {
+                    panic!("shard builder panicked: {msg}")
+                }
+                WorkerMsg::RunDone { .. } => unreachable!("no run issued yet"),
+            }
+        }
+        let route: Vec<(usize, usize, usize)> = plan
+            .boundaries
+            .iter()
+            .enumerate()
+            .map(|(b, decl)| {
+                let (shard, ch) = *ingress
+                    .get(&(b as BoundaryId))
+                    .unwrap_or_else(|| panic!("boundary {b} has no ingress registration"));
+                assert_eq!(
+                    shard, decl.dst_shard,
+                    "boundary {b} ingress registered in shard {shard}, declared dst {}",
+                    decl.dst_shard
+                );
+                (shard, ch.0, decl.src_shard)
+            })
+            .collect();
+        state
+            .route
+            .set(route)
+            .unwrap_or_else(|_| unreachable!("route set once"));
+
+        ShardedSimulator {
+            workers: handles,
+            done_rx,
+            assignment,
+            tags,
+            now: SimTime::ZERO,
+            lookahead: plan.lookahead,
+            stats: ShardStats::default(),
+            obs: Obs::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The conservative lookahead window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Global simulated time: every shard has reached exactly this time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cumulative runner statistics.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Total events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.stats.events
+    }
+
+    /// Takes the tag the shard's builder closure returned.
+    pub fn take_tag(&mut self, shard: usize) -> Box<dyn Any + Send> {
+        self.tags[shard].take().expect("tag already taken")
+    }
+
+    /// Advances every shard to `t` using conservative lookahead windows.
+    pub fn run_until(&mut self, t: SimTime) {
+        let target_us = t.as_micros();
+        for w in &self.workers {
+            w.cmd_tx
+                .send(Cmd::Run { target_us })
+                .expect("shard worker is gone");
+        }
+        let mut merged = RunReport::default();
+        let mut failure: Option<String> = None;
+        let mut done = 0usize;
+        while done < self.workers.len() {
+            match self.done_rx.recv() {
+                Ok(WorkerMsg::RunDone { report }) => {
+                    done += 1;
+                    merged.windows = merged.windows.max(report.windows);
+                    merged.xfer_pkts += report.xfer_pkts;
+                    merged.xfer_batches += report.xfer_batches;
+                    merged.max_batch_depth = merged.max_batch_depth.max(report.max_batch_depth);
+                    merged.events += report.events;
+                    merged.barrier_wait_ns += report.barrier_wait_ns;
+                }
+                Ok(WorkerMsg::Panicked { msg }) => {
+                    done += 1;
+                    // Keep the root-cause panic; a "barrier poisoned" echo
+                    // from a peer never shadows it.
+                    let echo = msg.contains("barrier poisoned");
+                    match &failure {
+                        None => failure = Some(msg),
+                        Some(cur) if cur.contains("barrier poisoned") && !echo => {
+                            failure = Some(msg)
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(WorkerMsg::Built { .. }) => unreachable!("build already finished"),
+                Err(_) => break,
+            }
+        }
+        if let Some(msg) = failure {
+            panic!("shard worker panicked: {msg}");
+        }
+        self.now = self.now.max(t);
+        self.stats.windows += merged.windows;
+        self.stats.xfer_pkts += merged.xfer_pkts;
+        self.stats.xfer_batches += merged.xfer_batches;
+        self.stats.max_batch_depth = self.stats.max_batch_depth.max(merged.max_batch_depth);
+        self.stats.events = merged.events;
+        self.stats.barrier_wait_ns += merged.barrier_wait_ns;
+        self.obs_gauges();
+    }
+
+    /// Publishes runner gauges under the `shard` scope. Everything except
+    /// the `wall.`-prefixed barrier timing depends only on the
+    /// deterministic event stream, so seeded obs exports stay
+    /// byte-identical across worker counts.
+    fn obs_gauges(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let s = &self.stats;
+        self.obs.gauge("shard", "shards", self.shard_count() as f64);
+        self.obs.gauge("shard", "workers", self.worker_count() as f64);
+        self.obs
+            .gauge("shard", "lookahead_us", self.lookahead.as_micros() as f64);
+        self.obs.gauge("shard", "windows", s.windows as f64);
+        self.obs.gauge("shard", "xfer_pkts", s.xfer_pkts as f64);
+        self.obs.gauge("shard", "xfer_batches", s.xfer_batches as f64);
+        self.obs
+            .gauge("shard", "max_batch_depth", s.max_batch_depth as f64);
+        self.obs.gauge("shard", "events", s.events as f64);
+        // Wall-clock: quarantined out of deterministic exports by its key.
+        self.obs
+            .gauge("shard", "wall.barrier_ns", s.barrier_wait_ns as f64);
+    }
+
+    /// Runs `f` against one shard's simulator inside its worker thread and
+    /// returns the result. Panics in `f` propagate to the caller.
+    pub fn with_shard<R: Send + 'static>(
+        &mut self,
+        shard: usize,
+        f: impl FnOnce(&mut Simulator) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = channel();
+        let w = self.assignment[shard];
+        self.workers[w]
+            .cmd_tx
+            .send(Cmd::Exec {
+                shard,
+                f: Box::new(move |sim| Box::new(f(sim)) as Box<dyn Any + Send>),
+                reply: tx,
+            })
+            .expect("shard worker is gone");
+        match rx.recv().expect("shard worker is gone") {
+            Ok(result) => *result
+                .downcast::<R>()
+                .expect("shard closure returned the wrong type"),
+            Err(msg) => panic!("shard {shard} closure panicked: {msg}"),
+        }
+    }
+
+    /// Enables (or disables) shard-local delivery coalescing on every
+    /// shard. Coalescing never extends across a boundary: cross-shard
+    /// packets re-enter the destination shard's event queue and only
+    /// coalesce with same-instant deliveries on the same ingress channel
+    /// there, so the result is worker-count-invariant like everything
+    /// else.
+    pub fn set_coalesce_delivery(&mut self, on: bool) {
+        for shard in 0..self.shard_count() {
+            self.with_shard(shard, move |sim| sim.set_coalesce_delivery(on));
+        }
+    }
+
+    /// Enables full packet-trace capture on every shard with the given
+    /// entry cap (per shard).
+    pub fn set_trace_capture(&mut self, on: bool, max_entries: usize) {
+        for shard in 0..self.shard_count() {
+            self.with_shard(shard, move |sim| {
+                sim.trace.set_capture(on);
+                sim.trace.set_max_entries(max_entries);
+            });
+        }
+    }
+
+    /// Collects every shard's captured trace (rendered with node *names*,
+    /// which are partition-invariant) and merges it into one canonical
+    /// sequence ordered by `(time, line)`. Two runs of the same topology —
+    /// any worker count, any partitioning with identical node names — are
+    /// byte-identical here if and only if they moved the same packets at
+    /// the same times.
+    pub fn merged_trace(&mut self) -> Vec<(u64, String)> {
+        let mut all: Vec<(u64, String)> = Vec::new();
+        for shard in 0..self.shard_count() {
+            all.extend(self.with_shard(shard, |sim| sim.render_trace_named()));
+        }
+        all.sort();
+        all
+    }
+
+    /// FNV-1a digest of [`ShardedSimulator::merged_trace`].
+    pub fn merged_trace_digest(&mut self) -> u64 {
+        let mut digest = comma_rt::digest::Fnv1a::new();
+        for (t, line) in self.merged_trace() {
+            digest.update(t.to_string().as_bytes());
+            digest.update(b" ");
+            digest.update(line.as_bytes());
+            digest.update(b"\n");
+        }
+        digest.finish()
+    }
+}
+
+impl Drop for ShardedSimulator {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.cmd_tx.send(Cmd::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                // A worker that panicked already reported it; don't
+                // double-panic during unwinding.
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Body of one worker thread: builds its shards, then serves commands.
+fn worker_main(
+    worker: usize,
+    seed: u64,
+    lookahead_us: u64,
+    builders: Vec<(usize, ShardBuilder)>,
+    state: &SyncState,
+    cmd_rx: &Receiver<Cmd>,
+    done_tx: &Sender<WorkerMsg>,
+) {
+    let mut owned: Vec<(usize, Simulator)> = Vec::with_capacity(builders.len());
+    let mut wirings = Vec::with_capacity(builders.len());
+    for (shard, builder) in builders {
+        let mut sim = Simulator::new(seed);
+        let wiring = builder(&mut sim);
+        wirings.push((shard, wiring.ingress, wiring.tag));
+        owned.push((shard, sim));
+    }
+    done_tx
+        .send(WorkerMsg::Built { wirings })
+        .expect("main thread is gone");
+
+    // Per-owned-shard export sequence numbers (monotonic for the run's
+    // lifetime; merged ingest sorts on (time, src shard, seq)).
+    let mut seqs: Vec<u32> = vec![0; owned.len()];
+    let mut scratch: Vec<(BoundaryId, SimTime, Packet)> = Vec::new();
+    let mut export: Vec<(usize, XferMsg)> = Vec::new();
+
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            Cmd::Shutdown => break,
+            Cmd::Exec { shard, f, reply } => {
+                let sim = owned
+                    .iter_mut()
+                    .find(|(i, _)| *i == shard)
+                    .map(|(_, s)| s)
+                    .expect("exec routed to the wrong worker");
+                let result = catch_unwind(AssertUnwindSafe(|| f(sim)));
+                let _ = reply.send(result.map_err(panic_message));
+            }
+            Cmd::Run { target_us } => {
+                let report = run_rounds(
+                    worker,
+                    target_us,
+                    lookahead_us,
+                    state,
+                    &mut owned,
+                    &mut seqs,
+                    &mut scratch,
+                    &mut export,
+                );
+                done_tx
+                    .send(WorkerMsg::RunDone { report })
+                    .expect("main thread is gone");
+            }
+        }
+    }
+}
+
+/// One `run_until` on one worker: conservative lookahead rounds until the
+/// global minimum next-event time passes `target_us`.
+#[allow(clippy::too_many_arguments)]
+fn run_rounds(
+    worker: usize,
+    target_us: u64,
+    lookahead_us: u64,
+    state: &SyncState,
+    owned: &mut [(usize, Simulator)],
+    seqs: &mut [u32],
+    scratch: &mut Vec<(BoundaryId, SimTime, Packet)>,
+    export: &mut Vec<(usize, XferMsg)>,
+) -> RunReport {
+    let route = state.route.get().expect("routes wired before first run");
+    let mut report = RunReport::default();
+    let mut waited = std::time::Duration::ZERO;
+    for (_, sim) in owned.iter_mut() {
+        sim.start();
+    }
+    loop {
+        // Phase 1: ingest last round's transfers, oldest first, in the
+        // deterministic (time, src shard, seq) merge order.
+        for (shard, sim) in owned.iter_mut() {
+            let mut msgs = {
+                let mut inbox = state.inboxes[*shard].lock().expect("inbox lock");
+                std::mem::take(&mut *inbox)
+            };
+            if msgs.is_empty() {
+                continue;
+            }
+            report.max_batch_depth = report.max_batch_depth.max(msgs.len() as u64);
+            msgs.sort_by_key(|m| (m.time, m.src_shard, m.seq));
+            for m in msgs {
+                let (_, ch, _) = route[m.boundary as usize];
+                sim.inject_boundary(ChannelId(ch), SimTime::from_micros(m.time), m.pkt);
+            }
+        }
+
+        // Phase 2: global minimum next-event time across all shards.
+        let local_min = owned
+            .iter_mut()
+            .filter_map(|(_, sim)| sim.next_event_time())
+            .map(|t| t.as_micros())
+            .min()
+            .unwrap_or(u64::MAX);
+        state.local_min[worker].store(local_min, Ordering::SeqCst);
+        let t0 = Instant::now();
+        state.barrier.wait();
+        waited += t0.elapsed();
+        if worker == 0 {
+            let global_min = state
+                .local_min
+                .iter()
+                .map(|m| m.load(Ordering::SeqCst))
+                .min()
+                .expect("at least one worker");
+            let end = if global_min == u64::MAX || global_min > target_us {
+                STOP
+            } else {
+                global_min
+                    .saturating_add(lookahead_us)
+                    .min(target_us.saturating_add(1))
+            };
+            state.window_end.store(end, Ordering::SeqCst);
+        }
+        let t0 = Instant::now();
+        state.barrier.wait();
+        waited += t0.elapsed();
+
+        let end = state.window_end.load(Ordering::SeqCst);
+        if end == STOP {
+            // Nothing due at or before the target anywhere: advance every
+            // shard's clock to the target and finish. No events run, so
+            // no exports can appear here.
+            for (_, sim) in owned.iter_mut() {
+                sim.run_until(SimTime::from_micros(target_us));
+            }
+            break;
+        }
+        report.windows += 1;
+
+        // Phase 3: execute the window [global_min, end) in parallel and
+        // export boundary crossings for next round's ingest.
+        for (pos, (shard, sim)) in owned.iter_mut().enumerate() {
+            sim.run_until(SimTime::from_micros(end - 1));
+            sim.drain_outbox(scratch);
+            for (boundary, at, pkt) in scratch.drain(..) {
+                let at_us = at.as_micros();
+                assert!(
+                    at_us >= end,
+                    "lookahead violation: shard {shard} exported a packet on \
+                     boundary {boundary} arriving at {at_us} µs, inside the \
+                     current window (end {end} µs); boundary-link latency \
+                     must be at least the declared lookahead ({lookahead_us} µs)"
+                );
+                let seq = seqs[pos];
+                seqs[pos] = seq.wrapping_add(1);
+                let (dst, _, declared_src) = route[boundary as usize];
+                debug_assert_eq!(
+                    declared_src, *shard,
+                    "boundary {boundary} egress created in shard {shard}, declared src {declared_src}"
+                );
+                export.push((
+                    dst,
+                    XferMsg {
+                        time: at_us,
+                        src_shard: *shard as u32,
+                        seq,
+                        boundary,
+                        pkt,
+                    },
+                ));
+            }
+        }
+        if !export.is_empty() {
+            report.xfer_pkts += export.len() as u64;
+            // Group per destination so each inbox is locked once.
+            export.sort_by_key(|(dst, m)| (*dst, m.src_shard, m.seq));
+            while !export.is_empty() {
+                let dst = export[0].0;
+                let run = export
+                    .iter()
+                    .position(|(d, _)| *d != dst)
+                    .unwrap_or(export.len());
+                let mut inbox = state.inboxes[dst].lock().expect("inbox lock");
+                inbox.extend(export.drain(..run).map(|(_, m)| m));
+                report.xfer_batches += 1;
+            }
+        }
+
+        // Phase 4: everyone finished the window (and its exports) before
+        // anyone ingests the next round.
+        let t0 = Instant::now();
+        state.barrier.wait();
+        waited += t0.elapsed();
+    }
+    report.events = owned.iter().map(|(_, sim)| sim.events_processed()).sum();
+    report.barrier_wait_ns = waited.as_nanos() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::link::LinkParams;
+    use crate::node::{IfaceId, Node, NodeCtx, NodeId};
+    use crate::packet::{IcmpMessage, IpPayload, Packet};
+    use comma_rt::Bytes;
+    use std::any::Any;
+
+    /// Test node: sends a ping on iface 0 every `period`, counts pings it
+    /// receives, and echoes nothing (one-way traffic keeps the arithmetic
+    /// simple).
+    struct Pinger {
+        name: String,
+        addr: Ipv4Addr,
+        period: SimDuration,
+        sent: u64,
+        received: u64,
+    }
+
+    impl Pinger {
+        fn new(name: &str, last_octet: u8, period_ms: u64) -> Self {
+            Pinger {
+                name: name.to_string(),
+                addr: Ipv4Addr::new(10, 0, 0, last_octet),
+                period: SimDuration::from_millis(period_ms),
+                sent: 0,
+                received: 0,
+            }
+        }
+    }
+
+    impl Node for Pinger {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn addresses(&self) -> Vec<Ipv4Addr> {
+            vec![self.addr]
+        }
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer_after(self.period, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+            if let IpPayload::Icmp(IcmpMessage::EchoRequest { .. }) = pkt.body {
+                self.received += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            let pkt = Packet::icmp(
+                self.addr,
+                self.addr,
+                IcmpMessage::EchoRequest {
+                    id: 0,
+                    seq: (self.sent & 0xffff) as u16,
+                    payload: Bytes::from_static(&[0u8; 32]),
+                },
+            );
+            ctx.send(IfaceId(0), pkt);
+            self.sent += 1;
+            ctx.set_timer_after(self.period, 0);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Two shards, one node each, linked by a 10 ms wired boundary in both
+    /// directions; traffic flows both ways across it.
+    fn two_shard_plan(seed: u64) -> ShardPlan {
+        let mut plan = ShardPlan::new(seed, SimDuration::from_millis(10));
+        let wired = || LinkParams::wired().with_latency(SimDuration::from_millis(10));
+        let s0 = plan.add_shard(move |sim| {
+            let a = sim.add_node_keyed(Box::new(Pinger::new("alpha", 1, 7)), 100);
+            // Boundary ids are allocated in declaration order below:
+            // 0 = s0→s1, 1 = s1→s0.
+            let (_, ing) = sim.connect_boundary(a, 0, wired(), wired(), 500, 0);
+            ShardWiring::new().ingress(1, ing)
+        });
+        let s1 = plan.add_shard(move |sim| {
+            let b = sim.add_node_keyed(Box::new(Pinger::new("beta", 2, 11)), 101);
+            let (_, ing) = sim.connect_boundary(b, 1, wired(), wired(), 500, 1);
+            ShardWiring::new().ingress(0, ing)
+        });
+        let b01 = plan.declare_boundary(s0, s1);
+        let b10 = plan.declare_boundary(s1, s0);
+        assert_eq!((b01, b10), (0, 1));
+        plan
+    }
+
+    fn run_counts(workers: usize) -> (u64, u64, u64) {
+        let mut sharded = ShardedSimulator::new(two_shard_plan(9), workers);
+        sharded.run_until(SimTime::from_secs(2));
+        let (a_sent, a_recv) =
+            sharded.with_shard(0, |sim| sim.with_node::<Pinger, _>(NodeId(0), |p| (p.sent, p.received)));
+        let (_b_sent, b_recv) =
+            sharded.with_shard(1, |sim| sim.with_node::<Pinger, _>(NodeId(0), |p| (p.sent, p.received)));
+        assert_eq!(sharded.now(), SimTime::from_secs(2));
+        assert!(a_sent > 0 && b_recv > 0 && a_recv > 0, "traffic crossed both ways");
+        (a_sent, a_recv, b_recv)
+    }
+
+    #[test]
+    fn cross_boundary_traffic_flows_and_is_worker_invariant() {
+        let serial = run_counts(1);
+        let parallel = run_counts(2);
+        assert_eq!(serial, parallel, "results must not depend on worker count");
+        // alpha pings every 7 ms for 2 s; all but the last in-flight few
+        // arrive (10 ms one-way).
+        assert!(serial.2 >= serial.0 - 3, "{serial:?}");
+    }
+
+    #[test]
+    fn merged_trace_digest_is_worker_invariant() {
+        let digest = |workers: usize| {
+            let mut s = ShardedSimulator::new(two_shard_plan(23), workers);
+            s.set_trace_capture(true, 1 << 20);
+            s.run_until(SimTime::from_millis(500));
+            s.merged_trace_digest()
+        };
+        let d1 = digest(1);
+        let d2 = digest(2);
+        assert_eq!(d1, d2);
+        assert_ne!(d1, 0);
+    }
+
+    #[test]
+    fn stats_are_deterministic_and_windows_advance() {
+        let stats = |workers: usize| {
+            let mut s = ShardedSimulator::new(two_shard_plan(5), workers);
+            s.run_until(SimTime::from_millis(200));
+            let st = s.stats();
+            (st.windows, st.xfer_pkts, st.max_batch_depth, st.events)
+        };
+        assert_eq!(stats(1), stats(2));
+        let (windows, xfer, _, events) = stats(2);
+        assert!(windows > 0 && xfer > 0 && events > 0);
+    }
+
+    #[test]
+    fn run_until_is_resumable_in_segments() {
+        let mut whole = ShardedSimulator::new(two_shard_plan(7), 2);
+        whole.run_until(SimTime::from_secs(1));
+        let mut segmented = ShardedSimulator::new(two_shard_plan(7), 2);
+        for ms in [50u64, 400, 730, 1000] {
+            segmented.run_until(SimTime::from_millis(ms));
+        }
+        let counts = |s: &mut ShardedSimulator| {
+            let a = s.with_shard(0, |sim| sim.with_node::<Pinger, _>(NodeId(0), |p| (p.sent, p.received)));
+            let b = s.with_shard(1, |sim| sim.with_node::<Pinger, _>(NodeId(0), |p| (p.sent, p.received)));
+            (a, b)
+        };
+        assert_eq!(counts(&mut whole), counts(&mut segmented));
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_message() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut plan = ShardPlan::new(1, SimDuration::from_millis(1));
+            plan.add_shard(|sim| {
+                sim.at(SimTime::from_millis(5), |_| panic!("boom in shard"));
+                ShardWiring::new()
+            });
+            plan.add_shard(|_| ShardWiring::new());
+            let mut s = ShardedSimulator::new(plan, 2);
+            s.run_until(SimTime::from_secs(1));
+        }));
+        let msg = panic_message(result.expect_err("must propagate"));
+        assert!(msg.contains("boom in shard"), "got: {msg}");
+    }
+
+    #[test]
+    fn with_shard_returns_typed_results() {
+        let mut s = ShardedSimulator::new(two_shard_plan(3), 1);
+        let names: Vec<String> = s.with_shard(0, |sim| {
+            (0..sim.node_count()).map(|i| sim.node_name(NodeId(i)).to_string()).collect()
+        });
+        assert_eq!(names, vec!["alpha".to_string()]);
+    }
+}

@@ -22,7 +22,23 @@ use crate::node::{IfaceId, Node, NodeCtx, NodeId};
 use crate::packet::Packet;
 use crate::sched::{TimerHandle, TimerWheel, WheelStats};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{DropReason, Trace};
+use crate::trace::{DropReason, Trace, TraceEvent};
+
+/// Mixes a (world seed, stable key, salt) triple into an RNG stream seed.
+///
+/// Keyed nodes and channels draw from streams derived by this function, so
+/// a stream depends only on the world seed and the caller-chosen key —
+/// never on insertion order or on how many other entities share the
+/// simulator. That is the property that lets a partitioned topology
+/// ([`crate::shard`]) reproduce the single-shard run bit-exactly.
+fn stream_seed(seed: u64, key: u64, salt: u64) -> u64 {
+    let mut z = seed
+        ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ salt.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A control action scheduled to run against the simulator itself (link
 /// parameter changes, host movement, application starts).
@@ -107,6 +123,10 @@ pub struct Simulator {
     coalesce_delivery: bool,
     /// Reusable delivery-batch buffer (allocation-free steady state).
     delivery_buf: Vec<Packet>,
+    /// Packets that completed transmission on a boundary-egress channel
+    /// this window, awaiting export to their destination shard:
+    /// `(boundary id, arrival time, packet)` in event order.
+    outbox: Vec<(u32, SimTime, Packet)>,
 }
 
 impl Simulator {
@@ -130,7 +150,13 @@ impl Simulator {
             observer: None,
             coalesce_delivery: false,
             delivery_buf: Vec::new(),
+            outbox: Vec::new(),
         }
+    }
+
+    /// The seed this simulator was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Enables (or disables) delivery coalescing: consecutive `Deliver`
@@ -186,18 +212,27 @@ impl Simulator {
         self.now
     }
 
-    /// Adds a node, returning its id.
+    /// Adds a node, returning its id. The node's RNG stream derives from
+    /// its insertion index; use [`Simulator::add_node_keyed`] when the
+    /// stream must be stable across different partitionings.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let key = self.nodes.len() as u64;
+        self.add_node_keyed(node, key)
+    }
+
+    /// Adds a node whose RNG stream derives from `(world seed, key)`
+    /// instead of the insertion index, so the stream is identical no
+    /// matter which shard — or how crowded a shard — the node lands in.
+    /// Passing the insertion index as the key reproduces
+    /// [`Simulator::add_node`] exactly.
+    pub fn add_node_keyed(&mut self, node: Box<dyn Node>, key: u64) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.node_meta.push(NodeMeta {
             ifaces: Vec::new(),
             name: node.name().to_string(),
         });
         self.node_rngs.push(SmallRng::seed_from_u64(
-            self.seed
-                ^ (id.0 as u64)
-                    .wrapping_mul(0xa076_1d64_78bd_642f)
-                    .wrapping_add(1),
+            self.seed ^ key.wrapping_mul(0xa076_1d64_78bd_642f).wrapping_add(1),
         ));
         self.nodes.push(Some(node));
         id
@@ -205,7 +240,8 @@ impl Simulator {
 
     /// Connects two nodes with a full-duplex link, returning the two
     /// directed channels `(a→b, b→a)`. New interfaces are appended to each
-    /// node's interface list.
+    /// node's interface list. Loss draws come from the simulator-wide link
+    /// RNG; use [`Simulator::connect_keyed`] for partition-stable streams.
     pub fn connect(
         &mut self,
         a: NodeId,
@@ -224,6 +260,93 @@ impl Simulator {
         self.node_meta[a.0].ifaces.push(ch_ab);
         self.node_meta[b.0].ifaces.push(ch_ba);
         (ch_ab, ch_ba)
+    }
+
+    /// [`Simulator::connect`] with per-channel loss-RNG streams derived
+    /// from `(world seed, key, direction)`: the a→b channel draws from
+    /// salt 0, b→a from salt 1. Two simulators built with the same world
+    /// seed give a channel with the same key an identical loss stream,
+    /// regardless of what else they contain — the keyed twin of
+    /// [`Simulator::add_node_keyed`].
+    pub fn connect_keyed(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ab: LinkParams,
+        ba: LinkParams,
+        key: u64,
+    ) -> (ChannelId, ChannelId) {
+        let (ch_ab, ch_ba) = self.connect(a, b, ab, ba);
+        self.channels[ch_ab.0].loss_rng = Some(SmallRng::seed_from_u64(stream_seed(
+            self.seed, key, 0,
+        )));
+        self.channels[ch_ba.0].loss_rng = Some(SmallRng::seed_from_u64(stream_seed(
+            self.seed, key, 1,
+        )));
+        (ch_ab, ch_ba)
+    }
+
+    /// Attaches one end of a cross-shard link to `local`, returning
+    /// `(egress, ingress)` channel ids that together form this side's half
+    /// of the link; the peer shard calls this with the same `key` and the
+    /// opposite `egress_salt` for the other half.
+    ///
+    /// The egress channel carries the full link semantics for the outgoing
+    /// direction — serialization, queueing, loss (from the keyed stream
+    /// `(seed, key, egress_salt)`, matching [`Simulator::connect_keyed`]'s
+    /// direction salts), and any installed faults — but completed
+    /// transmissions are exported to the simulator's outbox under
+    /// `boundary` instead of being delivered locally. The ingress channel
+    /// is the delivery endpoint for packets arriving from the peer shard
+    /// via [`Simulator::inject_boundary`]; its parameters only matter for
+    /// the `up` flag and stats (QoS was already applied at the remote
+    /// egress). Both map to a single new interface on `local`.
+    pub fn connect_boundary(
+        &mut self,
+        local: NodeId,
+        boundary: u32,
+        egress: LinkParams,
+        ingress: LinkParams,
+        key: u64,
+        egress_salt: u64,
+    ) -> (ChannelId, ChannelId) {
+        let iface = IfaceId(self.node_meta[local.0].ifaces.len());
+        let eg = ChannelId(self.channels.len());
+        let mut eg_ch = Channel::new(local, local, iface, egress);
+        eg_ch.loss_rng = Some(SmallRng::seed_from_u64(stream_seed(
+            self.seed,
+            key,
+            egress_salt,
+        )));
+        eg_ch.remote = Some(boundary);
+        self.channels.push(eg_ch);
+        self.ch_scopes.push(format!("ch{}", eg.0));
+        let ing = ChannelId(self.channels.len());
+        self.channels.push(Channel::new(local, local, iface, ingress));
+        self.ch_scopes.push(format!("ch{}", ing.0));
+        self.node_meta[local.0].ifaces.push(eg);
+        (eg, ing)
+    }
+
+    /// Schedules a packet that arrived from a peer shard for delivery on
+    /// an ingress channel (created by [`Simulator::connect_boundary`]) at
+    /// absolute time `at` (clamped to now). Delivery then follows the
+    /// normal channel path: `up` check, stats, trace, observer, dispatch.
+    pub fn inject_boundary(&mut self, ingress: ChannelId, at: SimTime, pkt: Packet) {
+        let at = at.max(self.now);
+        self.push(
+            at,
+            Event::Deliver {
+                channel: ingress,
+                pkt,
+            },
+        );
+    }
+
+    /// Moves every pending outbox export `(boundary id, arrival time,
+    /// packet)` into `into`, preserving event order.
+    pub fn drain_outbox(&mut self, into: &mut Vec<(u32, SimTime, Packet)>) {
+        into.append(&mut self.outbox);
     }
 
     /// Returns the node's display name.
@@ -345,6 +468,20 @@ impl Simulator {
         }
     }
 
+    /// Runs every node's `on_start` hook now (idempotent). The sharded
+    /// runner calls this before its first synchronization round so
+    /// [`Simulator::next_event_time`] sees the events start-up generates.
+    pub fn start(&mut self) {
+        self.ensure_started();
+    }
+
+    /// Time of the earliest pending event, or `None` when the queue is
+    /// empty. Start the simulator first ([`Simulator::start`] or any run
+    /// method); before start-up the queue may be trivially empty.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.sched.next_time()
+    }
+
     /// Runs until the event queue is empty or `horizon` is reached, leaving
     /// `now` at the horizon (or at the last event if the queue drained).
     pub fn run_until(&mut self, horizon: SimTime) {
@@ -403,6 +540,36 @@ impl Simulator {
         self.events_processed
     }
 
+    /// Renders every captured trace entry as `(time µs, line)` with nodes
+    /// identified by *name* instead of shard-local id. Node ids are only
+    /// meaningful within one simulator, so cross-shard trace merges (and
+    /// the sharded-vs-single-shard golden digests) compare these lines:
+    /// with unique node names the rendering is partition-invariant.
+    pub fn render_trace_named(&self) -> Vec<(u64, String)> {
+        self.trace
+            .entries()
+            .iter()
+            .map(|e| {
+                let name = |id: &NodeId| self.node_meta[id.0].name.as_str();
+                let line = match &e.event {
+                    TraceEvent::Tx { node, summary } => {
+                        format!("{} TX {}", name(node), summary)
+                    }
+                    TraceEvent::Rx { node, summary } => {
+                        format!("{} RX {}", name(node), summary)
+                    }
+                    TraceEvent::Drop {
+                        node,
+                        reason,
+                        summary,
+                    } => format!("{} DROP({}) {}", name(node), reason, summary),
+                    TraceEvent::Log { node, msg } => format!("{} {}", name(node), msg),
+                };
+                (e.time.as_micros(), line)
+            })
+            .collect()
+    }
+
     fn handle(&mut self, event: Event) {
         self.events_processed += 1;
         match event {
@@ -437,15 +604,12 @@ impl Simulator {
         for (iface, pkt) in outputs {
             self.transmit(node, iface, pkt);
         }
+        // One timer path: every context timer carries a live handle minted
+        // from this wheel's slab (the context was attached to it above).
         for (at, token, handle) in timers {
             let at = at.max(self.now);
-            let event = Event::Timer { node, token };
-            if handle.is_none() {
-                // Context built without a slab (detached unit tests).
-                self.sched.schedule(at, event);
-            } else {
-                self.sched.schedule_cancellable(at, handle, event);
-            }
+            self.sched
+                .schedule_cancellable(at, handle, Event::Timer { node, token });
         }
     }
 
@@ -539,11 +703,15 @@ impl Simulator {
             let ch = &mut self.channels[ch_id.0];
             ch.busy = false;
             let down = !ch.params.up;
-            let lost = !down
-                && ch
-                    .params
-                    .loss
-                    .sample(&mut ch.loss_state, len, &mut self.link_rng);
+            let lost = !down && {
+                // Keyed channels draw from their private stream so the
+                // outcome is independent of the rest of the simulator.
+                let rng = match ch.loss_rng.as_mut() {
+                    Some(rng) => rng,
+                    None => &mut self.link_rng,
+                };
+                ch.params.loss.sample(&mut ch.loss_state, len, rng)
+            };
             (lost, down, ch.params.latency, ch.src_node)
         };
         if down {
@@ -586,6 +754,15 @@ impl Simulator {
                 self.trace
                     .drop_pkt(self.now, src_node, DropReason::Corrupt, || summary);
                 self.obs_link_drop(ch_id, "link.drop.corrupt", "corrupt", len);
+            } else if let Some(boundary) = self.channels[ch_id.0].remote {
+                // Boundary egress: the packet survived this side's link
+                // semantics (loss, faults); export it to the peer shard
+                // instead of delivering locally. The runner forwards it to
+                // the matching ingress channel at the same arrival time.
+                if duplicate {
+                    self.outbox.push((boundary, at, pkt.clone()));
+                }
+                self.outbox.push((boundary, at, pkt));
             } else {
                 if duplicate {
                     self.push(

@@ -38,4 +38,27 @@ fn main() {
         time.map(|t| t.to_string()).unwrap_or_default()
     );
     assert_eq!(received, 500_000);
+
+    // The same deployment through the partition-aware builder: a cell
+    // declares the wired host, the proxy, and the mobile host as one unit,
+    // services attach declaratively, and the identical topology can later
+    // scale across worker threads (see `examples/sharded_cells.rs`). The
+    // `single_shard()` escape hatch keeps everything in one simulator.
+    let mut world = TopologyBuilder::new(42)
+        .cell(
+            CellSpec::new("quickstart")
+                .transfer(9000, 500_000)
+                .filter("add tcp 0.0.0.0 0 {mobile} 0")
+                .filter("add snoop 0.0.0.0 0 {mobile} 0"),
+        )
+        .single_shard()
+        .build()
+        .expect("valid topology");
+    world.run_until(SimTime::from_secs(30));
+    let delivered = world.total_delivered();
+    println!(
+        "cell '{}' delivered {delivered} bytes via TopologyBuilder (single shard)",
+        world.cell_name(0),
+    );
+    assert_eq!(delivered, 500_000);
 }

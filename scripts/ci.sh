@@ -9,6 +9,7 @@
 #   ./scripts/ci.sh          # build + tests (+ clippy when installed)
 #   ./scripts/ci.sh faults   # also gate on the fault/conformance suite
 #   COMMA_BENCH_FAST=1 ./scripts/ci.sh bench   # also smoke the benches
+#   ./scripts/ci.sh shard    # also gate the sharded-runner determinism suite
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -99,6 +100,56 @@ if [ "${1:-}" = "bench" ]; then
         esac
     done
     echo "macro bench ok ($(grep -c '"unix_ts"' BENCH.json) trajectory entries)"
+fi
+
+if [ "${1:-}" = "shard" ]; then
+    echo "== sharded-runner determinism gate (release) =="
+    # Partition invariance (sharded == serial golden), worker invariance,
+    # churn-under-sharding, and the TopologyBuilder validation surface.
+    cargo test -q --release --offline --test sharding
+
+    echo "== flows_10k macro fields =="
+    if [ ! -s BENCH_macro.json ]; then
+        echo "shard gate FAILED: BENCH_macro.json missing or empty (run the macrobench first)" >&2
+        exit 1
+    fi
+    line="$(grep '"flows_10k"' BENCH_macro.json)" || {
+        echo "shard gate FAILED: BENCH_macro.json lacks \"flows_10k\"" >&2
+        exit 1
+    }
+    for key in events_per_sec workers speedup_vs_serial; do
+        printf '%s' "$line" | grep -q "\"$key\"" || {
+            echo "shard gate FAILED: flows_10k block lacks \"$key\"" >&2
+            exit 1
+        }
+    done
+    rate="$(printf '%s' "$line" | sed -n 's/.*"events_per_sec": \([0-9.]*\).*/\1/p')"
+    case "$rate" in
+        ''|0|0.0)
+            echo "shard gate FAILED: flows_10k events_per_sec missing or zero" >&2
+            exit 1
+            ;;
+    esac
+    workers="$(printf '%s' "$line" | sed -n 's/.*"workers": \([0-9]*\).*/\1/p')"
+    speedup="$(printf '%s' "$line" | sed -n 's/.*"speedup_vs_serial": \([0-9.]*\).*/\1/p')"
+    cores="$(printf '%s' "$line" | sed -n 's/.*"cores": \([0-9]*\).*/\1/p')"
+    if [ -z "$workers" ] || [ -z "$speedup" ]; then
+        echo "shard gate FAILED: could not parse flows_10k workers/speedup" >&2
+        exit 1
+    fi
+    # The ≥2× target only means something when the host actually has the
+    # cores: on a 1-core CI box the 4 worker threads time-slice one CPU, so
+    # the speedup gate is enforced where parallel hardware exists.
+    if [ "${cores:-1}" -ge 4 ] && [ "$workers" -ge 4 ]; then
+        if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+            echo "shard gate FAILED: flows_10k speedup_vs_serial $speedup < 1.0 at $workers workers on $cores cores" >&2
+            exit 1
+        fi
+        echo "shard speedup gate ok (${speedup}x at $workers workers, $cores cores)"
+    else
+        echo "shard speedup gate skipped (only $cores core(s); recorded ${speedup}x at $workers workers)"
+    fi
+    echo "shard gate ok"
 fi
 
 echo "ci: all green"
