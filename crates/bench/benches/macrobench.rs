@@ -25,7 +25,8 @@ use std::time::Instant;
 use comma::topology::{addrs, CommaBuilder};
 use comma_bench::exps;
 use comma_bench::scale::{
-    run_event_core, run_many_flows, run_many_flows_churn, run_sharded_flows, ScaleResult,
+    event_core_alloc_probe_events, run_event_core, run_many_flows, run_many_flows_churn,
+    run_sharded_flows, shard_worker_count, sharded_alloc_probe_windows, ScaleResult,
 };
 use comma_filters::standard_catalog;
 use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
@@ -270,25 +271,69 @@ fn main() {
 
     let (shard_cells, shard_flows_per_cell) = (100usize, 100usize);
     let shard_bytes: u64 = if fast { 1_024 } else { 4_096 };
-    let shard_workers = 4usize;
+    // Honest parallelism: workers come from the host's actual core count
+    // (capped at the 4-worker reference config), and `cores` is reported
+    // once at top level — the ci.sh speedup floors key off it.
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let shard_workers = shard_worker_count();
+    // Fixed backbone split so the workload partition (and its golden
+    // digest) is host-independent; worker count is the only knob that
+    // follows the hardware.
+    let shard_backbone = 4usize;
     eprintln!(
         "macrobench: sharded flows_10k workload ({shard_cells} cells × \
          {shard_flows_per_cell} flows, {shard_bytes} B/flow, {cores} cores)..."
     );
     let shard_serial =
-        run_sharded_flows(shard_cells, shard_flows_per_cell, shard_bytes, 42, 1);
-    let shard_par =
-        run_sharded_flows(shard_cells, shard_flows_per_cell, shard_bytes, 42, shard_workers);
-    let speedup_vs_serial = shard_serial.wall_ms / shard_par.wall_ms.max(1e-9);
+        run_sharded_flows(shard_cells, shard_flows_per_cell, shard_bytes, 42, 1, shard_backbone);
+    // With one worker the "parallel" run would be the identical
+    // configuration re-measured — any wall-clock delta is cache-warming
+    // noise masquerading as speedup — so it is skipped and 1.0 recorded.
+    let (shard_par, speedup_vs_serial) = if shard_workers > 1 {
+        let par = run_sharded_flows(
+            shard_cells,
+            shard_flows_per_cell,
+            shard_bytes,
+            42,
+            shard_workers,
+            shard_backbone,
+        );
+        let speedup = shard_serial.wall_ms / par.wall_ms.max(1e-9);
+        (par, speedup)
+    } else {
+        (shard_serial.clone(), 1.0)
+    };
     eprintln!(
         "macrobench:   flows_10k: events_per_sec = {:.0}, wall_ms = {:.1} at {shard_workers} \
-         workers vs {:.1} serial ({speedup_vs_serial:.2}x, {} xfer pkts, {} windows)",
+         workers vs {:.1} serial ({speedup_vs_serial:.2}x, {} xfer pkts, {} windows, \
+         {} skipped)",
         shard_par.events_per_sec,
         shard_par.wall_ms,
         shard_serial.wall_ms,
         shard_par.xfer_pkts,
-        shard_par.windows
+        shard_par.windows,
+        shard_par.windows_skipped
+    );
+
+    // The allocation headlines measure the machinery itself on the pinned
+    // probe workloads (see DESIGN.md): the serial event core and the
+    // sharded window loop, both after a two-simulated-second warmup. The
+    // flows_10k TCP workload's node work (TCP bookkeeping, flow teardown)
+    // allocates by design and is not what the zero-allocation contract
+    // covers.
+    let (allocs_per_event, allocs_per_window) = if comma_rt::alloc::enabled() {
+        let (_, core_allocs, core_events) = event_core_alloc_probe_events(32, 7);
+        let (_, loop_allocs, loop_windows) = sharded_alloc_probe_windows(4, shard_workers, 7);
+        (
+            format!("{:.6}", core_allocs as f64 / core_events.max(1) as f64),
+            format!("{:.4}", loop_allocs as f64 / loop_windows.max(1) as f64),
+        )
+    } else {
+        ("null".to_string(), "null".to_string())
+    };
+    eprintln!(
+        "macrobench:   allocs_per_event = {allocs_per_event} (event core), \
+         allocs_per_window = {allocs_per_window} (sharded window loop)"
     );
 
     let workers = exps::worker_count();
@@ -319,8 +364,9 @@ fn main() {
         .chain(std::iter::once(format!(
             "    \"flows_10k\": {{ \"events_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
              \"sim_events\": {}, \"flows\": {}, \"workers\": {}, \
-             \"serial_wall_ms\": {:.1}, \"speedup_vs_serial\": {:.3}, \"cores\": {}, \
-             \"windows\": {}, \"xfer_pkts\": {} }}",
+             \"serial_wall_ms\": {:.1}, \"speedup_vs_serial\": {:.3}, \
+             \"windows\": {}, \"windows_skipped\": {}, \"xfer_pkts\": {}, \
+             \"lane_bytes\": {} }}",
             shard_par.events_per_sec,
             shard_par.wall_ms,
             shard_par.sim_events,
@@ -328,9 +374,10 @@ fn main() {
             shard_par.workers,
             shard_serial.wall_ms,
             speedup_vs_serial,
-            cores,
             shard_par.windows,
-            shard_par.xfer_pkts
+            shard_par.windows_skipped,
+            shard_par.xfer_pkts,
+            shard_par.lane_bytes
         )))
         .collect::<Vec<_>>()
         .join(",\n");
@@ -357,6 +404,10 @@ fn main() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let snapshot = format!(
         "{{\n  \"schema\": \"comma-macro-bench-v2\",\n  \"fast\": {fast},\n  \
+         \"cores\": {cores},\n  \
+         \"allocs_per_event\": {allocs_per_event},\n  \
+         \"allocs_per_window\": {allocs_per_window},\n  \
+         \"windows_skipped\": {},\n  \
          \"event_core_nodes\": {core_nodes},\n  \
          \"events_per_sec\": {events_per_sec:.1},\n  \
          \"engine_pkts\": {engine_pkts},\n  \
@@ -370,7 +421,8 @@ fn main() {
          \"transfer_events_per_sec\": {transfer_events_per_sec:.1},\n  \
          \"scale\": {{\n{scale_json}\n  }},\n  \
          \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1}, \
-         \"speedup\": {speedup:.2}, \"workers\": {workers} }}\n}}\n"
+         \"speedup\": {speedup:.2}, \"workers\": {workers} }}\n}}\n",
+        shard_par.windows_skipped
     );
     std::fs::write(root.join("BENCH_macro.json"), &snapshot).expect("write BENCH_macro.json");
     append_trajectory(&root, &entry);

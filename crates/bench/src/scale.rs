@@ -278,6 +278,14 @@ pub fn many_flows_trace_digest(flows: usize, bytes_per_flow: usize, seed: u64) -
 struct TickNode {
     name: String,
     addr: comma_netsim::addr::Ipv4Addr,
+    /// Prototype payload, cloned per send: a `Bytes` clone is a refcount
+    /// bump, so the steady-state timer path stays allocation-free.
+    payload: Bytes,
+    /// Fixed re-arm period in µs; `None` draws 200..1000 µs per tick.
+    /// The allocation probes pin it so every sync window carries an
+    /// identical event batch: the worst case is then exercised during
+    /// warmup instead of being discovered (and allocated for) later.
+    period_us: Option<u64>,
     received: u64,
     sent: u64,
 }
@@ -305,15 +313,35 @@ impl Node for TickNode {
             IcmpMessage::EchoRequest {
                 id: 0,
                 seq: (self.sent & 0xffff) as u16,
-                payload: Bytes::from_static(&[0u8; 64]),
+                payload: self.payload.clone(),
             },
         );
         ctx.send(IfaceId(0), pkt);
         self.sent += 1;
-        let delay = 200 + ctx.rng.gen_range(0..800u64);
+        let delay = self
+            .period_us
+            .unwrap_or_else(|| 200 + ctx.rng.gen_range(0..800u64));
         ctx.set_timer_after(SimDuration::from_micros(delay), 0);
     }
     fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl TickNode {
+    fn new(name: String, addr: comma_netsim::addr::Ipv4Addr) -> Self {
+        TickNode {
+            name,
+            addr,
+            payload: Bytes::from_static(&[0u8; 64]),
+            period_us: None,
+            received: 0,
+            sent: 0,
+        }
+    }
+
+    fn with_period(mut self, period_us: u64) -> Self {
+        self.period_us = Some(period_us);
         self
     }
 }
@@ -338,32 +366,7 @@ pub struct EventCoreResult {
 /// `horizon_ms` of simulated time. Every event is cheap, so the measured
 /// `events_per_sec` is the throughput of the event core itself.
 pub fn run_event_core(nodes: usize, horizon_ms: u64, seed: u64) -> EventCoreResult {
-    assert!(
-        nodes >= 2 && nodes.is_multiple_of(2),
-        "event-core needs node pairs"
-    );
-    let mut sim = Simulator::new(seed);
-    let ids: Vec<NodeId> = (0..nodes)
-        .map(|i| {
-            sim.add_node(Box::new(TickNode {
-                name: format!("tick{i}"),
-                addr: comma_netsim::addr::Ipv4Addr::new(
-                    10,
-                    (i >> 8) as u8,
-                    (i >> 4 & 0xf) as u8,
-                    (i & 0xf) as u8,
-                ),
-                received: 0,
-                sent: 0,
-            }))
-        })
-        .collect();
-    let fast = LinkParams::wired()
-        .with_bandwidth(100_000_000)
-        .with_latency(SimDuration::from_micros(50));
-    for pair in ids.chunks(2) {
-        sim.connect(pair[0], pair[1], fast.clone(), fast.clone());
-    }
+    let (mut sim, ids) = build_event_core(nodes, seed);
     let t = Instant::now();
     sim.run_until(SimTime::from_millis(horizon_ms));
     let wall = t.elapsed().as_secs_f64();
@@ -380,6 +383,139 @@ pub fn run_event_core(nodes: usize, horizon_ms: u64, seed: u64) -> EventCoreResu
         events_per_sec: sim_events as f64 / wall,
         delivered,
     }
+}
+
+/// Builds the event-core world: `nodes` [`TickNode`]s paired by fast wired
+/// links, with per-channel rate series off (nothing reads them here, and
+/// the allocation harness asserts this loop heap-silent). Public so probes
+/// and benches can drive the world in custom segments.
+pub fn build_event_core(nodes: usize, seed: u64) -> (Simulator, Vec<NodeId>) {
+    assert!(
+        nodes >= 2 && nodes.is_multiple_of(2),
+        "event-core needs node pairs"
+    );
+    let mut sim = Simulator::new(seed);
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|i| {
+            sim.add_node(Box::new(TickNode::new(
+                format!("tick{i}"),
+                comma_netsim::addr::Ipv4Addr::new(
+                    10,
+                    (i >> 8) as u8,
+                    (i >> 4 & 0xf) as u8,
+                    (i & 0xf) as u8,
+                ),
+            )))
+        })
+        .collect();
+    let fast = LinkParams::wired()
+        .with_bandwidth(100_000_000)
+        .with_latency(SimDuration::from_micros(50));
+    for pair in ids.chunks(2) {
+        sim.connect(pair[0], pair[1], fast.clone(), fast.clone());
+    }
+    sim.set_record_series(false);
+    (sim, ids)
+}
+
+/// Two-segment allocation probe for the serial event core: two simulated
+/// seconds to warm every recycled buffer (the timer wheel's slot pool
+/// needs every in-flight slot to drain once before its buffers reach the
+/// capacity watermark), then a segment whose heap-allocation count is the
+/// steady-state figure. Returns `(warmup_allocs, steady_allocs)` for the
+/// calling thread — both zero unless built with `comma-rt/alloc-stats`,
+/// and `steady_allocs` must be zero even with it (pinned by the
+/// allocation-regression tests).
+pub fn event_core_alloc_probe(nodes: usize, seed: u64) -> (u64, u64) {
+    let (warm, steady, _) = event_core_alloc_probe_events(nodes, seed);
+    (warm, steady)
+}
+
+/// [`event_core_alloc_probe`] plus the steady-segment event count, for
+/// `allocs_per_event` reporting: returns
+/// `(warmup_allocs, steady_allocs, steady_events)`.
+pub fn event_core_alloc_probe_events(nodes: usize, seed: u64) -> (u64, u64, u64) {
+    let (mut sim, _ids) = build_event_core(nodes, seed);
+    let warm = comma_rt::alloc::AllocScope::begin();
+    sim.run_until(SimTime::from_secs(2));
+    let warm = warm.delta().allocs;
+    let events = sim.events_processed();
+    let steady = comma_rt::alloc::AllocScope::begin();
+    sim.run_until(SimTime::from_secs(4));
+    (
+        warm,
+        steady.delta().allocs,
+        sim.events_processed() - events,
+    )
+}
+
+/// Worker-thread count for the sharded benchmarks: the machine's available
+/// parallelism, capped at the flows_10k reference configuration of 4. The
+/// bench report must never claim more workers than the host has cores —
+/// time-slicing 4 threads on 1 core is not parallelism (and measured
+/// "speedups" from it are noise).
+pub fn shard_worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// Two-segment allocation probe for the sharded window loop: `shards`
+/// [`TickNode`]s in a boundary ring (shard `i` egresses to `i+1`), driven
+/// by the lane-based runner. Allocation counts come from
+/// [`comma_netsim::shard::ShardStats::allocs`], i.e. they are measured on
+/// the worker threads inside the window loop itself. Returns
+/// `(warmup_allocs, steady_allocs)`; steady state must be zero under
+/// `comma-rt/alloc-stats`.
+pub fn sharded_alloc_probe(shards: usize, workers: usize, seed: u64) -> (u64, u64) {
+    let (warm, steady, _) = sharded_alloc_probe_windows(shards, workers, seed);
+    (warm, steady)
+}
+
+/// [`sharded_alloc_probe`] plus the steady-segment window count, for
+/// `allocs_per_window` reporting: returns
+/// `(warmup_allocs, steady_allocs, steady_windows)`.
+pub fn sharded_alloc_probe_windows(shards: usize, workers: usize, seed: u64) -> (u64, u64, u64) {
+    use comma_netsim::shard::{ShardPlan, ShardWiring, ShardedSimulator};
+    assert!(shards >= 2, "a boundary ring needs at least two shards");
+    let latency = SimDuration::from_millis(10);
+    let mut plan = ShardPlan::new(seed, latency);
+    for i in 0..shards {
+        let prev = ((i + shards - 1) % shards) as u32;
+        plan.add_shard(move |sim| {
+            let node = sim.add_node_keyed(
+                Box::new(
+                    TickNode::new(
+                        format!("ring{i}"),
+                        comma_netsim::addr::Ipv4Addr::new(10, 9, i as u8, 1),
+                    )
+                    .with_period(500),
+                ),
+                100 + i as u64,
+            );
+            let wired = LinkParams::wired().with_latency(latency);
+            // Egress toward shard i+1 under boundary id i; the returned
+            // ingress channel receives boundary (i-1)'s traffic.
+            let (_, ingress) =
+                sim.connect_boundary(node, i as u32, wired.clone(), wired, 500 + i as u64, 0);
+            sim.set_record_series(false);
+            ShardWiring::new().ingress(prev, ingress)
+        });
+    }
+    for i in 0..shards {
+        plan.declare_boundary(i, (i + 1) % shards);
+    }
+    let mut s = ShardedSimulator::new(plan, workers);
+    s.run_until(SimTime::from_secs(2));
+    let warm_stats = s.stats();
+    s.run_until(SimTime::from_secs(4));
+    let stats = s.stats();
+    (
+        warm_stats.allocs,
+        stats.allocs - warm_stats.allocs,
+        stats.windows - warm_stats.windows,
+    )
 }
 
 /// Result of one sharded multi-cell run.
@@ -403,8 +539,20 @@ pub struct ShardScaleResult {
     pub workers: usize,
     /// Synchronization windows executed.
     pub windows: u64,
+    /// Whole lookahead windows the global clock skipped (adaptive window
+    /// advancement).
+    pub windows_skipped: u64,
     /// Packets ferried across shard boundaries.
     pub xfer_pkts: u64,
+    /// Retained transfer-lane capacity in bytes at the end of the run.
+    pub lane_bytes: u64,
+    /// Windows executed after the one-second warmup segment.
+    pub steady_windows: u64,
+    /// Events processed after the warmup segment.
+    pub steady_events: u64,
+    /// Worker-thread heap allocations after the warmup segment (zero
+    /// unless built with `comma-rt/alloc-stats`).
+    pub steady_allocs: u64,
 }
 
 /// Builds the sharded multi-cell world: `cells` wireless cells, each with
@@ -413,13 +561,15 @@ pub struct ShardScaleResult {
 /// [`build_many_flows`] recipe instantiated per cell, compiled onto the
 /// sharded runner (or into one shard with `single_shard`). The 10 ms
 /// wired backbone is the inter-shard boundary and sets the conservative
-/// lookahead.
+/// lookahead; it is split across `backbone_shards` shards (1 = the old
+/// single-backbone layout — results are identical either way).
 pub fn build_cells(
     cells: usize,
     flows_per_cell: usize,
     bytes_per_flow: u64,
     seed: u64,
     workers: usize,
+    backbone_shards: usize,
     single_shard: bool,
 ) -> comma::topo::ShardedWorld {
     let loss = LossModel::Gilbert {
@@ -436,7 +586,9 @@ pub fn build_cells(
     };
     let mut builder = comma::topo::TopologyBuilder::new(seed)
         .backbone(LinkParams::wired().with_latency(SimDuration::from_millis(10)))
-        .workers(workers);
+        .workers(workers)
+        .backbone_shards(backbone_shards)
+        .record_series(false);
     if single_shard {
         builder = builder.single_shard();
     }
@@ -457,37 +609,40 @@ pub fn build_cells(
 
 /// Drives a sharded world in one-second increments until `target` bytes
 /// are delivered (or the horizon runs out), returning `(delivered, wall
-/// seconds)`.
-fn drive_to_target(world: &mut comma::topo::ShardedWorld, target: u64) -> (u64, f64) {
+/// seconds, stats snapshot after the first second)`. The snapshot is the
+/// warmup boundary for steady-state allocation accounting: everything the
+/// runner allocates after it is a regression.
+fn drive_to_target(
+    world: &mut comma::topo::ShardedWorld,
+    target: u64,
+) -> (u64, f64, comma_netsim::shard::ShardStats) {
     let t = Instant::now();
     let mut delivered = 0u64;
+    let mut warm = None;
     for sec in 1..=3_600u64 {
         world.run_until(SimTime::from_secs(sec));
+        if warm.is_none() {
+            warm = Some(world.stats());
+        }
         delivered = world.total_delivered();
         if delivered >= target {
             break;
         }
     }
-    (delivered, t.elapsed().as_secs_f64())
+    (delivered, t.elapsed().as_secs_f64(), warm.expect("ran at least one second"))
 }
 
-/// Runs `cells × flows_per_cell` concurrent transfers on the sharded
-/// runner with `workers` threads; panics unless every flow completes.
-pub fn run_sharded_flows(
+#[allow(clippy::too_many_arguments)]
+fn shard_scale_result(
     cells: usize,
     flows_per_cell: usize,
     bytes_per_flow: u64,
-    seed: u64,
     workers: usize,
+    delivered: u64,
+    wall: f64,
+    stats: comma_netsim::shard::ShardStats,
+    warm: comma_netsim::shard::ShardStats,
 ) -> ShardScaleResult {
-    let mut world = build_cells(cells, flows_per_cell, bytes_per_flow, seed, workers, false);
-    let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
-    let (delivered, wall) = drive_to_target(&mut world, target);
-    assert_eq!(
-        delivered, target,
-        "sharded flows: not every transfer completed within the horizon"
-    );
-    let stats = world.stats();
     ShardScaleResult {
         cells,
         flows_per_cell,
@@ -498,8 +653,42 @@ pub fn run_sharded_flows(
         events_per_sec: stats.events as f64 / wall,
         workers,
         windows: stats.windows,
+        windows_skipped: stats.windows_skipped,
         xfer_pkts: stats.xfer_pkts,
+        lane_bytes: stats.lane_bytes,
+        steady_windows: stats.windows - warm.windows,
+        steady_events: stats.events - warm.events,
+        steady_allocs: stats.allocs - warm.allocs,
     }
+}
+
+/// Runs `cells × flows_per_cell` concurrent transfers on the sharded
+/// runner with `workers` threads; panics unless every flow completes.
+pub fn run_sharded_flows(
+    cells: usize,
+    flows_per_cell: usize,
+    bytes_per_flow: u64,
+    seed: u64,
+    workers: usize,
+    backbone_shards: usize,
+) -> ShardScaleResult {
+    let mut world = build_cells(
+        cells,
+        flows_per_cell,
+        bytes_per_flow,
+        seed,
+        workers,
+        backbone_shards,
+        false,
+    );
+    let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
+    let (delivered, wall, warm) = drive_to_target(&mut world, target);
+    assert_eq!(
+        delivered, target,
+        "sharded flows: not every transfer completed within the horizon"
+    );
+    let stats = world.stats();
+    shard_scale_result(cells, flows_per_cell, bytes_per_flow, workers, delivered, wall, stats, warm)
 }
 
 /// [`run_sharded_flows`]' delivered-bytes digest: FNV-1a over every
@@ -511,15 +700,16 @@ pub fn sharded_delivered_digest(
     seed: u64,
     workers: usize,
 ) -> u64 {
-    let mut world = build_cells(cells, flows_per_cell, bytes_per_flow, seed, workers, false);
+    let mut world = build_cells(cells, flows_per_cell, bytes_per_flow, seed, workers, 1, false);
     let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
-    let (delivered, _) = drive_to_target(&mut world, target);
+    let (delivered, _, _) = drive_to_target(&mut world, target);
     assert_eq!(delivered, target, "sharded flows: transfers incomplete");
     world.delivered_digest()
 }
 
 /// Full merged-trace digest of the sharded multi-cell workload —
-/// byte-identical across worker counts *and* across the partitioned vs
+/// byte-identical across worker counts, across backbone splits, *and*
+/// across the partitioned vs
 /// [`comma::topo::TopologyBuilder::single_shard`] builds.
 pub fn sharded_trace_digest(
     cells: usize,
@@ -527,12 +717,21 @@ pub fn sharded_trace_digest(
     bytes_per_flow: u64,
     seed: u64,
     workers: usize,
+    backbone_shards: usize,
     single_shard: bool,
 ) -> u64 {
-    let mut world = build_cells(cells, flows_per_cell, bytes_per_flow, seed, workers, single_shard);
+    let mut world = build_cells(
+        cells,
+        flows_per_cell,
+        bytes_per_flow,
+        seed,
+        workers,
+        backbone_shards,
+        single_shard,
+    );
     world.set_trace_capture(true, 1 << 21);
     let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
-    let (delivered, _) = drive_to_target(&mut world, target);
+    let (delivered, _, _) = drive_to_target(&mut world, target);
     assert_eq!(delivered, target, "sharded flows: transfers incomplete");
     world.trace_digest()
 }
@@ -578,25 +777,14 @@ pub fn run_sharded_churn(
     let mut world = builder.build().expect("sharded churn topology is valid");
     world.attach_oracle();
     let target = cells as u64 * flows_per_cell as u64 * bytes_per_flow;
-    let (delivered, wall) = drive_to_target(&mut world, target);
+    let (delivered, wall, warm) = drive_to_target(&mut world, target);
     assert_eq!(
         delivered, target,
         "sharded churn: not every transfer completed within the horizon"
     );
     world.assert_oracle_clean();
     let stats = world.stats();
-    ShardScaleResult {
-        cells,
-        flows_per_cell,
-        bytes_per_flow,
-        delivered,
-        sim_events: stats.events,
-        wall_ms: wall * 1e3,
-        events_per_sec: stats.events as f64 / wall,
-        workers,
-        windows: stats.windows,
-        xfer_pkts: stats.xfer_pkts,
-    }
+    shard_scale_result(cells, flows_per_cell, bytes_per_flow, workers, delivered, wall, stats, warm)
 }
 
 #[cfg(test)]
@@ -626,13 +814,35 @@ mod tests {
 
     #[test]
     fn sharded_small_batch_completes_and_is_worker_invariant() {
-        let r = run_sharded_flows(2, 2, 4_096, 11, 2);
+        let r = run_sharded_flows(2, 2, 4_096, 11, 2, 1);
         assert_eq!(r.delivered, 2 * 2 * 4_096);
         assert!(r.windows > 0);
         assert!(r.xfer_pkts > 0, "no packets crossed shard boundaries");
         let d1 = sharded_delivered_digest(2, 2, 4_096, 11, 1);
         let d2 = sharded_delivered_digest(2, 2, 4_096, 11, 2);
         assert_eq!(d1, d2, "delivered digest differs across worker counts");
+    }
+
+    #[test]
+    fn split_backbone_matches_single_backbone() {
+        let single = sharded_trace_digest(3, 2, 4_096, 11, 2, 1, false);
+        let split = sharded_trace_digest(3, 2, 4_096, 11, 2, 3, false);
+        assert_eq!(single, split, "backbone split must not change the trace");
+    }
+
+    #[test]
+    fn alloc_probes_run_and_warm_up() {
+        // Behavioural smoke test in every configuration; the alloc-stats
+        // regression suite additionally pins steady == 0.
+        let (warm_serial, steady_serial) = event_core_alloc_probe(8, 5);
+        let (warm_sharded, steady_sharded) = sharded_alloc_probe(4, 2, 5);
+        if comma_rt::alloc::enabled() {
+            assert!(warm_serial > 0, "warmup must allocate");
+            assert!(warm_sharded > 0, "warmup must allocate");
+        } else {
+            assert_eq!((warm_serial, steady_serial), (0, 0));
+            assert_eq!((warm_sharded, steady_sharded), (0, 0));
+        }
     }
 
     #[test]

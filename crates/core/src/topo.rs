@@ -7,8 +7,9 @@
 //! link, and a wired correspondent host reached over the wired backbone.
 //! [`TopologyBuilder::build`] validates the description (typed
 //! [`TopologyError`]s, not panics) and compiles it onto a
-//! [`ShardedSimulator`]: one shard per cell (proxy + mobile) plus one
-//! backbone shard holding every wired host, connected by wired-only
+//! [`ShardedSimulator`]: one shard per cell (proxy + mobile) plus one or
+//! more backbone shards holding the wired hosts (round-robin under
+//! [`TopologyBuilder::backbone_shards`]), connected by wired-only
 //! boundary links whose latency bounds the runner's conservative
 //! lookahead.
 //!
@@ -165,8 +166,10 @@ pub struct TopologyBuilder {
     backbone: LinkParams,
     workers: Option<usize>,
     single: bool,
+    backbone_shards: usize,
     lookahead: Option<SimDuration>,
     coalesce: bool,
+    record_series: bool,
 }
 
 impl TopologyBuilder {
@@ -178,8 +181,10 @@ impl TopologyBuilder {
             backbone: LinkParams::wired(),
             workers: None,
             single: false,
+            backbone_shards: 1,
             lookahead: None,
             coalesce: false,
+            record_series: true,
         }
     }
 
@@ -219,10 +224,32 @@ impl TopologyBuilder {
         self
     }
 
+    /// Splits the wired backbone across `n` shards (clamped to the cell
+    /// count): cell `i`'s wired host lands in backbone shard `i % n`.
+    /// Defaults to 1. A single backbone shard serializes every cell's
+    /// wired-side work through one simulator, which caps parallel speedup
+    /// at roughly 2× no matter the worker count; splitting it restores
+    /// per-worker scaling. Results are partition-invariant either way
+    /// (golden-digest tests pin single vs split backbones). Ignored by
+    /// [`TopologyBuilder::single_shard`] builds.
+    pub fn backbone_shards(mut self, n: usize) -> Self {
+        self.backbone_shards = n.max(1);
+        self
+    }
+
     /// Overrides the conservative lookahead (defaults to the backbone
     /// latency; may not exceed it).
     pub fn lookahead(mut self, d: SimDuration) -> Self {
         self.lookahead = Some(d);
+        self
+    }
+
+    /// Enables or disables per-channel rate-series recording (default
+    /// on). Benchmarks turn it off: an unread series otherwise grows
+    /// sample storage on every delivery, which the allocation-accounting
+    /// harness would (correctly) flag.
+    pub fn record_series(mut self, on: bool) -> Self {
+        self.record_series = on;
         self
     }
 
@@ -304,27 +331,45 @@ impl TopologyBuilder {
                     tag: t,
                 })
                 .collect();
-            Ok(finish(runner, handles, cell_names, self.coalesce, fault_reorders))
+            Ok(finish(
+                runner,
+                handles,
+                cell_names,
+                self.coalesce,
+                fault_reorders,
+                self.record_series,
+            ))
         } else {
-            // Shard 0: the wired backbone (every cell's wired host).
-            // Shards 1..=n: one per cell. Boundary ids: cell i uses
-            // 2i (backbone → cell) and 2i+1 (cell → backbone).
-            let backbone_specs: Vec<(usize, CellSpec)> =
-                self.cells.iter().cloned().enumerate().collect();
-            let backbone_params = self.backbone.clone();
-            let backbone_shard = plan.add_shard(move |sim| {
-                let mut wiring = ShardWiring::new();
-                let mut tag = BackboneTag::default();
-                for (i, spec) in &backbone_specs {
-                    let (wired, senders, ingress) =
-                        build_wired_host(sim, *i, spec, &backbone_params);
-                    wiring = wiring.ingress(up_boundary(*i), ingress);
-                    tag.wired.push(wired);
-                    tag.senders.push(senders);
-                }
-                wiring.with_tag(Box::new(tag))
-            });
-            debug_assert_eq!(backbone_shard, 0);
+            // Shards 0..B: the wired backbone, split round-robin (cell
+            // i's wired host in backbone shard i % B). Shards B..B+n:
+            // one per cell. Boundary ids: cell i uses 2i (backbone →
+            // cell) and 2i+1 (cell → backbone), independent of the split.
+            let b_count = self.backbone_shards.clamp(1, n_cells);
+            let mut backbone_shards = Vec::with_capacity(b_count);
+            for b in 0..b_count {
+                let backbone_specs: Vec<(usize, CellSpec)> = self
+                    .cells
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .filter(|(i, _)| i % b_count == b)
+                    .collect();
+                let backbone_params = self.backbone.clone();
+                let shard = plan.add_shard(move |sim| {
+                    let mut wiring = ShardWiring::new();
+                    let mut tag = BackboneTag::default();
+                    for (i, spec) in &backbone_specs {
+                        let (wired, senders, ingress) =
+                            build_wired_host(sim, *i, spec, &backbone_params);
+                        wiring = wiring.ingress(up_boundary(*i), ingress);
+                        tag.wired.push(wired);
+                        tag.senders.push(senders);
+                    }
+                    wiring.with_tag(Box::new(tag))
+                });
+                debug_assert_eq!(shard, b);
+                backbone_shards.push(shard);
+            }
             let mut cell_shards = Vec::with_capacity(n_cells);
             for (i, spec) in self.cells.into_iter().enumerate() {
                 let backbone = self.backbone.clone();
@@ -344,14 +389,20 @@ impl TopologyBuilder {
                         .with_tag(Box::new(tag))
                 });
                 cell_shards.push(shard);
-                plan.declare_boundary(backbone_shard, shard);
-                plan.declare_boundary(shard, backbone_shard);
+                let bshard = backbone_shards[i % b_count];
+                plan.declare_boundary(bshard, shard);
+                plan.declare_boundary(shard, bshard);
             }
             let mut runner = ShardedSimulator::new(plan, workers);
-            let backbone_tag = *runner
-                .take_tag(backbone_shard)
-                .downcast::<BackboneTag>()
-                .expect("backbone tag");
+            let backbone_tags: Vec<BackboneTag> = backbone_shards
+                .iter()
+                .map(|&s| {
+                    *runner
+                        .take_tag(s)
+                        .downcast::<BackboneTag>()
+                        .expect("backbone tag")
+                })
+                .collect();
             let handles: Vec<CellHandle> = cell_shards
                 .iter()
                 .enumerate()
@@ -360,16 +411,24 @@ impl TopologyBuilder {
                         .take_tag(shard)
                         .downcast::<CellTag>()
                         .expect("cell tag");
-                    tag.wired = backbone_tag.wired[i];
-                    tag.senders = backbone_tag.senders[i].clone();
+                    let btag = &backbone_tags[i % b_count];
+                    tag.wired = btag.wired[i / b_count];
+                    tag.senders = btag.senders[i / b_count].clone();
                     CellHandle {
                         shard,
-                        wired_shard: backbone_shard,
+                        wired_shard: backbone_shards[i % b_count],
                         tag,
                     }
                 })
                 .collect();
-            Ok(finish(runner, handles, cell_names, self.coalesce, fault_reorders))
+            Ok(finish(
+                runner,
+                handles,
+                cell_names,
+                self.coalesce,
+                fault_reorders,
+                self.record_series,
+            ))
         }
     }
 }
@@ -380,9 +439,13 @@ fn finish(
     names: Vec<String>,
     coalesce: bool,
     fault_reorders: bool,
+    record_series: bool,
 ) -> ShardedWorld {
     if coalesce {
         runner.set_coalesce_delivery(true);
+    }
+    if !record_series {
+        runner.set_record_series(false);
     }
     ShardedWorld {
         runner,

@@ -140,6 +140,22 @@ impl<'a> NodeCtx<'a> {
         self
     }
 
+    /// Seeds the context's effect accumulators with recycled (cleared)
+    /// vectors so steady-state dispatch reuses their capacity instead of
+    /// allocating per callback (builder-style; the simulator threads its
+    /// scratch pair through every dispatch and takes it back via
+    /// [`NodeCtx::take_effects`]).
+    pub fn with_effect_buffers(
+        mut self,
+        outputs: Vec<(IfaceId, Packet)>,
+        timers: Vec<(SimTime, u64, TimerHandle)>,
+    ) -> Self {
+        debug_assert!(outputs.is_empty() && timers.is_empty());
+        self.outputs = outputs;
+        self.timers = timers;
+        self
+    }
+
     /// The observability handle, if one is attached **and** enabled. The
     /// single call site check keeps instrumentation to one branch on the
     /// disabled path.

@@ -253,9 +253,20 @@ pub struct TimerWheel<T> {
     overflow: BinaryHeap<OverflowEntry<T>>,
     /// The drained current-microsecond batch, sorted by seq.
     ready: VecDeque<Entry<T>>,
-    /// Reusable cascade buffer: slot capacity rotates through here instead
-    /// of being freed by `mem::take` on every cascade.
-    scratch: Vec<Entry<T>>,
+    /// Recycled slot storage. Slot indices are digits of *absolute* time,
+    /// so as the cursor advances it keeps entering slots that were never
+    /// touched before; growing each one from scratch would allocate for
+    /// hours of simulated time (64 fresh level-`l` slots every `64^(l+1)`
+    /// µs). Instead every drained slot returns its buffer here and every
+    /// push into a capacity-less slot takes one back, so the steady state
+    /// recycles a bounded working set (max simultaneous slot occupancy)
+    /// and allocates nothing.
+    pool: Vec<Vec<Entry<T>>>,
+    /// Capacity watermark for pooled buffers: the largest capacity any
+    /// slot has ever reached. [`TimerWheel::pool_put`] upgrades smaller
+    /// buffers to it so every pooled buffer can absorb the worst-case
+    /// batch without growing.
+    pool_cap: usize,
     /// Cancellation slab (shared with dispatch contexts).
     pub(crate) slab: CancelSlab,
     scheduled: u64,
@@ -282,7 +293,8 @@ impl<T> TimerWheel<T> {
             occ: [0; WHEEL_LEVELS],
             overflow: BinaryHeap::new(),
             ready: VecDeque::new(),
-            scratch: Vec::new(),
+            pool: Vec::new(),
+            pool_cap: 0,
             slab: CancelSlab::default(),
             scheduled: 0,
             fired: 0,
@@ -352,12 +364,56 @@ impl<T> TimerWheel<T> {
             item,
         };
         match Self::placement(self.base, time) {
-            Some((level, slot)) => {
-                self.levels[level][slot].push(entry);
-                self.occ[level] |= 1 << slot;
-            }
+            Some((level, slot)) => self.place(level, slot, entry),
             None => self.overflow.push(OverflowEntry(entry)),
         }
+    }
+
+    /// Pushes `entry` into a wheel slot, seeding a never-touched (or
+    /// retired) slot with recycled capacity from the pool first.
+    #[inline]
+    fn place(&mut self, level: usize, slot: usize, entry: Entry<T>) {
+        let v = &mut self.levels[level][slot];
+        if v.capacity() == 0 {
+            if let Some(buf) = self.pool.pop() {
+                *v = buf;
+            }
+        }
+        v.push(entry);
+        self.occ[level] |= 1 << slot;
+    }
+
+    /// Returns an emptied slot's buffer to the pool. The cursor will not
+    /// revisit this slot index for a full rotation of its level, so parking
+    /// the capacity here (for whatever slot fills next) beats leaving it
+    /// stranded.
+    #[inline]
+    fn retire_slot(&mut self, level: usize, slot: usize) {
+        let v = &mut self.levels[level][slot];
+        debug_assert!(v.is_empty(), "retiring a non-empty slot");
+        if v.capacity() > 0 {
+            let buf = std::mem::take(v);
+            self.pool_put(buf);
+        }
+    }
+
+    /// Parks an emptied buffer in the pool, upgrading it to the capacity
+    /// watermark (the largest capacity any slot has ever grown to). The
+    /// invariant — every pooled buffer holds the worst-case batch — is what
+    /// makes the steady state truly allocation-free: without it, a small
+    /// recycled buffer landing in a full slot re-grows through the same
+    /// doublings some other buffer already paid for, and the allocation
+    /// trickle converges only asymptotically.
+    #[inline]
+    fn pool_put(&mut self, mut buf: Vec<Entry<T>>) {
+        debug_assert!(buf.is_empty(), "pooled buffers must be empty");
+        let cap = buf.capacity();
+        if cap < self.pool_cap {
+            buf.reserve_exact(self.pool_cap);
+        } else {
+            self.pool_cap = cap;
+        }
+        self.pool.push(buf);
     }
 
     /// Level/slot for an entry at `time` relative to cursor `base`, or
@@ -466,8 +522,12 @@ impl<T> TimerWheel<T> {
         let empty = entries.is_empty();
         if empty {
             self.occ[level] &= !(1 << slot);
+            if entries.capacity() > 0 {
+                self.pool_put(entries);
+            }
+        } else {
+            self.levels[level][slot] = entries;
         }
-        self.levels[level][slot] = entries;
         empty
     }
 
@@ -565,10 +625,7 @@ impl<T> TimerWheel<T> {
                 }
                 let entry = self.overflow.pop().expect("peeked").0;
                 match Self::placement(self.base, entry.time) {
-                    Some((level, slot)) => {
-                        self.levels[level][slot].push(entry);
-                        self.occ[level] |= 1 << slot;
-                    }
+                    Some((level, slot)) => self.place(level, slot, entry),
                     None => unreachable!("checked in-window above"),
                 }
             }
@@ -584,20 +641,20 @@ impl<T> TimerWheel<T> {
                     // `target`, lower digits reset to zero.
                     let span = 1u64 << (WHEEL_BITS * level as u32);
                     self.base = target & !(span - 1);
-                    let mut entries = std::mem::take(&mut self.scratch);
-                    std::mem::swap(&mut self.levels[level][slot], &mut entries);
+                    let mut entries = std::mem::take(&mut self.levels[level][slot]);
                     self.occ[level] &= !(1 << slot);
                     for entry in entries.drain(..) {
                         match Self::placement(self.base, entry.time) {
                             Some((l, s)) => {
                                 debug_assert!(l < level, "cascade must descend");
-                                self.levels[l][s].push(entry);
-                                self.occ[l] |= 1 << s;
+                                self.place(l, s, entry);
                             }
                             None => unreachable!("cascaded entry left the span"),
                         }
                     }
-                    self.scratch = entries;
+                    if entries.capacity() > 0 {
+                        self.pool_put(entries);
+                    }
                 }
             }
         }
@@ -605,9 +662,9 @@ impl<T> TimerWheel<T> {
     }
 
     /// Drains the level-0 slot at the cursor into the ready batch, sorted
-    /// by sequence number (same-microsecond FIFO). Both the slot vector
-    /// and the ready deque keep their capacity, so the steady state is
-    /// allocation-free.
+    /// by sequence number (same-microsecond FIFO). The ready deque keeps
+    /// its capacity and the slot's buffer returns to the pool, so the
+    /// steady state is allocation-free.
     fn drain_current(&mut self, target: u64) {
         debug_assert_eq!(self.base, target);
         debug_assert!(self.ready.is_empty());
@@ -616,6 +673,7 @@ impl<T> TimerWheel<T> {
         self.occ[0] &= !(1 << slot);
         debug_assert!(batch.iter().all(|e| e.time == target), "level-0 slot mixes times");
         self.ready.extend(batch.drain(..));
+        self.retire_slot(0, slot);
         self.ready.make_contiguous().sort_by_key(|e| e.seq);
     }
 }

@@ -28,6 +28,35 @@
 //! of thread scheduling; the whole run is therefore bit-exact for any
 //! worker count, including `workers = 1` (the serial runner).
 //!
+//! # Window skip
+//!
+//! The next window always starts at the *global minimum next-event time*
+//! `T`, not at the previous window's end: when every shard's queue is
+//! quiet past the last window, the global clock jumps straight over the
+//! gap instead of grinding through empty fixed-lookahead windows. The
+//! skip is conservative and needs no null messages: a cross-shard packet
+//! can only be created by an event executing in some shard, every pending
+//! event is at `≥ T` by definition of the minimum, and its earliest
+//! cross-shard consequence lands at `≥ T + L` — so the skipped span
+//! `(prev_end, T)` provably contains no event and no in-flight transfer.
+//! The runner counts skipped spans in [`ShardStats::windows_skipped`]
+//! (in units of whole lookahead windows not executed).
+//!
+//! # Transfer lanes
+//!
+//! Cross-shard packets travel through per-`(src, dst)`-shard *transfer
+//! lanes*: plain `Vec<XferMsg>` buffers owned one phase at a time. The
+//! source shard's worker appends during window execution; the
+//! destination's worker drains at the next round's ingest; the round's
+//! two barriers (the min-reduction barrier and the post-export barrier)
+//! separate the phases, so the lanes need no locks and no atomics — the
+//! barrier's own mutex provides the happens-before edge. Each lane is
+//! kept `(time, seq)`-sorted at export (appends are already in order
+//! except under reordering fault injection), and ingest performs a k-way
+//! streaming merge across a destination's lanes on `(time, src, seq)` —
+//! identical total order to the old sort-a-fresh-`Vec` inbox, with zero
+//! steady-state allocation: lane capacity, merge scratch, and the export
+//! staging buffer are all retained across windows.
 //! # Determinism across partitionings
 //!
 //! Worker-count invariance comes from the protocol above. *Partitioning*
@@ -43,6 +72,7 @@
 //! talks to them through command channels ([`ShardedSimulator::with_shard`]).
 
 use std::any::Any;
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -217,10 +247,22 @@ impl PoisonBarrier {
     }
 
     fn wait(&self) {
+        self.wait_leader(|| {});
+    }
+
+    /// Barrier wait with a *reduction hook*: `leader` runs exactly once
+    /// per generation, on the last thread to arrive, inside the barrier's
+    /// critical section — every peer is parked on the condvar, so the
+    /// closure has exclusive, mutex-ordered access to whatever shared
+    /// state it reduces. This folds the runner's old
+    /// store–barrier–compute–barrier sequence into a single barrier per
+    /// round.
+    fn wait_leader(&self, leader: impl FnOnce()) {
         let mut s = self.state.lock().expect("barrier lock");
         assert!(!s.poisoned, "shard worker panicked; barrier poisoned");
         s.count += 1;
         if s.count == self.n {
+            leader();
             s.count = 0;
             s.gen = s.gen.wrapping_add(1);
             self.cv.notify_all();
@@ -241,20 +283,63 @@ impl PoisonBarrier {
     }
 }
 
+/// One single-writer/single-reader transfer lane between an ordered
+/// `(src, dst)` shard pair: the unlocked replacement for the old
+/// `Mutex<Vec<XferMsg>>` inboxes.
+///
+/// Access is phase-disciplined by the round's barriers, never by a lock:
+///
+/// - **write phase** (window execution → export barrier): only the worker
+///   owning the *source* shard touches the lane, appending exports;
+/// - **read phase** (export barrier → next reduction barrier): only the
+///   worker owning the *destination* shard touches it, draining messages
+///   and `clear()`ing — which retains capacity, so a warmed-up lane never
+///   reallocates.
+///
+/// The export barrier between the phases is a mutex+condvar, so every
+/// write in phase N is visible to the reader in phase N+1 (release on
+/// barrier entry, acquire on exit). The reader finishes before its own
+/// reduction-barrier arrival, which in turn happens before any writer
+/// starts the next window — the two exclusive windows can never overlap.
+struct Lane {
+    buf: UnsafeCell<Vec<XferMsg>>,
+}
+
+// SAFETY: see the phase discipline above — at any instant at most one
+// thread holds a reference into `buf`, and phase transitions synchronize
+// through the `PoisonBarrier` mutex.
+unsafe impl Sync for Lane {}
+
 /// State shared by all workers for window synchronization and transfer.
 struct SyncState {
     barrier: PoisonBarrier,
     /// Per-worker minimum next-event time (µs; `u64::MAX` when idle).
+    /// Written before / read inside the reduction barrier, whose mutex
+    /// provides the ordering — hence `Relaxed` everywhere.
     local_min: Vec<AtomicU64>,
     /// End (exclusive, µs) of the current window; [`STOP`] to finish.
+    /// Written by the reduction leader, read by everyone after the
+    /// barrier releases them.
     window_end: AtomicU64,
-    /// Per-shard merge queues: packets awaiting ingest. Filled between
-    /// barriers, drained by the owning worker at round start; occupancy is
-    /// naturally bounded by one lookahead window's cross-shard traffic.
-    inboxes: Vec<Mutex<Vec<XferMsg>>>,
+    /// End of the previously executed window (µs; `u64::MAX` when there
+    /// is none, e.g. after a [`STOP`]). Only the reduction leader touches
+    /// it, inside the barrier's critical section.
+    prev_window_end: AtomicU64,
+    /// Cumulative count of whole lookahead windows the global clock
+    /// jumped over (see the module-level *Window skip* section).
+    windows_skipped: AtomicU64,
+    /// Transfer lanes, one per distinct declared `(src, dst)` shard pair,
+    /// ordered by that pair.
+    lanes: Vec<Lane>,
+    /// `dst shard → lane indices feeding it`, ascending source shard: the
+    /// k-way ingest merge visits them in tie-break order.
+    in_lanes: Vec<Vec<usize>>,
+    /// `lane index → source shard` (capacity accounting attribution).
+    lane_src: Vec<usize>,
     /// `boundary id → (destination shard, ingress channel index, declared
-    /// source shard)`; set once after all shards report their wiring.
-    route: OnceLock<Vec<(usize, usize, usize)>>,
+    /// source shard, lane index)`; set once after all shards report their
+    /// wiring.
+    route: OnceLock<Vec<(usize, usize, usize, usize)>>,
 }
 
 /// Commands the main thread sends to a worker.
@@ -275,6 +360,11 @@ struct RunReport {
     max_batch_depth: u64,
     events: u64,
     barrier_wait_ns: u64,
+    /// Heap allocations this worker's thread performed inside the window
+    /// loop (zero unless built with `comma-rt/alloc-stats`).
+    allocs: u64,
+    /// Retained capacity (bytes) of the lanes this worker writes.
+    lane_bytes: u64,
 }
 
 enum WorkerMsg {
@@ -294,24 +384,38 @@ struct WorkerHandle {
     join: Option<JoinHandle<()>>,
 }
 
-/// Cumulative runner statistics; all fields except `barrier_wait_ns`
-/// depend only on the deterministic event stream (identical for any
-/// worker count).
+/// Cumulative runner statistics; all fields except `barrier_wait_ns` and
+/// `allocs` depend only on the deterministic event stream (identical for
+/// any worker count).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ShardStats {
     /// Synchronization windows executed.
     pub windows: u64,
+    /// Whole lookahead windows the global clock skipped over because no
+    /// shard had an event in them (adaptive window advancement).
+    pub windows_skipped: u64,
     /// Packets transferred across shard boundaries.
     pub xfer_pkts: u64,
-    /// Non-empty per-destination transfer batches pushed.
+    /// Non-empty transfer-lane flushes (one per lane per window that
+    /// carried traffic).
     pub xfer_batches: u64,
-    /// Deepest per-shard merge queue observed at ingest.
+    /// Deepest per-shard ingest merge (messages across all of a
+    /// destination's lanes in one round).
     pub max_batch_depth: u64,
     /// Total events processed across all shards.
     pub events: u64,
     /// Wall-clock nanoseconds workers spent waiting at barriers (summed
     /// over workers; *not* deterministic — exported under a `wall.` key).
     pub barrier_wait_ns: u64,
+    /// Heap allocations performed inside the workers' window loops,
+    /// cumulative over runs (zero unless built with
+    /// `comma-rt/alloc-stats`). Deterministic for a fixed configuration
+    /// but *worker-count dependent* — exported under a `wall.` key.
+    pub allocs: u64,
+    /// Retained transfer-lane capacity in bytes (a footprint gauge, not a
+    /// cumulative counter): the lane memory the runner holds between
+    /// windows instead of reallocating each round.
+    pub lane_bytes: u64,
 }
 
 /// The sharded parallel runner: per-shard [`Simulator`]s pinned to worker
@@ -328,6 +432,9 @@ pub struct ShardedSimulator {
     now: SimTime,
     lookahead: SimDuration,
     stats: ShardStats,
+    /// Shared synchronization state (for reading leader-side counters like
+    /// `windows_skipped` after a run; the main thread never touches lanes).
+    sync: Arc<SyncState>,
     /// Observability handle for `shard.*` runner gauges (window count,
     /// transfer depth, lookahead) — disabled by default, like
     /// [`Simulator::obs`]. Per-shard simulators have their own (disabled)
@@ -351,11 +458,37 @@ impl ShardedSimulator {
         let n_workers = workers.clamp(1, n_shards);
         let assignment: Vec<usize> = (0..n_shards).map(|s| s % n_workers).collect();
 
+        // One transfer lane per distinct declared (src, dst) shard pair;
+        // multiple boundaries between the same pair share a lane (their
+        // messages stay in per-source `seq` order either way).
+        let mut lane_pairs: Vec<(usize, usize)> = plan
+            .boundaries
+            .iter()
+            .map(|d| (d.src_shard, d.dst_shard))
+            .collect();
+        lane_pairs.sort_unstable();
+        lane_pairs.dedup();
+        let mut in_lanes: Vec<Vec<usize>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (lane, &(_, dst)) in lane_pairs.iter().enumerate() {
+            // `lane_pairs` is sorted by (src, dst), so each destination's
+            // lane list comes out in ascending source-shard order — the
+            // ingest merge's tie-break order.
+            in_lanes[dst].push(lane);
+        }
         let state = Arc::new(SyncState {
             barrier: PoisonBarrier::new(n_workers),
             local_min: (0..n_workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
             window_end: AtomicU64::new(STOP),
-            inboxes: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            prev_window_end: AtomicU64::new(u64::MAX),
+            windows_skipped: AtomicU64::new(0),
+            lanes: lane_pairs
+                .iter()
+                .map(|_| Lane {
+                    buf: UnsafeCell::new(Vec::new()),
+                })
+                .collect(),
+            in_lanes,
+            lane_src: lane_pairs.iter().map(|&(src, _)| src).collect(),
             route: OnceLock::new(),
         });
 
@@ -422,7 +555,7 @@ impl ShardedSimulator {
                 WorkerMsg::RunDone { .. } => unreachable!("no run issued yet"),
             }
         }
-        let route: Vec<(usize, usize, usize)> = plan
+        let route: Vec<(usize, usize, usize, usize)> = plan
             .boundaries
             .iter()
             .enumerate()
@@ -435,7 +568,10 @@ impl ShardedSimulator {
                     "boundary {b} ingress registered in shard {shard}, declared dst {}",
                     decl.dst_shard
                 );
-                (shard, ch.0, decl.src_shard)
+                let lane = lane_pairs
+                    .binary_search(&(decl.src_shard, decl.dst_shard))
+                    .expect("every declared boundary has a lane");
+                (shard, ch.0, decl.src_shard, lane)
             })
             .collect();
         state
@@ -451,6 +587,7 @@ impl ShardedSimulator {
             now: SimTime::ZERO,
             lookahead: plan.lookahead,
             stats: ShardStats::default(),
+            sync: state,
             obs: Obs::new(),
         }
     }
@@ -511,6 +648,8 @@ impl ShardedSimulator {
                     merged.max_batch_depth = merged.max_batch_depth.max(report.max_batch_depth);
                     merged.events += report.events;
                     merged.barrier_wait_ns += report.barrier_wait_ns;
+                    merged.allocs += report.allocs;
+                    merged.lane_bytes += report.lane_bytes;
                 }
                 Ok(WorkerMsg::Panicked { msg }) => {
                     done += 1;
@@ -534,11 +673,14 @@ impl ShardedSimulator {
         }
         self.now = self.now.max(t);
         self.stats.windows += merged.windows;
+        self.stats.windows_skipped = self.sync.windows_skipped.load(Ordering::Relaxed);
         self.stats.xfer_pkts += merged.xfer_pkts;
         self.stats.xfer_batches += merged.xfer_batches;
         self.stats.max_batch_depth = self.stats.max_batch_depth.max(merged.max_batch_depth);
         self.stats.events = merged.events;
         self.stats.barrier_wait_ns += merged.barrier_wait_ns;
+        self.stats.allocs += merged.allocs;
+        self.stats.lane_bytes = merged.lane_bytes;
         self.obs_gauges();
     }
 
@@ -556,14 +698,19 @@ impl ShardedSimulator {
         self.obs
             .gauge("shard", "lookahead_us", self.lookahead.as_micros() as f64);
         self.obs.gauge("shard", "windows", s.windows as f64);
+        self.obs
+            .gauge("shard", "windows_skipped", s.windows_skipped as f64);
         self.obs.gauge("shard", "xfer_pkts", s.xfer_pkts as f64);
         self.obs.gauge("shard", "xfer_batches", s.xfer_batches as f64);
         self.obs
             .gauge("shard", "max_batch_depth", s.max_batch_depth as f64);
         self.obs.gauge("shard", "events", s.events as f64);
-        // Wall-clock: quarantined out of deterministic exports by its key.
+        self.obs.gauge("shard", "lane_bytes", s.lane_bytes as f64);
+        // Wall-clock / worker-count-dependent values: quarantined out of
+        // deterministic exports by their `wall.` key prefix.
         self.obs
             .gauge("shard", "wall.barrier_ns", s.barrier_wait_ns as f64);
+        self.obs.gauge("shard", "wall.allocs", s.allocs as f64);
     }
 
     /// Runs `f` against one shard's simulator inside its worker thread and
@@ -603,6 +750,16 @@ impl ShardedSimulator {
         }
     }
 
+    /// Enables (or disables) per-channel rate-series recording on every
+    /// shard (see [`Simulator::set_record_series`]). Throughput benchmarks
+    /// turn it off: an unread series otherwise grows sample storage on
+    /// every delivery.
+    pub fn set_record_series(&mut self, on: bool) {
+        for shard in 0..self.shard_count() {
+            self.with_shard(shard, move |sim| sim.set_record_series(on));
+        }
+    }
+
     /// Enables full packet-trace capture on every shard with the given
     /// entry cap (per shard).
     pub fn set_trace_capture(&mut self, on: bool, max_entries: usize) {
@@ -621,25 +778,86 @@ impl ShardedSimulator {
     /// byte-identical here if and only if they moved the same packets at
     /// the same times.
     pub fn merged_trace(&mut self) -> Vec<(u64, String)> {
-        let mut all: Vec<(u64, String)> = Vec::new();
+        let mut per_shard = Vec::with_capacity(self.shard_count());
         for shard in 0..self.shard_count() {
-            all.extend(self.with_shard(shard, |sim| sim.render_trace_named()));
+            let mut rendered = self.with_shard(shard, |sim| sim.render_trace_named());
+            // Per-shard traces are time-ordered already; same-instant
+            // lines may need a local swap into (time, line) order, which
+            // the adaptive merge sort sees as nearly-sorted input.
+            rendered.sort();
+            per_shard.push(rendered);
         }
-        all.sort();
-        all
+        merge_sorted_traces(per_shard)
     }
 
     /// FNV-1a digest of [`ShardedSimulator::merged_trace`].
     pub fn merged_trace_digest(&mut self) -> u64 {
         let mut digest = comma_rt::digest::Fnv1a::new();
+        let mut num = [0u8; 20];
         for (t, line) in self.merged_trace() {
-            digest.update(t.to_string().as_bytes());
+            digest.update(u64_decimal(t, &mut num));
             digest.update(b" ");
             digest.update(line.as_bytes());
             digest.update(b"\n");
         }
         digest.finish()
     }
+}
+
+/// Formats `v` as decimal digits into `buf`, returning the used suffix —
+/// the digest loop's allocation-free stand-in for `v.to_string()`
+/// (byte-identical output, pinned by a unit test).
+fn u64_decimal(mut v: u64, buf: &mut [u8; 20]) -> &[u8] {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    &buf[i..]
+}
+
+/// Merges per-shard `(time, line)` traces — each already sorted — into one
+/// canonical `(time, line)`-ordered sequence, *moving* every line instead
+/// of cloning it. Equivalent to concatenating and sorting (total order,
+/// stability irrelevant for equal keys), but does one k-way front scan per
+/// line and exactly one output allocation. Public for the
+/// `shard_trace_merge` micro benchmark.
+pub fn merge_sorted_traces(mut shards: Vec<Vec<(u64, String)>>) -> Vec<(u64, String)> {
+    if shards.len() == 1 {
+        return shards.pop().unwrap();
+    }
+    let total = shards.iter().map(Vec::len).sum();
+    let mut out: Vec<(u64, String)> = Vec::with_capacity(total);
+    let mut pos: Vec<usize> = vec![0; shards.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..shards.len() {
+            if pos[i] >= shards[i].len() {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    let cand = &shards[i][pos[i]];
+                    let cur = &shards[b][pos[b]];
+                    if (cand.0, &cand.1) < (cur.0, &cur.1) {
+                        i
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let Some(b) = best else { break };
+        let (t, line) = &mut shards[b][pos[b]];
+        out.push((*t, std::mem::take(line)));
+        pos[b] += 1;
+    }
+    out
 }
 
 impl Drop for ShardedSimulator {
@@ -667,6 +885,19 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
+/// Recycled per-worker scratch. Every buffer is cleared, never dropped, so
+/// a warmed-up worker's window loop performs zero heap allocations.
+#[derive(Default)]
+struct Scratch {
+    /// Staging for [`Simulator::drain_outbox`] during export.
+    outbox: Vec<(BoundaryId, SimTime, Packet)>,
+    /// Lanes this worker pushed into during the current window
+    /// (empty → non-empty transitions; one entry per lane per window).
+    touched: Vec<usize>,
+    /// Lane indices with messages remaining, for the k-way ingest merge.
+    heads: Vec<usize>,
+}
+
 /// Body of one worker thread: builds its shards, then serves commands.
 fn worker_main(
     worker: usize,
@@ -692,8 +923,7 @@ fn worker_main(
     // Per-owned-shard export sequence numbers (monotonic for the run's
     // lifetime; merged ingest sorts on (time, src shard, seq)).
     let mut seqs: Vec<u32> = vec![0; owned.len()];
-    let mut scratch: Vec<(BoundaryId, SimTime, Packet)> = Vec::new();
-    let mut export: Vec<(usize, XferMsg)> = Vec::new();
+    let mut scratch = Scratch::default();
 
     while let Ok(cmd) = cmd_rx.recv() {
         match cmd {
@@ -708,7 +938,12 @@ fn worker_main(
                 let _ = reply.send(result.map_err(panic_message));
             }
             Cmd::Run { target_us } => {
-                let report = run_rounds(
+                // Meter the whole run on this thread: with
+                // `comma-rt/alloc-stats` the steady-state window loop is
+                // asserted allocation-free, so anything counted here is
+                // warm-up (first-run capacity growth) or node-level churn.
+                let scope = comma_rt::alloc::AllocScope::begin();
+                let mut report = run_rounds(
                     worker,
                     target_us,
                     lookahead_us,
@@ -716,8 +951,8 @@ fn worker_main(
                     &mut owned,
                     &mut seqs,
                     &mut scratch,
-                    &mut export,
                 );
+                report.allocs = scope.delta().allocs;
                 done_tx
                     .send(WorkerMsg::RunDone { report })
                     .expect("main thread is gone");
@@ -726,9 +961,81 @@ fn worker_main(
     }
 }
 
+/// Drains every lane feeding `shard` into its simulator, oldest first, in
+/// the deterministic `(time, src shard, seq)` merge order. Lanes are
+/// per-source and `(time, seq)`-sorted, so a k-way front merge reproduces
+/// the old global sort exactly — without allocating: each lane is reversed
+/// in place and consumed back-to-front with `pop`, which retains capacity.
+fn ingest_lanes(
+    shard: usize,
+    sim: &mut Simulator,
+    state: &SyncState,
+    heads: &mut Vec<usize>,
+    report: &mut RunReport,
+) {
+    let route = state.route.get().expect("routes wired before first run");
+    let lanes_in = &state.in_lanes[shard];
+    if let [lane] = lanes_in[..] {
+        // Single feeding lane: its (time, seq) order IS the merge order.
+        // SAFETY: read phase — this worker owns destination `shard`; see
+        // the `Lane` phase discipline.
+        let buf = unsafe { &mut *state.lanes[lane].buf.get() };
+        if buf.is_empty() {
+            return;
+        }
+        report.max_batch_depth = report.max_batch_depth.max(buf.len() as u64);
+        for m in buf.drain(..) {
+            let (_, ch, _, _) = route[m.boundary as usize];
+            sim.inject_boundary(ChannelId(ch), SimTime::from_micros(m.time), m.pkt);
+        }
+        return;
+    }
+    heads.clear();
+    let mut depth = 0u64;
+    for &lane in lanes_in {
+        // SAFETY: read phase (as above).
+        let buf = unsafe { &mut *state.lanes[lane].buf.get() };
+        if !buf.is_empty() {
+            depth += buf.len() as u64;
+            // Consume smallest-first via pop() below.
+            buf.reverse();
+            heads.push(lane);
+        }
+    }
+    if heads.is_empty() {
+        return;
+    }
+    report.max_batch_depth = report.max_batch_depth.max(depth);
+    while !heads.is_empty() {
+        let mut best = 0usize;
+        let mut best_key = {
+            // SAFETY: read phase (as above); `heads` only holds non-empty
+            // lanes.
+            let m = unsafe { &*state.lanes[heads[0]].buf.get() }.last().unwrap();
+            (m.time, m.src_shard, m.seq)
+        };
+        for (i, &lane) in heads.iter().enumerate().skip(1) {
+            // SAFETY: read phase (as above).
+            let m = unsafe { &*state.lanes[lane].buf.get() }.last().unwrap();
+            let key = (m.time, m.src_shard, m.seq);
+            if key < best_key {
+                best = i;
+                best_key = key;
+            }
+        }
+        // SAFETY: read phase (as above).
+        let buf = unsafe { &mut *state.lanes[heads[best]].buf.get() };
+        let m = buf.pop().unwrap();
+        if buf.is_empty() {
+            heads.swap_remove(best);
+        }
+        let (_, ch, _, _) = route[m.boundary as usize];
+        sim.inject_boundary(ChannelId(ch), SimTime::from_micros(m.time), m.pkt);
+    }
+}
+
 /// One `run_until` on one worker: conservative lookahead rounds until the
 /// global minimum next-event time passes `target_us`.
-#[allow(clippy::too_many_arguments)]
 fn run_rounds(
     worker: usize,
     target_us: u64,
@@ -736,8 +1043,7 @@ fn run_rounds(
     state: &SyncState,
     owned: &mut [(usize, Simulator)],
     seqs: &mut [u32],
-    scratch: &mut Vec<(BoundaryId, SimTime, Packet)>,
-    export: &mut Vec<(usize, XferMsg)>,
+    scratch: &mut Scratch,
 ) -> RunReport {
     let route = state.route.get().expect("routes wired before first run");
     let mut report = RunReport::default();
@@ -746,40 +1052,25 @@ fn run_rounds(
         sim.start();
     }
     loop {
-        // Phase 1: ingest last round's transfers, oldest first, in the
-        // deterministic (time, src shard, seq) merge order.
+        // Phase 1: ingest last round's transfers (the lanes' read phase),
+        // then publish this worker's minimum next-event time.
+        let mut local_min = u64::MAX;
         for (shard, sim) in owned.iter_mut() {
-            let mut msgs = {
-                let mut inbox = state.inboxes[*shard].lock().expect("inbox lock");
-                std::mem::take(&mut *inbox)
-            };
-            if msgs.is_empty() {
-                continue;
-            }
-            report.max_batch_depth = report.max_batch_depth.max(msgs.len() as u64);
-            msgs.sort_by_key(|m| (m.time, m.src_shard, m.seq));
-            for m in msgs {
-                let (_, ch, _) = route[m.boundary as usize];
-                sim.inject_boundary(ChannelId(ch), SimTime::from_micros(m.time), m.pkt);
+            ingest_lanes(*shard, sim, state, &mut scratch.heads, &mut report);
+            if let Some(t) = sim.next_event_time() {
+                local_min = local_min.min(t.as_micros());
             }
         }
+        state.local_min[worker].store(local_min, Ordering::Relaxed);
 
-        // Phase 2: global minimum next-event time across all shards.
-        let local_min = owned
-            .iter_mut()
-            .filter_map(|(_, sim)| sim.next_event_time())
-            .map(|t| t.as_micros())
-            .min()
-            .unwrap_or(u64::MAX);
-        state.local_min[worker].store(local_min, Ordering::SeqCst);
+        // Phase 2: one barrier; the last thread to arrive reduces the
+        // global minimum and opens the next window (or closes the run).
         let t0 = Instant::now();
-        state.barrier.wait();
-        waited += t0.elapsed();
-        if worker == 0 {
+        state.barrier.wait_leader(|| {
             let global_min = state
                 .local_min
                 .iter()
-                .map(|m| m.load(Ordering::SeqCst))
+                .map(|m| m.load(Ordering::Relaxed))
                 .min()
                 .expect("at least one worker");
             let end = if global_min == u64::MAX || global_min > target_us {
@@ -789,13 +1080,27 @@ fn run_rounds(
                     .saturating_add(lookahead_us)
                     .min(target_us.saturating_add(1))
             };
-            state.window_end.store(end, Ordering::SeqCst);
-        }
-        let t0 = Instant::now();
-        state.barrier.wait();
+            let prev = state.prev_window_end.load(Ordering::Relaxed);
+            if end == STOP {
+                // Segment boundary: the gap to the next `run_until`'s
+                // first window is idle time between runs, not a skip.
+                state.prev_window_end.store(u64::MAX, Ordering::Relaxed);
+            } else {
+                if prev != u64::MAX && global_min > prev {
+                    // The window opens past the previous window's end:
+                    // adaptive advancement jumped the global clock over
+                    // `global_min - prev` µs of provably-empty time.
+                    state
+                        .windows_skipped
+                        .fetch_add((global_min - prev) / lookahead_us, Ordering::Relaxed);
+                }
+                state.prev_window_end.store(end, Ordering::Relaxed);
+            }
+            state.window_end.store(end, Ordering::Relaxed);
+        });
         waited += t0.elapsed();
 
-        let end = state.window_end.load(Ordering::SeqCst);
+        let end = state.window_end.load(Ordering::Relaxed);
         if end == STOP {
             // Nothing due at or before the target anywhere: advance every
             // shard's clock to the target and finish. No events run, so
@@ -808,11 +1113,12 @@ fn run_rounds(
         report.windows += 1;
 
         // Phase 3: execute the window [global_min, end) in parallel and
-        // export boundary crossings for next round's ingest.
+        // append boundary crossings to their lanes (the write phase) for
+        // next round's ingest.
         for (pos, (shard, sim)) in owned.iter_mut().enumerate() {
             sim.run_until(SimTime::from_micros(end - 1));
-            sim.drain_outbox(scratch);
-            for (boundary, at, pkt) in scratch.drain(..) {
+            sim.drain_outbox(&mut scratch.outbox);
+            for (boundary, at, pkt) in scratch.outbox.drain(..) {
                 let at_us = at.as_micros();
                 assert!(
                     at_us >= end,
@@ -823,47 +1129,64 @@ fn run_rounds(
                 );
                 let seq = seqs[pos];
                 seqs[pos] = seq.wrapping_add(1);
-                let (dst, _, declared_src) = route[boundary as usize];
+                let (_, _, declared_src, lane) = route[boundary as usize];
                 debug_assert_eq!(
                     declared_src, *shard,
                     "boundary {boundary} egress created in shard {shard}, declared src {declared_src}"
                 );
-                export.push((
-                    dst,
-                    XferMsg {
-                        time: at_us,
-                        src_shard: *shard as u32,
-                        seq,
-                        boundary,
-                        pkt,
-                    },
-                ));
+                // SAFETY: write phase — this worker owns source shard
+                // `shard`, and each lane has exactly one source shard; see
+                // the `Lane` phase discipline.
+                let buf = unsafe { &mut *state.lanes[lane].buf.get() };
+                if buf.is_empty() {
+                    scratch.touched.push(lane);
+                }
+                buf.push(XferMsg {
+                    time: at_us,
+                    src_shard: *shard as u32,
+                    seq,
+                    boundary,
+                    pkt,
+                });
+                report.xfer_pkts += 1;
             }
         }
-        if !export.is_empty() {
-            report.xfer_pkts += export.len() as u64;
-            // Group per destination so each inbox is locked once.
-            export.sort_by_key(|(dst, m)| (*dst, m.src_shard, m.seq));
-            while !export.is_empty() {
-                let dst = export[0].0;
-                let run = export
-                    .iter()
-                    .position(|(d, _)| *d != dst)
-                    .unwrap_or(export.len());
-                let mut inbox = state.inboxes[dst].lock().expect("inbox lock");
-                inbox.extend(export.drain(..run).map(|(_, m)| m));
-                report.xfer_batches += 1;
+        // Outbox drains in send order, so lanes come out (time, seq)-
+        // sorted already — except under fault injection, whose extra
+        // per-packet delay makes arrival times non-monotonic. Check (one
+        // linear pass over what this window appended) and only then sort.
+        for &lane in &scratch.touched {
+            report.xfer_batches += 1;
+            // SAFETY: write phase (as above).
+            let buf = unsafe { &mut *state.lanes[lane].buf.get() };
+            let sorted = buf
+                .windows(2)
+                .all(|w| (w[0].time, w[0].seq) <= (w[1].time, w[1].seq));
+            if !sorted {
+                buf.sort_unstable_by_key(|m| (m.time, m.seq));
             }
         }
+        scratch.touched.clear();
 
         // Phase 4: everyone finished the window (and its exports) before
-        // anyone ingests the next round.
+        // anyone ingests the next round — the write→read phase flip.
         let t0 = Instant::now();
         state.barrier.wait();
         waited += t0.elapsed();
     }
     report.events = owned.iter().map(|(_, sim)| sim.events_processed()).sum();
     report.barrier_wait_ns = waited.as_nanos() as u64;
+    // Retained lane capacity, attributed to the worker owning each lane's
+    // source shard. Reading here is race-free: the STOP round executed no
+    // window, so no thread has touched any lane since the final barrier.
+    for (lane, &src) in state.lane_src.iter().enumerate() {
+        if owned.iter().any(|(s, _)| *s == src) {
+            // SAFETY: post-STOP quiescence (above).
+            let buf = unsafe { &*state.lanes[lane].buf.get() };
+            report.lane_bytes +=
+                (buf.capacity() * std::mem::size_of::<XferMsg>()) as u64;
+        }
+    }
     report
 }
 
@@ -999,11 +1322,64 @@ mod tests {
             let mut s = ShardedSimulator::new(two_shard_plan(5), workers);
             s.run_until(SimTime::from_millis(200));
             let st = s.stats();
-            (st.windows, st.xfer_pkts, st.max_batch_depth, st.events)
+            (
+                st.windows,
+                st.windows_skipped,
+                st.xfer_pkts,
+                st.xfer_batches,
+                st.max_batch_depth,
+                st.events,
+            )
         };
-        assert_eq!(stats(1), stats(2));
-        let (windows, xfer, _, events) = stats(2);
-        assert!(windows > 0 && xfer > 0 && events > 0);
+        assert_eq!(stats(1), stats(2), "all event-stream stats are worker-invariant");
+        let (windows, _, xfer, batches, _, events) = stats(2);
+        assert!(windows > 0 && xfer > 0 && batches > 0 && events > 0);
+    }
+
+    #[test]
+    fn sparse_traffic_skips_windows() {
+        // One lonely pinger with a 50 ms period and a 1 ms lookahead: the
+        // clock must jump the dead time between pings instead of grinding
+        // through ~49 empty windows per period.
+        let mut plan = ShardPlan::new(3, SimDuration::from_millis(1));
+        plan.add_shard(|sim| {
+            sim.add_node_keyed(Box::new(Pinger::new("solo", 1, 50)), 100);
+            ShardWiring::new()
+        });
+        let mut s = ShardedSimulator::new(plan, 1);
+        s.run_until(SimTime::from_secs(1));
+        let st = s.stats();
+        assert!(
+            st.windows < 100,
+            "adaptive advancement keeps executed windows near the event count, got {}",
+            st.windows
+        );
+        assert!(
+            st.windows_skipped > 500,
+            "~49 empty windows per 50 ms period must be skipped, got {}",
+            st.windows_skipped
+        );
+    }
+
+    #[test]
+    fn u64_decimal_matches_to_string() {
+        let mut buf = [0u8; 20];
+        for v in [0u64, 1, 9, 10, 99, 12_345, u64::MAX] {
+            assert_eq!(u64_decimal(v, &mut buf), v.to_string().as_bytes());
+        }
+    }
+
+    #[test]
+    fn merge_sorted_traces_equals_concat_and_sort() {
+        let shards = vec![
+            vec![(1, "b".to_string()), (1, "c".to_string()), (5, "a".to_string())],
+            vec![(1, "a".to_string()), (4, "z".to_string())],
+            vec![],
+            vec![(0, "x".to_string()), (5, "a".to_string())],
+        ];
+        let mut expect: Vec<(u64, String)> = shards.iter().flatten().cloned().collect();
+        expect.sort();
+        assert_eq!(merge_sorted_traces(shards), expect);
     }
 
     #[test]

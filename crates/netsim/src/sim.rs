@@ -123,6 +123,11 @@ pub struct Simulator {
     coalesce_delivery: bool,
     /// Reusable delivery-batch buffer (allocation-free steady state).
     delivery_buf: Vec<Packet>,
+    /// Reusable dispatch effect buffers, threaded through every
+    /// [`NodeCtx`] so node callbacks append into retained capacity instead
+    /// of allocating a fresh pair of vectors per dispatch.
+    fx_outputs: Vec<(IfaceId, Packet)>,
+    fx_timers: Vec<(SimTime, u64, TimerHandle)>,
     /// Packets that completed transmission on a boundary-egress channel
     /// this window, awaiting export to their destination shard:
     /// `(boundary id, arrival time, packet)` in event order.
@@ -150,6 +155,8 @@ impl Simulator {
             observer: None,
             coalesce_delivery: false,
             delivery_buf: Vec::new(),
+            fx_outputs: Vec::new(),
+            fx_timers: Vec::new(),
             outbox: Vec::new(),
         }
     }
@@ -157,6 +164,17 @@ impl Simulator {
     /// The seed this simulator was constructed with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Enables or disables the per-channel delivery-rate
+    /// [`TimeSeries`](crate::stats::TimeSeries) on every channel created so
+    /// far. The series only feeds interactive consumers (Kati's netload
+    /// view, EEM samplers); throughput-bound runs turn it off so
+    /// steady-state delivery stays allocation-free.
+    pub fn set_record_series(&mut self, on: bool) {
+        for ch in &mut self.channels {
+            ch.series.set_enabled(on);
+        }
     }
 
     /// Enables (or disables) delivery coalescing: consecutive `Deliver`
@@ -587,7 +605,13 @@ impl Simulator {
             return;
         };
         let iface_count = self.node_meta[node.0].ifaces.len();
-        let (outputs, timers) = {
+        // Hand the recycled effect buffers to the context; a re-entrant
+        // dispatch (a control closure driving another node) sees empty
+        // vectors and simply allocates its own — correctness never depends
+        // on the recycling.
+        let fx_outputs = std::mem::take(&mut self.fx_outputs);
+        let fx_timers = std::mem::take(&mut self.fx_timers);
+        let (mut outputs, mut timers) = {
             let mut ctx = NodeCtx::new(
                 self.now,
                 node,
@@ -596,21 +620,24 @@ impl Simulator {
                 &mut self.trace,
             )
             .with_obs(&self.obs)
-            .with_timer_slab(&mut self.sched.slab);
+            .with_timer_slab(&mut self.sched.slab)
+            .with_effect_buffers(fx_outputs, fx_timers);
             f(&mut boxed, &mut ctx);
             ctx.take_effects()
         };
         self.nodes[node.0] = Some(boxed);
-        for (iface, pkt) in outputs {
+        for (iface, pkt) in outputs.drain(..) {
             self.transmit(node, iface, pkt);
         }
         // One timer path: every context timer carries a live handle minted
         // from this wheel's slab (the context was attached to it above).
-        for (at, token, handle) in timers {
+        for (at, token, handle) in timers.drain(..) {
             let at = at.max(self.now);
             self.sched
                 .schedule_cancellable(at, handle, Event::Timer { node, token });
         }
+        self.fx_outputs = outputs;
+        self.fx_timers = timers;
     }
 
     fn dispatch_packet(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {

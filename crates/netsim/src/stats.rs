@@ -13,6 +13,7 @@ pub struct TimeSeries {
     current_sum: f64,
     samples: Vec<(SimTime, f64)>,
     max_samples: usize,
+    enabled: bool,
 }
 
 impl TimeSeries {
@@ -24,7 +25,23 @@ impl TimeSeries {
             current_sum: 0.0,
             samples: Vec::new(),
             max_samples: 100_000,
+            enabled: true,
         }
+    }
+
+    /// Enables or disables recording. A disabled series drops
+    /// [`TimeSeries::record`]/[`TimeSeries::roll_to`] calls on the floor —
+    /// no bucket state, no sample storage, no allocation. Throughput-bound
+    /// consumers that never read the series (the sharded benchmarks) turn
+    /// it off so per-delivery accounting stays heap-silent; interactive
+    /// consumers (Kati's netload view, the EEM samplers) leave it on.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 
     /// Returns the bucket width.
@@ -39,12 +56,18 @@ impl TimeSeries {
     /// then lands in the newly-opened one (pinned by the
     /// `boundary_value_opens_new_bucket` regression test).
     pub fn record(&mut self, now: SimTime, value: f64) {
+        if !self.enabled {
+            return;
+        }
         self.roll_to(now);
         self.current_sum += value;
     }
 
     /// Flushes any buckets that ended at or before `now` (with zero-fill).
     pub fn roll_to(&mut self, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
         while now >= self.current_start + self.bucket {
             self.push_sample(self.current_start, self.current_sum);
             self.current_start += self.bucket;

@@ -7,7 +7,21 @@
 //! filter, and queued for retransmission while all views share one
 //! allocation. [`BytesMut`] is the build-side companion: an owned,
 //! growable buffer that [`BytesMut::freeze`]s into a `Bytes` for free.
+//!
+//! # Storage pooling
+//!
+//! Payload storage is recycled through a thread-local, size-classed pool:
+//! when the **last** view of a buffer drops, its `Arc<Vec<u8>>` — the byte
+//! storage *and* the refcount block — goes back on a per-thread shelf, and
+//! the copying constructors ([`Bytes::copy_from_slice`],
+//! [`BytesMut::with_capacity`]) take from the shelf before asking the
+//! allocator. A simulation in steady state (packets born and retired at a
+//! matched rate) therefore stops allocating for payloads entirely; the
+//! `alloc-stats` regression gate in CI pins that property. The pool is
+//! invisible to callers: contents, equality, and [`Bytes::ptr_eq`]
+//! semantics are exactly as if every buffer were freshly allocated.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
@@ -17,6 +31,86 @@ use std::sync::{Arc, OnceLock};
 fn empty_storage() -> &'static Arc<Vec<u8>> {
     static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
     EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
+
+/// Thread-local freelist of unique `Arc<Vec<u8>>` storages, shelved by
+/// power-of-two capacity class. Bounded per class so a burst can never pin
+/// more than a few megabytes per thread.
+mod pool {
+    use super::*;
+
+    /// Smallest pooled capacity: 2^6 = 64 B (a minimal packet payload).
+    const MIN_CLASS: u32 = 6;
+    /// Largest pooled capacity: 2^17 = 128 KiB (several TCP chunks).
+    const MAX_CLASS: u32 = 17;
+    /// Storages kept per class; beyond this, drops fall through to `free`.
+    const PER_CLASS: usize = 16;
+    const N_CLASSES: usize = (MAX_CLASS - MIN_CLASS + 1) as usize;
+
+    thread_local! {
+        static SHELVES: RefCell<Vec<Vec<Arc<Vec<u8>>>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Returns empty, uniquely-owned storage with capacity ≥ `min_cap`.
+    pub(super) fn take(min_cap: usize) -> Arc<Vec<u8>> {
+        let want = min_cap.max(1 << MIN_CLASS).next_power_of_two();
+        let class = want.trailing_zeros();
+        if class <= MAX_CLASS {
+            let hit = SHELVES.with(|s| {
+                let mut shelves = s.borrow_mut();
+                if shelves.is_empty() {
+                    shelves.resize_with(N_CLASSES, Vec::new);
+                }
+                // Entries on shelf `c` have capacity in [2^c, 2^(c+1)), so
+                // anything on this shelf or above fits the request.
+                shelves[(class - MIN_CLASS) as usize..]
+                    .iter_mut()
+                    .find_map(Vec::pop)
+            });
+            if let Some(arc) = hit {
+                debug_assert!(arc.is_empty() && arc.capacity() >= min_cap);
+                return arc;
+            }
+        }
+        Arc::new(Vec::with_capacity(want.max(min_cap)))
+    }
+
+    /// Shelves uniquely-owned storage for reuse; oversized, undersized, or
+    /// overflow storages are simply freed.
+    pub(super) fn put(arc: Arc<Vec<u8>>) {
+        let cap = arc.capacity();
+        if !(1 << MIN_CLASS..=1 << MAX_CLASS).contains(&cap) {
+            return;
+        }
+        debug_assert!(arc.is_empty(), "pooled storage must be cleared");
+        let class = cap.ilog2();
+        // `try_with`: during thread teardown the shelf may already be
+        // destroyed; let the storage free normally then.
+        let _ = SHELVES.try_with(|s| {
+            let mut shelves = s.borrow_mut();
+            if shelves.is_empty() {
+                shelves.resize_with(N_CLASSES, Vec::new);
+            }
+            let shelf = &mut shelves[(class - MIN_CLASS) as usize];
+            if shelf.len() < PER_CLASS {
+                shelf.push(arc);
+            }
+        });
+    }
+}
+
+/// If `data` is the last reference to its storage, clears it and shelves
+/// it on the thread-local pool (called from the `Drop` of both buffer
+/// types).
+fn reclaim(data: &mut Arc<Vec<u8>>) {
+    // Fast path out: shared storage (other views alive, or the static
+    // empty sentinel) just decrements its refcount on drop.
+    let Some(v) = Arc::get_mut(data) else { return };
+    if v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    pool::put(std::mem::replace(data, empty_storage().clone()));
 }
 
 /// An immutable, reference-counted slice of bytes.
@@ -30,6 +124,12 @@ pub struct Bytes {
     len: usize,
 }
 
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        reclaim(&mut self.data);
+    }
+}
+
 impl Bytes {
     /// Creates an empty buffer without allocating.
     pub fn new() -> Self {
@@ -40,9 +140,20 @@ impl Bytes {
         }
     }
 
-    /// Copies `src` into a fresh buffer.
+    /// Copies `src` into a fresh buffer (pooled storage when available).
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Bytes::from(src.to_vec())
+        if src.is_empty() {
+            return Bytes::new();
+        }
+        let mut data = pool::take(src.len());
+        Arc::get_mut(&mut data)
+            .expect("pooled storage is unique")
+            .extend_from_slice(src);
+        Bytes {
+            data,
+            off: 0,
+            len: src.len(),
+        }
     }
 
     /// Creates a buffer from a static slice (copied once; the storage is
@@ -265,83 +376,151 @@ impl fmt::Debug for Bytes {
 }
 
 /// A growable byte buffer that freezes into [`Bytes`] without copying.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Backed by the same pooled `Arc<Vec<u8>>` storage as [`Bytes`]:
+/// [`BytesMut::with_capacity`] draws from the thread-local pool and
+/// [`BytesMut::freeze`] hands the storage over without touching the
+/// allocator, so a build-freeze-drop packet cycle is allocation-free in
+/// steady state.
 pub struct BytesMut {
-    buf: Vec<u8>,
+    /// Invariant: uniquely owned, except when it aliases the static empty
+    /// sentinel (`BytesMut::new`), which is never written through.
+    data: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer without allocating.
     pub fn new() -> Self {
-        BytesMut { buf: Vec::new() }
+        BytesMut {
+            data: empty_storage().clone(),
+        }
     }
 
-    /// Creates an empty buffer with room for `cap` bytes.
+    /// Creates an empty buffer with room for `cap` bytes (pooled storage
+    /// when available).
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut {
-            buf: Vec::with_capacity(cap),
+        if cap == 0 {
+            return BytesMut::new();
         }
+        BytesMut {
+            data: pool::take(cap),
+        }
+    }
+
+    /// Unique mutable access to the backing vector, promoting the shared
+    /// empty sentinel to owned storage on first write. `hint` sizes that
+    /// first storage grab.
+    fn vec_mut(&mut self, hint: usize) -> &mut Vec<u8> {
+        if Arc::get_mut(&mut self.data).is_none() {
+            // Only the (empty) sentinel is ever shared, so there is no
+            // content to carry over.
+            debug_assert!(self.data.is_empty());
+            self.data = pool::take(hint);
+        }
+        Arc::get_mut(&mut self.data).expect("storage is unique")
     }
 
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.data.len()
     }
 
     /// Whether nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.data.is_empty()
     }
 
     /// Appends `src`.
     pub fn put_slice(&mut self, src: &[u8]) {
-        self.buf.extend_from_slice(src);
+        if src.is_empty() {
+            return;
+        }
+        self.vec_mut(src.len()).extend_from_slice(src);
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, b: u8) {
-        self.buf.push(b);
+        self.vec_mut(1).push(b);
     }
 
     /// Appends `n` in network (big-endian) byte order.
     pub fn put_u16(&mut self, n: u16) {
-        self.buf.extend_from_slice(&n.to_be_bytes());
+        self.put_slice(&n.to_be_bytes());
     }
 
     /// Appends `n` in network (big-endian) byte order.
     pub fn put_u32(&mut self, n: u32) {
-        self.buf.extend_from_slice(&n.to_be_bytes());
+        self.put_slice(&n.to_be_bytes());
     }
 
     /// Converts the accumulated bytes into an immutable [`Bytes`] without
-    /// copying the payload.
-    pub fn freeze(self) -> Bytes {
-        Bytes::from(self.buf)
+    /// copying the payload (and without allocating: the storage moves).
+    pub fn freeze(mut self) -> Bytes {
+        let len = self.data.len();
+        Bytes {
+            data: std::mem::replace(&mut self.data, empty_storage().clone()),
+            off: 0,
+            len,
+        }
     }
 }
+
+impl Drop for BytesMut {
+    fn drop(&mut self) {
+        reclaim(&mut self.data);
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        let mut m = BytesMut::with_capacity(self.len());
+        m.put_slice(self);
+        m
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf
+        &self.data
     }
 }
 
 impl std::ops::DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.buf
+        match Arc::get_mut(&mut self.data) {
+            Some(v) => v.as_mut_slice(),
+            // The shared sentinel is empty; an empty view is the honest
+            // answer and never aliases it mutably.
+            None => &mut [],
+        }
     }
 }
 
 impl From<Vec<u8>> for BytesMut {
     fn from(buf: Vec<u8>) -> Self {
-        BytesMut { buf }
+        BytesMut {
+            data: Arc::new(buf),
+        }
     }
 }
 
 impl fmt::Debug for BytesMut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BytesMut[{}]", self.buf.len())
+        write!(f, "BytesMut[{}]", self.data.len())
     }
 }
 
@@ -404,6 +583,61 @@ mod tests {
         m.put_slice(&[8, 9]);
         let b = m.freeze();
         assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn bytes_mut_starts_unallocated_and_grows_on_write() {
+        let mut m = BytesMut::new();
+        assert!(m.is_empty());
+        assert!(Arc::ptr_eq(&m.data, empty_storage()));
+        m.put_slice(b"hello");
+        assert_eq!(&m[..], b"hello");
+        m[0] = b'j';
+        assert_eq!(&m[..], b"jello");
+        let copy = m.clone();
+        assert_eq!(copy, m);
+        assert_eq!(&copy.freeze()[..], b"jello");
+    }
+
+    #[test]
+    fn dropped_storage_is_reused_from_the_pool() {
+        // Drain whatever this thread's pool already shelved at this size
+        // so the identity check below sees our storage, not a leftover.
+        let drained: Vec<Bytes> = (0..64)
+            .map(|_| Bytes::copy_from_slice(&[0u8; 100]))
+            .collect();
+        drop(drained);
+        let first = Bytes::copy_from_slice(&[7u8; 100]);
+        let ptr = first.as_slice().as_ptr();
+        drop(first);
+        let second = Bytes::copy_from_slice(&[9u8; 100]);
+        assert_eq!(
+            second.as_slice().as_ptr(),
+            ptr,
+            "storage must come back from the thread-local pool"
+        );
+        assert_eq!(&second[..8], &[9u8; 8]);
+    }
+
+    #[test]
+    fn shared_storage_is_not_reclaimed_early() {
+        let a = Bytes::copy_from_slice(&[5u8; 200]);
+        let b = a.slice(50..150);
+        drop(a);
+        // The slice keeps the storage alive; contents stay intact even if
+        // new buffers are minted meanwhile.
+        let noise = Bytes::copy_from_slice(&[0xaa; 200]);
+        assert_eq!(&b[..], &[5u8; 100][..]);
+        drop(noise);
+    }
+
+    #[test]
+    fn freeze_hands_over_storage_without_copy() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"payload");
+        let ptr = m.as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_slice().as_ptr(), ptr, "freeze must not copy");
     }
 
     #[test]

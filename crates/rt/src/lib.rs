@@ -17,7 +17,9 @@
 //!   median/p95 reporting) keeping the bench crate runnable.
 //!
 //! Plus [`digest`], a small FNV-1a hasher used by the determinism tests to
-//! fingerprint traces.
+//! fingerprint traces, and [`alloc`], a counting global-allocator harness
+//! (feature `alloc-stats`) that lets benches and CI assert
+//! allocations-per-event budgets instead of guessing.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod bytes;
 pub mod digest;

@@ -1,0 +1,36 @@
+//! Allocation-regression suite: with the `alloc-stats` feature (a counting
+//! `#[global_allocator]` in `comma-rt`), the steady-state hot loops must be
+//! heap-silent — every buffer they touch is recycled, every payload pooled.
+//! Warmup (the first simulated second) may allocate freely; anything after
+//! it is a regression.
+//!
+//! Run with `cargo test --features alloc-stats --test alloc` or via
+//! `./scripts/ci.sh alloc`. Without the feature the whole file compiles
+//! away.
+#![cfg(feature = "alloc-stats")]
+
+use comma_bench::scale::{event_core_alloc_probe, sharded_alloc_probe};
+
+#[test]
+fn serial_event_core_is_allocation_free_after_warmup() {
+    let (warm, steady) = event_core_alloc_probe(32, 7);
+    assert!(warm > 0, "warmup fills recycled buffers, so it must allocate");
+    assert_eq!(
+        steady, 0,
+        "the serial event core allocated {steady} times in steady state \
+         (after {warm} warmup allocations)"
+    );
+}
+
+#[test]
+fn sharded_window_loop_is_allocation_free_after_warmup() {
+    for workers in [1usize, 2] {
+        let (warm, steady) = sharded_alloc_probe(4, workers, 7);
+        assert!(warm > 0, "warmup fills lanes and scratch, so it must allocate");
+        assert_eq!(
+            steady, 0,
+            "the sharded window loop ({workers} workers) allocated {steady} \
+             times in steady state (after {warm} warmup allocations)"
+        );
+    }
+}

@@ -23,8 +23,8 @@ const GOLDEN_256_FLOW_TRACE: u64 = 0x1bf5_e6b9_957d_87f2;
 
 #[test]
 fn golden_256_flow_sharded_trace_matches_serial() {
-    let serial = sharded_trace_digest(16, 16, 4_096, 42, 1, true);
-    let sharded = sharded_trace_digest(16, 16, 4_096, 42, 4, false);
+    let serial = sharded_trace_digest(16, 16, 4_096, 42, 1, 1, true);
+    let sharded = sharded_trace_digest(16, 16, 4_096, 42, 4, 1, false);
     assert_eq!(
         serial, sharded,
         "sharded 256-flow trace must be byte-identical to the serial build"
@@ -32,6 +32,20 @@ fn golden_256_flow_sharded_trace_matches_serial() {
     assert_eq!(
         serial, GOLDEN_256_FLOW_TRACE,
         "256-flow trace digest drifted from the recorded golden"
+    );
+}
+
+/// Splitting the backbone across shards is a pure partition change: the
+/// 256-flow trace with the backbone round-robined over 4 shards must still
+/// equal the single-backbone golden. Different cells' wired hosts never
+/// interact and RNG streams are keyed, so the only thing the split may
+/// change is which worker executes which host.
+#[test]
+fn backbone_split_preserves_golden_trace() {
+    let split = sharded_trace_digest(16, 16, 4_096, 42, 4, 4, false);
+    assert_eq!(
+        split, GOLDEN_256_FLOW_TRACE,
+        "backbone split (4 shards) drifted from the single-backbone golden"
     );
 }
 
