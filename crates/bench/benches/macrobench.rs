@@ -9,7 +9,10 @@
 //! - `BENCH_macro.json` (repo root) — the latest snapshot. Headlines:
 //!   `events_per_sec` (median scheduler throughput on the event-dominated
 //!   workload, where node work is negligible), `pkts_per_sec`,
-//!   `engine_ns_per_pkt`, the per-N `scale` block, and `exps_wall_ms`.
+//!   `engine_ns_per_pkt`, the per-N `scale` block, the `metro` block
+//!   (foreground transfers over a fluid background population, plus a
+//!   doubled-population run proving sim_events track epochs rather than
+//!   background packet volume), `fluid_solver_ns`, and `exps_wall_ms`.
 //!   The transfer-derived rate is reported as `transfer_events_per_sec`;
 //!   it is *not* the scheduler headline because timer cancellation
 //!   removes cheap events from both numerator and wall time, so it can
@@ -26,15 +29,16 @@ use comma::topology::{addrs, CommaBuilder};
 use comma_bench::exps;
 use comma_bench::scale::{
     event_core_alloc_probe_events, run_event_core, run_many_flows, run_many_flows_churn,
-    run_sharded_flows, shard_worker_count, sharded_alloc_probe_windows, ScaleResult,
+    run_metro, run_sharded_flows, shard_worker_count, sharded_alloc_probe_windows, ScaleResult,
 };
 use comma_filters::standard_catalog;
+use comma_netsim::fluid::max_min_rates;
 use comma_netsim::packet::{Packet, TcpFlags, TcpSegment};
 use comma_netsim::time::SimTime;
 use comma_proxy::engine::FilterEngine;
 use comma_proxy::filter::NullMetrics;
 use comma_proxy::{ServiceProxy, WildKey};
-use comma_rt::{Bytes, SeedableRng, SmallRng};
+use comma_rt::{Bytes, Rng, SeedableRng, SmallRng};
 use comma_tcp::apps::{BulkSender, Sink};
 
 fn fast_mode() -> bool {
@@ -173,11 +177,18 @@ fn event_core_median(nodes: usize, horizon_ms: u64, runs: usize) -> (f64, u64) {
 }
 
 /// Experiment-suite wall clock, serial vs parallel; asserts the rendered
-/// reports are byte-identical.
-fn exps_wall_ms() -> (f64, f64) {
+/// reports are byte-identical. On a 1-worker host `run_all` degenerates to
+/// the identical serial run, so re-measuring it would report cache-warming
+/// noise as a phantom speedup — the duplicate run is skipped and `None`
+/// (rendered as `"speedup": null`) returned instead.
+fn exps_wall_ms() -> (f64, Option<f64>) {
     let t = Instant::now();
     let serial = exps::run_all_serial();
     let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    if exps::worker_count() < 2 {
+        return (serial_ms, None);
+    }
 
     let t = Instant::now();
     let parallel = exps::run_all();
@@ -187,7 +198,22 @@ fn exps_wall_ms() -> (f64, f64) {
         serial, parallel,
         "parallel experiment report diverged from serial"
     );
-    (serial_ms, parallel_ms)
+    (serial_ms, Some(parallel_ms))
+}
+
+/// ns per max-min re-solve (sort + water-fill) at `flows` background flows
+/// — the dominant cost of a fluid epoch on a heavily loaded link.
+fn fluid_solver_ns(flows: usize) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let demands: Vec<u64> = (0..flows).map(|_| 2_000 + rng.next_u64() % 4_000).collect();
+    let iters = (200_000 / flows).max(10) as u64;
+    let t = Instant::now();
+    for i in 0..iters {
+        // Vary capacity so the solver cannot be hoisted out of the loop.
+        let rates = max_min_rates(&demands, 8_000_000 + i, 1);
+        std::hint::black_box(rates);
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
 }
 
 fn append_trajectory(root: &std::path::Path, entry: &str) {
@@ -315,6 +341,60 @@ fn main() {
         shard_par.windows_skipped
     );
 
+    // Metro workload: fg transfers ride a fluid background population whose
+    // packets are never simulated — only max-min re-solve epochs on a 10 ms
+    // grid. The doubled-population run exists to demonstrate (and let ci.sh
+    // gate) that sim_events track epochs, not background packet volume.
+    let (metro_cells, metro_bg, metro_fg) = (32usize, 2_000usize, 8usize);
+    // Horizons leave room for loss-delayed stragglers (a lost SYN puts a
+    // flow a full RTO behind) while staying fixed across the 1x/2x runs so
+    // sim_events stay comparable.
+    let (metro_bytes, metro_horizon) = if fast { (2_048u64, 6u64) } else { (16_384, 12) };
+    eprintln!(
+        "macrobench: metro workload ({metro_cells} cells × {metro_bg} bg users + \
+         {} fg flows, {metro_bytes} B/flow, {metro_horizon} s horizon)...",
+        metro_cells * metro_fg
+    );
+    let metro = run_metro(
+        metro_cells,
+        metro_bg,
+        metro_fg,
+        metro_bytes,
+        metro_horizon,
+        42,
+        shard_workers,
+    );
+    let metro_2x = run_metro(
+        metro_cells,
+        metro_bg * 2,
+        metro_fg,
+        metro_bytes,
+        metro_horizon,
+        42,
+        shard_workers,
+    );
+    eprintln!(
+        "macrobench:   metro: events_per_sec = {:.0}, fg_goodput_bps = {:.0}, \
+         wall_ms = {:.1} ({} bg users, {} active, {} epochs, {} sim events; \
+         2x bg users → {} sim events, {:.2}x)",
+        metro.events_per_sec,
+        metro.fg_goodput_bps,
+        metro.wall_ms,
+        metro.bg_users,
+        metro.bg_active,
+        metro.fluid_epochs,
+        metro.sim_events,
+        metro_2x.sim_events,
+        metro_2x.sim_events as f64 / metro.sim_events.max(1) as f64
+    );
+
+    eprintln!("macrobench: fluid solver (max-min re-solve at 100/1k/10k flows)...");
+    let fluid_ns: Vec<f64> = [100usize, 1_000, 10_000].iter().map(|&n| fluid_solver_ns(n)).collect();
+    eprintln!(
+        "macrobench:   fluid_solver_ns = {:.0} / {:.0} / {:.0}",
+        fluid_ns[0], fluid_ns[1], fluid_ns[2]
+    );
+
     // The allocation headlines measure the machinery itself on the pinned
     // probe workloads (see DESIGN.md): the serial event core and the
     // sharded window loop, both after a two-simulated-second warmup. The
@@ -339,11 +419,23 @@ fn main() {
     let workers = exps::worker_count();
     eprintln!("macrobench: experiment suite serial vs parallel ({workers} workers)...");
     let (serial_ms, parallel_ms) = exps_wall_ms();
-    let speedup = serial_ms / parallel_ms.max(1e-9);
-    eprintln!(
-        "macrobench:   exps_wall_ms serial = {serial_ms:.0}, parallel = {parallel_ms:.0} \
-         ({speedup:.2}x)"
-    );
+    // JSON fragments: parallel wall and speedup are null on 1-worker hosts
+    // (no duplicate run to compare against).
+    let (parallel_json, speedup_json) = match parallel_ms {
+        Some(p) => (format!("{p:.1}"), format!("{:.2}", serial_ms / p.max(1e-9))),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    match parallel_ms {
+        Some(p) => eprintln!(
+            "macrobench:   exps_wall_ms serial = {serial_ms:.0}, parallel = {p:.0} \
+             ({:.2}x)",
+            serial_ms / p.max(1e-9)
+        ),
+        None => eprintln!(
+            "macrobench:   exps_wall_ms serial = {serial_ms:.0}, parallel skipped \
+             (1 worker, speedup: null)"
+        ),
+    }
 
     let scale_json = scale
         .iter()
@@ -397,8 +489,19 @@ fn main() {
          \"scale_events_per_sec\": {{ \"flows_16\": {:.1}, \"flows_64\": {:.1}, \
          \"flows_256\": {:.1} }},\n    \
          \"flows_10k_speedup_vs_serial\": {speedup_vs_serial:.3},\n    \
-         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1} }}\n  }}",
-        scale[0].events_per_sec, scale[1].events_per_sec, scale[2].events_per_sec
+         \"metro_events_per_sec\": {:.1},\n    \
+         \"metro_fg_goodput_bps\": {:.1},\n    \
+         \"fluid_solver_ns\": {{ \"flows_100\": {:.1}, \"flows_1000\": {:.1}, \
+         \"flows_10000\": {:.1} }},\n    \
+         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_json} }}\n  }}",
+        scale[0].events_per_sec,
+        scale[1].events_per_sec,
+        scale[2].events_per_sec,
+        metro.events_per_sec,
+        metro.fg_goodput_bps,
+        fluid_ns[0],
+        fluid_ns[1],
+        fluid_ns[2]
     );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -420,9 +523,40 @@ fn main() {
          \"sim_events\": {events},\n  \
          \"transfer_events_per_sec\": {transfer_events_per_sec:.1},\n  \
          \"scale\": {{\n{scale_json}\n  }},\n  \
-         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_ms:.1}, \
-         \"speedup\": {speedup:.2}, \"workers\": {workers} }}\n}}\n",
-        shard_par.windows_skipped
+         \"metro\": {{\n    \
+         \"cells\": {metro_cells},\n    \
+         \"bg_users\": {},\n    \
+         \"bg_active\": {},\n    \
+         \"fg_flows\": {},\n    \
+         \"bytes_per_flow\": {metro_bytes},\n    \
+         \"horizon_secs\": {metro_horizon},\n    \
+         \"fg_goodput_bps\": {:.1},\n    \
+         \"events_per_sec\": {:.1},\n    \
+         \"sim_events\": {},\n    \
+         \"sim_events_2x_bg\": {},\n    \
+         \"fluid_epochs\": {},\n    \
+         \"fluid_links\": {},\n    \
+         \"wall_ms\": {:.1},\n    \
+         \"workers\": {}\n  }},\n  \
+         \"fluid_solver_ns\": {{ \"flows_100\": {:.1}, \"flows_1000\": {:.1}, \
+         \"flows_10000\": {:.1} }},\n  \
+         \"exps_wall_ms\": {{ \"serial\": {serial_ms:.1}, \"parallel\": {parallel_json}, \
+         \"speedup\": {speedup_json}, \"workers\": {workers} }}\n}}\n",
+        shard_par.windows_skipped,
+        metro.bg_users,
+        metro.bg_active,
+        metro.fg_flows,
+        metro.fg_goodput_bps,
+        metro.events_per_sec,
+        metro.sim_events,
+        metro_2x.sim_events,
+        metro.fluid_epochs,
+        metro.fluid_links,
+        metro.wall_ms,
+        metro.workers,
+        fluid_ns[0],
+        fluid_ns[1],
+        fluid_ns[2]
     );
     std::fs::write(root.join("BENCH_macro.json"), &snapshot).expect("write BENCH_macro.json");
     append_trajectory(&root, &entry);

@@ -240,6 +240,26 @@ fn bench_sched(bench: &mut Bench) {
     g.finish();
 }
 
+fn bench_fluid(bench: &mut Bench) {
+    use comma_netsim::fluid::max_min_rates;
+    use comma_rt::Rng;
+
+    // One fluid epoch's dominant cost: a full max-min re-solve (sort +
+    // water-fill) over the link's active background flows, with one greedy
+    // foreground participant sharing the capacity.
+    let mut g = bench.group("fluid");
+    for flows in [100usize, 1_000, 10_000] {
+        let mut rng = SmallRng::seed_from_u64(flows as u64);
+        let demands: Vec<u64> = (0..flows).map(|_| 2_000 + rng.next_u64() % 4_000).collect();
+        let mut capacity = 8_000_000u64;
+        g.bench(format!("fluid_solver_epoch_{flows}"), move || {
+            capacity += 1;
+            max_min_rates(&demands, capacity, 1).len()
+        });
+    }
+    g.finish();
+}
+
 fn bench_shard_trace_merge(bench: &mut Bench) {
     use comma_netsim::shard::merge_sorted_traces;
 
@@ -336,6 +356,7 @@ fn main() {
     bench_engine(&mut bench);
     bench_flow_table(&mut bench);
     bench_sched(&mut bench);
+    bench_fluid(&mut bench);
     bench_shard_trace_merge(&mut bench);
     bench_simulation(&mut bench);
     bench_obs(&mut bench);

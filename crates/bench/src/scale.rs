@@ -736,6 +736,191 @@ pub fn sharded_trace_digest(
     world.trace_digest()
 }
 
+/// Result of one metro-scale hybrid fluid/packet run.
+#[derive(Clone, Debug)]
+pub struct MetroResult {
+    /// Wireless cells.
+    pub cells: usize,
+    /// Total fluid background users across all cells.
+    pub bg_users: u64,
+    /// Background flows in their on period at the end of the run.
+    pub bg_active: u64,
+    /// Packet-level foreground TCP transfers (total).
+    pub fg_flows: usize,
+    /// Bytes each foreground flow transfers.
+    pub bytes_per_flow: u64,
+    /// Foreground bytes delivered within the fixed horizon. Completion of
+    /// every transfer is asserted after a grace window; a loss-delayed
+    /// straggler may leave this slightly below `fg_flows × bytes`.
+    pub delivered: u64,
+    /// Discrete events processed across all shards — grows with fluid
+    /// *epochs*, not with background packet volume.
+    pub sim_events: u64,
+    /// Fluid rate-solver epochs executed across all links.
+    pub fluid_epochs: u64,
+    /// Links carrying a fluid population.
+    pub fluid_links: u64,
+    /// Wall-clock milliseconds for the fixed-horizon run.
+    pub wall_ms: f64,
+    /// `sim_events / wall seconds`.
+    pub events_per_sec: f64,
+    /// Aggregate foreground goodput over the simulated horizon.
+    pub fg_goodput_bps: f64,
+    /// Fixed simulated horizon of the run.
+    pub horizon: SimTime,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Builds the metro-scale hybrid world: the [`build_cells`] recipe (bulk
+/// transfers through a filtered Service Proxy over a lossy 8 Mbit/s
+/// wireless link) plus `bg_users_per_cell` *fluid* background users on
+/// every cell's downlink. Background load is aggregate — O(rate-change
+/// epochs), not O(packets) — so metro populations fit in the event
+/// budget while the foreground stays packet-exact and oracle-clean.
+pub fn build_metro(
+    cells: usize,
+    bg_users_per_cell: usize,
+    fg_flows_per_cell: usize,
+    bytes_per_flow: u64,
+    seed: u64,
+    workers: usize,
+    single_shard: bool,
+) -> comma::topo::ShardedWorld {
+    let loss = LossModel::Gilbert {
+        p_good_to_bad: 0.02,
+        p_bad_to_good: 0.5,
+        loss_good: 0.005,
+        loss_bad: 0.15,
+    };
+    let wireless = || {
+        LinkParams::wireless()
+            .with_bandwidth(8_000_000)
+            .with_queue_limit(128 * 1024)
+            .with_loss(loss.clone())
+    };
+    let mut builder = comma::topo::TopologyBuilder::new(seed)
+        .backbone(LinkParams::wired().with_latency(SimDuration::from_millis(10)))
+        .workers(workers)
+        .record_series(false);
+    if single_shard {
+        builder = builder.single_shard();
+    }
+    for c in 0..cells {
+        let mut spec = comma::topo::CellSpec::new(format!("metro{c}"))
+            .wireless(wireless(), wireless())
+            .background_users(bg_users_per_cell)
+            .filter("add tcp 0.0.0.0 0 {mobile} 0")
+            .filter("add snoop 0.0.0.0 0 {mobile} 0")
+            .filter("add wsize 0.0.0.0 0 {mobile} 0 scale 90")
+            .filter("add tcp 0.0.0.0 0 {mobile} 0");
+        for f in 0..fg_flows_per_cell {
+            spec = spec.transfer(9000 + f as u16, bytes_per_flow);
+        }
+        builder = builder.cell(spec);
+    }
+    builder.build().expect("metro topology is valid")
+}
+
+/// Runs the metro workload for a *fixed* horizon (the background
+/// population toggles forever, so "until idle" never comes) and
+/// snapshots every headline number there — the fixed horizon is what
+/// makes `sim_events` comparable across background populations; the
+/// O(epochs) claim is `sim_events(2 × users) ≈ sim_events(users)`. The
+/// world then runs a grace window in which every foreground transfer
+/// must finish: under bursty loss a flow can sit several RTO backoffs
+/// behind the pack, and stretching the measured horizon to cover the
+/// worst straggler would dilute the numbers for everyone else.
+pub fn run_metro(
+    cells: usize,
+    bg_users_per_cell: usize,
+    fg_flows_per_cell: usize,
+    bytes_per_flow: u64,
+    horizon_secs: u64,
+    seed: u64,
+    workers: usize,
+) -> MetroResult {
+    let mut world = build_metro(
+        cells,
+        bg_users_per_cell,
+        fg_flows_per_cell,
+        bytes_per_flow,
+        seed,
+        workers,
+        false,
+    );
+    let fg_flows = cells * fg_flows_per_cell;
+    let target = fg_flows as u64 * bytes_per_flow;
+    let t = Instant::now();
+    world.run_until(SimTime::from_secs(horizon_secs));
+    let wall = t.elapsed().as_secs_f64();
+    let delivered = world.total_delivered();
+    let stats = world.stats();
+    let fluid = world.fluid_totals();
+    assert_eq!(fluid.users, (cells * bg_users_per_cell) as u64);
+    world.run_until(SimTime::from_secs(horizon_secs + 30));
+    assert_eq!(
+        world.total_delivered(),
+        target,
+        "metro: a foreground transfer failed to complete even with grace"
+    );
+    MetroResult {
+        cells,
+        bg_users: fluid.users,
+        bg_active: fluid.active,
+        fg_flows,
+        bytes_per_flow,
+        delivered,
+        sim_events: stats.events,
+        fluid_epochs: fluid.epochs,
+        fluid_links: fluid.links,
+        wall_ms: wall * 1e3,
+        events_per_sec: stats.events as f64 / wall,
+        fg_goodput_bps: delivered as f64 * 8.0 / horizon_secs as f64,
+        horizon: SimTime::from_secs(horizon_secs),
+        workers,
+    }
+}
+
+/// Merged-trace digest of the metro workload with the conformance oracle
+/// attached — the fluid background must leave the foreground exact:
+/// byte-identical across worker counts and across the partitioned vs
+/// single-shard builds, with zero oracle violations.
+#[allow(clippy::too_many_arguments)]
+pub fn metro_trace_digest(
+    cells: usize,
+    bg_users_per_cell: usize,
+    fg_flows_per_cell: usize,
+    bytes_per_flow: u64,
+    horizon_secs: u64,
+    seed: u64,
+    workers: usize,
+    single_shard: bool,
+) -> u64 {
+    let mut world = build_metro(
+        cells,
+        bg_users_per_cell,
+        fg_flows_per_cell,
+        bytes_per_flow,
+        seed,
+        workers,
+        single_shard,
+    );
+    world.attach_oracle();
+    world.set_trace_capture(true, 1 << 21);
+    // Same grace-window shape as `run_metro`: both builds run to the same
+    // final time, so the digests stay comparable.
+    world.run_until(SimTime::from_secs(horizon_secs + 30));
+    let target = cells as u64 * fg_flows_per_cell as u64 * bytes_per_flow;
+    assert_eq!(
+        world.total_delivered(),
+        target,
+        "metro: foreground transfers incomplete"
+    );
+    world.assert_oracle_clean();
+    world.trace_digest()
+}
+
 /// The sharded churn workload: every cell's wireless link runs the
 /// standard [`churn_plan`] (per-cell seed) with the conformance oracle
 /// attached to every shard; panics on any violation or incomplete flow.
@@ -849,5 +1034,30 @@ mod tests {
     fn sharded_churn_small_batch_is_oracle_clean() {
         let r = run_sharded_churn(2, 2, 4_096, 11, 2);
         assert_eq!(r.delivered, 2 * 2 * 4_096);
+    }
+
+    #[test]
+    fn metro_small_completes_with_fluid_background() {
+        let r = run_metro(2, 300, 2, 4_096, 3, 11, 2);
+        assert_eq!(r.delivered, 2 * 2 * 4_096);
+        assert_eq!(r.bg_users, 600);
+        assert_eq!(r.fluid_links, 2);
+        assert!(r.fluid_epochs > 0, "the rate solver must run epochs");
+        assert!(r.fg_goodput_bps > 0.0);
+    }
+
+    #[test]
+    fn metro_events_grow_with_epochs_not_users() {
+        // 10× the background users on the same epoch grid: the discrete
+        // event count must stay nearly flat (the O(epochs) claim, pinned
+        // at CI scale by the bench gate).
+        let a = run_metro(2, 250, 2, 4_096, 3, 11, 1);
+        let b = run_metro(2, 2_500, 2, 4_096, 3, 11, 1);
+        assert!(
+            (b.sim_events as f64) <= a.sim_events as f64 * 1.5,
+            "sim_events must track epochs, not users: {} vs {}",
+            a.sim_events,
+            b.sim_events
+        );
     }
 }

@@ -71,6 +71,7 @@ pub mod prelude {
 
     pub use comma_obs::{fields, obs_event, span, FieldValue, Obs};
 
+    pub use comma_netsim::fluid::{FluidConfig, FluidTotals};
     pub use comma_netsim::link::{LinkKind, LinkParams, LossModel};
     pub use comma_netsim::node::NodeId;
     pub use comma_netsim::shard::{ShardPlan, ShardStats, ShardWiring, ShardedSimulator};

@@ -23,6 +23,7 @@ use comma_eem::MetricsHub;
 use comma_faultcheck::{FaultPlan, Oracle, OracleConfig, OracleReport, Violation};
 use comma_filters::{standard_catalog, Ttsf};
 use comma_netsim::addr::{Ipv4Addr, Subnet};
+use comma_netsim::fluid::{FluidConfig, FluidTotals};
 use comma_netsim::link::{ChannelId, LinkKind, LinkParams};
 use comma_netsim::node::{IfaceId, NodeId};
 use comma_netsim::shard::{BoundaryId, ShardPlan, ShardStats, ShardWiring, ShardedSimulator};
@@ -58,6 +59,9 @@ pub struct CellSpec {
     /// `{mobile}` expand to the cell's addresses.
     filters: Vec<String>,
     fault_plan: Option<FaultPlan>,
+    /// Fluid background population on the wireless downlink (the
+    /// direction bulk data and the thesis's proxy machinery care about).
+    background: Option<FluidConfig>,
 }
 
 impl CellSpec {
@@ -71,6 +75,7 @@ impl CellSpec {
             transfers: Vec::new(),
             filters: Vec::new(),
             fault_plan: None,
+            background: None,
         }
     }
 
@@ -105,6 +110,22 @@ impl CellSpec {
     /// Applies a fault plan to the cell's wireless link (both directions).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Puts `n` fluid background users (default [`FluidConfig`]) on the
+    /// cell's wireless downlink. Their aggregate load costs O(rate-change
+    /// epochs), not O(packets), so metro-scale populations fit in the
+    /// event budget; foreground traffic sees the residual bandwidth and
+    /// shared queue they leave behind.
+    pub fn background_users(self, n: usize) -> Self {
+        self.background(FluidConfig::users(n))
+    }
+
+    /// Puts a fully configured fluid background population on the cell's
+    /// wireless downlink.
+    pub fn background(mut self, cfg: FluidConfig) -> Self {
+        self.background = Some(cfg);
         self
     }
 }
@@ -476,6 +497,7 @@ fn cell_keys(cell: usize) -> CellKeys {
         mobile_node: base + 2,
         wired_link: base + 8,
         wireless_link: base + 9,
+        fluid: base + 10,
     }
 }
 
@@ -485,6 +507,7 @@ struct CellKeys {
     mobile_node: u64,
     wired_link: u64,
     wireless_link: u64,
+    fluid: u64,
 }
 
 /// Per-cell addresses: cell `i` lives in `10.(1 + i/256).(i % 256).0/24`.
@@ -635,6 +658,10 @@ fn build_cell(sim: &mut Simulator, cell: usize, spec: &CellSpec, wired_side: Wir
         keys.wireless_link,
     );
 
+    if let Some(cfg) = &spec.background {
+        sim.attach_fluid(wireless.0, cfg.clone(), keys.fluid);
+    }
+
     for cmd in &spec.filters {
         let line = cmd
             .replace("{wired}", &wired_addr.to_string())
@@ -705,6 +732,16 @@ impl ShardedWorld {
     /// Runner statistics (windows, cross-shard transfers, barrier waits).
     pub fn stats(&self) -> ShardStats {
         self.runner.stats()
+    }
+
+    /// Fluid background-model totals summed over every shard (links,
+    /// users, active flows, solver epochs).
+    pub fn fluid_totals(&mut self) -> FluidTotals {
+        let mut total = FluidTotals::default();
+        for shard in 0..self.runner.shard_count() {
+            total.merge(self.runner.with_shard(shard, |sim| sim.fluid_totals()));
+        }
+        total
     }
 
     /// Executes an SP console command on a cell's proxy.

@@ -152,9 +152,12 @@ impl FaultPlan {
                     });
                 }
                 ChurnEvent::BandwidthStep { at, bps } => {
+                    // Route through the simulator so any fluid background
+                    // population on the channel re-solves at the new
+                    // capacity (a capacity change is a fluid epoch).
                     sim.at(at, move |sim| {
                         for ch in &chs {
-                            sim.channel_mut(*ch).params.bandwidth_bps = bps;
+                            sim.set_link_bandwidth(*ch, bps);
                         }
                     });
                 }

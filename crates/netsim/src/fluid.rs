@@ -1,0 +1,493 @@
+//! Fluid background traffic: aggregate many-user load at O(rate-change
+//! epochs) cost instead of O(packets).
+//!
+//! A metro-scale cell serves thousands of background users, but what the
+//! foreground proxy/TCP machinery actually experiences is the *residual
+//! capacity* and *queue occupancy* those users leave behind — not the
+//! identity of every competing packet. This module models a link's
+//! background population as a set of fluid flows with seeded on/off
+//! schedules and per-flow demand. A max-min fair-share solver (with the
+//! packet-level foreground traffic as one always-backlogged participant)
+//! re-solves only at *epochs* — flow arrivals/departures and capacity
+//! changes — and the fluid queue evolves piecewise-linearly between
+//! epochs, so it can be sampled lazily at packet-arrival times without
+//! any extra events.
+//!
+//! Epoch times are quantized to a configurable grid
+//! ([`FluidConfig::quantum`]): many user transitions in the same grid
+//! slot share a single re-solve event, which bounds the event count by
+//! `horizon / quantum` per link — independent of the user count. That is
+//! the whole point: doubling the background population must not double
+//! the simulated event volume.
+//!
+//! Everything is integer or order-independent arithmetic driven by one
+//! keyed [`SmallRng`] stream per link, so fluid-enabled topologies remain
+//! byte-identical across partitionings, like every other keyed stream in
+//! the simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use comma_rt::{Rng, SeedableRng, SmallRng};
+
+use crate::sched::TimerHandle;
+use crate::time::{SimDuration, SimTime};
+
+/// Max-min fair-share rates for `demands` sharing `capacity_bps` with
+/// `greedy` additional always-backlogged (unbounded-demand) participants.
+/// Returns the per-flow rates in input order; the greedy participants
+/// split whatever the demand-limited flows leave behind.
+///
+/// The allocation is the exact integer water-filling solution: flows are
+/// satisfied in ascending demand order while `demand * shares <=
+/// remaining`; the rest share the remaining capacity equally, with the
+/// integer remainder handed one bit/s at a time to the lowest-demand
+/// unsatisfied flows. Deterministic, and monotone under departures:
+/// removing a flow never decreases any remaining flow's rate.
+pub fn max_min_rates(demands: &[u64], capacity_bps: u64, greedy: usize) -> Vec<u64> {
+    let n = demands.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| (demands[i as usize], i));
+    let mut rates = vec![0u64; n];
+    let mut remaining = capacity_bps;
+    let mut shares = (n + greedy) as u64;
+    let mut idx = 0;
+    while idx < n {
+        let d = demands[order[idx] as usize];
+        if (d as u128) * (shares as u128) <= remaining as u128 {
+            rates[order[idx] as usize] = d;
+            remaining -= d;
+            shares -= 1;
+            idx += 1;
+        } else {
+            break;
+        }
+    }
+    if idx < n && shares > 0 {
+        let q = remaining / shares;
+        let mut extra = remaining % shares;
+        for &i in &order[idx..] {
+            let bump = u64::from(extra > 0);
+            extra -= bump;
+            rates[i as usize] = q + bump;
+        }
+    }
+    rates
+}
+
+/// Aggregate form of [`max_min_rates`] for the per-epoch hot path:
+/// given the *ascending-sorted* active demands, returns
+/// `(background_total_bps, residual_bps)` where the residual is what the
+/// `greedy` always-backlogged participants (the packet-level foreground
+/// traffic) keep. `background_total + residual == capacity` whenever any
+/// flow is unsatisfied, and the residual never falls below
+/// `capacity / (flows + greedy)` — the foreground is a first-class
+/// sharer, never starved.
+pub fn max_min_allocate(sorted_demands: &[u64], capacity_bps: u64, greedy: usize) -> (u64, u64) {
+    let mut remaining = capacity_bps;
+    let mut shares = (sorted_demands.len() + greedy) as u64;
+    let mut satisfied = 0u64;
+    let mut k = 0usize;
+    for &d in sorted_demands {
+        if (d as u128) * (shares as u128) <= remaining as u128 {
+            satisfied += d;
+            remaining -= d;
+            shares -= 1;
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    let unsat = (sorted_demands.len() - k) as u64;
+    if unsat > 0 && shares > 0 {
+        let q = remaining / shares;
+        let extra = unsat.min(remaining % shares);
+        let bg = satisfied + q * unsat + extra;
+        (bg, capacity_bps - bg)
+    } else {
+        (satisfied, remaining)
+    }
+}
+
+/// Configuration of a link's fluid background-flow population.
+#[derive(Clone, Debug)]
+pub struct FluidConfig {
+    /// Number of background users (fluid flows) on the link.
+    pub users: usize,
+    /// Mean per-flow demand while a flow is on, in bits per second.
+    pub demand_bps: u64,
+    /// Per-flow demand jitter: each flow's demand is drawn uniformly in
+    /// `demand_bps ± demand_bps * jitter / 100` once at construction.
+    pub demand_jitter_pct: u32,
+    /// Mean duration of a flow's on period.
+    pub mean_on: SimDuration,
+    /// Mean duration of a flow's off period.
+    pub mean_off: SimDuration,
+    /// Flows first wake uniformly across this ramp after attachment, so
+    /// load builds up instead of arriving as one synchronized step.
+    pub arrival_ramp: SimDuration,
+    /// Epoch grid: on/off transition times round up to a multiple of this
+    /// quantum, so transitions sharing a slot cost one re-solve event.
+    pub quantum: SimDuration,
+}
+
+impl FluidConfig {
+    /// A metro-cell background population: `n` users at ~4 kbit/s mean
+    /// demand (±50%), on ~2 s / off ~4 s, ramping in over 1 s, epochs on
+    /// a 10 ms grid.
+    pub fn users(n: usize) -> Self {
+        FluidConfig {
+            users: n,
+            demand_bps: 4_000,
+            demand_jitter_pct: 50,
+            mean_on: SimDuration::from_secs(2),
+            mean_off: SimDuration::from_secs(4),
+            arrival_ramp: SimDuration::from_secs(1),
+            quantum: SimDuration::from_millis(10),
+        }
+    }
+
+    /// Returns `self` with the given mean per-flow demand.
+    pub fn with_demand(mut self, bps: u64) -> Self {
+        self.demand_bps = bps;
+        self
+    }
+
+    /// Returns `self` with the given mean on/off durations.
+    pub fn with_on_off(mut self, on: SimDuration, off: SimDuration) -> Self {
+        self.mean_on = on;
+        self.mean_off = off;
+        self
+    }
+
+    /// Returns `self` with the given arrival ramp.
+    pub fn with_ramp(mut self, ramp: SimDuration) -> Self {
+        self.arrival_ramp = ramp;
+        self
+    }
+
+    /// Returns `self` with the given epoch quantum (floored to 1 µs).
+    pub fn with_quantum(mut self, quantum: SimDuration) -> Self {
+        self.quantum = quantum;
+        self
+    }
+}
+
+/// One background user: a fixed demand and an on/off toggle.
+#[derive(Clone, Copy, Debug)]
+struct BgFlow {
+    demand_bps: u64,
+    on: bool,
+}
+
+/// Aggregate fluid statistics summed across channels (see
+/// [`crate::sim::Simulator::fluid_totals`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FluidTotals {
+    /// Channels with a fluid population attached.
+    pub links: u64,
+    /// Total background users across those channels.
+    pub users: u64,
+    /// Background flows currently in their on period.
+    pub active: u64,
+    /// Total rate-solver epochs executed.
+    pub epochs: u64,
+}
+
+impl FluidTotals {
+    /// Accumulates another total into `self`.
+    pub fn merge(&mut self, other: FluidTotals) {
+        self.links += other.links;
+        self.users += other.users;
+        self.active += other.active;
+        self.epochs += other.epochs;
+    }
+}
+
+/// Per-link fluid background state: the flow population, its pending
+/// on/off schedule, and the current max-min allocation.
+///
+/// Driven by [`FluidState::epoch`] at quantized transition times; between
+/// epochs the fluid queue evolves linearly and is sampled lazily via
+/// [`FluidState::queue_bytes_at`].
+#[derive(Debug)]
+pub struct FluidState {
+    cfg: FluidConfig,
+    quantum_us: u64,
+    flows: Vec<BgFlow>,
+    /// Min-heap of pending `(toggle time µs, flow index)` transitions.
+    toggles: BinaryHeap<Reverse<(u64, u32)>>,
+    rng: SmallRng,
+    /// Demands of currently-on flows, ascending (rebuilt each epoch into
+    /// retained capacity — the epoch path is allocation-free at steady
+    /// state).
+    active: Vec<u64>,
+    bg_rate_bps: u64,
+    residual_bps: u64,
+    /// Fluid queue growth between epochs, bytes per microsecond (signed:
+    /// negative drains).
+    growth_bytes_per_us: f64,
+    queue_bytes: f64,
+    queue_as_of: SimTime,
+    epochs: u64,
+    /// Handle of the scheduled next-epoch event; the simulator cancels it
+    /// when a capacity change forces an early re-solve.
+    pub(crate) handle: TimerHandle,
+}
+
+impl FluidState {
+    /// Builds the population from a config and a stream seed (derive it
+    /// with the keyed scheme; see
+    /// [`crate::sim::Simulator::attach_fluid`]). Toggle schedules are
+    /// absolute from simulation start.
+    pub fn new(cfg: FluidConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let quantum_us = cfg.quantum.as_micros().max(1);
+        let ramp = cfg.arrival_ramp.as_micros();
+        let jitter = cfg.demand_bps * cfg.demand_jitter_pct as u64 / 100;
+        let lo = cfg.demand_bps.saturating_sub(jitter).max(1);
+        let hi = cfg.demand_bps + jitter;
+        let mut flows = Vec::with_capacity(cfg.users);
+        let mut toggles = BinaryHeap::with_capacity(cfg.users);
+        for i in 0..cfg.users {
+            let demand_bps = lo + rng.next_u64() % (hi - lo + 1);
+            flows.push(BgFlow {
+                demand_bps,
+                on: false,
+            });
+            let arrive = if ramp == 0 {
+                quantum_us
+            } else {
+                (rng.next_u64() % (ramp + 1)).div_ceil(quantum_us).max(1) * quantum_us
+            };
+            toggles.push(Reverse((arrive, i as u32)));
+        }
+        FluidState {
+            cfg,
+            quantum_us,
+            flows,
+            toggles,
+            rng,
+            active: Vec::new(),
+            bg_rate_bps: 0,
+            residual_bps: 0,
+            growth_bytes_per_us: 0.0,
+            queue_bytes: 0.0,
+            queue_as_of: SimTime::ZERO,
+            epochs: 0,
+            handle: TimerHandle::NONE,
+        }
+    }
+
+    /// Uniform draw in `[mean/2, 3*mean/2]` (mean-preserving, bounded away
+    /// from zero so a flow never toggles twice in the same instant).
+    fn draw_duration(rng: &mut SmallRng, mean: SimDuration) -> u64 {
+        let m = mean.as_micros().max(1);
+        m / 2 + rng.next_u64() % (m + 1)
+    }
+
+    /// Advances the model to `now`: integrates the fluid queue at the old
+    /// rates, applies every due on/off transition, re-solves the max-min
+    /// allocation against `capacity_bps` (foreground as one greedy
+    /// participant), and returns the time of the next pending epoch.
+    pub fn epoch(
+        &mut self,
+        now: SimTime,
+        capacity_bps: u64,
+        queue_limit_bytes: usize,
+    ) -> Option<SimTime> {
+        self.queue_bytes = self.queue_bytes_at_f(now, queue_limit_bytes);
+        self.queue_as_of = now;
+        let now_us = now.as_micros();
+        while let Some(&Reverse((t, i))) = self.toggles.peek() {
+            if t > now_us {
+                break;
+            }
+            self.toggles.pop();
+            let on = {
+                let flow = &mut self.flows[i as usize];
+                flow.on = !flow.on;
+                flow.on
+            };
+            let mean = if on { self.cfg.mean_on } else { self.cfg.mean_off };
+            let dur = Self::draw_duration(&mut self.rng, mean);
+            let next = (now_us + dur).div_ceil(self.quantum_us).max(now_us / self.quantum_us + 1)
+                * self.quantum_us;
+            self.toggles.push(Reverse((next, i)));
+        }
+        self.active.clear();
+        let mut offered = 0u64;
+        for f in &self.flows {
+            if f.on {
+                self.active.push(f.demand_bps);
+                offered += f.demand_bps;
+            }
+        }
+        self.active.sort_unstable();
+        let (bg, residual) = max_min_allocate(&self.active, capacity_bps, 1);
+        self.bg_rate_bps = bg;
+        self.residual_bps = residual;
+        // The fluid queue absorbs whatever the population offers beyond
+        // line rate and drains on spare capacity; the clamp in the lazy
+        // integration keeps it within [0, queue_limit].
+        self.growth_bytes_per_us = (offered as f64 - capacity_bps as f64) / 8e6;
+        self.epochs += 1;
+        self.toggles
+            .peek()
+            .map(|&Reverse((t, _))| SimTime::from_micros(t))
+    }
+
+    fn queue_bytes_at_f(&self, now: SimTime, queue_limit_bytes: usize) -> f64 {
+        let dt = now.as_micros().saturating_sub(self.queue_as_of.as_micros()) as f64;
+        (self.queue_bytes + self.growth_bytes_per_us * dt).clamp(0.0, queue_limit_bytes as f64)
+    }
+
+    /// Fluid queue occupancy at `now` (lazy piecewise-linear sample; no
+    /// state change).
+    pub fn queue_bytes_at(&self, now: SimTime, queue_limit_bytes: usize) -> u64 {
+        self.queue_bytes_at_f(now, queue_limit_bytes) as u64
+    }
+
+    /// Bandwidth left to packet-level foreground traffic after the
+    /// background allocation, as of the last epoch.
+    pub fn residual_bps(&self) -> u64 {
+        self.residual_bps
+    }
+
+    /// Aggregate background rate as of the last epoch.
+    pub fn bg_rate_bps(&self) -> u64 {
+        self.bg_rate_bps
+    }
+
+    /// Flows currently in their on period.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Configured population size.
+    pub fn users(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Epochs (rate re-solves) executed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_underload_satisfies_everyone() {
+        // 3 flows of 1000 bps on a 10 kbit link: all satisfied, the
+        // foreground keeps the rest.
+        let (bg, residual) = max_min_allocate(&[1_000, 1_000, 1_000], 10_000, 1);
+        assert_eq!(bg, 3_000);
+        assert_eq!(residual, 7_000);
+    }
+
+    #[test]
+    fn allocate_overload_saturates_and_protects_foreground() {
+        let demands: Vec<u64> = vec![5_000; 10]; // 50 kbit offered on 10 kbit.
+        let (bg, residual) = max_min_allocate(&demands, 10_000, 1);
+        assert_eq!(bg + residual, 10_000, "saturated link fully allocated");
+        // The foreground is one of 11 equal sharers of a saturated link.
+        assert_eq!(residual, 10_000 / 11);
+    }
+
+    #[test]
+    fn rates_match_aggregate_and_respect_demands() {
+        let demands = [400u64, 9_000, 200, 4_000, 4_000];
+        let mut sorted = demands.to_vec();
+        sorted.sort_unstable();
+        let (bg, _residual) = max_min_allocate(&sorted, 10_000, 1);
+        let rates = max_min_rates(&demands, 10_000, 1);
+        assert_eq!(rates.iter().sum::<u64>(), bg);
+        for (r, d) in rates.iter().zip(demands.iter()) {
+            assert!(r <= d, "rate {r} exceeds demand {d}");
+        }
+        // Small flows fit under the fair share and are fully satisfied.
+        assert_eq!(rates[0], 400);
+        assert_eq!(rates[2], 200);
+    }
+
+    #[test]
+    fn epoch_count_bounded_by_grid_not_users() {
+        // 10× the users on the same quantum grid: epochs (distinct grid
+        // slots with transitions) cannot grow 10×.
+        let horizon = SimTime::from_secs(5);
+        let count = |users: usize| {
+            let mut fs = FluidState::new(FluidConfig::users(users), 42);
+            let mut t = SimTime::ZERO;
+            let mut n = 0u64;
+            while let Some(next) = fs.epoch(t, 8_000_000, 32 * 1024) {
+                if next > horizon {
+                    break;
+                }
+                t = next;
+                n += 1;
+            }
+            n
+        };
+        let small = count(500);
+        let big = count(5_000);
+        assert!(small > 0);
+        assert!(
+            big <= small * 2,
+            "epochs must track grid slots, not users: {small} vs {big}"
+        );
+        // Both are bounded by the number of grid slots in the horizon.
+        let slots = horizon.as_micros() / SimDuration::from_millis(10).as_micros();
+        assert!(big <= slots + 1, "epochs {big} exceed grid slots {slots}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FluidState::new(FluidConfig::users(300), 7);
+        let mut b = FluidState::new(FluidConfig::users(300), 7);
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            let na = a.epoch(t, 8_000_000, 32 * 1024);
+            let nb = b.epoch(t, 8_000_000, 32 * 1024);
+            assert_eq!(na, nb);
+            assert_eq!(a.active_flows(), b.active_flows());
+            assert_eq!(a.residual_bps(), b.residual_bps());
+            assert_eq!(
+                a.queue_bytes_at(t, 32 * 1024),
+                b.queue_bytes_at(t, 32 * 1024)
+            );
+            match na {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        assert!(a.epochs() >= 100);
+    }
+
+    #[test]
+    fn queue_grows_under_overload_and_drains_after() {
+        let cfg = FluidConfig::users(64)
+            .with_demand(1_000_000) // 64 Mbit offered on an 8 Mbit link.
+            .with_ramp(SimDuration::from_millis(100));
+        let mut fs = FluidState::new(cfg, 3);
+        let limit = 32 * 1024;
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(2) {
+            match fs.epoch(t, 8_000_000, limit) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        assert!(
+            fs.queue_bytes_at(t, limit) > 0,
+            "overloaded population must build a fluid queue"
+        );
+        // Capacity jumps 100×: the queue drains by the next second.
+        let later = SimTime::from_secs(3);
+        fs.epoch(later, 800_000_000, limit);
+        let drained = SimTime::from_secs(4);
+        assert_eq!(fs.queue_bytes_at(drained, limit), 0);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod addr;
 pub mod checksum;
 pub mod fault;
+pub mod fluid;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -43,6 +44,7 @@ pub mod prelude {
     pub use crate::{
         addr::{Ipv4Addr, Subnet},
         fault::{FaultConfig, FaultStats},
+        fluid::{FluidConfig, FluidState, FluidTotals},
         link::{ChannelId, LinkKind, LinkParams, LossModel},
         node::{IfaceId, Node, NodeCtx, NodeId},
         packet::{

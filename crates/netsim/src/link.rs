@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 use comma_rt::SmallRng;
 use comma_rt::Rng;
 
+use crate::fluid::FluidState;
 use crate::node::{IfaceId, NodeId};
 use crate::packet::Packet;
 use crate::stats::TimeSeries;
@@ -172,12 +173,19 @@ impl LinkParams {
 
     /// Time to serialize `len` bytes at the channel bandwidth.
     pub fn tx_time(&self, len: usize) -> SimDuration {
-        if self.bandwidth_bps == 0 {
-            return SimDuration::from_secs(3600);
-        }
-        let micros = (len as u128 * 8 * 1_000_000).div_ceil(self.bandwidth_bps as u128);
-        SimDuration::from_micros(micros as u64)
+        tx_time_at(self.bandwidth_bps, len)
     }
+}
+
+/// Time to serialize `len` bytes at `bps` bits per second. Fluid-enabled
+/// channels call this with their residual bandwidth instead of the
+/// configured line rate; zero behaves as "practically never".
+pub fn tx_time_at(bps: u64, len: usize) -> SimDuration {
+    if bps == 0 {
+        return SimDuration::from_secs(3600);
+    }
+    let micros = (len as u128 * 8 * 1_000_000).div_ceil(bps as u128);
+    SimDuration::from_micros(micros as u64)
 }
 
 /// Counters kept per channel.
@@ -231,6 +239,12 @@ pub struct Channel {
     /// boundary: completed transmissions are exported to the simulator's
     /// outbox under this boundary id instead of being delivered locally.
     pub remote: Option<u32>,
+    /// Aggregate fluid background population contending for this channel
+    /// (see [`crate::fluid`]); boxed so fluid-free channels pay one
+    /// pointer. When present, foreground serialization runs at the
+    /// residual bandwidth and drop-tail admission sees the configured
+    /// limit minus the fluid queue occupancy.
+    pub fluid: Option<Box<FluidState>>,
 }
 
 impl Channel {
@@ -249,14 +263,29 @@ impl Channel {
             series: TimeSeries::new(SimDuration::from_millis(100)),
             loss_rng: None,
             remote: None,
+            fluid: None,
+        }
+    }
+
+    /// Drop-tail budget currently available to packet-level traffic: the
+    /// configured queue limit minus the fluid background queue occupancy
+    /// sampled at `now` (the whole limit when no fluid model is attached).
+    pub fn effective_queue_limit(&self, now: SimTime) -> usize {
+        match self.fluid.as_ref() {
+            Some(f) => self
+                .params
+                .queue_limit_bytes
+                .saturating_sub(f.queue_bytes_at(now, self.params.queue_limit_bytes) as usize),
+            None => self.params.queue_limit_bytes,
         }
     }
 
     /// Attempts to enqueue a packet behind the transmitter; returns `false`
-    /// and drops it if the queue is full.
-    pub fn enqueue(&mut self, pkt: Packet) -> bool {
+    /// and drops it if the queue (shared with any fluid background
+    /// occupancy at `now`) is full.
+    pub fn enqueue(&mut self, now: SimTime, pkt: Packet) -> bool {
         let len = pkt.wire_len();
-        if self.queued_bytes + len > self.params.queue_limit_bytes {
+        if self.queued_bytes + len > self.effective_queue_limit(now) {
             self.stats.queue_drops += 1;
             return false;
         }
@@ -384,10 +413,10 @@ mod tests {
             TcpSegment::new(1, 2, 0, 0, TcpFlags::ACK),
         );
         assert_eq!(pkt.wire_len(), 40);
-        assert!(ch.enqueue(pkt.clone()));
-        assert!(ch.enqueue(pkt.clone()));
+        assert!(ch.enqueue(SimTime::ZERO, pkt.clone()));
+        assert!(ch.enqueue(SimTime::ZERO, pkt.clone()));
         assert!(
-            !ch.enqueue(pkt.clone()),
+            !ch.enqueue(SimTime::ZERO, pkt.clone()),
             "third 40-byte packet exceeds 100-byte limit"
         );
         assert_eq!(ch.stats.queue_drops, 1);

@@ -17,7 +17,8 @@ use comma_rt::SeedableRng;
 
 use crate::addr::Ipv4Addr;
 use crate::fault::{FaultConfig, FaultState, FaultStats};
-use crate::link::{Channel, ChannelId, LinkParams};
+use crate::fluid::{FluidConfig, FluidState, FluidTotals};
+use crate::link::{tx_time_at, Channel, ChannelId, LinkParams};
 use crate::node::{IfaceId, Node, NodeCtx, NodeId};
 use crate::packet::Packet;
 use crate::sched::{TimerHandle, TimerWheel, WheelStats};
@@ -69,6 +70,9 @@ enum Event {
     Timer { node: NodeId, token: u64 },
     /// A scheduled control action runs.
     Control(ControlFn),
+    /// The fluid background population on `channel` reaches its next
+    /// rate-change epoch (quantized flow arrivals/departures).
+    FluidEpoch { channel: ChannelId },
 }
 
 struct NodeMeta {
@@ -209,6 +213,85 @@ impl Simulator {
     /// Fault counters of a channel, when faults are installed on it.
     pub fn fault_stats(&self, ch: ChannelId) -> Option<FaultStats> {
         self.faults.get(ch.0)?.as_ref().map(|f| f.stats)
+    }
+
+    /// Attaches a fluid background population to a channel (replacing any
+    /// previous one) and runs its first rate-solver epoch now.
+    ///
+    /// The population's schedule derives from `(world seed, key)` via a
+    /// dedicated stream salt (loss streams use salts 0/1, fluid uses 2),
+    /// so — exactly like [`Simulator::connect_keyed`] — the background
+    /// load is identical no matter which shard the channel lands in or
+    /// how crowded that shard is.
+    pub fn attach_fluid(&mut self, ch: ChannelId, cfg: FluidConfig, key: u64) {
+        let state = FluidState::new(cfg, stream_seed(self.seed, key, 2));
+        let prev = self.channels[ch.0].fluid.replace(Box::new(state));
+        if let Some(prev) = prev {
+            self.sched.cancel(prev.handle);
+        }
+        self.fluid_epoch(ch);
+    }
+
+    /// Changes a channel's bandwidth, keeping any attached fluid model
+    /// consistent: the fluid queue is integrated up to now at the old
+    /// rates, the max-min allocation re-solved at the new capacity, and
+    /// the pending epoch rescheduled. Fault-plan bandwidth churn routes
+    /// through here so background load reacts to capacity changes.
+    pub fn set_link_bandwidth(&mut self, ch: ChannelId, bps: u64) {
+        self.channels[ch.0].params.bandwidth_bps = bps;
+        if let Some(fluid) = self.channels[ch.0].fluid.as_ref() {
+            let stale = fluid.handle;
+            self.sched.cancel(stale);
+            self.fluid_epoch(ch);
+        }
+    }
+
+    /// Runs one fluid epoch on `ch_id`: advance the population to `now`,
+    /// re-solve rates, publish gauges, and schedule the next epoch.
+    fn fluid_epoch(&mut self, ch_id: ChannelId) {
+        let now = self.now;
+        let (next, active, residual, qbytes) = {
+            let ch = &mut self.channels[ch_id.0];
+            let capacity = ch.params.bandwidth_bps;
+            let limit = ch.params.queue_limit_bytes;
+            let Some(fluid) = ch.fluid.as_mut() else {
+                return;
+            };
+            let next = fluid.epoch(now, capacity, limit);
+            (
+                next,
+                fluid.active_flows(),
+                fluid.residual_bps(),
+                fluid.queue_bytes_at(now, limit),
+            )
+        };
+        if self.obs.is_enabled() {
+            let scope = &self.ch_scopes[ch_id.0];
+            self.obs.gauge(scope, "link.fluid_active", active as f64);
+            self.obs
+                .gauge(scope, "link.fluid_residual_bps", residual as f64);
+            self.obs.gauge(scope, "link.fluid_queue_bytes", qbytes as f64);
+        }
+        if let Some(at) = next {
+            let handle = self.sched.slab.alloc();
+            self.channels[ch_id.0].fluid.as_mut().expect("fluid just ran").handle = handle;
+            self.sched
+                .schedule_cancellable(at, handle, Event::FluidEpoch { channel: ch_id });
+        }
+    }
+
+    /// Aggregate fluid-model statistics summed over every channel.
+    pub fn fluid_totals(&self) -> FluidTotals {
+        let mut t = FluidTotals::default();
+        for ch in &self.channels {
+            if let Some(f) = ch.fluid.as_ref() {
+                t.links += 1;
+                t.users += f.users() as u64;
+                t.active += f.active_flows() as u64;
+                t.epochs += f.epochs();
+            }
+        }
+        t
     }
 
     /// Installs a packet observer (conformance oracle); replaces any
@@ -597,6 +680,7 @@ impl Simulator {
                 self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
             }
             Event::Control(f) => f(self),
+            Event::FluidEpoch { channel } => self.fluid_epoch(channel),
         }
     }
 
@@ -682,6 +766,7 @@ impl Simulator {
         if self.obs.is_enabled() {
             self.obs.inc(&self.ch_scopes[ch_id.0], "link.offered");
         }
+        let now = self.now;
         let ch = &mut self.channels[ch_id.0];
         ch.stats.offered_pkts += 1;
         if !ch.params.up {
@@ -695,7 +780,7 @@ impl Simulator {
         }
         if ch.busy {
             let len = pkt.wire_len();
-            if ch.enqueue(pkt.clone()) {
+            if ch.enqueue(now, pkt.clone()) {
                 if self.obs.is_enabled() {
                     self.obs.inc(&self.ch_scopes[ch_id.0], "link.enqueued");
                 }
@@ -713,7 +798,12 @@ impl Simulator {
     fn start_tx(&mut self, ch_id: ChannelId, pkt: Packet) {
         let ch = &mut self.channels[ch_id.0];
         ch.busy = true;
-        let tx_time = ch.params.tx_time(pkt.wire_len());
+        // Fluid-enabled channels serialize foreground packets at the
+        // residual bandwidth the background allocation leaves them.
+        let tx_time = match ch.fluid.as_ref() {
+            Some(f) => tx_time_at(f.residual_bps(), pkt.wire_len()),
+            None => ch.params.tx_time(pkt.wire_len()),
+        };
         let at = self.now + tx_time;
         self.push(
             at,

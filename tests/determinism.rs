@@ -8,7 +8,8 @@ use comma_repro::prelude::*;
 use comma_repro::rt::digest::Fnv1a;
 
 /// Runs a lossy double-proxy compression transfer with observability
-/// enabled; returns the full deterministic JSONL export.
+/// enabled and a fluid background population sharing the wireless
+/// downlink; returns the full deterministic JSONL export.
 fn run_obs_jsonl(seed: u64) -> String {
     let loss = LossModel::Gilbert {
         p_good_to_bad: 0.05,
@@ -29,6 +30,7 @@ fn run_obs_jsonl(seed: u64) -> String {
             vec![Box::new(sender)],
             vec![Box::new(Sink::new(9000))],
         );
+    world.sim.attach_fluid(world.wireless_ch.0, FluidConfig::users(100), 99);
     world.sp("add compress 0.0.0.0 0 11.11.10.10 9000 lzss");
     world.stub_sp("add decompress 0.0.0.0 0 11.11.10.10 9000");
     world.run_until(SimTime::from_secs(90));
@@ -43,6 +45,9 @@ fn same_seed_byte_identical_obs_export() {
     assert!(a.contains("link.offered"), "links instrumented");
     assert!(a.contains("tcp.cwnd"), "connections instrumented");
     assert!(a.contains("filter.pkts"), "filters instrumented");
+    assert!(a.contains("link.fluid_active"), "fluid population instrumented");
+    assert!(a.contains("link.fluid_residual_bps"), "fluid residual exported");
+    assert!(a.contains("link.fluid_queue_bytes"), "fluid queue exported");
     assert!(
         !a.contains("\"wall\"") && !a.contains("wall."),
         "host wall-clock metrics are quarantined out of the export"

@@ -6,6 +6,7 @@ use comma_repro::prelude::*;
 use comma_repro::rt::prop::{gen, Runner};
 
 use comma_repro::filters::codec::{lzss_compress, lzss_decompress, rle_compress, rle_decompress};
+use comma_repro::netsim::fluid::{max_min_rates, FluidConfig, FluidState};
 use comma_repro::netsim::wire;
 use comma_repro::netsim::sim::PacketObserver;
 use comma_repro::tcp::buffer::RecvBuffer;
@@ -480,6 +481,133 @@ fn recv_buffer_reassembles() {
             Ok(())
         },
     );
+}
+
+// ---------------------------------------------------------------------
+// Fluid background solver (hybrid fidelity, see DESIGN.md).
+// ---------------------------------------------------------------------
+
+/// Arbitrary solver input: background demands, link capacity, and the
+/// number of always-backlogged (greedy) foreground participants.
+fn arb_fluid_input(rng: &mut SmallRng) -> (Vec<u64>, u64, usize) {
+    let demands = gen::vec_of(rng, 1..40, |rng| rng.gen_range(1u64..50_000));
+    let capacity = rng.gen_range(1u64..2_000_000);
+    let greedy = rng.gen_range(0usize..3);
+    (demands, capacity, greedy)
+}
+
+/// No flow exceeds its demand, the rates never oversubscribe the link,
+/// and with no greedy participant the solver is exactly work-conserving:
+/// it hands out `min(total demand, capacity)` — in particular the link
+/// saturates whenever any flow is left unsatisfied.
+#[test]
+fn fluid_rates_capped_by_demand_and_capacity() {
+    Runner::new("fluid_rates_capped_by_demand_and_capacity")
+        .cases(300)
+        .run(arb_fluid_input, |(demands, capacity, greedy)| {
+            let rates = max_min_rates(demands, *capacity, *greedy);
+            ensure_eq!(rates.len(), demands.len());
+            let mut sum = 0u64;
+            for (r, d) in rates.iter().zip(demands) {
+                ensure!(r <= d, "rate {r} exceeds demand {d}");
+                sum += r;
+            }
+            ensure!(sum <= *capacity, "rates oversubscribe the link");
+            if *greedy == 0 {
+                let total: u64 = demands.iter().sum();
+                ensure_eq!(sum, total.min(*capacity), "solver not work-conserving");
+            }
+            Ok(())
+        });
+}
+
+/// Max-min fairness at the bottleneck: any flow left short of its demand
+/// is bottlenecked at this link, so no other flow may hold more than that
+/// flow's rate plus the one-unit integer-remainder slack.
+#[test]
+fn fluid_unsatisfied_flows_bottlenecked_at_link() {
+    Runner::new("fluid_unsatisfied_flows_bottlenecked_at_link")
+        .cases(300)
+        .run(arb_fluid_input, |(demands, capacity, greedy)| {
+            let rates = max_min_rates(demands, *capacity, *greedy);
+            for (i, (r, d)) in rates.iter().zip(demands).enumerate() {
+                if r < d {
+                    for (j, other) in rates.iter().enumerate() {
+                        ensure!(
+                            j == i || *other <= r + 1,
+                            "flow {j} ({other} bps) outranks unsatisfied flow {i} ({r} bps)"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        });
+}
+
+/// A departure never decreases any remaining flow's rate — freed capacity
+/// only redistributes upward (the invariant that lets epochs re-solve in
+/// place without transient rate dips).
+#[test]
+fn fluid_departures_never_decrease_remaining_rates() {
+    Runner::new("fluid_departures_never_decrease_remaining_rates")
+        .cases(300)
+        .run(
+            |rng| {
+                let (demands, capacity, greedy) = arb_fluid_input(rng);
+                let leave = gen::index(rng, demands.len());
+                (demands, capacity, greedy, leave)
+            },
+            |(demands, capacity, greedy, leave)| {
+                let before = max_min_rates(demands, *capacity, *greedy);
+                let mut rest = demands.clone();
+                rest.remove(*leave);
+                let after = max_min_rates(&rest, *capacity, *greedy);
+                let mut j = 0usize;
+                for (i, b) in before.iter().enumerate() {
+                    if i == *leave {
+                        continue;
+                    }
+                    ensure!(
+                        after[j] >= *b,
+                        "departure decreased flow {i}: {b} -> {}",
+                        after[j]
+                    );
+                    j += 1;
+                }
+                Ok(())
+            },
+        );
+}
+
+/// The per-link epoch schedule — epoch times, active populations, and
+/// solved aggregate rates — is a pure function of the seed.
+#[test]
+fn fluid_epoch_schedule_deterministic_per_seed() {
+    Runner::new("fluid_epoch_schedule_deterministic_per_seed")
+        .cases(50)
+        .run(
+            |rng| (rng.gen::<u64>(), rng.gen_range(2usize..200)),
+            |(seed, users)| {
+                let trace = |seed: u64| {
+                    let mut st = FluidState::new(FluidConfig::users(*users), seed);
+                    let mut now = SimTime::ZERO;
+                    let mut out = Vec::new();
+                    for _ in 0..50 {
+                        let next = st.epoch(now, 8_000_000, 131_072);
+                        out.push((now.as_micros(), st.active_flows(), st.bg_rate_bps()));
+                        match next {
+                            Some(t) => now = t,
+                            None => break,
+                        }
+                    }
+                    out
+                };
+                let a = trace(*seed);
+                ensure_eq!(a, trace(*seed), "same seed diverged");
+                ensure!(a.len() > 1, "no epochs scheduled");
+                Ok(())
+            },
+        );
 }
 
 // ---------------------------------------------------------------------

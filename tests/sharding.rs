@@ -10,7 +10,7 @@
 //! surface (typed errors, never panics).
 
 use comma_bench::scale::{
-    run_sharded_churn, sharded_delivered_digest, sharded_trace_digest,
+    metro_trace_digest, run_sharded_churn, sharded_delivered_digest, sharded_trace_digest,
 };
 use comma_repro::prelude::*;
 
@@ -114,6 +114,38 @@ fn coalesced_delivery_is_shard_local_and_worker_invariant() {
         build(1),
         build(4),
         "coalesced sharded trace must not depend on worker count"
+    );
+}
+
+/// Fluid background populations are shard-local state driven by keyed RNG
+/// streams, so partitioning must stay invisible with them attached: the
+/// metro trace (foreground packets sharing each cell's downlink with 250
+/// fluid users) is byte-identical between the single-shard build and the
+/// sharded build at 2 workers, and the per-shard conformance oracles stay
+/// clean on both.
+#[test]
+fn metro_fluid_trace_invariant_across_partitioning() {
+    let serial = metro_trace_digest(2, 250, 2, 4_096, 3, 11, 1, true);
+    let sharded = metro_trace_digest(2, 250, 2, 4_096, 3, 11, 2, false);
+    assert_eq!(
+        serial, sharded,
+        "fluid-backed metro trace must not depend on the partitioning"
+    );
+}
+
+/// The metro-scale acceptance run: 32 cells × 1,600 background users
+/// (51,200 total — none of them simulated packet-by-packet) under the
+/// oracle, byte-identical between the serial and sharded builds. Ignored
+/// in the default (debug) test pass; `scripts/ci.sh shard` runs it in
+/// release mode.
+#[test]
+#[ignore = "metro-scale release-mode run; exercised by scripts/ci.sh shard"]
+fn metro_scale_50k_bg_users_oracle_clean_and_partition_invariant() {
+    let serial = metro_trace_digest(32, 1_600, 4, 8_192, 5, 42, 1, true);
+    let sharded = metro_trace_digest(32, 1_600, 4, 8_192, 5, 42, 4, false);
+    assert_eq!(
+        serial, sharded,
+        "metro-scale fluid trace must be byte-identical serial vs sharded"
     );
 }
 
