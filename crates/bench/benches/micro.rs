@@ -312,6 +312,25 @@ fn bench_simulation(bench: &mut Bench) {
     g.finish();
 }
 
+fn bench_mc(bench: &mut Bench) {
+    use comma_mc::{explore, McConfig};
+    let mut g = bench.group("mc");
+    g.sample_size(10);
+    // Explored-states-per-second proxy: one full single-flow exploration
+    // (faults=1) per iteration; divide the reported states by the
+    // iteration time for the rate. The config is small enough to finish
+    // in milliseconds but still exercises snapshot, fingerprint, and
+    // branch enumeration on every hot path.
+    let cfg = McConfig {
+        flows: 1,
+        ..McConfig::default()
+    };
+    g.bench("explore_flow1_fault1_states", || {
+        explore(&cfg).states_explored
+    });
+    g.finish();
+}
+
 fn bench_obs(bench: &mut Bench) {
     use comma::topology::{addrs, CommaBuilder};
     use comma_tcp::apps::{BulkSender, Sink};
@@ -359,6 +378,7 @@ fn main() {
     bench_fluid(&mut bench);
     bench_shard_trace_merge(&mut bench);
     bench_simulation(&mut bench);
+    bench_mc(&mut bench);
     bench_obs(&mut bench);
     bench.finish();
 }

@@ -46,6 +46,16 @@ impl HubMetrics {
 }
 
 impl MetricsSource for HubMetrics {
+    // The hub handle is shared, not duplicated: snapshots are meant for
+    // model checking, where the EEM sampling path is disabled.
+    fn clone_metrics(&self) -> Option<Box<dyn MetricsSource>> {
+        Some(Box::new(HubMetrics {
+            hub: self.hub.clone(),
+            node: self.node.clone(),
+            obs: self.obs.clone(),
+        }))
+    }
+
     fn get(&self, var: &str) -> Option<f64> {
         if let Some(obs) = &self.obs {
             if let Some(v) = obs.gauge_value(&self.node, var) {

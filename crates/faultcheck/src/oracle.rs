@@ -174,7 +174,7 @@ impl OracleReport {
 }
 
 /// A sparse byte-stream log: sequence-space bytes by offset from the ISN.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct StreamLog {
     data: Vec<u8>,
     known: Vec<bool>,
@@ -211,7 +211,7 @@ impl StreamLog {
 }
 
 /// Per-flow state of one endpoint.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct EndState {
     /// ISN of the stream this endpoint emits (from its SYN).
     isn: Option<u32>,
@@ -234,6 +234,7 @@ struct EndState {
     rcvd_stream: StreamLog,
 }
 
+#[derive(Clone)]
 struct FlowState {
     a: (Ipv4Addr, u16),
     b: (Ipv4Addr, u16),
@@ -281,6 +282,7 @@ impl SegFacts<'_> {
 /// `Simulator::set_packet_observer(Box::new(oracle))`, run the scenario,
 /// then retrieve it with `take_packet_observer` and call
 /// [`Oracle::finish`].
+#[derive(Clone)]
 pub struct Oracle {
     cfg: OracleConfig,
     flows: BTreeMap<((Ipv4Addr, u16), (Ipv4Addr, u16)), FlowState>,
@@ -322,6 +324,28 @@ impl Oracle {
     /// Turns strict-mode findings (V7/V8) on or off for the report.
     pub fn set_strict(&mut self, strict: bool) {
         self.cfg.strict = strict;
+    }
+
+    /// Number of violations recorded so far that apply in the *current*
+    /// (non-strict vs strict) mode — a live invariant probe for the model
+    /// checker, usable mid-run without consuming the oracle the way
+    /// [`Oracle::finish`] does. The end-of-stream V7 comparison is not
+    /// included; it only runs at `finish`.
+    pub fn live_violations(&self) -> u64 {
+        if self.cfg.strict {
+            self.recorded_always + self.recorded_strict
+        } else {
+            self.recorded_always
+        }
+    }
+
+    /// The first recorded violation applicable in the current mode, if any
+    /// (for model-checker counterexample reports).
+    pub fn first_live_violation(&self) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .find(|(_, strict_only)| self.cfg.strict || !strict_only)
+            .map(|(v, _)| v)
     }
 
     /// Relaxes (or restores) the delivered-ACK monotonicity check; set
@@ -716,6 +740,10 @@ impl PacketObserver for Oracle {
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_observer(&self) -> Option<Box<dyn PacketObserver>> {
+        Some(Box::new(self.clone()))
     }
 }
 

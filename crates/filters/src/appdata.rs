@@ -136,7 +136,7 @@ impl Frame {
 
 /// Incremental frame parser tolerating arbitrary chunk boundaries — the
 /// stream services feed it whatever bytes TCP happens to deliver.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct FrameParser {
     buf: Vec<u8>,
 }
@@ -163,6 +163,11 @@ impl FrameParser {
     /// Bytes buffered awaiting a complete frame.
     pub fn pending(&self) -> usize {
         self.buf.len()
+    }
+
+    /// The buffered partial bytes themselves (canonical fingerprints).
+    pub fn pending_bytes(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Drains any buffered partial bytes (stream ending).

@@ -14,6 +14,7 @@ use comma_rt::Rng;
 /// watches TCP streams, re-validates checksums after all other filters have
 /// modified the packet, and deletes all filters associated with a stream
 /// when the stream closes.
+#[derive(Clone)]
 pub struct TcpHousekeeping {
     key: Option<StreamKey>,
     fin_down: bool,
@@ -126,11 +127,22 @@ impl Filter for TcpHousekeeping {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update(self.key.map_or_else(String::new, |k| k.to_string()));
+        h.update_u64(self.fin_down as u64);
+        h.update_u64(self.fin_up as u64);
+    }
 }
 
 /// The `launcher` filter: bound to a wild-card key, it attaches a list of
 /// services to every new stream that matches (the thesis session uses it to
 /// apply `tcp` and `wsize` to new mobile-bound streams).
+#[derive(Clone)]
 pub struct Launcher {
     /// Service specs: `name[:arg[:arg...]]`.
     specs: Vec<(String, Vec<String>)>,
@@ -187,10 +199,17 @@ impl Filter for Launcher {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        Some(Box::new(self.clone()))
+    }
+    // state_digest: the spec list is fixed at instantiation and the count
+    // is diagnostic, so the default (empty) digest is exact.
 }
 
 /// The `rdrop` filter (Fig 5.3): randomly drops packets with a given
 /// percentage, emulating a lossy link at the proxy.
+#[derive(Clone)]
 pub struct RandomDrop {
     /// Drop probability in `[0, 1]`.
     pub rate: f64,
@@ -266,6 +285,12 @@ impl Filter for RandomDrop {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        Some(Box::new(self.clone()))
+    }
+    // state_digest: the rate is fixed and draws come from the proxy's RNG
+    // (hashed by the node), so the default (empty) digest is exact.
 }
 
 #[cfg(test)]

@@ -105,6 +105,20 @@ impl EditMap {
         self.base_orig
     }
 
+    /// Folds the whole map — bases and every record, including replay
+    /// bytes — into a canonical state fingerprint.
+    pub fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update_u64(self.base_orig as u64);
+        h.update_u64(self.base_new as u64);
+        for r in &self.records {
+            h.update_u64(r.orig_start as u64);
+            h.update_u64(r.orig_len as u64);
+            h.update_u64(r.new_start as u64);
+            h.update(&r.out[..]);
+            h.update_u64(r.identity as u64);
+        }
+    }
+
     /// Mapped counterpart of [`EditMap::base_orig`].
     pub fn base_new(&self) -> u32 {
         self.base_new

@@ -37,6 +37,7 @@ pub enum DiscardPolicy {
 }
 
 /// The hierarchical-discard filter (UDP media streams).
+#[derive(Clone)]
 pub struct HierarchicalDiscard {
     policy: DiscardPolicy,
     /// Frames forwarded.
@@ -153,6 +154,13 @@ impl Filter for HierarchicalDiscard {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        Some(Box::new(self.clone()))
+    }
+    // state_digest: the policy is fixed at instantiation and the layer
+    // decision reads the metric afresh per packet, so the default (empty)
+    // digest is exact.
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ pub struct SnoopStats {
     pub dupacks_suppressed: u64,
 }
 
+#[derive(Clone)]
 struct CachedSeg {
     pkt: Packet,
     sent_at: SimTime,
@@ -33,6 +34,7 @@ struct CachedSeg {
 }
 
 /// The snoop filter.
+#[derive(Clone)]
 pub struct Snoop {
     down_key: Option<StreamKey>,
     base: Option<u32>,
@@ -181,6 +183,28 @@ impl Filter for Snoop {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update(self.down_key.map_or_else(String::new, |k| k.to_string()));
+        h.update_u64(self.base.map_or(u64::MAX, |b| b as u64));
+        for (off, seg) in &self.cache {
+            h.update_u64(*off);
+            h.update(seg.pkt.summary());
+            h.update_u64(seg.sent_at.as_micros());
+            h.update_u64(seg.retx as u64);
+        }
+        h.update_u64(self.cached_bytes as u64);
+        h.update_u64(self.last_ack.map_or(u64::MAX, |a| a as u64));
+        h.update_u64(self.last_win.map_or(u64::MAX, |w| w as u64));
+        h.update_u64(self.dup_count as u64);
+        h.update_u64(self.srtt_us.to_bits());
+        h.update_u64(self.last_local_retx_at.map_or(u64::MAX, |t| t.as_micros()));
+        h.update_u64(self.mutate_fabricate_acks as u64);
     }
 }
 

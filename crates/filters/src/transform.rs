@@ -29,10 +29,22 @@ pub trait StreamTransformer {
     fn is_identity(&self) -> bool {
         false
     }
+
+    /// Deep copy for world snapshots
+    /// ([`comma_netsim::sim::Simulator::snapshot`]); transformers that do
+    /// not opt in (the default) make the owning filter uncloneable.
+    fn clone_transformer(&self) -> Option<Box<dyn StreamTransformer>> {
+        None
+    }
+
+    /// Folds buffered (behavior-relevant) bytes into a canonical world
+    /// fingerprint. The default (empty) is exact only for transformers
+    /// that keep no inter-chunk state.
+    fn state_digest(&self, _h: &mut comma_rt::digest::Fnv1a) {}
 }
 
 /// Pass-through transformer (used to exercise the TTSF machinery alone).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Identity;
 
 impl StreamTransformer for Identity {
@@ -44,6 +56,10 @@ impl StreamTransformer for Identity {
     }
     fn is_identity(&self) -> bool {
         true
+    }
+
+    fn clone_transformer(&self) -> Option<Box<dyn StreamTransformer>> {
+        Some(Box::new(Identity))
     }
 }
 
@@ -93,6 +109,7 @@ fn method_from_tag(tag: u8) -> Option<Method> {
 /// blocks of at most `block_size` — so ACK clocking never stalls behind a
 /// partially filled buffer. Each frame is self-contained for the peer
 /// decompressor (double-proxy operation, §10.2.4).
+#[derive(Clone)]
 pub struct Compressor {
     method: Method,
     block_size: usize,
@@ -128,9 +145,16 @@ impl StreamTransformer for Compressor {
         self.out_bytes += out.len() as u64;
         out
     }
+
+    fn clone_transformer(&self) -> Option<Box<dyn StreamTransformer>> {
+        Some(Box::new(self.clone()))
+    }
+    // state_digest: compression is chunk-local (no inter-chunk buffer), so
+    // the default (empty) digest is exact.
 }
 
 /// Reverses [`Compressor`] framing on the far side of the wireless link.
+#[derive(Clone)]
 pub struct Decompressor {
     buf: Vec<u8>,
     /// Framed bytes consumed.
@@ -218,6 +242,14 @@ impl StreamTransformer for Decompressor {
         self.out_bytes += residue.len() as u64;
         residue
     }
+
+    fn clone_transformer(&self) -> Option<Box<dyn StreamTransformer>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update(&self.buf[..]);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -226,6 +258,7 @@ impl StreamTransformer for Decompressor {
 
 /// Data removal (§8.3.1): drops records whose importance is below a
 /// threshold, forwarding the rest byte-identically.
+#[derive(Clone)]
 pub struct RecordDrop {
     parser: FrameParser,
     min_importance: u8,
@@ -269,10 +302,19 @@ impl StreamTransformer for RecordDrop {
         // Incomplete trailing bytes pass through untouched.
         self.parser.take_pending()
     }
+
+    fn clone_transformer(&self) -> Option<Box<dyn StreamTransformer>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update(self.parser.pending_bytes());
+    }
 }
 
 /// Data-type translation (§8.3.3): converts record bodies to more compact
 /// representations with preserved semantics.
+#[derive(Clone)]
 pub struct Translator {
     parser: FrameParser,
     /// Records translated.
@@ -363,6 +405,14 @@ impl StreamTransformer for Translator {
 
     fn flush(&mut self) -> Vec<u8> {
         self.parser.take_pending()
+    }
+
+    fn clone_transformer(&self) -> Option<Box<dyn StreamTransformer>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update(self.parser.pending_bytes());
     }
 }
 

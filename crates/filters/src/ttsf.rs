@@ -334,6 +334,34 @@ impl Filter for Ttsf {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        Some(Box::new(Ttsf {
+            service: self.service.clone_transformer()?,
+            down_key: self.down_key,
+            map: self.map.clone(),
+            fin_orig: self.fin_orig,
+            fin_flushed: self.fin_flushed,
+            emit_cap: self.emit_cap,
+            mutate_skip_ack_translation: self.mutate_skip_ack_translation,
+            stats: self.stats,
+        }))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update(self.down_key.map_or_else(String::new, |k| k.to_string()));
+        match &self.map {
+            None => {
+                h.update_u64(u64::MAX);
+            }
+            Some(m) => m.state_digest(h),
+        }
+        h.update_u64(self.fin_orig.map_or(u64::MAX, |s| s as u64));
+        h.update_u64(self.fin_flushed as u64);
+        h.update_u64(self.emit_cap as u64);
+        h.update_u64(self.mutate_skip_ack_translation as u64);
+        self.service.state_digest(h);
+    }
 }
 
 impl Ttsf {

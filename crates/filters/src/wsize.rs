@@ -36,6 +36,7 @@ pub enum WsizeMode {
 }
 
 /// The window-size modification filter.
+#[derive(Clone)]
 pub struct Wsize {
     mode: WsizeMode,
     down_key: Option<StreamKey>,
@@ -212,6 +213,25 @@ impl Filter for Wsize {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update(self.down_key.map_or_else(String::new, |k| k.to_string()));
+        h.update_u64(self.link_up as u64);
+        match &self.last_uplink {
+            None => {
+                h.update_u64(u64::MAX);
+            }
+            Some((pkt, seg)) => {
+                h.update(pkt.summary());
+                h.update_u64(seg.ack as u64);
+                h.update_u64(seg.window as u64);
+            }
+        }
     }
 }
 

@@ -90,9 +90,44 @@ impl Kati {
                 self.eem(node, var)
             }
             "obs" => self.obs(sim, rest.first().copied().unwrap_or("summary")),
+            "mc" => Self::mc(&rest),
             "help" => HELP.to_string(),
             _ => format!("kati: unknown command '{cmd}' (try 'help')\n"),
         }
+    }
+
+    /// Runs the `comma-mc` interleaving checker on its self-contained
+    /// TCP+TTSF scenario (not the shell's bound world — the checker needs
+    /// snapshot-capable nodes and its own oracle wiring).
+    fn mc(args: &[&str]) -> String {
+        const USAGE: &str =
+            "usage: mc [seed N] [depth N] [steps N] [faults N] [flows N] [bytes N] [mutate]\n";
+        let mut cfg = comma_mc::McConfig::default();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "mutate" {
+                cfg.mutate_skip_ack_translation = true;
+                i += 1;
+                continue;
+            }
+            let Some(val) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                return USAGE.into();
+            };
+            match args[i] {
+                "seed" => cfg.seed = val,
+                "depth" => cfg.max_depth = val as usize,
+                "steps" => cfg.step_budget = val,
+                "faults" => cfg.max_faults = val as usize,
+                "flows" => cfg.flows = val as usize,
+                "bytes" => cfg.transfer_bytes = val as usize,
+                _ => return USAGE.into(),
+            }
+            i += 2;
+        }
+        let report = comma_mc::explore(&cfg);
+        let mut out = report.render();
+        out.push('\n');
+        out
     }
 
     fn sp_exec(&mut self, sim: &mut Simulator, line: &str) -> String {
@@ -352,5 +387,9 @@ Kati commands:
   obs [summary|dump|reset|on|off]
                              unified observability: summary tables,
                              JSONL dump, clear, toggle recording
+  mc [seed N] [depth N] [steps N] [faults N] [flows N] [bytes N] [mutate]
+                             model-check the TCP+TTSF scenario (self-
+                             contained world; 'mutate' arms the known
+                             ACK-translation bug the checker must find)
   help                       this text
 ";

@@ -1,0 +1,72 @@
+//! The `./scripts/ci.sh mc` gate runner.
+//!
+//! Three checks, any failure exits nonzero with a banner:
+//!
+//! 1. the shipped-default exploration ([`McConfig::default`]) must finish
+//!    exhaustively (no step-budget hit) with zero violations and at least
+//!    30% fingerprint dedup;
+//! 2. the known-bug mutation (`mutate_skip_ack_translation`) must be
+//!    rediscovered as a `delivered-ack-regression` within the same budget,
+//!    and its minimized trace must replay to a violation;
+//! 3. the coverage numbers are spliced into `BENCH_macro.json` (first
+//!    argument, default `BENCH_macro.json`) as the `"mc"` block.
+
+use std::path::Path;
+use std::process::exit;
+
+use comma_mc::{explore, replay_mc_trace, write_mc_block, McConfig};
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_macro.json".into());
+
+    let cfg = McConfig::default();
+    let t = std::time::Instant::now();
+    let report = explore(&cfg);
+    let wall_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    println!("{}", report.render());
+    println!("wall: {wall_ms:.1} ms");
+    if !report.exhausted_clean() || report.states_explored == 0 {
+        eprintln!("mc gate FAILED: shipped exploration not clean/exhaustive");
+        exit(1);
+    }
+    if report.dedup_ratio() < 0.30 {
+        eprintln!(
+            "mc gate FAILED: dedup ratio {:.3} < 0.30 — state fingerprints have \
+             stopped converging (arrival-history artifact in a digest?)",
+            report.dedup_ratio()
+        );
+        exit(1);
+    }
+
+    let mcfg = McConfig {
+        max_faults: 0,
+        mutate_skip_ack_translation: true,
+        ..McConfig::default()
+    };
+    let mreport = explore(&mcfg);
+    let Some(v) = &mreport.violation else {
+        eprintln!(
+            "mc gate FAILED: mutate_skip_ack_translation not rediscovered \
+             ({} states explored) — the oracle pipeline is blind",
+            mreport.states_explored
+        );
+        exit(1);
+    };
+    println!("mutation rediscovered: {}", v.detail);
+    println!("  minimized: {}", v.minimized);
+    let replayed = replay_mc_trace(&mcfg, &v.minimized);
+    if replayed.violation.is_none() {
+        eprintln!(
+            "mc gate FAILED: minimized counterexample does not replay \
+             (error: {:?})",
+            replayed.error
+        );
+        exit(1);
+    }
+
+    if let Err(e) = write_mc_block(Path::new(&path), &report, wall_ms) {
+        eprintln!("mc gate FAILED: cannot write {path}: {e}");
+        exit(1);
+    }
+    println!("mc gate ok ({} states, {:.0}% dedup)", report.states_explored, report.dedup_ratio() * 100.0);
+}

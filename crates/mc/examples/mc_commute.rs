@@ -1,0 +1,29 @@
+//! Dev probe: walks the default schedule and, at every batch with >= 2
+//! options, fires the first two in both orders and compares fingerprints.
+//! `split` > 0 means some same-instant pair is order-visible (mobile ISS
+//! draws make SYN races genuinely divergent; everything else should merge).
+
+use comma_mc::{build_scenario, McConfig};
+use comma_netsim::sim::McAction;
+
+fn main() {
+    let cfg = McConfig::default();
+    let mut world = build_scenario(&cfg);
+    let mut merged = 0;
+    let mut split = 0;
+    loop {
+        let options = world.sim.mc_options();
+        if options.is_empty() { break; }
+        if options.len() >= 2 {
+            let mut a = world.sim.snapshot().unwrap();
+            a.mc_step(0, McAction::Deliver).unwrap();
+            a.mc_step(0, McAction::Deliver).unwrap();
+            let mut b = world.sim.snapshot().unwrap();
+            b.mc_step(1, McAction::Deliver).unwrap();
+            b.mc_step(0, McAction::Deliver).unwrap();
+            if a.state_hash() == b.state_hash() { merged += 1; } else { split += 1; }
+        }
+        world.sim.mc_step(0, McAction::Deliver).unwrap();
+    }
+    println!("pairwise diamonds: merged={merged} split={split}");
+}

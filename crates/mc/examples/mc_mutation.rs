@@ -1,0 +1,17 @@
+//! Dev probe: fault-free exploration with the known ACK-translation bug
+//! armed -- must print a delivered-ack-regression violation (the CI gate
+//! automates this check).
+
+use comma_mc::{explore, McConfig};
+
+fn main() {
+    let cfg = McConfig {
+        max_faults: 0,
+        mutate_skip_ack_translation: true,
+        ..McConfig::default()
+    };
+    let t = std::time::Instant::now();
+    let report = explore(&cfg);
+    println!("{}", report.render());
+    println!("wall: {:?}", t.elapsed());
+}

@@ -1,0 +1,19 @@
+//! Dev probe: run one exploration with positional overrides
+//! (`mc_probe [steps] [depth] [faults] [bytes] [flows]`) and print the
+//! coverage report.
+
+use comma_mc::{explore, McConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = McConfig::default();
+    if let Some(v) = args.get(1) { cfg.step_budget = v.parse().unwrap(); }
+    if let Some(v) = args.get(2) { cfg.max_depth = v.parse().unwrap(); }
+    if let Some(v) = args.get(3) { cfg.max_faults = v.parse().unwrap(); }
+    if let Some(v) = args.get(4) { cfg.transfer_bytes = v.parse().unwrap(); }
+    if let Some(v) = args.get(5) { cfg.flows = v.parse().unwrap(); }
+    let t = std::time::Instant::now();
+    let report = explore(&cfg);
+    println!("{}", report.render());
+    println!("wall: {:?}", t.elapsed());
+}

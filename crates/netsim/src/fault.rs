@@ -63,7 +63,7 @@ pub struct FaultStats {
 
 /// The installed fault state of one channel: configuration, a dedicated
 /// RNG stream, and counters.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FaultState {
     /// The active configuration.
     pub cfg: FaultConfig,

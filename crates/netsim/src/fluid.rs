@@ -210,7 +210,7 @@ impl FluidTotals {
 /// Driven by [`FluidState::epoch`] at quantized transition times; between
 /// epochs the fluid queue evolves linearly and is sampled lazily via
 /// [`FluidState::queue_bytes_at`].
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FluidState {
     cfg: FluidConfig,
     quantum_us: u64,

@@ -206,7 +206,7 @@ pub struct ChannelStats {
 }
 
 /// A directed channel from one node interface to another.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Channel {
     /// Current parameters; mutable at run time for time-varying QoS.
     pub params: LinkParams,

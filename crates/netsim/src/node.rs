@@ -58,6 +58,22 @@ pub trait Node {
     /// Escape hatch for tools (Kati, tests) that need typed access to a
     /// node's internals.
     fn as_any(&mut self) -> &mut dyn Any;
+
+    /// Deep copy for [`crate::sim::Simulator::snapshot`]. Nodes that do
+    /// not opt in (the default) make worlds containing them
+    /// unsnapshottable — the model checker reports which node refused.
+    fn clone_node(&self) -> Option<Box<dyn Node>> {
+        None
+    }
+
+    /// Feeds the node's *behavior-relevant* state into a canonical
+    /// fingerprint ([`crate::sim::Simulator::state_hash`]). Two nodes with
+    /// equal digests must behave identically on every future input; purely
+    /// diagnostic counters should be left out so interleavings that
+    /// converge to the same protocol state hash equal. The default hashes
+    /// nothing — fine for stateless nodes, a fingerprint blind spot for
+    /// stateful ones (the model checker's docs call this out).
+    fn state_digest(&self, _h: &mut comma_rt::digest::Fnv1a) {}
 }
 
 /// Where a context's timer handles come from: the owning simulator's wheel

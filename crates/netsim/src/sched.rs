@@ -189,6 +189,22 @@ impl CancelSlab {
     }
 }
 
+/// Cloning preserves the slab **id**: a snapshot pairs cloned nodes (which
+/// hold [`TimerHandle`]s minted by the original slab) with their own cloned
+/// wheel, and those handles must stay valid against it. Shard safety is
+/// unaffected — a handle still only acts on slabs carrying its id, and the
+/// clone's slot/generation state is an exact copy of the original's.
+impl Clone for CancelSlab {
+    fn clone(&self) -> Self {
+        CancelSlab {
+            id: self.id,
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            cancelled: self.cancelled,
+        }
+    }
+}
+
 struct Entry<T> {
     time: u64,
     seq: u64,
@@ -659,6 +675,149 @@ impl<T> TimerWheel<T> {
             }
         }
         self.base = target;
+    }
+
+    // ------------------------------------------------------------------
+    // Model-checking support: snapshotting and fire-order branch points.
+    // ------------------------------------------------------------------
+
+    /// Deep-copies the wheel, mapping every pending item through `f`;
+    /// fails on the first item `f` rejects (e.g. a pending closure event
+    /// that cannot be cloned). Cursor, sequence counter, and statistics
+    /// carry over, so the clone pops the exact `(time, seq)` order the
+    /// original would. The cancellation slab keeps its id (see
+    /// [`CancelSlab`]'s `Clone`), which keeps `TimerHandle`s stored inside
+    /// cloned nodes valid against the cloned wheel.
+    pub fn try_clone_with<E>(
+        &self,
+        mut f: impl FnMut(&T) -> Result<T, E>,
+    ) -> Result<TimerWheel<T>, E> {
+        fn clone_entry<T, E>(
+            e: &Entry<T>,
+            f: &mut impl FnMut(&T) -> Result<T, E>,
+        ) -> Result<Entry<T>, E> {
+            Ok(Entry {
+                time: e.time,
+                seq: e.seq,
+                cancel_idx: e.cancel_idx,
+                cancel_gen: e.cancel_gen,
+                item: f(&e.item)?,
+            })
+        }
+        let mut levels = Vec::with_capacity(WHEEL_LEVELS);
+        for level in &self.levels {
+            let mut slots = Vec::with_capacity(WHEEL_SLOTS);
+            for slot in level {
+                let mut v = Vec::with_capacity(slot.len());
+                for e in slot {
+                    v.push(clone_entry(e, &mut f)?);
+                }
+                slots.push(v);
+            }
+            levels.push(slots);
+        }
+        let mut overflow = BinaryHeap::with_capacity(self.overflow.len());
+        for e in self.overflow.iter() {
+            overflow.push(OverflowEntry(clone_entry(&e.0, &mut f)?));
+        }
+        let mut ready = VecDeque::with_capacity(self.ready.len());
+        for e in &self.ready {
+            ready.push_back(clone_entry(e, &mut f)?);
+        }
+        Ok(TimerWheel {
+            base: self.base,
+            next_seq: self.next_seq,
+            len: self.len,
+            levels,
+            occ: self.occ,
+            overflow,
+            ready,
+            // The pool is a performance cache, not state.
+            pool: Vec::new(),
+            pool_cap: 0,
+            slab: self.slab.clone(),
+            scheduled: self.scheduled,
+            fired: self.fired,
+            purged: self.purged,
+        })
+    }
+
+    /// Visits every pending live entry as `(time, seq, item)` in
+    /// `(time, seq)` pop order — ready batch first, then wheel and
+    /// overflow. Canonical-fingerprint use: two wheels that would pop the
+    /// same items at the same times visit identically, regardless of slot
+    /// layout or heap arity.
+    pub fn for_each_pending(&self, mut f: impl FnMut(u64, u64, &T)) {
+        let all = self
+            .ready
+            .iter()
+            .chain(self.levels.iter().flatten().flatten())
+            .chain(self.overflow.iter().map(|e| &e.0));
+        let mut pending: Vec<(u64, u64, &T)> = all
+            .filter(|e| self.entry_live(e))
+            .map(|e| (e.time, e.seq, &e.item))
+            .collect();
+        pending.sort_by_key(|&(time, seq, _)| (time, seq));
+        for (time, seq, item) in pending {
+            f(time, seq, item);
+        }
+    }
+
+    /// Number of live entries in the next due batch (all at the same
+    /// microsecond), draining that microsecond into the ready batch first.
+    /// These are the fire-order alternatives a model checker branches on;
+    /// zero means the wheel is empty.
+    pub fn due_batch_len(&mut self) -> usize {
+        let Some(target) = self.next_time() else {
+            return 0;
+        };
+        if self.ready.is_empty() {
+            let t = target.as_micros();
+            self.advance_to(t);
+            self.drain_current(t);
+        }
+        self.ready.iter().filter(|e| self.entry_live(e)).count()
+    }
+
+    /// Borrowing look at the `n`-th (0-based) live entry of the due batch,
+    /// in FIFO order. `None` past the end of the batch.
+    pub fn peek_due_nth(&mut self, n: usize) -> Option<(SimTime, &T)> {
+        if self.due_batch_len() <= n {
+            return None;
+        }
+        self.ready
+            .iter()
+            .filter(|e| self.entry_live(e))
+            .nth(n)
+            .map(|e| (SimTime::from_micros(e.time), &e.item))
+    }
+
+    /// Pops the `n`-th (0-based) live entry of the due batch, possibly out
+    /// of FIFO order — the model checker's fire-order branch point.
+    /// `pop_due_nth(0)` is equivalent to [`TimerWheel::pop`] when the
+    /// wheel is non-empty.
+    pub fn pop_due_nth(&mut self, n: usize) -> Option<(SimTime, T)> {
+        if self.due_batch_len() <= n {
+            return None;
+        }
+        let mut live = 0usize;
+        let mut idx = 0usize;
+        loop {
+            if self.entry_live(&self.ready[idx]) {
+                if live == n {
+                    break;
+                }
+                live += 1;
+            }
+            idx += 1;
+        }
+        let e = self.ready.remove(idx).expect("index verified live");
+        if e.cancel_idx != NO_CANCEL {
+            self.slab.release(e.cancel_idx);
+        }
+        self.len -= 1;
+        self.fired += 1;
+        Some((SimTime::from_micros(e.time), e.item))
     }
 
     /// Drains the level-0 slot at the cursor into the ready batch, sorted

@@ -59,6 +59,11 @@ pub trait PacketObserver {
     fn on_deliver(&mut self, now: SimTime, node: NodeId, pkt: &Packet);
     /// Typed access for retrieval via [`Simulator::take_packet_observer`].
     fn as_any(&mut self) -> &mut dyn std::any::Any;
+    /// Deep copy for [`Simulator::snapshot`]. Observers that do not opt in
+    /// (the default) make worlds containing them unsnapshottable.
+    fn clone_observer(&self) -> Option<Box<dyn PacketObserver>> {
+        None
+    }
 }
 
 enum Event {
@@ -75,6 +80,78 @@ enum Event {
     FluidEpoch { channel: ChannelId },
 }
 
+impl Event {
+    /// Deep copy for [`Simulator::snapshot`]. `Control` closures are
+    /// `FnOnce` and cannot be cloned: a world with pending control actions
+    /// is unsnapshottable (scenario setup must run to completion first).
+    fn try_clone(&self) -> Option<Event> {
+        match self {
+            Event::TxComplete { channel, pkt } => Some(Event::TxComplete {
+                channel: *channel,
+                pkt: pkt.clone(),
+            }),
+            Event::Deliver { channel, pkt } => Some(Event::Deliver {
+                channel: *channel,
+                pkt: pkt.clone(),
+            }),
+            Event::Timer { node, token } => Some(Event::Timer {
+                node: *node,
+                token: *token,
+            }),
+            Event::Control(_) => None,
+            Event::FluidEpoch { channel } => Some(Event::FluidEpoch { channel: *channel }),
+        }
+    }
+
+    /// Feeds a canonical digest of the event into `h` (see
+    /// [`Simulator::state_hash`]).
+    fn digest_into(&self, h: &mut comma_rt::digest::Fnv1a) {
+        match self {
+            Event::TxComplete { channel, pkt } => {
+                h.update(b"tx").update_u64(channel.0 as u64);
+                digest_packet(h, pkt);
+            }
+            Event::Deliver { channel, pkt } => {
+                h.update(b"dl").update_u64(channel.0 as u64);
+                digest_packet(h, pkt);
+            }
+            Event::Timer { node, token: _ } => {
+                // The token names a socket or filter instance, and that
+                // numbering is arrival history: two schedules that converge
+                // on the same protocol state can hold the same timers under
+                // different tokens. Which timer is armed at which deadline
+                // is digested canonically inside the owning node's
+                // state_digest; the pending event contributes only its
+                // existence and target.
+                h.update(b"tm").update_u64(node.0 as u64);
+            }
+            Event::Control(_) => {
+                h.update(b"ct");
+            }
+            Event::FluidEpoch { channel } => {
+                h.update(b"fl").update_u64(channel.0 as u64);
+            }
+        }
+    }
+}
+
+/// Canonical packet digest: the summary line covers addressing, flags, and
+/// sequence numbers; TCP/UDP payload bytes are folded in besides, since
+/// transforming filters can change content without changing the summary.
+fn digest_packet(h: &mut comma_rt::digest::Fnv1a, pkt: &Packet) {
+    h.update(pkt.summary());
+    match &pkt.body {
+        crate::packet::IpPayload::Tcp(seg) => {
+            h.update(&seg.payload[..]);
+        }
+        crate::packet::IpPayload::Udp(d) => {
+            h.update(&d.payload[..]);
+        }
+        _ => {}
+    }
+}
+
+#[derive(Clone)]
 struct NodeMeta {
     ifaces: Vec<ChannelId>,
     name: String,
@@ -986,6 +1063,236 @@ impl Simulator {
         }
         self.dispatch_packet(dst_node, dst_iface, pkt);
     }
+
+    // ------------------------------------------------------------------
+    // Model checking: snapshot/restore, canonical fingerprints, and
+    // explicit branch-point stepping (see the `comma-mc` crate).
+    // ------------------------------------------------------------------
+
+    /// Deep-copies the whole world — scheduler (with pending events),
+    /// nodes, channels, RNG streams, fault state, observer — so a model
+    /// checker can restore it and explore a different branch.
+    ///
+    /// Fails, naming the culprit, when the world holds state that cannot
+    /// be duplicated: a pending [`Simulator::at`] control closure
+    /// (`FnOnce`, run scenario setup to completion first), a node without
+    /// [`Node::clone_node`], or a packet observer without
+    /// [`PacketObserver::clone_observer`].
+    pub fn snapshot(&self) -> Result<Simulator, String> {
+        let sched = self.sched.try_clone_with(|ev| {
+            ev.try_clone().ok_or_else(|| {
+                "cannot snapshot: pending control event (run scenario setup to completion first)"
+                    .to_string()
+            })
+        })?;
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (i, slot) in self.nodes.iter().enumerate() {
+            let Some(node) = slot else {
+                return Err(format!("cannot snapshot: node {i} is mid-dispatch"));
+            };
+            let cloned = node.clone_node().ok_or_else(|| {
+                format!(
+                    "cannot snapshot: node {i} ({}) does not implement clone_node",
+                    node.name()
+                )
+            })?;
+            nodes.push(Some(cloned));
+        }
+        let observer = match &self.observer {
+            Some(o) => Some(o.clone_observer().ok_or_else(|| {
+                "cannot snapshot: packet observer does not implement clone_observer".to_string()
+            })?),
+            None => None,
+        };
+        Ok(Simulator {
+            now: self.now,
+            sched,
+            nodes,
+            node_meta: self.node_meta.clone(),
+            node_rngs: self.node_rngs.clone(),
+            channels: self.channels.clone(),
+            link_rng: self.link_rng.clone(),
+            started: self.started,
+            seed: self.seed,
+            events_processed: self.events_processed,
+            trace: self.trace.clone(),
+            // The obs handle is shared (Rc), not duplicated: snapshots are
+            // meant for model checking, where recording stays disabled.
+            obs: self.obs.clone(),
+            ch_scopes: self.ch_scopes.clone(),
+            faults: self.faults.clone(),
+            observer,
+            coalesce_delivery: self.coalesce_delivery,
+            delivery_buf: Vec::new(),
+            fx_outputs: Vec::new(),
+            fx_timers: Vec::new(),
+            outbox: self.outbox.clone(),
+        })
+    }
+
+    /// Canonical FNV-1a fingerprint of the world's *behavior-relevant*
+    /// state: simulated time, pending events in `(time, seq)` pop order
+    /// (sequence numbers themselves excluded, so interleavings that
+    /// converge to the same pending set hash equal), per-node digests
+    /// ([`Node::state_digest`]), every RNG stream, and per-channel link
+    /// state. Diagnostic counters (trace, stats, `events_processed`) are
+    /// deliberately left out for the same convergence reason.
+    ///
+    /// Iteration never touches a hash map, and `Bytes` payloads are hashed
+    /// by content — the fingerprint is independent of allocation addresses
+    /// and map iteration order, and stable across runs of the same world.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = comma_rt::digest::Fnv1a::new();
+        h.update_u64(self.now.as_micros());
+        self.sched.for_each_pending(|time, _seq, ev| {
+            h.update_u64(time);
+            ev.digest_into(&mut h);
+        });
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if let Some(node) = slot {
+                h.update_u64(i as u64);
+                node.state_digest(&mut h);
+            }
+        }
+        for rng in &self.node_rngs {
+            for w in rng.state_words() {
+                h.update_u64(w);
+            }
+        }
+        for w in self.link_rng.state_words() {
+            h.update_u64(w);
+        }
+        for ch in &self.channels {
+            h.update_u64(ch.busy as u64);
+            h.update_u64(ch.queued_bytes as u64);
+            for pkt in &ch.queue {
+                digest_packet(&mut h, pkt);
+            }
+            h.update_u64(ch.loss_state.bad as u64);
+            h.update_u64(ch.params.up as u64);
+            h.update_u64(ch.params.bandwidth_bps);
+            h.update_u64(ch.params.latency.as_micros());
+            if let Some(rng) = ch.loss_rng.as_ref() {
+                for w in rng.state_words() {
+                    h.update_u64(w);
+                }
+            }
+        }
+        for fs in self.faults.iter().flatten() {
+            for w in fs.rng.state_words() {
+                h.update_u64(w);
+            }
+        }
+        h.finish()
+    }
+
+    /// The branch alternatives at the current decision point: one entry
+    /// per live event in the earliest due batch (all at the same
+    /// microsecond), in FIFO order. `is_delivery` marks packet-delivery
+    /// events, which additionally branch over [`McAction`] fault
+    /// placements; every other event only branches on fire order. Empty
+    /// means the world is quiescent. Runs `on_start` hooks if the world
+    /// has not started yet.
+    pub fn mc_options(&mut self) -> Vec<McOption> {
+        self.ensure_started();
+        let n = self.sched.due_batch_len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let (time, ev) = self.sched.peek_due_nth(i).expect("counted above");
+            out.push(McOption {
+                index: i,
+                time,
+                is_delivery: matches!(ev, Event::Deliver { .. }),
+            });
+        }
+        out
+    }
+
+    /// Executes one model-checking step: fires the `index`-th event of the
+    /// current due batch (as enumerated by [`Simulator::mc_options`]),
+    /// applying `action` if it is a delivery. Non-delivery events accept
+    /// only [`McAction::Deliver`] (plain firing).
+    ///
+    /// `Duplicate` re-schedules a copy at the same instant — the wheel's
+    /// FIFO places it behind every event already in the batch. `Reorder`
+    /// does not fire the event at all: it re-schedules the delivery at the
+    /// time of the next pending event, behind it, modeling a packet
+    /// overtaken by whatever happens next (a plain deliver when nothing
+    /// else is pending).
+    pub fn mc_step(&mut self, index: usize, action: McAction) -> Result<(), String> {
+        self.ensure_started();
+        let is_delivery = match self.sched.peek_due_nth(index) {
+            Some((_, ev)) => matches!(ev, Event::Deliver { .. }),
+            None => return Err(format!("mc_step: no due event at index {index}")),
+        };
+        if !is_delivery && action != McAction::Deliver {
+            return Err(format!("mc_step: {action:?} requires a delivery event"));
+        }
+        let (time, event) = self.sched.pop_due_nth(index).expect("peeked above");
+        self.now = time;
+        match action {
+            McAction::Deliver => self.handle(event),
+            McAction::Drop => {
+                let Event::Deliver { channel, pkt } = event else {
+                    unreachable!("checked above")
+                };
+                self.events_processed += 1;
+                let src = self.channels[channel.0].src_node;
+                let summary = pkt.summary();
+                self.trace
+                    .drop_pkt(self.now, src, DropReason::Loss, || summary);
+            }
+            McAction::Duplicate => {
+                let Event::Deliver { channel, pkt } = &event else {
+                    unreachable!("checked above")
+                };
+                self.push(
+                    self.now,
+                    Event::Deliver {
+                        channel: *channel,
+                        pkt: pkt.clone(),
+                    },
+                );
+                self.handle(event);
+            }
+            McAction::Reorder => {
+                let next = self.sched.next_time();
+                match next {
+                    // Nothing to slip behind: degenerate to a plain deliver.
+                    None => self.handle(event),
+                    Some(at) => self.push(at.max(self.now), event),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fault placement applied to a delivery at a model-checking branch point
+/// (see [`Simulator::mc_step`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum McAction {
+    /// Fire the event normally (the only action valid for non-deliveries).
+    Deliver,
+    /// Discard the packet (a link loss placed exactly here).
+    Drop,
+    /// Deliver, and deliver an identical copy right behind the current
+    /// batch.
+    Duplicate,
+    /// Do not fire: re-schedule the delivery behind the next pending
+    /// event (the packet is overtaken).
+    Reorder,
+}
+
+/// One branch alternative reported by [`Simulator::mc_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct McOption {
+    /// Index into the current due batch (pass to [`Simulator::mc_step`]).
+    pub index: usize,
+    /// The event's due time.
+    pub time: SimTime,
+    /// Whether this is a packet delivery (branches over [`McAction`]).
+    pub is_delivery: bool,
 }
 
 #[cfg(test)]

@@ -99,7 +99,7 @@ pub struct TraceCounters {
 }
 
 /// The shared trace: counters plus an optional bounded entry log.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Aggregate counters.
     pub counters: TraceCounters,

@@ -42,10 +42,12 @@ use crate::key::{StreamKey, WildKey};
 pub type FilterFactory = Box<dyn Fn(&[String]) -> Result<Box<dyn Filter>, String>>;
 
 /// The filter pool: factories known to the proxy ("compiled in" or loadable
-/// from the repository), and the set currently loaded.
-#[derive(Default)]
+/// from the repository), and the set currently loaded. Factories are
+/// reference-counted so cloning the catalog (world snapshots) shares them
+/// instead of requiring cloneable closures.
+#[derive(Clone, Default)]
 pub struct FilterCatalog {
-    factories: BTreeMap<String, FilterFactory>,
+    factories: BTreeMap<String, Rc<FilterFactory>>,
     loaded: BTreeSet<String>,
 }
 
@@ -57,7 +59,7 @@ impl FilterCatalog {
 
     /// Registers a factory under `name` (the filter repository).
     pub fn register(&mut self, name: impl Into<String>, factory: FilterFactory) {
-        self.factories.insert(name.into(), factory);
+        self.factories.insert(name.into(), Rc::new(factory));
     }
 
     /// Registers a factory and immediately loads it (a "standard set"
@@ -65,7 +67,7 @@ impl FilterCatalog {
     pub fn register_loaded(&mut self, name: impl Into<String>, factory: FilterFactory) {
         let name = name.into();
         self.loaded.insert(name.clone());
-        self.factories.insert(name, factory);
+        self.factories.insert(name, Rc::new(factory));
     }
 
     /// Loads a filter library file; returns the registered filter name.
@@ -1155,6 +1157,95 @@ impl FilterEngine {
     /// Number of live filter instances.
     pub fn live_instances(&self) -> usize {
         self.instances.iter().flatten().count()
+    }
+
+    /// Deep-copies the engine for a world snapshot: catalog factories are
+    /// shared (refcounted), filter instances clone through
+    /// [`Filter::clone_filter`], flow/registration state clones plainly,
+    /// and the dispatch scratch starts fresh. Fails, naming the filter
+    /// kind, when an instance does not support cloning.
+    pub fn try_clone(&self) -> Result<FilterEngine, String> {
+        let mut instances = Vec::with_capacity(self.instances.len());
+        for slot in &self.instances {
+            instances.push(match slot {
+                None => None,
+                Some(inst) => {
+                    let filter = inst.filter.clone_filter().ok_or_else(|| {
+                        format!("filter {} does not implement clone_filter", inst.kind)
+                    })?;
+                    Some(Instance {
+                        filter,
+                        kind: inst.kind.clone(),
+                        registration: inst.registration,
+                        keys: inst.keys.clone(),
+                        priority: inst.priority,
+                        caps: inst.caps,
+                        wants_in: inst.wants_in,
+                        stats: inst.stats,
+                    })
+                }
+            });
+        }
+        Ok(FilterEngine {
+            catalog: self.catalog.clone(),
+            registrations: self.registrations.clone(),
+            reg_generation: self.reg_generation,
+            instances,
+            flows: self.flows.clone(),
+            kinds: self.kinds.clone(),
+            log: self.log.clone(),
+            totals: self.totals,
+            pending_timers: self.pending_timers.clone(),
+            obs: self.obs.clone(),
+            scratch: EngineScratch::default(),
+        })
+    }
+
+    /// Folds behavior-relevant engine state — registration set, per-flow
+    /// queue state, and every instance's [`Filter::state_digest`] — into a
+    /// canonical world fingerprint. Counters and the diagnostic log are
+    /// excluded.
+    pub fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update_u64(self.reg_generation);
+        for slot in self.registrations.iter().flatten() {
+            h.update_u64(slot.id as u64);
+            h.update(slot.wild.to_string());
+            h.update(&*slot.filter);
+        }
+        // Instance slot order records packet-arrival history (wildcard
+        // registrations spawn an instance when a stream's first packet
+        // shows up), while per-packet processing selects instances by
+        // stream key — so slot order is not behavior. Fold instances in
+        // canonical (kind, keys) order so schedules that converge on the
+        // same instance set hash equal regardless of spawn order.
+        let mut inst_digests: Vec<(String, u64)> = self
+            .instances
+            .iter()
+            .flatten()
+            .map(|inst| {
+                let mut key = inst.kind.to_string();
+                let mut sub = comma_rt::digest::Fnv1a::new();
+                sub.update(&*inst.kind);
+                for k in &inst.keys {
+                    let k = k.to_string();
+                    key.push(' ');
+                    key.push_str(&k);
+                    sub.update(k);
+                }
+                inst.filter.state_digest(&mut sub);
+                (key, sub.finish())
+            })
+            .collect();
+        inst_digests.sort_unstable();
+        for (_, d) in inst_digests {
+            h.update_u64(d);
+        }
+        self.flows.state_digest(h);
+        // Timer tokens name instances, and instance numbering is arrival
+        // history too; the delay alone is the behavior-relevant part.
+        for (delay, _token) in &self.pending_timers {
+            h.update_u64(delay.as_micros());
+        }
     }
 }
 

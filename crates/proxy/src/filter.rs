@@ -93,6 +93,12 @@ pub enum Verdict {
 pub trait MetricsSource {
     /// Returns the current value of a named variable, if known.
     fn get(&self, var: &str) -> Option<f64>;
+
+    /// Deep copy for world snapshots. Sources that do not opt in (the
+    /// default) make their proxy unsnapshottable.
+    fn clone_metrics(&self) -> Option<Box<dyn MetricsSource>> {
+        None
+    }
 }
 
 /// A metrics source that knows nothing (the default).
@@ -101,6 +107,10 @@ pub struct NullMetrics;
 impl MetricsSource for NullMetrics {
     fn get(&self, _var: &str) -> Option<f64> {
         None
+    }
+
+    fn clone_metrics(&self) -> Option<Box<dyn MetricsSource>> {
+        Some(Box::new(NullMetrics))
     }
 }
 
@@ -300,6 +310,21 @@ pub trait Filter {
 
     /// Typed access for tools and tests.
     fn as_any(&mut self) -> &mut dyn Any;
+
+    /// Deep copy for world snapshots
+    /// ([`comma_netsim::sim::Simulator::snapshot`]). Filters that do not
+    /// opt in (the default) make their engine — and the world —
+    /// unsnapshottable.
+    fn clone_filter(&self) -> Option<Box<dyn Filter>> {
+        None
+    }
+
+    /// Folds *behavior-relevant* filter state (caches, edit maps,
+    /// reassembly buffers — not counters) into a canonical world
+    /// fingerprint. The default (empty) is sound only for stateless
+    /// filters; a stateful filter that skips it blinds the model checker's
+    /// visited-set to its state.
+    fn state_digest(&self, _h: &mut comma_rt::digest::Fnv1a) {}
 }
 
 #[cfg(test)]

@@ -48,12 +48,31 @@ impl Default for FlowEntry {
 /// The per-stream state table, keyed by [`StreamKey`] under deterministic
 /// FNV-1a hashing (stateless — no per-process seed, so iteration order is
 /// reproducible run to run; display paths still sort explicitly).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct FlowTable {
     map: FnvHashMap<StreamKey, FlowEntry>,
 }
 
 impl FlowTable {
+    /// Folds the table into a canonical fingerprint: entries visited in
+    /// sorted key order (the FNV map's iteration order is seed-free but
+    /// capacity-dependent, so it is not canonical across histories).
+    pub fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        let mut keys: Vec<&StreamKey> = self.map.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let entry = &self.map[key];
+            h.update(key.to_string());
+            for m in entry.members.iter() {
+                h.update_u64(*m as u64);
+            }
+            for a in &entry.applied {
+                h.update_u64(*a as u64);
+            }
+            h.update_u64(entry.generation);
+        }
+    }
+
     /// Creates an empty table.
     pub fn new() -> Self {
         FlowTable::default()

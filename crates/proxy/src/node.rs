@@ -174,4 +174,26 @@ impl Node for ServiceProxy {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_node(&self) -> Option<Box<dyn Node>> {
+        Some(Box::new(ServiceProxy {
+            name: self.name.clone(),
+            addrs: self.addrs.clone(),
+            table: self.table.clone(),
+            engine: self.engine.try_clone().ok()?,
+            metrics: self.metrics.clone_metrics()?,
+            rng: self.rng.clone(),
+            forwarded: self.forwarded,
+            filtered_out: self.filtered_out,
+            batch_out: Vec::new(),
+            batch_dropped: Vec::new(),
+        }))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        for w in self.rng.state_words() {
+            h.update_u64(w);
+        }
+        self.engine.state_digest(h);
+    }
 }

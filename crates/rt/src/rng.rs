@@ -212,6 +212,17 @@ impl SmallRng {
         s[3] = s[3].rotate_left(45);
         result
     }
+
+    /// Returns the raw 256-bit generator state.
+    ///
+    /// Two generators with equal state words produce identical future
+    /// streams, so the words can stand in for the generator in canonical
+    /// state fingerprints (the model checker hashes them into its
+    /// visited-set key).
+    #[inline]
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
 }
 
 impl Rng for SmallRng {

@@ -163,6 +163,18 @@ pub trait App {
 
     /// Typed access for tools and tests.
     fn as_any(&mut self) -> &mut dyn Any;
+
+    /// Deep copy for world snapshots ([`comma_netsim::sim::Simulator::snapshot`]).
+    /// Applications that do not opt in (the default) make their host — and
+    /// therefore the world — unsnapshottable.
+    fn clone_app(&self) -> Option<Box<dyn App>> {
+        None
+    }
+
+    /// Folds *behavior-relevant* application state into a canonical world
+    /// fingerprint. Pure counters and measurement fields should be left
+    /// out; the default (empty) is sound only for stateless applications.
+    fn state_digest(&self, _h: &mut comma_rt::digest::Fnv1a) {}
 }
 
 // ---------------------------------------------------------------------
@@ -170,6 +182,7 @@ pub trait App {
 // ---------------------------------------------------------------------
 
 /// Sends `total_bytes` to a remote sink as fast as TCP allows, then closes.
+#[derive(Clone)]
 pub struct BulkSender {
     remote: (Ipv4Addr, u16),
     total_bytes: usize,
@@ -277,10 +290,20 @@ impl App for BulkSender {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_app(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update_u64(self.sent as u64);
+        h.update_u64(self.sock.map_or(u64::MAX, |s| s.0 as u64));
+    }
 }
 
 /// Accepts connections on a port and discards (but accounts) everything
 /// received, closing when the peer closes.
+#[derive(Clone)]
 pub struct Sink {
     port: u16,
     /// Total payload bytes received, per completed plus live connections.
@@ -363,9 +386,16 @@ impl App for Sink {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_app(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(self.clone()))
+    }
+    // state_digest: the sink's future behavior does not depend on its
+    // accounting fields, so the default (empty) digest is exact here.
 }
 
 /// Echoes every received byte back to the sender.
+#[derive(Clone)]
 pub struct EchoServer {
     port: u16,
     /// Bytes echoed.
@@ -403,10 +433,15 @@ impl App for EchoServer {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn clone_app(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Issues fixed-size requests to an [`EchoServer`]-style responder and
 /// records per-transaction latency; models interactive traffic.
+#[derive(Clone)]
 pub struct RequestResponse {
     remote: (Ipv4Addr, u16),
     request_size: usize,
@@ -501,6 +536,18 @@ impl App for RequestResponse {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn clone_app(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update_u64(self.completed as u64);
+        h.update_u64(self.pending_bytes as u64);
+        h.update_u64(self.sock.map_or(u64::MAX, |s| s.0 as u64));
+        h.update_u64(self.sent_at.map_or(u64::MAX, |t| t.as_micros()));
+        h.update_u64(self.done as u64);
     }
 }
 

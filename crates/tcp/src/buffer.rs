@@ -11,7 +11,7 @@ use comma_rt::Bytes;
 use crate::seq::{seq_diff, seq_ge, seq_le, seq_lt};
 
 /// Sender-side byte store, addressed by absolute sequence number.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SendBuffer {
     base_seq: u32,
     data: Vec<u8>,
@@ -29,6 +29,13 @@ impl SendBuffer {
     /// Sequence number of the first retained byte (= `SND.UNA`).
     pub fn base_seq(&self) -> u32 {
         self.base_seq
+    }
+
+    /// Folds the buffer (base sequence and retained bytes) into a
+    /// canonical state fingerprint.
+    pub fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update_u64(self.base_seq as u64);
+        h.update(&self.data[..]);
     }
 
     /// Sequence number one past the last buffered byte.
@@ -75,7 +82,7 @@ impl SendBuffer {
 }
 
 /// Receiver-side reassembly buffer.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RecvBuffer {
     rcv_nxt: u32,
     capacity: u32,
@@ -99,6 +106,18 @@ impl RecvBuffer {
     /// Next expected sequence number.
     pub fn rcv_nxt(&self) -> u32 {
         self.rcv_nxt
+    }
+
+    /// Folds the reassembly state (cursor, undelivered bytes, out-of-order
+    /// segments in sequence order) into a canonical state fingerprint.
+    pub fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        h.update_u64(self.rcv_nxt as u64);
+        h.update_u64(self.capacity as u64);
+        h.update(&self.ready[..]);
+        for (seq, data) in &self.ooo {
+            h.update_u64(*seq as u64);
+            h.update(&data[..]);
+        }
     }
 
     /// Bytes available to the application.

@@ -103,6 +103,7 @@ pub struct ConnStats {
 }
 
 /// A TCP connection endpoint.
+#[derive(Clone, Debug)]
 pub struct TcpConnection {
     cfg: TcpConfig,
     state: TcpState,
@@ -145,6 +146,64 @@ pub struct TcpConnection {
 }
 
 const MAX_SYN_RETRIES: u32 = 6;
+
+impl TcpConnection {
+    /// Folds every behavior-relevant field — sequence state, buffers,
+    /// congestion control, timer deadlines — into a canonical state
+    /// fingerprint for model-checking visited-set pruning. Counters
+    /// (`stats`) are deliberately excluded: they never influence future
+    /// behavior, and hashing them would keep converging interleavings
+    /// artificially distinct.
+    pub fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        fn time(h: &mut comma_rt::digest::Fnv1a, t: &Option<SimTime>) {
+            h.update_u64(t.map_or(u64::MAX, |t| t.as_micros()));
+        }
+        fn seq(h: &mut comma_rt::digest::Fnv1a, s: &Option<u32>) {
+            h.update_u64(s.map_or(u64::MAX, |s| s as u64));
+        }
+        h.update_u64(self.state as u64);
+        h.update_u64(self.iss as u64);
+        h.update_u64(self.snd_una as u64);
+        h.update_u64(self.snd_nxt as u64);
+        h.update_u64(self.snd_max as u64);
+        h.update_u64(self.snd_wnd as u64);
+        h.update_u64(self.snd_wl1 as u64);
+        h.update_u64(self.snd_wl2 as u64);
+        self.send_buf.state_digest(h);
+        h.update_u64(self.fin_pending as u64);
+        seq(h, &self.fin_seq);
+        h.update_u64(self.cwnd as u64);
+        h.update_u64(self.ssthresh as u64);
+        h.update_u64(self.dup_acks as u64);
+        h.update_u64(self.in_fast_recovery as u64);
+        h.update_u64(self.recover as u64);
+        self.rto.state_digest(h);
+        time(h, &self.rto_deadline);
+        match &self.rtt_probe {
+            None => {
+                h.update_u64(u64::MAX);
+            }
+            Some((s, t)) => {
+                h.update_u64(*s as u64);
+                h.update_u64(t.as_micros());
+            }
+        }
+        time(h, &self.persist_deadline);
+        h.update_u64(self.persist_shift as u64);
+        time(h, &self.delack_deadline);
+        h.update_u64(self.unacked_segs as u64);
+        time(h, &self.time_wait_deadline);
+        h.update_u64(self.syn_retries as u64);
+        match &self.recv {
+            None => {
+                h.update_u64(u64::MAX);
+            }
+            Some(r) => r.state_digest(h),
+        }
+        seq(h, &self.peer_fin_seq);
+        h.update_u64(self.peer_mss as u64);
+    }
+}
 
 impl TcpConnection {
     /// Creates a closed connection with the given configuration and initial

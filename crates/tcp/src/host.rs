@@ -78,6 +78,7 @@ pub struct SocketInfo {
     pub app: AppId,
 }
 
+#[derive(Clone)]
 struct SocketEntry {
     conn: TcpConnection,
     local: (Ipv4Addr, u16),
@@ -96,6 +97,7 @@ struct SocketEntry {
     timer: Option<(SimTime, TimerHandle)>,
 }
 
+#[derive(Clone)]
 struct Listener {
     port: u16,
     app: usize,
@@ -680,5 +682,73 @@ impl Node for Host {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn clone_node(&self) -> Option<Box<dyn Node>> {
+        let mut apps: Vec<Option<Box<dyn App>>> = Vec::with_capacity(self.apps.len());
+        for slot in &self.apps {
+            apps.push(Some(slot.as_ref()?.clone_app()?));
+        }
+        Some(Box::new(Host {
+            name: self.name.clone(),
+            addrs: self.addrs.clone(),
+            table: self.table.clone(),
+            default_cfg: self.default_cfg.clone(),
+            apps,
+            sockets: self.sockets.clone(),
+            listeners: self.listeners.clone(),
+            udp_binds: self.udp_binds.clone(),
+            next_port: self.next_port,
+            counters: self.counters,
+        }))
+    }
+
+    fn state_digest(&self, h: &mut comma_rt::digest::Fnv1a) {
+        for a in &self.addrs {
+            h.update(a.to_string());
+        }
+        // Socket slot order records accept/connect history (two SYNs in
+        // the same due batch allocate slots in arrival order), while the
+        // wire behavior of each connection is keyed by its 4-tuple. Fold
+        // sockets in canonical 4-tuple order so converging schedules hash
+        // equal regardless of which connection was set up first.
+        let mut sock_digests: Vec<(u16, String, u16, u64)> = self
+            .sockets
+            .iter()
+            .map(|e| {
+                let mut sub = comma_rt::digest::Fnv1a::new();
+                sub.update_u64(e.local.1 as u64);
+                sub.update_u64(e.remote.1 as u64);
+                sub.update_u64(e.app as u64);
+                sub.update_u64(e.passive as u64);
+                // The armed deadline matters (it decides what fires when);
+                // the slab handle is allocation history and must stay out.
+                sub.update_u64(e.timer.map_or(u64::MAX, |(d, _)| d.as_micros()));
+                e.conn.state_digest(&mut sub);
+                (e.local.1, e.remote.0.to_string(), e.remote.1, sub.finish())
+            })
+            .collect();
+        sock_digests.sort_unstable();
+        for (_, _, _, d) in sock_digests {
+            h.update_u64(d);
+        }
+        for l in &self.listeners {
+            h.update_u64(l.port as u64);
+            h.update_u64(l.app as u64);
+        }
+        // HashMap iteration order is arbitrary; sort for a canonical walk.
+        let mut binds: Vec<(u16, usize)> = self.udp_binds.iter().map(|(&p, &a)| (p, a)).collect();
+        binds.sort_unstable();
+        for (port, app) in binds {
+            h.update_u64(port as u64);
+            h.update_u64(app as u64);
+        }
+        h.update_u64(self.next_port as u64);
+        for (i, slot) in self.apps.iter().enumerate() {
+            if let Some(app) = slot {
+                h.update_u64(i as u64);
+                app.state_digest(h);
+            }
+        }
     }
 }

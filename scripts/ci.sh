@@ -11,6 +11,7 @@
 #   COMMA_BENCH_FAST=1 ./scripts/ci.sh bench   # also smoke the benches
 #   ./scripts/ci.sh shard    # also gate the sharded-runner determinism suite
 #   ./scripts/ci.sh alloc    # also gate the zero-allocation contract
+#   ./scripts/ci.sh mc       # also gate the interleaving model checker
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -209,6 +210,37 @@ if [ "${1:-}" = "shard" ]; then
         echo "shard speedup gate skipped (only $cores core(s); recorded ${speedup}x at $workers workers)"
     fi
     echo "shard gate ok"
+fi
+
+if [ "${1:-}" = "mc" ]; then
+    echo "== model-checker regression suite (release) =="
+    cargo test -q --release --offline --test modelcheck
+
+    echo "== exhaustive exploration at shipped bounds (release) =="
+    # The runner fails on its own when the exploration is not clean, the
+    # dedup ratio sags below 30%, or the known-bug mutation goes
+    # undetected; it then splices the coverage numbers into
+    # BENCH_macro.json as the "mc" block.
+    cargo run -q --release --offline -p comma-mc --example mc_ci
+    for key in states_explored states_pruned dedup_ratio states_per_sec wall_ms; do
+        grep -q "\"$key\"" BENCH_macro.json || {
+            echo "mc gate FAILED: BENCH_macro.json lacks \"$key\"" >&2
+            exit 1
+        }
+    done
+    states="$(sed -n 's/.*"states_explored": \([0-9]*\).*/\1/p' BENCH_macro.json | head -n1)"
+    case "$states" in
+        ''|0)
+            echo "mc gate FAILED: states_explored missing or zero" >&2
+            exit 1
+            ;;
+    esac
+    viol="$(sed -n 's/.*"violations": \([0-9]*\).*/\1/p' BENCH_macro.json | head -n1)"
+    if [ "${viol:-1}" != "0" ]; then
+        echo "mc gate FAILED: shipped exploration recorded violations=$viol" >&2
+        exit 1
+    fi
+    echo "mc gate ok ($states states explored)"
 fi
 
 if [ "${1:-}" = "alloc" ]; then

@@ -8,6 +8,7 @@ pub use comma_eem as eem;
 pub use comma_faultcheck as faultcheck;
 pub use comma_filters as filters;
 pub use comma_kati as kati;
+pub use comma_mc as mc;
 pub use comma_mobileip as mobileip;
 pub use comma_netsim as netsim;
 pub use comma_obs as obs;

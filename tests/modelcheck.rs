@@ -1,0 +1,158 @@
+//! The `comma-mc` interleaving checker as a tier-1 regression surface:
+//! fingerprint determinism, snapshot/restore transparency, a debug-sized
+//! exhaustive exploration, and the pinned known-bug rediscovery.
+//!
+//! The full shipped-bounds exploration (50k+ states) runs release-mode in
+//! `./scripts/ci.sh mc`; the in-tree tests use reduced configurations so
+//! the debug workspace suite stays fast.
+
+use comma_repro::mc::{explore, replay_mc_trace, McConfig};
+use comma_repro::mc::scenario::build_scenario;
+use comma_repro::netsim::sim::McAction;
+use comma_repro::prelude::*;
+
+/// Debug-sized exhaustive configuration: both flows, no fault budget.
+fn reduced() -> McConfig {
+    McConfig {
+        max_faults: 0,
+        ..McConfig::default()
+    }
+}
+
+/// The state fingerprint is a pure function of the decision history: two
+/// independently built worlds driven through the same schedule report the
+/// same hash at every step. This is what makes the visited set sound — a
+/// fingerprint that leaked allocation addresses, map iteration order, or
+/// slot numbering would diverge here.
+#[test]
+fn mc_state_hash_deterministic_across_same_seed_runs() {
+    let cfg = reduced();
+    let mut a = build_scenario(&cfg);
+    let mut b = build_scenario(&cfg);
+    assert_eq!(a.sim.state_hash(), b.sim.state_hash(), "initial states differ");
+    for step in 0..60 {
+        let options = a.sim.mc_options();
+        if options.is_empty() {
+            assert!(b.sim.mc_options().is_empty(), "worlds quiesce together");
+            break;
+        }
+        // Perturb the fire order a little so the property is checked off
+        // the default path too.
+        let index = if options.len() > 1 { step % 2 } else { 0 };
+        a.sim.mc_step(index, McAction::Deliver).unwrap();
+        b.sim.mc_step(index, McAction::Deliver).unwrap();
+        assert_eq!(
+            a.sim.state_hash(),
+            b.sim.state_hash(),
+            "fingerprints diverged at step {step}"
+        );
+    }
+}
+
+/// Snapshot → restore → re-snapshot is fingerprint-transparent, and the
+/// copy stays in lockstep with the original when both are driven through
+/// the same decisions afterward.
+#[test]
+fn mc_state_hash_survives_snapshot_restore_round_trip() {
+    let cfg = reduced();
+    let mut world = build_scenario(&cfg);
+    for _ in 0..30 {
+        if world.sim.mc_options().is_empty() {
+            break;
+        }
+        world.sim.mc_step(0, McAction::Deliver).unwrap();
+    }
+    let mut snap = world.sim.snapshot().expect("snapshot");
+    assert_eq!(snap.state_hash(), world.sim.state_hash());
+    let again = snap.snapshot().expect("re-snapshot");
+    assert_eq!(again.state_hash(), world.sim.state_hash());
+    for step in 0..15 {
+        if world.sim.mc_options().is_empty() {
+            break;
+        }
+        world.sim.mc_step(0, McAction::Deliver).unwrap();
+        snap.mc_step(0, McAction::Deliver).unwrap();
+        assert_eq!(
+            world.sim.state_hash(),
+            snap.state_hash(),
+            "snapshot diverged from original at step {step}"
+        );
+    }
+}
+
+/// A debug-sized exhaustive exploration of the two-flow scenario finishes
+/// clean, and fingerprint pruning collapses at least 30% of the state
+/// arrivals (independent flows commute; conflated schedules must conflate).
+#[test]
+fn mc_reduced_exploration_exhausts_clean_with_dedup() {
+    let report = explore(&reduced());
+    assert!(
+        report.exhausted_clean(),
+        "reduced exploration not clean: {}",
+        report.render()
+    );
+    assert!(report.states_explored > 100, "{}", report.render());
+    assert_eq!(report.depth_bound_hits, 0, "{}", report.render());
+    assert!(
+        report.dedup_ratio() >= 0.30,
+        "dedup ratio {:.3} < 0.30 — an arrival-history artifact is leaking \
+         into a state digest: {}",
+        report.dedup_ratio(),
+        report.render()
+    );
+}
+
+/// Pinned known-bug rediscovery (the shipped-bounds sweep found no organic
+/// counterexample, so this mutation is the checker's teeth): arming
+/// `Ttsf::mutate_skip_ack_translation` mid-stream must surface a
+/// delivered-ACK regression, and the minimized counterexample must replay.
+#[test]
+fn regression_mc_rediscovers_skipped_ack_translation() {
+    let cfg = McConfig {
+        max_faults: 0,
+        mutate_skip_ack_translation: true,
+        ..McConfig::default()
+    };
+    let report = explore(&cfg);
+    let v = report
+        .violation
+        .as_ref()
+        .expect("mutation must be rediscovered");
+    assert!(
+        v.detail.contains("delivered-ack-regression"),
+        "unexpected violation kind: {}",
+        v.detail
+    );
+    assert!(v.minimized.decisions.len() <= v.trace.decisions.len());
+    let replayed = replay_mc_trace(&cfg, &v.minimized);
+    let (step, detail) = replayed
+        .violation
+        .expect("minimized counterexample must replay to a violation");
+    assert_eq!(step, v.minimized.decisions.len());
+    assert!(detail.contains("delivered-ack-regression"), "{detail}");
+}
+
+/// Without the mutation the same configuration is clean — the rediscovery
+/// above is the mutation's doing, not a latent bug in the scenario.
+#[test]
+fn mc_mutation_config_clean_when_unarmed() {
+    let report = explore(&reduced());
+    assert!(report.violation.is_none(), "{}", report.render());
+}
+
+/// The Kati shell's `mc` subcommand runs a self-contained exploration and
+/// reports coverage; bad arguments get usage instead of a panic.
+#[test]
+fn kati_mc_subcommand_reports_coverage() {
+    let mut world = CommaBuilder::new(7).eem(false).build(
+        vec![Box::new(BulkSender::new((addrs::MOBILE, 9000), 4_000))],
+        vec![Box::new(Sink::new(9000))],
+    );
+    let mut kati = Kati::new(world.proxy);
+    let out = kati.exec(&mut world.sim, "mc flows 1 faults 0 steps 20000");
+    assert!(out.contains("explored"), "unexpected mc output: {out}");
+    assert!(out.contains("no violations"), "{out}");
+    let usage = kati.exec(&mut world.sim, "mc bogus");
+    assert!(usage.starts_with("usage: mc"), "{usage}");
+    assert!(kati.exec(&mut world.sim, "help").contains("mc [seed N]"));
+}
